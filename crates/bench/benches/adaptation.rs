@@ -1,0 +1,64 @@
+//! Adaptation-scheme benchmarks: planning time per task-update batch
+//! for D-A, REBUILD, NO-THROTTLE, ADAPTIVE (the Fig. 9a dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
+use remo_core::planner::Planner;
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
+use remo_workloads::churn::{churn_pairs, ChurnConfig};
+use remo_workloads::TaskGenConfig;
+
+fn initial_pairs(nodes: usize) -> PairSet {
+    let gen = TaskGenConfig::small_scale(nodes, 40);
+    let mut rng = SmallRng::seed_from_u64(9);
+    gen.generate(40, TaskId(0), &mut rng)
+        .iter()
+        .flat_map(MonitoringTask::pairs)
+        .collect()
+}
+
+fn bench_adaptation_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptation_update");
+    group.sample_size(10);
+    let nodes = 40usize;
+    let pairs = initial_pairs(nodes);
+    let caps = CapacityMap::uniform(nodes, 300.0, 6_000.0).expect("caps");
+    let cost = CostModel::new(20.0, 1.0).expect("cost");
+    let churn_cfg = ChurnConfig {
+        node_fraction: 0.05,
+        attr_fraction: 0.5,
+        attr_universe: 40,
+    };
+
+    for (name, scheme) in [
+        ("direct_apply", AdaptScheme::DirectApply),
+        ("rebuild", AdaptScheme::Rebuild),
+        ("no_throttle", AdaptScheme::NoThrottle),
+        ("adaptive", AdaptScheme::Adaptive),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, nodes), &scheme, |b, &scheme| {
+            // One update on a fresh planner per iteration; churn is
+            // pre-generated so only the adaptation work is timed.
+            let base = AdaptivePlanner::new(
+                Planner::default(),
+                scheme,
+                pairs.clone(),
+                caps.clone(),
+                cost,
+                AttrCatalog::new(),
+            );
+            let mut rng = SmallRng::seed_from_u64(31);
+            let next = churn_pairs(&pairs, &churn_cfg, &mut rng);
+            b.iter(|| {
+                let mut planner = base.clone();
+                planner.update(next.clone(), 10)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptation_schemes);
+criterion_main!(benches);

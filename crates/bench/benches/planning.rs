@@ -1,0 +1,46 @@
+//! Planning-time benchmarks: the three partition schemes at two
+//! scales. Complements the figure harnesses with statistically sound
+//! timing (the schemes' *coverage* comparison lives in fig5/fig6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_core::planner::{PartitionScheme, Planner, PlannerConfig};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
+use remo_workloads::TaskGenConfig;
+
+fn workload(nodes: usize, attrs: usize, tasks: usize) -> (PairSet, CapacityMap, CostModel) {
+    let gen = TaskGenConfig::small_scale(nodes, attrs);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let tasks = gen.generate(tasks, TaskId(0), &mut rng);
+    let pairs: PairSet = tasks.iter().flat_map(MonitoringTask::pairs).collect();
+    let caps = CapacityMap::uniform(nodes, 800.0, 16_000.0).expect("caps");
+    (pairs, caps, CostModel::new(50.0, 1.0).expect("cost"))
+}
+
+fn bench_partition_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan");
+    group.sample_size(10);
+    for &(nodes, attrs, tasks) in &[(50usize, 40usize, 40usize), (100, 80, 100)] {
+        let (pairs, caps, cost) = workload(nodes, attrs, tasks);
+        let catalog = AttrCatalog::new();
+        let planner = Planner::new(PlannerConfig::default());
+        for (name, scheme) in [
+            ("singleton", PartitionScheme::SingletonSet),
+            ("one-set", PartitionScheme::OneSet),
+            ("remo", PartitionScheme::Remo),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n{nodes}_t{tasks}")),
+                &scheme,
+                |b, &scheme| {
+                    b.iter(|| scheme.plan(&planner, &pairs, &caps, cost, &catalog));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_schemes);
+criterion_main!(benches);

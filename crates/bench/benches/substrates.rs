@@ -1,0 +1,69 @@
+//! Substrate benchmarks: simulator epoch throughput and wire-protocol
+//! encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use remo_core::planner::Planner;
+use remo_core::{AttrCatalog, AttrId, CapacityMap, CostModel, NodeId, PairSet};
+use remo_runtime::proto::{WireMessage, WireReading};
+use remo_sim::{SimConfig, SimSetup, Simulator};
+use std::collections::BTreeMap;
+
+fn bench_simulator_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    group.sample_size(20);
+    for &nodes in &[50usize, 200] {
+        let pairs: PairSet = (0..nodes as u32)
+            .flat_map(|n| (0..5).map(move |a| (NodeId(n), AttrId(a))))
+            .collect();
+        let caps = CapacityMap::uniform(nodes, 200.0, 10_000.0).expect("caps");
+        let cost = CostModel::new(10.0, 1.0).expect("cost");
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("epoch", nodes), &nodes, |b, _| {
+            let mut sim = Simulator::new(SimSetup {
+                plan: &plan,
+                planned_pairs: &pairs,
+                metric_pairs: None,
+                caps: &caps,
+                cost,
+                catalog: &catalog,
+                aliases: BTreeMap::new(),
+                config: SimConfig::default(),
+            });
+            b.iter(|| sim.step());
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for &n in &[1usize, 64, 1024] {
+        let msg = WireMessage {
+            tree: 3,
+            from: NodeId(7),
+            readings: (0..n)
+                .map(|i| WireReading {
+                    node: NodeId(i as u32),
+                    attr: AttrId((i % 50) as u32),
+                    value: i as f64 * 0.5,
+                    produced: 1_000 + i as u64,
+                    contributors: 1,
+                })
+                .collect(),
+        };
+        group.throughput(Throughput::Bytes(msg.encoded_len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &msg, |b, msg| {
+            b.iter(|| msg.encode());
+        });
+        let frame = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", n), &frame, |b, frame| {
+            b.iter(|| WireMessage::decode(frame.clone()).expect("valid frame"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_step, bench_wire_protocol);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Tree-construction benchmarks: the four builders (Fig. 7's
+//! candidates) and the adjustment-optimization variants (Fig. 10's
+//! timing dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remo_core::build::{
+    build_tree, AdjustConfig, BuildRequest, BuilderKind, LocalLoad, NodeDemand,
+};
+use remo_core::{AttrId, CostModel, NodeId};
+
+fn uniform_request(nodes: usize, budget: f64) -> BuildRequest {
+    BuildRequest {
+        attrs: [AttrId(0)].into_iter().collect(),
+        demand: (0..nodes)
+            .map(|i| NodeDemand {
+                node: NodeId(i as u32),
+                load: LocalLoad::holistic(2.0),
+                budget,
+                pairs: 2,
+            })
+            .collect(),
+        collector_budget: 1e9,
+        cost: CostModel::new(6.0, 1.0).expect("cost"),
+        funnels: Vec::new(),
+    }
+}
+
+/// Hub-pressure request (the Fig. 10 adjust-heavy regime).
+fn hub_request(nodes: usize) -> BuildRequest {
+    let hub = 0.7 * nodes as f64 * 2.0;
+    BuildRequest {
+        attrs: [AttrId(0)].into_iter().collect(),
+        demand: (0..nodes)
+            .map(|i| NodeDemand {
+                node: NodeId(i as u32),
+                load: LocalLoad::holistic(2.0),
+                budget: 30.0 + hub * (1.0 - i as f64 / nodes as f64),
+                pairs: 2,
+            })
+            .collect(),
+        collector_budget: 1e9,
+        cost: CostModel::new(6.0, 1.0).expect("cost"),
+        funnels: Vec::new(),
+    }
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_builders");
+    group.sample_size(20);
+    for &nodes in &[50usize, 200] {
+        let req = uniform_request(nodes, 60.0);
+        for (name, kind) in [
+            ("star", BuilderKind::Star),
+            ("chain", BuilderKind::Chain),
+            ("max_avb", BuilderKind::MaxAvb),
+            ("adaptive", BuilderKind::default()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, nodes), &kind, |b, &kind| {
+                b.iter(|| build_tree(kind, &req));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_adjust_optimizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjusting_procedure");
+    group.sample_size(10);
+    let req = hub_request(200);
+    for (name, cfg) in [
+        ("basic", AdjustConfig::basic()),
+        (
+            "branch_based",
+            AdjustConfig {
+                branch_based: true,
+                subtree_only: false,
+            },
+        ),
+        ("combined", AdjustConfig::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 200), &cfg, |b, &cfg| {
+            b.iter(|| build_tree(BuilderKind::Adaptive(cfg), &req));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_adjust_optimizations);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Fig. 5 — attribute-set partition schemes under varying workload
+//! characteristics: percentage of collected node-attribute pairs for
+//! SINGLETON-SET, ONE-SET, and REMO as the task shape and task count
+//! change.
+//!
+//! Paper shapes to reproduce:
+//! - 5a (sweep `|A_t|`): REMO best everywhere; ONE-SET beats
+//!   SINGLETON-SET at small `|A_t|` and degrades as `|A_t|` grows.
+//! - 5b (`|A_t|` large, sweep `|N_t|`): extreme load; REMO converges
+//!   toward SINGLETON-SET behavior (balance matters most).
+//! - 5c (sweep #small-scale tasks) and 5d (sweep #large-scale tasks):
+//!   REMO consistently on top.
+//!
+//! The cost model follows the Fig. 2 measurements: a message's fixed
+//! overhead is worth ~100 values (`C/a = 100`), so node budgets bound
+//! message *counts* long before payloads.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_bench::{f3, plan_scheme, Reporter, SCHEMES};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
+use remo_workloads::TaskGenConfig;
+
+const NODES: usize = 50;
+const ATTRS: usize = 100;
+
+fn pairs_of(tasks: &[MonitoringTask]) -> PairSet {
+    tasks.iter().flat_map(MonitoringTask::pairs).collect()
+}
+
+fn run_point(
+    rep: &mut Reporter,
+    x: usize,
+    pairs: &PairSet,
+    cost: CostModel,
+    node_budget: f64,
+    collector: f64,
+) {
+    let caps = CapacityMap::uniform(NODES, node_budget, collector).expect("caps");
+    let catalog = AttrCatalog::new();
+    for (name, scheme) in SCHEMES {
+        let plan = plan_scheme(scheme, pairs, &caps, cost, &catalog);
+        rep.row(&[&x, &name, &f3(plan.coverage() * 100.0)]);
+    }
+}
+
+fn main() {
+    let heavy_overhead = CostModel::new(100.0, 1.0).expect("cost");
+
+    // 5a: |At| sweep at fixed task count and |Nt|.
+    let mut rep = Reporter::new("fig5a_attrs_per_task");
+    rep.header(&["attrs_per_task", "scheme", "collected_pct"]);
+    for &at in &[2usize, 5, 10, 20, 40] {
+        let gen = TaskGenConfig::fixed(NODES, ATTRS, at, 10);
+        let mut rng = SmallRng::seed_from_u64(50 + at as u64);
+        let tasks = gen.generate(30, TaskId(0), &mut rng);
+        run_point(&mut rep, at, &pairs_of(&tasks), heavy_overhead, 1_000.0, 20_000.0);
+    }
+
+    // 5b: extreme |At|, sweep |Nt| — payload-dominated regime where
+    // load balance decides. Convergence toward SINGLETON-SET shows up
+    // as REMO's chosen tree count approaching the attribute count, so
+    // the tree count is reported alongside coverage.
+    let balance_regime = CostModel::new(10.0, 1.0).expect("cost");
+    let mut rep = Reporter::new("fig5b_nodes_per_task");
+    rep.header(&["nodes_per_task", "scheme", "collected_pct", "trees"]);
+    for &nt in &[5usize, 10, 20, 30, 50] {
+        let gen = TaskGenConfig::fixed(NODES, ATTRS, 60, nt);
+        let mut rng = SmallRng::seed_from_u64(500 + nt as u64);
+        let tasks = gen.generate(10, TaskId(0), &mut rng);
+        let pairs = pairs_of(&tasks);
+        let caps = CapacityMap::uniform(NODES, 800.0, 20_000.0).expect("caps");
+        let catalog = AttrCatalog::new();
+        for (name, scheme) in SCHEMES {
+            let plan = plan_scheme(scheme, &pairs, &caps, balance_regime, &catalog);
+            rep.row(&[
+                &nt,
+                &name,
+                &f3(plan.coverage() * 100.0),
+                &plan.trees().len(),
+            ]);
+        }
+    }
+
+    // 5c: number of small-scale tasks.
+    let mut rep = Reporter::new("fig5c_small_tasks");
+    rep.header(&["tasks", "scheme", "collected_pct"]);
+    for &count in &[20usize, 40, 80, 160] {
+        let gen = TaskGenConfig::small_scale(NODES, ATTRS);
+        let mut rng = SmallRng::seed_from_u64(900 + count as u64);
+        let tasks = gen.generate(count, TaskId(0), &mut rng);
+        run_point(&mut rep, count, &pairs_of(&tasks), heavy_overhead, 1_000.0, 20_000.0);
+    }
+
+    // 5d: number of large-scale tasks.
+    let mut rep = Reporter::new("fig5d_large_tasks");
+    rep.header(&["tasks", "scheme", "collected_pct"]);
+    for &count in &[5usize, 10, 20, 40] {
+        let gen = TaskGenConfig::large_scale(NODES, ATTRS);
+        let mut rng = SmallRng::seed_from_u64(1300 + count as u64);
+        let tasks = gen.generate(count, TaskId(0), &mut rng);
+        run_point(&mut rep, count, &pairs_of(&tasks), heavy_overhead, 1_500.0, 30_000.0);
+    }
+}

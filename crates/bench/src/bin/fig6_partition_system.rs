@@ -1,0 +1,85 @@
+//! Fig. 6 — attribute-set partition schemes under varying *system*
+//! characteristics: node count (6a small-scale / 6b large-scale tasks)
+//! and the per-message overhead ratio `C/a` (6c/6d).
+//!
+//! Paper shapes: REMO collects up to ~90% more pairs than either
+//! baseline across node counts; increasing `C/a` hits SINGLETON-SET
+//! hardest (many trees, many messages), ONE-SET degrades gracefully,
+//! and REMO adapts by coarsening its partition.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_bench::{f3, plan_scheme, Reporter, SCHEMES};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
+use remo_workloads::TaskGenConfig;
+
+const ATTRS: usize = 100;
+
+fn pairs_of(tasks: &[MonitoringTask]) -> PairSet {
+    tasks.iter().flat_map(MonitoringTask::pairs).collect()
+}
+
+fn main() {
+    let cost = CostModel::new(100.0, 1.0).expect("cost");
+
+    // 6a/6b: sweep node count with small-/large-scale tasks. Tasks
+    // scale with the system (paper: "about as many tasks as nodes").
+    for (fig, small) in [("fig6a_nodes_small_tasks", true), ("fig6b_nodes_large_tasks", false)] {
+        let mut rep = Reporter::new(fig);
+        rep.header(&["nodes", "scheme", "collected_pct"]);
+        for &nodes in &[25usize, 50, 100, 150] {
+            let gen = if small {
+                TaskGenConfig::small_scale(nodes, ATTRS)
+            } else {
+                TaskGenConfig::large_scale(nodes, ATTRS)
+            };
+            let count = if small { nodes } else { nodes / 5 };
+            let mut rng = SmallRng::seed_from_u64(7 + nodes as u64);
+            let tasks = gen.generate(count, TaskId(0), &mut rng);
+            let pairs = pairs_of(&tasks);
+            let caps = CapacityMap::uniform(nodes, 1_000.0, 400.0 * nodes as f64)
+                .expect("caps");
+            let catalog = AttrCatalog::new();
+            for (name, scheme) in SCHEMES {
+                let plan = plan_scheme(scheme, &pairs, &caps, cost, &catalog);
+                rep.row(&[&nodes, &name, &f3(plan.coverage() * 100.0)]);
+            }
+        }
+    }
+
+    // 6c/6d: sweep C/a with fixed budgets; higher per-message overhead
+    // shrinks the message budget every scheme lives on.
+    for (fig, small) in [("fig6c_ca_small_tasks", true), ("fig6d_ca_large_tasks", false)] {
+        let mut rep = Reporter::new(fig);
+        rep.header(&["c_over_a", "scheme", "collected_pct", "remo_trees"]);
+        let nodes = 50usize;
+        let gen = if small {
+            TaskGenConfig::small_scale(nodes, ATTRS)
+        } else {
+            TaskGenConfig::large_scale(nodes, ATTRS)
+        };
+        let count = if small { 40 } else { 10 };
+        let mut rng = SmallRng::seed_from_u64(99);
+        let tasks = gen.generate(count, TaskId(0), &mut rng);
+        let pairs = pairs_of(&tasks);
+        let caps = CapacityMap::uniform(nodes, 1_000.0, 20_000.0).expect("caps");
+        let catalog = AttrCatalog::new();
+        for &ca in &[1.0f64, 5.0, 20.0, 50.0, 100.0, 200.0] {
+            let cost = CostModel::new(ca, 1.0).expect("cost");
+            let mut remo_trees = 0usize;
+            for (name, scheme) in SCHEMES {
+                let plan = plan_scheme(scheme, &pairs, &caps, cost, &catalog);
+                if name == "REMO" {
+                    remo_trees = plan.trees().len();
+                }
+                rep.row(&[
+                    &f3(ca),
+                    &name,
+                    &f3(plan.coverage() * 100.0),
+                    &plan.trees().len(),
+                ]);
+            }
+            let _ = remo_trees;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 8 — average percentage error of collected attribute values in
+//! the (simulated) System S deployment.
+//!
+//! The paper deploys YieldMonitor across up to 200 nodes with ~1 task
+//! per node, then compares the collector's snapshot against ground
+//! truth. REMO's error is 30–50% below SINGLETON-SET and ONE-SET, and
+//! falls as node count grows (sparser per-node load → bushier trees →
+//! less staleness).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_bench::{f3, plan_scheme, Reporter, SCHEMES};
+use remo_core::{CapacityMap, CostModel, PairSet, TaskId};
+use remo_sim::analysis::staleness_profile;
+use remo_sim::{SimConfig, SimSetup, Simulator, ValueModel};
+use remo_workloads::{AppModel, AppModelConfig, TaskGenConfig};
+use std::collections::BTreeMap;
+
+const EPOCHS: u64 = 60;
+const WARMUP: usize = 15;
+
+fn run_error(
+    pairs: &PairSet,
+    caps: &CapacityMap,
+    cost: CostModel,
+    app: &AppModel,
+    scheme: remo_core::planner::PartitionScheme,
+) -> (f64, f64, f64) {
+    let plan = plan_scheme(scheme, pairs, caps, cost, app.catalog());
+    let mut sim = Simulator::new(SimSetup {
+        plan: &plan,
+        planned_pairs: pairs,
+        metric_pairs: None,
+        caps,
+        cost,
+        catalog: app.catalog(),
+        aliases: BTreeMap::new(),
+        config: SimConfig {
+            seed: 1234,
+            default_model: ValueModel::Bursty {
+                lo: 10.0,
+                hi: 100.0,
+                step: 2.0,
+                burst_p: 0.1,
+                burst_gain: 6.0,
+            },
+            error_cap: 1.0,
+        },
+    });
+    sim.run(EPOCHS);
+    let profile = staleness_profile(sim.collector(), &plan, pairs, sim.epoch());
+    (
+        sim.metrics().mean_error(WARMUP) * 100.0,
+        plan.coverage() * 100.0,
+        profile.mean_staleness(),
+    )
+}
+
+fn main() {
+    let cost = CostModel::new(100.0, 1.0).expect("cost");
+
+    // 8a: sweep node count, tasks = nodes.
+    let mut rep = Reporter::new("fig8a_error_vs_nodes");
+    rep.header(&["nodes", "scheme", "error_pct", "coverage_pct", "mean_staleness"]);
+    for &nodes in &[25usize, 50, 100, 150] {
+        let app = AppModel::generate(&AppModelConfig {
+            nodes,
+            attrs_per_node: (30, 50),
+            attr_types: 80,
+            seed: 2009,
+            ..AppModelConfig::default()
+        });
+        let gen = TaskGenConfig::small_scale(nodes, 80);
+        let mut rng = SmallRng::seed_from_u64(41 + nodes as u64);
+        let tasks = gen.generate(nodes, TaskId(0), &mut rng);
+        let pairs = app.observable_pairs(&tasks);
+        let caps = CapacityMap::uniform(nodes, 2_000.0, 200.0 * nodes as f64).expect("caps");
+        for (name, scheme) in SCHEMES {
+            let (err, cov, stale) = run_error(&pairs, &caps, cost, &app, scheme);
+            rep.row(&[&nodes, &name, &f3(err), &f3(cov), &f3(stale)]);
+        }
+    }
+
+    // 8b: sweep task count at fixed node count.
+    let mut rep = Reporter::new("fig8b_error_vs_tasks");
+    rep.header(&["tasks", "scheme", "error_pct", "coverage_pct", "mean_staleness"]);
+    let nodes = 80usize;
+    let app = AppModel::generate(&AppModelConfig {
+        nodes,
+        attrs_per_node: (30, 50),
+        attr_types: 80,
+        seed: 2012,
+        ..AppModelConfig::default()
+    });
+    for &count in &[40usize, 80, 160, 240] {
+        let gen = TaskGenConfig::small_scale(nodes, 80);
+        let mut rng = SmallRng::seed_from_u64(77 + count as u64);
+        let tasks = gen.generate(count, TaskId(0), &mut rng);
+        let pairs = app.observable_pairs(&tasks);
+        let caps = CapacityMap::uniform(nodes, 2_000.0, 200.0 * nodes as f64).expect("caps");
+        for (name, scheme) in SCHEMES {
+            let (err, cov, stale) = run_error(&pairs, &caps, cost, &app, scheme);
+            rep.row(&[&count, &name, &f3(err), &f3(cov), &f3(stale)]);
+        }
+    }
+}

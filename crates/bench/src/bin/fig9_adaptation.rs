@@ -1,0 +1,110 @@
+//! Fig. 9 — runtime adaptation schemes (D-A, REBUILD, NO-THROTTLE,
+//! ADAPTIVE) under increasing task-update frequency.
+//!
+//! x-axis: task-update batches per window of 10 value-update epochs.
+//! Series:
+//! - 9a planning CPU time (REBUILD ≫ NO-THROTTLE > ADAPTIVE > D-A),
+//! - 9b adaptation traffic as % of total traffic,
+//! - 9c total traffic relative to D-A (REBUILD crosses above 1.0 as
+//!   churn grows; ADAPTIVE stays below),
+//! - 9d collected values relative to D-A (ADAPTIVE/NO-THROTTLE gain
+//!   with churn; REBUILD degrades).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_bench::{f3, Reporter};
+use remo_core::adapt::AdaptScheme;
+use remo_core::planner::Planner;
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
+use remo_sim::{run_adaptation_experiment, AdaptationRunStats, SimConfig};
+use remo_workloads::churn::{churn_schedule, ChurnConfig};
+use remo_workloads::TaskGenConfig;
+use std::collections::BTreeMap;
+
+const SCHEMES: [(&str, AdaptScheme); 4] = [
+    ("D-A", AdaptScheme::DirectApply),
+    ("REBUILD", AdaptScheme::Rebuild),
+    ("NO-THROTTLE", AdaptScheme::NoThrottle),
+    ("ADAPTIVE", AdaptScheme::Adaptive),
+];
+
+const EPOCHS: u64 = 100;
+
+fn run(
+    scheme: AdaptScheme,
+    pairs: &PairSet,
+    caps: &CapacityMap,
+    cost: CostModel,
+    batches_per_window: usize,
+) -> AdaptationRunStats {
+    // A window is 10 epochs; spread the batches inside each window.
+    let mut rng = SmallRng::seed_from_u64(500 + batches_per_window as u64);
+    let total_batches = (EPOCHS as usize / 10) * batches_per_window;
+    let interval = (10 / batches_per_window.max(1)).max(1) as u64;
+    let schedule = churn_schedule(
+        pairs,
+        &ChurnConfig {
+            node_fraction: 0.05,
+            attr_fraction: 0.5,
+            attr_universe: 60,
+        },
+        total_batches,
+        10,
+        interval,
+        &mut rng,
+    );
+    let updates: BTreeMap<u64, PairSet> = schedule.into_iter().collect();
+    let (stats, _) = run_adaptation_experiment(
+        Planner::default(),
+        scheme,
+        pairs.clone(),
+        updates,
+        caps.clone(),
+        cost,
+        AttrCatalog::new(),
+        SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        },
+        EPOCHS,
+    );
+    stats
+}
+
+fn main() {
+    let nodes = 50usize;
+    let cost = CostModel::new(20.0, 1.0).expect("cost");
+    let caps = CapacityMap::uniform(nodes, 400.0, 8_000.0).expect("caps");
+    let gen = TaskGenConfig::small_scale(nodes, 60);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let tasks = gen.generate(50, TaskId(0), &mut rng);
+    let pairs: PairSet = tasks.iter().flat_map(MonitoringTask::pairs).collect();
+
+    let mut rep_a = Reporter::new("fig9a_planning_time");
+    rep_a.header(&["batches_per_window", "scheme", "cpu_ms"]);
+    let mut rep_b = Reporter::new("fig9b_adaptation_fraction");
+    rep_b.header(&["batches_per_window", "scheme", "adaptation_pct_of_total"]);
+    let mut rep_c = Reporter::new("fig9c_total_cost_vs_da");
+    rep_c.header(&["batches_per_window", "scheme", "total_cost_ratio"]);
+    let mut rep_d = Reporter::new("fig9d_collected_vs_da");
+    rep_d.header(&["batches_per_window", "scheme", "collected_ratio"]);
+
+    for &bpw in &[1usize, 2, 4, 8] {
+        let da = run(AdaptScheme::DirectApply, &pairs, &caps, cost, bpw);
+        for (name, scheme) in SCHEMES {
+            let stats = if scheme == AdaptScheme::DirectApply {
+                da.clone()
+            } else {
+                run(scheme, &pairs, &caps, cost, bpw)
+            };
+            rep_a.row(&[&bpw, &name, &f3(stats.planning_time.as_secs_f64() * 1_000.0)]);
+            rep_b.row(&[&bpw, &name, &f3(stats.control_fraction() * 100.0)]);
+            rep_c.row(&[&bpw, &name, &f3(stats.total_volume() / da.total_volume().max(1e-9))]);
+            rep_d.row(&[
+                &bpw,
+                &name,
+                &f3(stats.delivered_values as f64 / (da.delivered_values.max(1)) as f64),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared infrastructure for the figure-reproduction harness.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the paper's
+//! evaluation (§7) and prints its series as CSV — the same rows the
+//! paper plots. Numbers differ from the paper's BlueGene testbed; the
+//! *shape* (who wins, by what factor, where crossovers fall) is what
+//! reproduces. Each binary also writes its CSV under `results/`.
+
+use remo_core::planner::{PartitionScheme, Planner, PlannerConfig};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringPlan, PairSet};
+use std::fmt::Display;
+use std::fs::{create_dir_all, File};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Writes one figure's series to stdout and `results/<name>.csv`.
+#[derive(Debug)]
+pub struct Reporter {
+    name: String,
+    file: Option<File>,
+}
+
+impl Reporter {
+    /// Opens a reporter for figure `name` (e.g. `fig5a`).
+    pub fn new(name: &str) -> Self {
+        let file = results_dir().and_then(|dir| {
+            let path = dir.join(format!("{name}.csv"));
+            File::create(path).ok()
+        });
+        println!("# {name}");
+        Reporter {
+            name: name.to_string(),
+            file,
+        }
+    }
+
+    /// Emits the CSV header.
+    pub fn header(&mut self, cols: &[&str]) {
+        self.line(&cols.join(","));
+    }
+
+    /// Emits one row.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        let joined = cells
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.line(&joined);
+    }
+
+    fn line(&mut self, s: &str) {
+        println!("{s}");
+        if let Some(f) = self.file.as_mut() {
+            let _ = writeln!(f, "{s}");
+        }
+    }
+
+    /// The figure name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn results_dir() -> Option<PathBuf> {
+    // Walk up from the crate to the workspace root.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    let dir = dir.join("results");
+    create_dir_all(&dir).ok()?;
+    Some(dir)
+}
+
+/// The three §7 partition schemes in display order.
+pub const SCHEMES: [(&str, PartitionScheme); 3] = [
+    ("SINGLETON-SET", PartitionScheme::SingletonSet),
+    ("ONE-SET", PartitionScheme::OneSet),
+    ("REMO", PartitionScheme::Remo),
+];
+
+/// Plans one scheme with a search window sized for experiment scale.
+pub fn plan_scheme(
+    scheme: PartitionScheme,
+    pairs: &PairSet,
+    caps: &CapacityMap,
+    cost: CostModel,
+    catalog: &AttrCatalog,
+) -> MonitoringPlan {
+    let planner = Planner::new(PlannerConfig {
+        max_rounds: 256,
+        ..PlannerConfig::default()
+    });
+    scheme.plan(&planner, pairs, caps, cost, catalog)
+}
+
+/// The default experiment cost model: a per-message overhead that
+/// dominates small payloads, matching the paper's Fig. 2 measurements
+/// (one empty message ≈ the cost of tens of values).
+pub fn default_cost() -> CostModel {
+    CostModel::from_ratio(20.0).expect("valid ratio")
+}
+
+/// Formats a float with three decimals for CSV cells.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cost_has_heavy_overhead() {
+        assert!(default_cost().ratio() >= 10.0);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

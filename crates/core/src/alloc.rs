@@ -1,0 +1,120 @@
+//! Tree-wise capacity allocation (paper §5.2).
+//!
+//! A node that participates in several monitoring trees must divide its
+//! capacity among them. Finding the optimal division is intractable
+//! (a node's consumption in a tree is unknown until the tree is
+//! built), so REMO uses an *on-demand* scheme: trees are built
+//! sequentially and the tree under construction may use all of a
+//! node's remaining capacity. The refined *ordered* scheme additionally
+//! builds trees from smallest to largest, because small trees are
+//! cost-efficient (little relay) and should not be starved by large
+//! trees constructed earlier. `Uniform` and `Proportional` are the
+//! static baselines of Fig. 11.
+
+use serde::{Deserialize, Serialize};
+
+/// How a node's capacity is divided among the trees it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AllocationScheme {
+    /// Equal share per participating tree: `b_i / k_i`.
+    Uniform,
+    /// Share proportional to tree size: `b_i · |D_k| / Σ_{k' ∋ i} |D_k'|`.
+    Proportional,
+    /// Sequential construction; each tree takes what it needs from the
+    /// remaining capacity, in partition order.
+    OnDemand,
+    /// On-demand with trees constructed in increasing size order — the
+    /// paper's best scheme and the default.
+    #[default]
+    Ordered,
+}
+
+impl AllocationScheme {
+    /// Returns `true` if budgets are computed statically up front
+    /// (uniform/proportional) rather than from residual capacity.
+    pub fn is_static(&self) -> bool {
+        matches!(self, AllocationScheme::Uniform | AllocationScheme::Proportional)
+    }
+
+    /// The order in which trees should be constructed, as indexes into
+    /// `sizes` (the participant count of each tree).
+    ///
+    /// `Ordered` sorts ascending by size; all other schemes keep the
+    /// given order. Ties break by index for determinism.
+    pub fn construction_order(&self, sizes: &[usize]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        if matches!(self, AllocationScheme::Ordered) {
+            order.sort_by_key(|&i| (sizes[i], i));
+        }
+        order
+    }
+
+    /// Static budget share of one node for one tree.
+    ///
+    /// `tree_size` is the participant count of the tree in question and
+    /// `all_sizes` the participant counts of every tree the node
+    /// belongs to. Returns the full budget for the dynamic schemes
+    /// (callers then track residual capacity themselves).
+    pub fn node_share(&self, budget: f64, tree_size: usize, all_sizes: &[usize]) -> f64 {
+        match self {
+            AllocationScheme::Uniform => {
+                if all_sizes.is_empty() {
+                    budget
+                } else {
+                    budget / all_sizes.len() as f64
+                }
+            }
+            AllocationScheme::Proportional => {
+                let total: usize = all_sizes.iter().sum();
+                if total == 0 {
+                    budget
+                } else {
+                    budget * tree_size as f64 / total as f64
+                }
+            }
+            AllocationScheme::OnDemand | AllocationScheme::Ordered => budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_divides_equally() {
+        let s = AllocationScheme::Uniform;
+        assert_eq!(s.node_share(12.0, 3, &[3, 5, 4]), 4.0);
+        assert_eq!(s.node_share(12.0, 3, &[]), 12.0);
+    }
+
+    #[test]
+    fn proportional_divides_by_size() {
+        let s = AllocationScheme::Proportional;
+        assert_eq!(s.node_share(12.0, 6, &[6, 2, 4]), 6.0);
+        assert_eq!(s.node_share(12.0, 2, &[6, 2, 4]), 2.0);
+        assert_eq!(s.node_share(12.0, 0, &[0]), 12.0, "degenerate total");
+    }
+
+    #[test]
+    fn dynamic_schemes_grant_full_budget() {
+        assert_eq!(AllocationScheme::OnDemand.node_share(9.0, 1, &[1, 2]), 9.0);
+        assert_eq!(AllocationScheme::Ordered.node_share(9.0, 1, &[1, 2]), 9.0);
+    }
+
+    #[test]
+    fn ordered_sorts_ascending() {
+        let order = AllocationScheme::Ordered.construction_order(&[5, 1, 3]);
+        assert_eq!(order, vec![1, 2, 0]);
+        let keep = AllocationScheme::OnDemand.construction_order(&[5, 1, 3]);
+        assert_eq!(keep, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn static_flag() {
+        assert!(AllocationScheme::Uniform.is_static());
+        assert!(AllocationScheme::Proportional.is_static());
+        assert!(!AllocationScheme::OnDemand.is_static());
+        assert!(!AllocationScheme::Ordered.is_static());
+    }
+}

@@ -1,0 +1,245 @@
+//! The per-message cost model and in-network aggregation funnel
+//! functions.
+//!
+//! REMO's central modeling decision (paper §2.3, Fig. 2) is that the
+//! cost of processing a message carrying `x` attribute values is
+//! `C + a·x`: a fixed per-message overhead `C` plus a per-value cost
+//! `a`. The same cost is paid by the sender and by the receiver. The
+//! per-message component is what distinguishes REMO's planning problem
+//! from classic relay-minimizing spanning-tree constructions: bushy
+//! trees save relay cost but concentrate per-message overhead at their
+//! roots.
+
+use crate::error::PlanError;
+use serde::{Deserialize, Serialize};
+
+/// The `C + a·x` message cost model.
+///
+/// `per_message` is the fixed cost `C` of sending or receiving one
+/// message regardless of payload; `per_value` is the incremental cost
+/// `a` of one attribute value in the payload. Units are abstract
+/// "capacity units per epoch" and only ratios matter; the paper sweeps
+/// the `C/a` ratio in Fig. 6c/6d.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::CostModel;
+/// let cost = CostModel::new(2.0, 0.5).unwrap();
+/// assert_eq!(cost.message_cost(4.0), 4.0); // 2.0 + 0.5 * 4
+/// assert_eq!(cost.ratio(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    per_message: f64,
+    per_value: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model with per-message overhead `c` and per-value
+    /// cost `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if either parameter is
+    /// negative or non-finite, or if `a` is zero (a zero per-value cost
+    /// makes message sizes free and the planning problem degenerate).
+    pub fn new(c: f64, a: f64) -> Result<Self, PlanError> {
+        if !c.is_finite() || c < 0.0 {
+            return Err(PlanError::InvalidParameter {
+                name: "per_message",
+                value: c,
+            });
+        }
+        if !a.is_finite() || a <= 0.0 {
+            return Err(PlanError::InvalidParameter {
+                name: "per_value",
+                value: a,
+            });
+        }
+        Ok(CostModel {
+            per_message: c,
+            per_value: a,
+        })
+    }
+
+    /// Creates a cost model from the `C/a` ratio with `a = 1`.
+    ///
+    /// This is the parameterization used when reproducing Fig. 6c/6d.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidParameter`] if `ratio` is negative or
+    /// non-finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use remo_core::CostModel;
+    /// let cost = CostModel::from_ratio(10.0).unwrap();
+    /// assert_eq!(cost.per_message(), 10.0);
+    /// assert_eq!(cost.per_value(), 1.0);
+    /// ```
+    pub fn from_ratio(ratio: f64) -> Result<Self, PlanError> {
+        CostModel::new(ratio, 1.0)
+    }
+
+    /// The fixed per-message overhead `C`.
+    #[inline]
+    pub fn per_message(&self) -> f64 {
+        self.per_message
+    }
+
+    /// The per-value cost `a`.
+    #[inline]
+    pub fn per_value(&self) -> f64 {
+        self.per_value
+    }
+
+    /// The `C/a` ratio.
+    #[inline]
+    pub fn ratio(&self) -> f64 {
+        self.per_message / self.per_value
+    }
+
+    /// Cost of sending (or receiving) one message carrying `values`
+    /// attribute values: `C + a·values`.
+    ///
+    /// `values` is fractional because heterogeneous update frequencies
+    /// weight piggybacked values by `freq/freq_max` (paper §6.3).
+    #[inline]
+    pub fn message_cost(&self, values: f64) -> f64 {
+        self.per_message + self.per_value * values
+    }
+}
+
+impl Default for CostModel {
+    /// The default cost model uses `C = 2, a = 1`, a moderate
+    /// per-message overhead consistent with the BlueGene/P measurements
+    /// motivating Fig. 2 (a message header of ~78 bytes vs. 4-byte
+    /// values, tempered by per-value serialization cost).
+    fn default() -> Self {
+        CostModel {
+            per_message: 2.0,
+            per_value: 1.0,
+        }
+    }
+}
+
+/// In-network aggregation type of an attribute (paper §6.1).
+///
+/// The funnel function `fnl(n)` maps the number of values entering a
+/// node (local + received) to the number of values leaving it.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::Aggregation;
+/// assert_eq!(Aggregation::Holistic.funnel(12.0), 12.0);
+/// assert_eq!(Aggregation::Sum.funnel(12.0), 1.0);
+/// assert_eq!(Aggregation::Max.funnel(12.0), 1.0);
+/// assert_eq!(Aggregation::Top(10).funnel(12.0), 10.0);
+/// // DISTINCT is data-dependent; REMO plans with the holistic upper bound.
+/// assert_eq!(Aggregation::Distinct.funnel(12.0), 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Aggregation {
+    /// No aggregation: every individual value is relayed
+    /// (`fnl(n) = n`). This is the default.
+    #[default]
+    Holistic,
+    /// SUM (or COUNT/AVG-style) aggregation: a single partial aggregate
+    /// leaves the node (`fnl(n) = 1`).
+    Sum,
+    /// MAX/MIN aggregation: a single extremum leaves the node
+    /// (`fnl(n) = 1`).
+    Max,
+    /// TOP-k aggregation: at most `k` values leave the node
+    /// (`fnl(n) = min(k, n)`).
+    Top(u32),
+    /// DISTINCT aggregation: result size is data dependent, so REMO
+    /// plans with the holistic upper bound (`fnl(n) = n`), per §6.1.
+    Distinct,
+}
+
+impl Aggregation {
+    /// Applies the funnel function to an incoming value count.
+    ///
+    /// Counts are fractional to support frequency-weighted piggyback
+    /// loads; the funnel result for the bounded aggregations is capped
+    /// at the bound but never exceeds the input (a node with less than
+    /// one value's worth of traffic cannot emit a full value).
+    #[inline]
+    pub fn funnel(&self, incoming: f64) -> f64 {
+        debug_assert!(incoming >= 0.0);
+        match *self {
+            Aggregation::Holistic | Aggregation::Distinct => incoming,
+            Aggregation::Sum | Aggregation::Max => incoming.min(1.0),
+            Aggregation::Top(k) => incoming.min(k as f64),
+        }
+    }
+
+    /// Returns `true` if this aggregation never reduces traffic, i.e.
+    /// the funnel is the identity. Holistic (and DISTINCT, planned as
+    /// holistic) metrics can use a cheaper scalar load-accounting path.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        matches!(self, Aggregation::Holistic | Aggregation::Distinct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_is_affine() {
+        let m = CostModel::new(5.0, 2.0).unwrap();
+        assert_eq!(m.message_cost(0.0), 5.0);
+        assert_eq!(m.message_cost(1.0), 7.0);
+        assert_eq!(m.message_cost(10.0), 25.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(CostModel::new(-1.0, 1.0).is_err());
+        assert!(CostModel::new(f64::NAN, 1.0).is_err());
+        assert!(CostModel::new(1.0, 0.0).is_err());
+        assert!(CostModel::new(1.0, -2.0).is_err());
+        assert!(CostModel::new(0.0, 1.0).is_ok(), "zero overhead is legal");
+    }
+
+    #[test]
+    fn ratio_matches_parameters() {
+        let m = CostModel::new(8.0, 2.0).unwrap();
+        assert_eq!(m.ratio(), 4.0);
+        let r = CostModel::from_ratio(30.0).unwrap();
+        assert_eq!(r.per_message(), 30.0);
+        assert_eq!(r.per_value(), 1.0);
+    }
+
+    #[test]
+    fn funnel_shapes() {
+        assert_eq!(Aggregation::Sum.funnel(0.5), 0.5, "cannot exceed input");
+        assert_eq!(Aggregation::Sum.funnel(7.0), 1.0);
+        assert_eq!(Aggregation::Top(3).funnel(2.0), 2.0);
+        assert_eq!(Aggregation::Top(3).funnel(9.0), 3.0);
+        assert_eq!(Aggregation::Distinct.funnel(9.0), 9.0);
+        assert_eq!(Aggregation::Holistic.funnel(9.0), 9.0);
+    }
+
+    #[test]
+    fn identity_flags() {
+        assert!(Aggregation::Holistic.is_identity());
+        assert!(Aggregation::Distinct.is_identity());
+        assert!(!Aggregation::Sum.is_identity());
+        assert!(!Aggregation::Max.is_identity());
+        assert!(!Aggregation::Top(1).is_identity());
+    }
+
+    #[test]
+    fn default_cost_model_is_valid() {
+        let d = CostModel::default();
+        assert!(d.per_message() > 0.0 && d.per_value() > 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types returned by planning operations.
+
+use crate::ids::{AttrId, NodeId, TaskId};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while validating or planning a monitoring deployment.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::{PlanError, NodeId};
+/// let err = PlanError::UnknownNode(NodeId(9));
+/// assert_eq!(err.to_string(), "node n9 is not registered in the capacity map");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A task references a node with no capacity entry.
+    UnknownNode(NodeId),
+    /// A task references an attribute type with no catalog entry.
+    UnknownAttr(AttrId),
+    /// A task id was not found (e.g. removing or modifying a task that
+    /// was never added).
+    UnknownTask(TaskId),
+    /// A task with the same id already exists.
+    DuplicateTask(TaskId),
+    /// A task was submitted with no node-attribute pairs.
+    EmptyTask(TaskId),
+    /// A capacity, cost, frequency, or weight was non-finite or negative.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A partition operation referenced a set index that does not exist.
+    BadPartitionIndex(usize),
+    /// A partition split would leave an empty set or remove a
+    /// nonexistent attribute.
+    BadSplit(AttrId),
+    /// A reliability rewrite was infeasible (e.g. DSDP replication
+    /// factor larger than the smallest observer group).
+    InfeasibleReplication {
+        /// Requested replication factor.
+        requested: usize,
+        /// Largest feasible factor.
+        feasible: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownNode(n) => {
+                write!(f, "node {n} is not registered in the capacity map")
+            }
+            PlanError::UnknownAttr(a) => {
+                write!(f, "attribute {a} is not registered in the catalog")
+            }
+            PlanError::UnknownTask(t) => write!(f, "task {t} does not exist"),
+            PlanError::DuplicateTask(t) => write!(f, "task {t} already exists"),
+            PlanError::EmptyTask(t) => write!(f, "task {t} contains no node-attribute pairs"),
+            PlanError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+            PlanError::BadPartitionIndex(i) => {
+                write!(f, "partition set index {i} is out of bounds")
+            }
+            PlanError::BadSplit(a) => {
+                write!(f, "cannot split attribute {a} out of its set")
+            }
+            PlanError::InfeasibleReplication {
+                requested,
+                feasible,
+            } => write!(
+                f,
+                "replication factor {requested} infeasible, at most {feasible} supported"
+            ),
+        }
+    }
+}
+
+impl StdError for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_unpunctuated() {
+        let msgs = [
+            PlanError::UnknownNode(NodeId(1)).to_string(),
+            PlanError::UnknownAttr(AttrId(1)).to_string(),
+            PlanError::UnknownTask(TaskId(1)).to_string(),
+            PlanError::DuplicateTask(TaskId(1)).to_string(),
+            PlanError::EmptyTask(TaskId(1)).to_string(),
+            PlanError::InvalidParameter {
+                name: "capacity",
+                value: -1.0,
+            }
+            .to_string(),
+            PlanError::BadPartitionIndex(3).to_string(),
+            PlanError::BadSplit(AttrId(0)).to_string(),
+            PlanError::InfeasibleReplication {
+                requested: 3,
+                feasible: 2,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message should not end with period: {m}");
+            assert!(
+                m.chars().next().unwrap().is_lowercase(),
+                "message should start lowercase: {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: StdError + Send + Sync + 'static>(_e: E) {}
+        takes_err(PlanError::UnknownNode(NodeId(0)));
+    }
+}

@@ -1,0 +1,305 @@
+//! Gain estimation for ranking partition augmentations (paper §3.1.1
+//! and the online appendix; see DESIGN.md for the estimator we
+//! substitute for the unavailable appendix).
+//!
+//! Evaluating a candidate merge/split requires building trees, which is
+//! expensive; the guided search instead *ranks* candidates by cheap
+//! estimates and only evaluates the most promising few.
+
+use crate::cost::CostModel;
+use crate::ids::{AttrId, NodeId};
+use crate::pairs::PairSet;
+use crate::partition::{Partition, PartitionOp};
+use crate::plan::MonitoringPlan;
+use std::collections::BTreeSet;
+
+/// Cheap gain/cost estimates over a fixed pair set and cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct GainEstimator<'a> {
+    pairs: &'a PairSet,
+    cost: CostModel,
+    /// Largest per-node budget: a merged tree whose root message
+    /// cannot fit in this is structurally incapable of delivering its
+    /// payload and ranks accordingly.
+    root_capacity: Option<f64>,
+}
+
+impl<'a> GainEstimator<'a> {
+    /// Creates an estimator.
+    pub fn new(pairs: &'a PairSet, cost: CostModel) -> Self {
+        GainEstimator {
+            pairs,
+            cost,
+            root_capacity: None,
+        }
+    }
+
+    /// Creates an estimator that additionally knows the largest
+    /// per-node budget, enabling the root-feasibility penalty on merge
+    /// candidates.
+    pub fn with_capacity(pairs: &'a PairSet, cost: CostModel, max_budget: f64) -> Self {
+        GainEstimator {
+            pairs,
+            cost,
+            root_capacity: Some(max_budget),
+        }
+    }
+
+    /// Estimated per-epoch capacity freed by merging two attribute
+    /// sets: every node participating in *both* trees sends (and its
+    /// parent receives) one message instead of two, saving `2C` each.
+    pub fn merge_gain(&self, set_i: &BTreeSet<AttrId>, set_j: &BTreeSet<AttrId>) -> f64 {
+        let ni = self.pairs.participants(set_i);
+        let nj = self.pairs.participants(set_j);
+        let overlap = ni.intersection(&nj).count();
+        2.0 * self.cost.per_message() * overlap as f64
+    }
+
+    /// Estimated benefit of splitting `attr` out of a set whose tree
+    /// currently fails to collect `uncollected_pairs` pairs: the
+    /// smaller messages may let the saturated tree grow (worth about
+    /// `a` per uncollected pair), minus the `2C` overhead added at
+    /// every node that then must send two messages.
+    pub fn split_gain(
+        &self,
+        set_i: &BTreeSet<AttrId>,
+        attr: AttrId,
+        uncollected_pairs: usize,
+    ) -> f64 {
+        let attr_nodes = match self.pairs.nodes_of(attr) {
+            Some(n) => n,
+            None => return f64::NEG_INFINITY,
+        };
+        // Nodes that own `attr` *and* another attribute of the set —
+        // they pay an extra message after the split.
+        let rest: BTreeSet<AttrId> = set_i.iter().copied().filter(|&a| a != attr).collect();
+        let rest_nodes = self.pairs.participants(&rest);
+        let overlap = attr_nodes.intersection(&rest_nodes).count();
+        self.cost.per_value() * uncollected_pairs as f64
+            - 2.0 * self.cost.per_message() * overlap as f64
+    }
+
+    /// Lower bound on the number of topology edges a merge must change:
+    /// at minimum every node of the smaller tree is re-parented.
+    pub fn merge_cost_lb(&self, plan: &MonitoringPlan, i: usize, j: usize) -> usize {
+        let size = |k: usize| plan.trees().get(k).map_or(0, |t| t.len());
+        size(i).min(size(j)).max(1)
+    }
+
+    /// Lower bound on the edges a split must change: the extracted
+    /// attribute's tree must be wired up from scratch.
+    pub fn split_cost_lb(&self, attr: AttrId) -> usize {
+        self.pairs.nodes_of(attr).map_or(1, |n| n.len().max(1))
+    }
+
+    /// Ranks the neighborhood operations of `partition` by decreasing
+    /// estimated gain. `plan` supplies per-tree uncollected-pair counts
+    /// for split estimation (pass the current plan).
+    ///
+    /// Merges of trees with *no shared participants* are not
+    /// enumerated: they save no per-message overhead (only one
+    /// collector message) and would rank last anyway; skipping them
+    /// keeps ranking `O(Σ_node k_node²)` instead of `O(k²·n)`. If no
+    /// overlapping pair exists, the smallest two trees are offered as
+    /// a fallback merge so the search never starves.
+    pub fn rank_ops(
+        &self,
+        partition: &Partition,
+        plan: &MonitoringPlan,
+    ) -> Vec<(PartitionOp, f64)> {
+        use std::collections::BTreeMap;
+
+        let sets = partition.sets();
+        let uncollected: Vec<usize> = plan
+            .trees()
+            .iter()
+            .map(|t| t.demanded_pairs.saturating_sub(t.collected_pairs))
+            .collect();
+
+        // Per-node membership over nodes *included in the current
+        // trees* — only they are actually paying per-message overhead,
+        // so only their overlap is freed by a merge (a saturated-out
+        // demand overlap frees nothing).
+        let mut member_sets: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, planned) in plan.trees().iter().enumerate() {
+            if let Some(tree) = planned.tree.as_ref() {
+                for n in tree.nodes() {
+                    member_sets.entry(n).or_default().push(i);
+                }
+            }
+        }
+        let mut overlap: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for here in member_sets.values() {
+            for x in 0..here.len() {
+                for y in (x + 1)..here.len() {
+                    let (a, b) = (here[x].min(here[y]), here[x].max(here[y]));
+                    *overlap.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        // Split gains: per-(set, attr) counts of included multi-attr
+        // owners (they would pay an extra message after the split).
+        let mut multi_owner: BTreeMap<(usize, AttrId), usize> = BTreeMap::new();
+        for (node, here) in &member_sets {
+            let owned = self.pairs.attrs_of(*node).expect("member owns attrs");
+            for &i in here {
+                if owned.intersection(&sets[i]).count() >= 2 {
+                    for a in owned.intersection(&sets[i]) {
+                        *multi_owner.entry((i, *a)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        let mut ranked: Vec<(PartitionOp, f64)> = Vec::new();
+        for (&(i, j), &ov) in &overlap {
+            let mut gain = 2.0 * self.cost.per_message() * ov as f64;
+            // Root-feasibility penalty: the merged tree's root must
+            // carry both trees' payloads in one message.
+            if let Some(cap) = self.root_capacity {
+                let payload = (plan.trees()[i].collected_pairs
+                    + plan.trees()[j].collected_pairs) as f64;
+                let feasible = ((cap - self.cost.per_message()) / self.cost.per_value())
+                    .max(0.0);
+                let excess = payload - feasible;
+                if excess > 0.0 {
+                    gain -= 2.0 * self.cost.per_value() * excess;
+                }
+            }
+            ranked.push((PartitionOp::Merge(i, j), gain));
+        }
+        if ranked.is_empty() && sets.len() >= 2 {
+            // Fallback: merge the two smallest trees (saves one
+            // collector message).
+            let mut by_size: Vec<usize> = (0..sets.len()).collect();
+            by_size.sort_by_key(|&i| plan.trees().get(i).map_or(0, |t| t.len()));
+            ranked.push((
+                PartitionOp::Merge(by_size[0].min(by_size[1]), by_size[0].max(by_size[1])),
+                self.cost.per_message(),
+            ));
+        }
+        // Stranded sets (no tree built at all) can only be collected by
+        // riding along a built tree: offer each one's best
+        // demand-overlap partner as a low-ranked candidate.
+        for (i, planned) in plan.trees().iter().enumerate() {
+            if planned.tree.is_some() || i >= sets.len() {
+                continue;
+            }
+            let mine = self.pairs.participants(&sets[i]);
+            let best = (0..sets.len())
+                .filter(|&j| j != i && plan.trees()[j].tree.is_some())
+                .max_by_key(|&j| {
+                    self.pairs
+                        .participants(&sets[j])
+                        .intersection(&mine)
+                        .count()
+                });
+            if let Some(j) = best {
+                ranked.push((
+                    PartitionOp::Merge(i.min(j), i.max(j)),
+                    self.cost.per_message(),
+                ));
+            }
+        }
+        for (i, s) in sets.iter().enumerate() {
+            if s.len() < 2 {
+                continue;
+            }
+            let un = uncollected.get(i).copied().unwrap_or(0);
+            for &attr in s {
+                let ov = multi_owner.get(&(i, attr)).copied().unwrap_or(0);
+                let gain = self.cost.per_value() * un as f64
+                    - 2.0 * self.cost.per_message() * ov as f64;
+                ranked.push((PartitionOp::Split(i, attr), gain));
+            }
+        }
+
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn pairs_two_attr_overlap() -> PairSet {
+        // attr0 on nodes 0-5, attr1 on nodes 3-8: overlap {3,4,5}.
+        let mut p = PairSet::new();
+        for n in 0..6 {
+            p.insert(NodeId(n), AttrId(0));
+        }
+        for n in 3..9 {
+            p.insert(NodeId(n), AttrId(1));
+        }
+        p
+    }
+
+    #[test]
+    fn merge_gain_counts_shared_participants() {
+        let pairs = pairs_two_attr_overlap();
+        let est = GainEstimator::new(&pairs, CostModel::new(2.0, 1.0).unwrap());
+        let s0: BTreeSet<AttrId> = [AttrId(0)].into_iter().collect();
+        let s1: BTreeSet<AttrId> = [AttrId(1)].into_iter().collect();
+        assert_eq!(est.merge_gain(&s0, &s1), 2.0 * 2.0 * 3.0);
+    }
+
+    #[test]
+    fn merge_gain_zero_without_overlap() {
+        let mut p = PairSet::new();
+        p.insert(NodeId(0), AttrId(0));
+        p.insert(NodeId(1), AttrId(1));
+        let est = GainEstimator::new(&p, CostModel::default());
+        let s0: BTreeSet<AttrId> = [AttrId(0)].into_iter().collect();
+        let s1: BTreeSet<AttrId> = [AttrId(1)].into_iter().collect();
+        assert_eq!(est.merge_gain(&s0, &s1), 0.0);
+    }
+
+    #[test]
+    fn split_gain_rises_with_congestion() {
+        let pairs = pairs_two_attr_overlap();
+        let est = GainEstimator::new(&pairs, CostModel::new(2.0, 1.0).unwrap());
+        let both: BTreeSet<AttrId> = [AttrId(0), AttrId(1)].into_iter().collect();
+        let idle = est.split_gain(&both, AttrId(1), 0);
+        let congested = est.split_gain(&both, AttrId(1), 20);
+        assert!(congested > idle);
+        // Overlap {3,4,5} pays 2C each: idle gain is −12.
+        assert_eq!(idle, -12.0);
+    }
+
+    #[test]
+    fn split_gain_of_absent_attr_is_minus_inf() {
+        let pairs = pairs_two_attr_overlap();
+        let est = GainEstimator::new(&pairs, CostModel::default());
+        let set: BTreeSet<AttrId> = [AttrId(0)].into_iter().collect();
+        assert_eq!(est.split_gain(&set, AttrId(9), 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rank_orders_descending() {
+        use crate::attribute::AttrCatalog;
+        use crate::capacity::CapacityMap;
+        use crate::evaluate::{build_forest, EvalContext};
+        let pairs = pairs_two_attr_overlap();
+        let caps = CapacityMap::uniform(9, 20.0, 200.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let partition = Partition::singleton(pairs.attr_universe());
+        let plan = build_forest(&partition, &ctx);
+        let est = GainEstimator::new(&pairs, CostModel::default());
+        let ranked = est.rank_ops(&partition, &plan);
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1, "ranking must be descending");
+        }
+    }
+
+    #[test]
+    fn cost_lower_bounds() {
+        let pairs = pairs_two_attr_overlap();
+        let est = GainEstimator::new(&pairs, CostModel::default());
+        assert_eq!(est.split_cost_lb(AttrId(0)), 6);
+        assert_eq!(est.split_cost_lb(AttrId(9)), 1);
+    }
+}

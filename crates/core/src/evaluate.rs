@@ -1,0 +1,394 @@
+//! Resource-aware evaluation: constructing a forest for a given
+//! attribute partition (paper §3.2).
+//!
+//! Evaluation is what turns a candidate partition into an actual plan:
+//! each attribute set gets a tree built under the configured
+//! construction scheme and capacity-allocation scheme, and the plan's
+//! objective — collected node-attribute pairs — falls out.
+
+use crate::alloc::AllocationScheme;
+use crate::attribute::AttrCatalog;
+use crate::build::{build_tree, BuildRequest, BuilderKind, LocalLoad, NodeDemand};
+use crate::capacity::CapacityMap;
+use crate::cost::{Aggregation, CostModel};
+use crate::ids::NodeId;
+use crate::pairs::PairSet;
+use crate::partition::{AttrSet, Partition};
+use crate::plan::{MonitoringPlan, PlannedTree};
+use std::collections::BTreeMap;
+
+/// Everything the evaluator needs besides the partition itself.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The deduplicated node-attribute pairs to collect.
+    pub pairs: &'a PairSet,
+    /// Capacity budgets.
+    pub caps: &'a CapacityMap,
+    /// Message cost model.
+    pub cost: CostModel,
+    /// Attribute metadata (aggregation kinds, frequencies). May be an
+    /// empty catalog: unknown attributes default to holistic
+    /// unit-frequency.
+    pub catalog: &'a AttrCatalog,
+    /// Tree construction scheme.
+    pub builder: BuilderKind,
+    /// Capacity allocation scheme across trees.
+    pub allocation: AllocationScheme,
+    /// Plan with funnel functions (paper §6.1); when `false`,
+    /// aggregated metrics are costed as holistic (the basic REMO of
+    /// Fig. 12a).
+    pub aggregation_aware: bool,
+    /// Weight piggybacked values by update frequency (paper §6.3);
+    /// when `false`, every value costs a full weight.
+    pub frequency_aware: bool,
+}
+
+impl<'a> EvalContext<'a> {
+    /// A context with the default builder (REMO adaptive), default
+    /// allocation (ordered), and both extensions off.
+    pub fn basic(
+        pairs: &'a PairSet,
+        caps: &'a CapacityMap,
+        cost: CostModel,
+        catalog: &'a AttrCatalog,
+    ) -> Self {
+        EvalContext {
+            pairs,
+            caps,
+            cost,
+            catalog,
+            builder: BuilderKind::default(),
+            allocation: AllocationScheme::default(),
+            aggregation_aware: false,
+            frequency_aware: false,
+        }
+    }
+}
+
+/// Builds the [`BuildRequest`] for one attribute set, with per-node
+/// budgets drawn from `avail` and the given collector budget.
+pub fn make_request(
+    set: &AttrSet,
+    ctx: &EvalContext<'_>,
+    avail: &BTreeMap<NodeId, f64>,
+    collector_budget: f64,
+) -> BuildRequest {
+    // Funnel table: non-identity aggregations present in this set, in
+    // attribute order (only when aggregation-aware planning is on).
+    let mut funnels: Vec<Aggregation> = Vec::new();
+    let mut funnel_index: BTreeMap<crate::ids::AttrId, usize> = BTreeMap::new();
+    if ctx.aggregation_aware {
+        for &attr in set {
+            let agg = ctx.catalog.get_or_default(attr).aggregation();
+            if !agg.is_identity() {
+                funnel_index.insert(attr, funnels.len());
+                funnels.push(agg);
+            }
+        }
+    }
+
+    let participants = ctx.pairs.participants(set);
+    let mut demand = Vec::with_capacity(participants.len());
+    for node in participants {
+        let owned = ctx
+            .pairs
+            .attrs_of(node)
+            .expect("participant owns at least one attribute");
+        let mut load = LocalLoad {
+            holistic: 0.0,
+            funnel: vec![0.0; funnels.len()],
+        };
+        let mut raw_pairs = 0usize;
+        for attr in owned.intersection(set) {
+            raw_pairs += 1;
+            let info = ctx.catalog.get_or_default(*attr);
+            let weight = if ctx.frequency_aware {
+                info.frequency()
+            } else {
+                1.0
+            };
+            match funnel_index.get(attr) {
+                Some(&m) => load.funnel[m] += weight,
+                None => load.holistic += weight,
+            }
+        }
+        demand.push(NodeDemand {
+            node,
+            load,
+            budget: avail.get(&node).copied().unwrap_or(0.0),
+            pairs: raw_pairs,
+        });
+    }
+
+    BuildRequest {
+        attrs: set.clone(),
+        demand,
+        collector_budget,
+        cost: ctx.cost,
+        funnels,
+    }
+}
+
+/// Builds one tree for `set` against residual capacities, returning
+/// the planned tree. `avail` and `collector_avail` are *not* mutated;
+/// callers subtract the returned usage themselves.
+pub fn build_tree_for_set(
+    set: &AttrSet,
+    ctx: &EvalContext<'_>,
+    avail: &BTreeMap<NodeId, f64>,
+    collector_avail: f64,
+) -> PlannedTree {
+    let req = make_request(set, ctx, avail, collector_avail);
+    let out = build_tree(ctx.builder, &req);
+    PlannedTree {
+        tree: out.tree,
+        usage: out.usage,
+        collector_usage: out.collector_usage,
+        collected_pairs: out.collected_pairs,
+        demanded_pairs: out.demanded_pairs,
+        excluded: out.excluded,
+        message_volume: out.message_volume,
+    }
+}
+
+/// Constructs the full forest for `partition` under the context's
+/// allocation scheme.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::{CapacityMap, CostModel, NodeId, AttrId, PairSet, Partition, AttrCatalog};
+/// use remo_core::evaluate::{build_forest, EvalContext};
+///
+/// # fn main() -> Result<(), remo_core::PlanError> {
+/// let caps = CapacityMap::uniform(8, 25.0, 200.0)?;
+/// let pairs: PairSet = (0..8)
+///     .flat_map(|n| (0..3).map(move |a| (NodeId(n), AttrId(a))))
+///     .collect();
+/// let catalog = AttrCatalog::new();
+/// let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+/// let plan = build_forest(&Partition::one_set(pairs.attr_universe()), &ctx);
+/// assert_eq!(plan.trees().len(), 1);
+/// assert!(plan.collected_pairs() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_forest(partition: &Partition, ctx: &EvalContext<'_>) -> MonitoringPlan {
+    let sets = partition.sets();
+    let participants: Vec<_> = sets.iter().map(|s| ctx.pairs.participants(s)).collect();
+    let sizes: Vec<usize> = participants.iter().map(|p| p.len()).collect();
+    let order = ctx.allocation.construction_order(&sizes);
+
+    // Per-node list of tree sizes it participates in (static schemes).
+    let mut my_tree_sizes: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    if ctx.allocation.is_static() {
+        for (k, parts) in participants.iter().enumerate() {
+            for &n in parts {
+                my_tree_sizes.entry(n).or_default().push(sizes[k]);
+            }
+        }
+    }
+
+    let mut remaining: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
+    let mut collector_remaining = ctx.caps.collector();
+    let tree_count = sets.len().max(1);
+
+    let mut planned: Vec<Option<PlannedTree>> = (0..sets.len()).map(|_| None).collect();
+    for k in order {
+        let set = &sets[k];
+        // Budgets visible to this tree.
+        let budgets: BTreeMap<NodeId, f64> = if ctx.allocation.is_static() {
+            participants[k]
+                .iter()
+                .map(|&n| {
+                    let b = ctx.caps.node(n).unwrap_or(0.0);
+                    let all = my_tree_sizes.get(&n).map_or(&[][..], Vec::as_slice);
+                    (n, ctx.allocation.node_share(b, sizes[k], all))
+                })
+                .collect()
+        } else {
+            remaining.clone()
+        };
+        let collector_budget = if ctx.allocation.is_static() {
+            match ctx.allocation {
+                AllocationScheme::Uniform => ctx.caps.collector() / tree_count as f64,
+                AllocationScheme::Proportional => {
+                    let total: usize = sizes.iter().sum();
+                    if total == 0 {
+                        ctx.caps.collector()
+                    } else {
+                        ctx.caps.collector() * sizes[k] as f64 / total as f64
+                    }
+                }
+                _ => unreachable!("static schemes only"),
+            }
+        } else {
+            collector_remaining
+        };
+
+        let tree = build_tree_for_set(set, ctx, &budgets, collector_budget);
+        if !ctx.allocation.is_static() {
+            for (&n, &u) in &tree.usage {
+                if let Some(r) = remaining.get_mut(&n) {
+                    *r -= u;
+                }
+            }
+            collector_remaining -= tree.collector_usage;
+        }
+        planned[k] = Some(tree);
+    }
+
+    MonitoringPlan::new(
+        partition.clone(),
+        planned
+            .into_iter()
+            .map(|t| t.expect("every set planned"))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    fn ctx_parts(nodes: u32) -> (PairSet, CapacityMap, AttrCatalog) {
+        (
+            dense_pairs(nodes, 3),
+            CapacityMap::uniform(nodes as usize, 30.0, 500.0).unwrap(),
+            AttrCatalog::new(),
+        )
+    }
+
+    #[test]
+    fn one_set_forest_has_single_tree() {
+        let (pairs, caps, catalog) = ctx_parts(6);
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let plan = build_forest(&Partition::one_set(pairs.attr_universe()), &ctx);
+        assert_eq!(plan.trees().len(), 1);
+        assert_eq!(plan.demanded_pairs(), 18);
+    }
+
+    #[test]
+    fn singleton_forest_has_tree_per_attr() {
+        let (pairs, caps, catalog) = ctx_parts(6);
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let plan = build_forest(&Partition::singleton(pairs.attr_universe()), &ctx);
+        assert_eq!(plan.trees().len(), 3);
+    }
+
+    #[test]
+    fn usage_never_exceeds_capacity_dynamic() {
+        let (pairs, catalog) = (dense_pairs(10, 4), AttrCatalog::new());
+        let caps = CapacityMap::uniform(10, 12.0, 100.0).unwrap();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        for alloc in [AllocationScheme::OnDemand, AllocationScheme::Ordered] {
+            let ctx = EvalContext { allocation: alloc, ..ctx };
+            let plan = build_forest(&Partition::singleton(pairs.attr_universe()), &ctx);
+            for (n, u) in plan.node_usage() {
+                assert!(
+                    u <= caps.node(n).unwrap() + 1e-6,
+                    "{alloc:?}: node {n} over budget ({u})"
+                );
+            }
+            assert!(plan.collector_usage() <= caps.collector() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn usage_never_exceeds_capacity_static() {
+        let pairs = dense_pairs(10, 4);
+        let catalog = AttrCatalog::new();
+        let caps = CapacityMap::uniform(10, 12.0, 100.0).unwrap();
+        let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        for alloc in [AllocationScheme::Uniform, AllocationScheme::Proportional] {
+            let ctx = EvalContext { allocation: alloc, ..base };
+            let plan = build_forest(&Partition::singleton(pairs.attr_universe()), &ctx);
+            for (n, u) in plan.node_usage() {
+                assert!(
+                    u <= caps.node(n).unwrap() + 1e-6,
+                    "{alloc:?}: node {n} over budget ({u})"
+                );
+            }
+            assert!(plan.collector_usage() <= caps.collector() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ordered_at_least_matches_uniform() {
+        // Uneven tree sizes: attr 0 everywhere, attrs 1-3 on few nodes.
+        let mut pairs = PairSet::new();
+        for n in 0..12 {
+            pairs.insert(NodeId(n), AttrId(0));
+        }
+        for a in 1..4 {
+            for n in 0..3 {
+                pairs.insert(NodeId(n), AttrId(a));
+            }
+        }
+        let caps = CapacityMap::uniform(12, 10.0, 300.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let score = |alloc| {
+            let ctx = EvalContext { allocation: alloc, ..base };
+            build_forest(&Partition::singleton(pairs.attr_universe()), &ctx).collected_pairs()
+        };
+        assert!(score(AllocationScheme::Ordered) >= score(AllocationScheme::Uniform));
+    }
+
+    #[test]
+    fn aggregation_awareness_shrinks_upstream_cost() {
+        use crate::attribute::AttrInfo;
+        use crate::cost::Aggregation;
+        let mut catalog = AttrCatalog::new();
+        let max_attr = catalog.register(AttrInfo::new("max").with_aggregation(Aggregation::Max));
+        let pairs: PairSet = (0..10).map(|n| (NodeId(n), max_attr)).collect();
+        let caps = CapacityMap::uniform(10, 7.0, 7.0).unwrap();
+        let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let naive = build_forest(&Partition::one_set(pairs.attr_universe()), &base);
+        let aware = EvalContext { aggregation_aware: true, ..base };
+        let aware = build_forest(&Partition::one_set(pairs.attr_universe()), &aware);
+        assert!(
+            aware.collected_pairs() > naive.collected_pairs(),
+            "funnel-aware planning should include more nodes ({} vs {})",
+            aware.collected_pairs(),
+            naive.collected_pairs()
+        );
+    }
+
+    #[test]
+    fn frequency_awareness_discounts_slow_attrs() {
+        use crate::attribute::AttrInfo;
+        let mut catalog = AttrCatalog::new();
+        let slow = catalog.register(AttrInfo::new("slow").with_frequency(0.25).unwrap());
+        let fast = catalog.register(AttrInfo::new("fast"));
+        let mut pairs = PairSet::new();
+        for n in 0..10 {
+            pairs.insert(NodeId(n), slow);
+            pairs.insert(NodeId(n), fast);
+        }
+        // Tight collector: it bounds total root payload.
+        let caps = CapacityMap::uniform(10, 50.0, 14.0).unwrap();
+        let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let naive = build_forest(&Partition::one_set(pairs.attr_universe()), &base);
+        let awarectx = EvalContext { frequency_aware: true, ..base };
+        let aware = build_forest(&Partition::one_set(pairs.attr_universe()), &awarectx);
+        assert!(aware.collected_pairs() >= naive.collected_pairs());
+        assert!(aware.collected_pairs() > 0);
+    }
+
+    #[test]
+    fn empty_partition_yields_empty_plan() {
+        let (pairs, caps, catalog) = ctx_parts(3);
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let plan = build_forest(&Partition::one_set([]), &ctx);
+        assert_eq!(plan.trees().len(), 0);
+        assert_eq!(plan.collected_pairs(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Strongly-typed identifiers for the entities in a monitoring deployment.
+//!
+//! The planner juggles three id spaces — monitoring nodes, attribute
+//! *types*, and monitoring tasks — that are all small integers at heart.
+//! Newtypes keep them from being confused for one another
+//! (see C-NEWTYPE in the Rust API guidelines).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a monitoring node (a member host of the monitored
+/// application). The central collector is *not* a `NodeId`; it is
+/// represented by [`Parent::Collector`](crate::tree::Parent) in tree
+/// structures and has its own capacity entry in
+/// [`CapacityMap`](crate::capacity::CapacityMap).
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index, for dense tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of an attribute *type* (e.g. `cpu_utilization`).
+///
+/// Attributes at different nodes with the same subscription are
+/// considered the same type (paper §2.3); a monitored datum is therefore
+/// a *(node, attribute)* pair — see
+/// [`PairSet`](crate::pairs::PairSet).
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::AttrId;
+/// assert_eq!(format!("{}", AttrId(7)), "a7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// Returns the id as a `usize` index, for dense tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for AttrId {
+    fn from(v: u32) -> Self {
+        AttrId(v)
+    }
+}
+
+/// Identifier of a monitoring task submitted by a user
+/// (see [`MonitoringTask`](crate::task::MonitoringTask)).
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::TaskId;
+/// assert_eq!(format!("{}", TaskId(0)), "t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 42u32.into();
+        assert_eq!(n, NodeId(42));
+        assert_eq!(n.index(), 42);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(AttrId(2).to_string(), "a2");
+        assert_eq!(TaskId(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        assert!(AttrId(2) < AttrId(10));
+    }
+
+    #[test]
+    fn ids_hash_and_eq() {
+        use std::collections::HashSet;
+        let set: HashSet<NodeId> = [NodeId(1), NodeId(1), NodeId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

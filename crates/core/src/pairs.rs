@@ -1,0 +1,253 @@
+//! The deduplicated node-attribute pair set — the input to monitoring
+//! planning (paper Problem Statement 1).
+
+use crate::ids::{AttrId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pair lists returned by [`PairSet::diff`]: `(added, removed)`.
+pub type PairDiff = (Vec<(NodeId, AttrId)>, Vec<(NodeId, AttrId)>);
+
+/// A deduplicated set of `(node, attribute)` pairs with both forward
+/// (node → attributes) and reverse (attribute → nodes) indexes.
+///
+/// Produced by the [`TaskManager`](crate::taskman::TaskManager) after
+/// removing inter-task duplication; consumed by the planner.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::{PairSet, NodeId, AttrId};
+/// let mut pairs = PairSet::new();
+/// pairs.insert(NodeId(0), AttrId(0));
+/// pairs.insert(NodeId(0), AttrId(1));
+/// pairs.insert(NodeId(1), AttrId(0));
+/// assert_eq!(pairs.len(), 3);
+/// assert_eq!(pairs.attrs_of(NodeId(0)).unwrap().len(), 2);
+/// assert_eq!(pairs.nodes_of(AttrId(0)).unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairSet {
+    by_node: BTreeMap<NodeId, BTreeSet<AttrId>>,
+    by_attr: BTreeMap<AttrId, BTreeSet<NodeId>>,
+    len: usize,
+}
+
+impl PairSet {
+    /// Creates an empty pair set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a pair; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId, attr: AttrId) -> bool {
+        let fresh = self.by_node.entry(node).or_default().insert(attr);
+        if fresh {
+            self.by_attr.entry(attr).or_default().insert(node);
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes a pair; returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId, attr: AttrId) -> bool {
+        let removed = match self.by_node.get_mut(&node) {
+            Some(set) => set.remove(&attr),
+            None => false,
+        };
+        if removed {
+            if self.by_node.get(&node).is_some_and(BTreeSet::is_empty) {
+                self.by_node.remove(&node);
+            }
+            if let Some(set) = self.by_attr.get_mut(&attr) {
+                set.remove(&node);
+                if set.is_empty() {
+                    self.by_attr.remove(&attr);
+                }
+            }
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the pair is present.
+    pub fn contains(&self, node: NodeId, attr: AttrId) -> bool {
+        self.by_node
+            .get(&node)
+            .is_some_and(|set| set.contains(&attr))
+    }
+
+    /// Number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Attributes monitored on `node`, if any.
+    pub fn attrs_of(&self, node: NodeId) -> Option<&BTreeSet<AttrId>> {
+        self.by_node.get(&node)
+    }
+
+    /// Nodes on which `attr` is monitored, if any.
+    pub fn nodes_of(&self, attr: AttrId) -> Option<&BTreeSet<NodeId>> {
+        self.by_attr.get(&attr)
+    }
+
+    /// All nodes with at least one monitored attribute.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_node.keys().copied()
+    }
+
+    /// All attributes monitored on at least one node — the attribute
+    /// universe `A` that partitions are defined over.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.by_attr.keys().copied()
+    }
+
+    /// The attribute universe as an owned set.
+    pub fn attr_universe(&self) -> BTreeSet<AttrId> {
+        self.by_attr.keys().copied().collect()
+    }
+
+    /// Iterates over every `(node, attr)` pair in node-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, AttrId)> + '_ {
+        self.by_node
+            .iter()
+            .flat_map(|(&n, attrs)| attrs.iter().map(move |&a| (n, a)))
+    }
+
+    /// Number of pairs on `node` whose attribute is in `set` — the
+    /// local value count `x_i` a node contributes to the tree that
+    /// delivers `set`.
+    pub fn node_load_in(&self, node: NodeId, set: &BTreeSet<AttrId>) -> usize {
+        self.by_node
+            .get(&node)
+            .map_or(0, |attrs| attrs.intersection(set).count())
+    }
+
+    /// The nodes that participate in the tree delivering attribute set
+    /// `set`: every node owning at least one pair whose attribute is in
+    /// `set`.
+    pub fn participants(&self, set: &BTreeSet<AttrId>) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for attr in set {
+            if let Some(nodes) = self.by_attr.get(attr) {
+                out.extend(nodes.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Computes the symmetric difference with `other` as
+    /// `(added, removed)` pair lists: pairs in `other` but not `self`,
+    /// and pairs in `self` but not `other`. Used to find trees affected
+    /// by task churn.
+    pub fn diff(&self, other: &PairSet) -> PairDiff {
+        let added = other.iter().filter(|&(n, a)| !self.contains(n, a)).collect();
+        let removed = self.iter().filter(|&(n, a)| !other.contains(n, a)).collect();
+        (added, removed)
+    }
+}
+
+impl FromIterator<(NodeId, AttrId)> for PairSet {
+    fn from_iter<I: IntoIterator<Item = (NodeId, AttrId)>>(iter: I) -> Self {
+        let mut set = PairSet::new();
+        for (n, a) in iter {
+            set.insert(n, a);
+        }
+        set
+    }
+}
+
+impl Extend<(NodeId, AttrId)> for PairSet {
+    fn extend<I: IntoIterator<Item = (NodeId, AttrId)>>(&mut self, iter: I) {
+        for (n, a) in iter {
+            self.insert(n, a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PairSet {
+        [
+            (NodeId(0), AttrId(0)),
+            (NodeId(0), AttrId(1)),
+            (NodeId(1), AttrId(0)),
+            (NodeId(2), AttrId(2)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut p = PairSet::new();
+        assert!(p.insert(NodeId(0), AttrId(0)));
+        assert!(!p.insert(NodeId(0), AttrId(0)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_indexes() {
+        let mut p = sample();
+        assert!(p.remove(NodeId(2), AttrId(2)));
+        assert!(!p.remove(NodeId(2), AttrId(2)));
+        assert!(p.nodes_of(AttrId(2)).is_none());
+        assert!(p.attrs_of(NodeId(2)).is_none());
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn reverse_index_consistent() {
+        let p = sample();
+        assert_eq!(
+            p.nodes_of(AttrId(0)).unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(1)]
+        );
+        assert_eq!(p.attr_universe().len(), 3);
+    }
+
+    #[test]
+    fn node_load_counts_intersection() {
+        let p = sample();
+        let set: BTreeSet<AttrId> = [AttrId(0), AttrId(2)].into_iter().collect();
+        assert_eq!(p.node_load_in(NodeId(0), &set), 1);
+        assert_eq!(p.node_load_in(NodeId(2), &set), 1);
+        assert_eq!(p.node_load_in(NodeId(9), &set), 0);
+    }
+
+    #[test]
+    fn participants_unions_attr_owners() {
+        let p = sample();
+        let set: BTreeSet<AttrId> = [AttrId(1), AttrId(2)].into_iter().collect();
+        let d = p.participants(&set);
+        assert_eq!(d.into_iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn diff_reports_adds_and_removes() {
+        let a = sample();
+        let mut b = sample();
+        b.remove(NodeId(1), AttrId(0));
+        b.insert(NodeId(3), AttrId(3));
+        let (added, removed) = a.diff(&b);
+        assert_eq!(added, vec![(NodeId(3), AttrId(3))]);
+        assert_eq!(removed, vec![(NodeId(1), AttrId(0))]);
+    }
+
+    #[test]
+    fn iter_order_is_node_major() {
+        let p = sample();
+        let v: Vec<_> = p.iter().collect();
+        assert_eq!(v[0], (NodeId(0), AttrId(0)));
+        assert_eq!(v[1], (NodeId(0), AttrId(1)));
+        assert_eq!(v[2], (NodeId(1), AttrId(0)));
+    }
+}

@@ -1,0 +1,846 @@
+//! The basic REMO planner: guided local search over attribute
+//! partitions with resource-aware evaluation (paper §3).
+//!
+//! Starting from an initial partition, each iteration ranks the
+//! merge/split neighborhood by estimated gain
+//! ([`GainEstimator`]), evaluates the
+//! top few candidates by actually constructing the affected trees
+//! against residual capacities, and greedily applies the first
+//! improvement. The search stops when no evaluated candidate improves
+//! the objective (collected node-attribute pairs, ties broken by lower
+//! message volume).
+
+use crate::alloc::AllocationScheme;
+use crate::attribute::AttrCatalog;
+use crate::build::BuilderKind;
+use crate::capacity::CapacityMap;
+use crate::cost::CostModel;
+use crate::estimate::GainEstimator;
+use crate::evaluate::{build_forest, build_tree_for_set, EvalContext};
+use crate::ids::{AttrId, NodeId};
+use crate::pairs::PairSet;
+use crate::partition::{AttrSet, Partition, PartitionOp};
+use crate::plan::{MonitoringPlan, PlannedTree};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where the local search starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InitialPartition {
+    /// One set per attribute (the PIER-style baseline); the default —
+    /// merges then discover sharing opportunities.
+    #[default]
+    Singleton,
+    /// A single set with every attribute; splits then relieve
+    /// congestion.
+    OneSet,
+}
+
+/// Planner configuration.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::planner::{PlannerConfig, InitialPartition};
+/// use remo_core::build::BuilderKind;
+/// let cfg = PlannerConfig {
+///     candidates_per_round: 16,
+///     ..PlannerConfig::default()
+/// };
+/// assert_eq!(cfg.initial, InitialPartition::Singleton);
+/// assert!(matches!(cfg.builder, BuilderKind::Adaptive(_)));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Tree construction scheme (default: REMO adaptive).
+    pub builder: BuilderKind,
+    /// Capacity allocation scheme (default: ordered on-demand).
+    pub allocation: AllocationScheme,
+    /// Initial partition of the search.
+    pub initial: InitialPartition,
+    /// How many top-ranked candidates to fully evaluate per iteration
+    /// (the guided-search window; default 16).
+    pub candidates_per_round: usize,
+    /// Iteration cap (default 128).
+    pub max_rounds: usize,
+    /// Budget of whole-forest reconstructions the search may spend on
+    /// stall recovery (the paper's resource-sensitive refinement
+    /// phase; default 16).
+    pub global_evals: usize,
+    /// How many top-ranked candidates to evaluate globally at a stall
+    /// (default 6).
+    pub global_candidates: usize,
+    /// Plan with in-network aggregation funnels (paper §6.1).
+    pub aggregation_aware: bool,
+    /// Weight values by update frequency (paper §6.3).
+    pub frequency_aware: bool,
+    /// Attribute pairs that must never share a set — the SSDP/DSDP
+    /// reliability constraint (paper §6.2).
+    pub forbidden_pairs: Vec<(AttrId, AttrId)>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            builder: BuilderKind::default(),
+            allocation: AllocationScheme::default(),
+            initial: InitialPartition::default(),
+            candidates_per_round: 16,
+            max_rounds: 128,
+            global_evals: 16,
+            global_candidates: 6,
+            aggregation_aware: false,
+            frequency_aware: false,
+            forbidden_pairs: Vec::new(),
+        }
+    }
+}
+
+/// Lexicographic plan objective: more pairs first, then lower message
+/// volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Score {
+    pub pairs: usize,
+    pub volume: f64,
+}
+
+impl Score {
+    pub(crate) fn better_than(&self, other: &Score) -> bool {
+        self.pairs > other.pairs
+            || (self.pairs == other.pairs && self.volume < other.volume - 1e-9)
+    }
+}
+
+/// Search telemetry: what the guided local search actually did.
+///
+/// Returned by [`Planner::plan_with_report`]; useful for tuning the
+/// search knobs and for the planning-cost experiments (Fig. 9a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// Seed partitions evaluated before refinement.
+    pub seeds_evaluated: usize,
+    /// Search rounds executed.
+    pub rounds: usize,
+    /// Candidates accepted by the incremental (local) phase.
+    pub local_accepts: usize,
+    /// Of those, accepted under the plateau tolerance (volume down,
+    /// pairs within tolerance) rather than strict improvement.
+    pub tolerant_accepts: usize,
+    /// Whole-forest reconstructions accepted (redistribution or global
+    /// candidate evaluation).
+    pub global_accepts: usize,
+    /// Candidate evaluations performed (incremental tree rebuilds).
+    pub local_evals: usize,
+    /// Whole-forest reconstructions performed.
+    pub global_evals: usize,
+}
+
+/// The basic REMO planner.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    config: PlannerConfig,
+}
+
+impl Planner {
+    /// Creates a planner with the given configuration.
+    pub fn new(config: PlannerConfig) -> Self {
+        Planner { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Plans a monitoring forest using an empty attribute catalog
+    /// (all attributes holistic, unit frequency).
+    pub fn plan(&self, pairs: &PairSet, caps: &CapacityMap, cost: CostModel) -> MonitoringPlan {
+        let catalog = AttrCatalog::new();
+        self.plan_with_catalog(pairs, caps, cost, &catalog)
+    }
+
+    /// Plans a monitoring forest with attribute metadata.
+    ///
+    /// The search seeds from a small portfolio of starting partitions
+    /// — the configured initial partition plus balanced partitions
+    /// sized so each tree's payload fits through a root under the
+    /// node budgets — evaluates each, and refines the best. Balanced
+    /// seeds matter under heavy load, where the path from a singleton
+    /// start to a good mid-granularity partition crosses a long
+    /// plateau that defeats purely local search.
+    pub fn plan_with_catalog(
+        &self,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+    ) -> MonitoringPlan {
+        self.plan_with_report(pairs, caps, cost, catalog).0
+    }
+
+    /// Like [`plan_with_catalog`](Self::plan_with_catalog), also
+    /// returning search telemetry.
+    pub fn plan_with_report(
+        &self,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+    ) -> (MonitoringPlan, PlanReport) {
+        let ctx = self.eval_context(pairs, caps, cost, catalog);
+        let mut report = PlanReport::default();
+        let mut seeds = vec![self.initial_partition(pairs)];
+        if self.config.forbidden_pairs.is_empty() {
+            seeds.extend(self.balanced_seeds(pairs, caps, cost));
+        }
+        let mut best: Option<MonitoringPlan> = None;
+        for seed in seeds {
+            report.seeds_evaluated += 1;
+            let plan = build_forest(&seed, &ctx);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    plan.collected_pairs() > b.collected_pairs()
+                        || (plan.collected_pairs() == b.collected_pairs()
+                            && plan.message_volume() < b.message_volume())
+                }
+            };
+            if better {
+                best = Some(plan);
+            }
+        }
+        let plan = best.expect("at least one seed");
+        let refined = self.refine_with_report(plan, &ctx, &mut report);
+        (refined, report)
+    }
+
+    /// Balanced seed partitions: attributes LPT-packed into `k` bins by
+    /// pair count, for a few `k` around the smallest tree count whose
+    /// per-tree payload fits through a root.
+    fn balanced_seeds(
+        &self,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+    ) -> Vec<Partition> {
+        let universe: Vec<AttrId> = pairs.attrs().collect();
+        if universe.len() < 2 {
+            return Vec::new();
+        }
+        let max_budget = caps.iter().map(|(_, b)| b).fold(0.0f64, f64::max);
+        let feasible_payload =
+            ((max_budget - cost.per_message()) / cost.per_value()).max(1.0);
+        let total_values = pairs.len() as f64;
+        let k_min = (total_values / feasible_payload).ceil().max(1.0) as usize;
+
+        let mut weights: Vec<(AttrId, usize)> = universe
+            .iter()
+            .map(|&a| (a, pairs.nodes_of(a).map_or(0, |n| n.len())))
+            .collect();
+        weights.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+
+        let mut seeds = Vec::new();
+        for mult in [1usize, 2, 4] {
+            let k = (k_min * mult).clamp(1, universe.len());
+            // Longest-processing-time packing into k bins.
+            let mut bins: Vec<(usize, AttrSet)> = vec![(0, AttrSet::new()); k];
+            for &(a, w) in &weights {
+                let (load, set) = bins
+                    .iter_mut()
+                    .min_by_key(|(load, _)| *load)
+                    .expect("k >= 1");
+                *load += w;
+                set.insert(a);
+            }
+            let sets: Vec<AttrSet> =
+                bins.into_iter().map(|(_, s)| s).filter(|s| !s.is_empty()).collect();
+            if let Ok(p) = Partition::from_sets(sets) {
+                if seeds.iter().all(|q: &Partition| q.len() != p.len()) {
+                    seeds.push(p);
+                }
+            }
+            if k == universe.len() {
+                break;
+            }
+        }
+        seeds
+    }
+
+    /// Evaluates a *fixed* partition (no search) — used for the
+    /// SINGLETON-SET and ONE-SET baselines of §7.
+    pub fn evaluate_partition(
+        &self,
+        partition: &Partition,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+    ) -> MonitoringPlan {
+        let ctx = self.eval_context(pairs, caps, cost, catalog);
+        build_forest(partition, &ctx)
+    }
+
+    /// Resumes the local search from an existing plan (used by the
+    /// runtime-adaptation schemes, which seed the search with the
+    /// direct-apply base topology).
+    pub fn refine_plan(
+        &self,
+        plan: MonitoringPlan,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+    ) -> MonitoringPlan {
+        let ctx = self.eval_context(pairs, caps, cost, catalog);
+        self.refine(plan, &ctx)
+    }
+
+    fn eval_context<'a>(
+        &self,
+        pairs: &'a PairSet,
+        caps: &'a CapacityMap,
+        cost: CostModel,
+        catalog: &'a AttrCatalog,
+    ) -> EvalContext<'a> {
+        EvalContext {
+            pairs,
+            caps,
+            cost,
+            catalog,
+            builder: self.config.builder,
+            allocation: self.config.allocation,
+            aggregation_aware: self.config.aggregation_aware,
+            frequency_aware: self.config.frequency_aware,
+        }
+    }
+
+    fn initial_partition(&self, pairs: &PairSet) -> Partition {
+        match self.config.initial {
+            // SSDP constraints hold trivially in a singleton start; a
+            // one-set start must not co-locate forbidden pairs, so it
+            // degrades to singleton when constraints exist.
+            InitialPartition::OneSet if self.config.forbidden_pairs.is_empty() => {
+                Partition::one_set(pairs.attr_universe())
+            }
+            InitialPartition::OneSet => Partition::singleton(pairs.attr_universe()),
+            InitialPartition::Singleton => Partition::singleton(pairs.attr_universe()),
+        }
+    }
+
+    fn violates_constraints(&self, set: &AttrSet) -> bool {
+        self.config
+            .forbidden_pairs
+            .iter()
+            .any(|(a, b)| set.contains(a) && set.contains(b))
+    }
+
+    /// The guided local search proper: iteratively apply the first
+    /// improving candidate among the top-ranked augmentations.
+    fn refine(&self, plan: MonitoringPlan, ctx: &EvalContext<'_>) -> MonitoringPlan {
+        let mut report = PlanReport::default();
+        self.refine_with_report(plan, ctx, &mut report)
+    }
+
+    fn refine_with_report(
+        &self,
+        plan: MonitoringPlan,
+        ctx: &EvalContext<'_>,
+        report: &mut PlanReport,
+    ) -> MonitoringPlan {
+        let mut partition = plan.partition().clone();
+        let mut trees: Vec<PlannedTree> = plan.trees().to_vec();
+
+        // Residual capacities after the current forest.
+        let mut avail: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
+        let mut collector_avail = ctx.caps.collector();
+        for t in &trees {
+            for (&n, &u) in &t.usage {
+                *avail.get_mut(&n).expect("known node") -= u;
+            }
+            collector_avail -= t.collector_usage;
+        }
+
+        let max_budget = ctx
+            .caps
+            .iter()
+            .map(|(_, b)| b)
+            .fold(0.0f64, f64::max);
+        let estimator = GainEstimator::with_capacity(ctx.pairs, ctx.cost, max_budget);
+        let mut score = Score {
+            pairs: trees.iter().map(|t| t.collected_pairs).sum(),
+            volume: trees.iter().map(|t| t.message_volume).sum(),
+        };
+
+        // The paper's two-phase iteration: a cheap local phase applies
+        // augmentations whose *incremental* rebuild already improves
+        // the plan; when it stalls, a global phase rebuilds the whole
+        // forest (redistributing capacity the local view cannot see)
+        // and evaluates the top candidates against the full
+        // reconstruction. Global rebuilds are budgeted because each
+        // one costs a complete forest construction.
+        let debug = std::env::var("REMO_PLANNER_DEBUG").is_ok();
+        let mut global_budget = self.config.global_evals;
+
+        let recompute_residual = |trees: &[PlannedTree]| {
+            let mut avail: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
+            let mut collector_avail = ctx.caps.collector();
+            for t in trees {
+                for (&n, &u) in &t.usage {
+                    *avail.get_mut(&n).expect("known node") -= u;
+                }
+                collector_avail -= t.collector_usage;
+            }
+            (avail, collector_avail)
+        };
+        let score_of = |trees: &[PlannedTree]| Score {
+            pairs: trees.iter().map(|t| t.collected_pairs).sum(),
+            volume: trees.iter().map(|t| t.message_volume).sum(),
+        };
+
+        // Best-so-far snapshot: tolerant plateau moves may transiently
+        // lose a few pairs while volume savings accumulate; the search
+        // always returns the best state it visited.
+        let mut best = (partition.clone(), trees.clone(), score);
+        let demanded: usize = trees.iter().map(|t| t.demanded_pairs).sum();
+        let pair_tol = (demanded / 200).max(2);
+        let drift_cap = (demanded / 50).max(8);
+
+        for round in 0..self.config.max_rounds {
+            let current = MonitoringPlan::new(partition.clone(), trees.clone());
+            let ranked = estimator.rank_ops(&partition, &current);
+            let mut applied = false;
+
+            // ---- local phase: incremental first improvement, with a
+            // small pair tolerance for strong volume reductions ----
+            for (op, _gain) in ranked
+                .iter()
+                .take(self.config.candidates_per_round)
+                .copied()
+            {
+                if self.op_violates_constraints(op, &partition) {
+                    continue;
+                }
+                if let Some((new_partition, new_trees, new_avail, new_collector, new_score)) = {
+                    report.local_evals += 1;
+                    self.try_op(op, &partition, &trees, &avail, collector_avail, ctx)
+                } {
+                    let strict = new_score.better_than(&score);
+                    let tolerant = new_score.volume < score.volume - 1e-9
+                        && new_score.pairs + pair_tol >= score.pairs
+                        && new_score.pairs + drift_cap >= best.2.pairs;
+                    if strict || tolerant {
+                        report.local_accepts += 1;
+                        if !strict {
+                            report.tolerant_accepts += 1;
+                        }
+                        partition = new_partition;
+                        trees = new_trees;
+                        avail = new_avail;
+                        collector_avail = new_collector;
+                        score = new_score;
+                        applied = true;
+                        break;
+                    }
+                }
+            }
+
+            // ---- global phase: full reconstruction fallback ----
+            if !applied && global_budget > 0 {
+                // First, pure redistribution under the same partition.
+                global_budget -= 1;
+                report.global_evals += 1;
+                let rebuilt = build_forest(&partition, ctx);
+                let rebuilt_score = score_of(rebuilt.trees());
+                if rebuilt_score.better_than(&score) {
+                    trees = rebuilt.trees().to_vec();
+                    (avail, collector_avail) = recompute_residual(&trees);
+                    score = rebuilt_score;
+                    applied = true;
+                    report.global_accepts += 1;
+                    if debug {
+                        eprintln!(
+                            "round {round}: redistribution, score {} / vol {:.0}",
+                            score.pairs, score.volume
+                        );
+                    }
+                } else {
+                    // Then, the top candidates evaluated globally.
+                    for (op, _gain) in ranked
+                        .iter()
+                        .take(self.config.global_candidates)
+                        .copied()
+                    {
+                        if global_budget == 0 {
+                            break;
+                        }
+                        if self.op_violates_constraints(op, &partition) {
+                            continue;
+                        }
+                        let mut cand = partition.clone();
+                        if cand.apply(op).is_err() {
+                            continue;
+                        }
+                        global_budget -= 1;
+                        report.global_evals += 1;
+                        let plan = build_forest(&cand, ctx);
+                        let cand_score = score_of(plan.trees());
+                        if cand_score.better_than(&score) {
+                            report.global_accepts += 1;
+                            partition = cand;
+                            trees = plan.trees().to_vec();
+                            (avail, collector_avail) = recompute_residual(&trees);
+                            score = cand_score;
+                            applied = true;
+                            if debug {
+                                eprintln!(
+                                    "round {round}: global {op:?}, score {} / vol {:.0}",
+                                    score.pairs, score.volume
+                                );
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+
+            report.rounds = round + 1;
+            if score.better_than(&best.2) {
+                best = (partition.clone(), trees.clone(), score);
+            }
+            if !applied {
+                if debug {
+                    eprintln!(
+                        "round {round}: converged, score {} / vol {:.0}",
+                        score.pairs, score.volume
+                    );
+                }
+                break;
+            } else if debug {
+                eprintln!(
+                    "round {round}: score {} / vol {:.0}, {} trees",
+                    score.pairs,
+                    score.volume,
+                    partition.len()
+                );
+            }
+        }
+
+        if best.2.better_than(&score) {
+            MonitoringPlan::new(best.0, best.1)
+        } else {
+            MonitoringPlan::new(partition, trees)
+        }
+    }
+
+    fn op_violates_constraints(&self, op: PartitionOp, partition: &Partition) -> bool {
+        if self.config.forbidden_pairs.is_empty() {
+            return false;
+        }
+        match op {
+            PartitionOp::Split(..) => false,
+            PartitionOp::Merge(i, j) => {
+                let mut merged: AttrSet = partition.sets()[i].clone();
+                merged.extend(partition.sets()[j].iter().copied());
+                self.violates_constraints(&merged)
+            }
+        }
+    }
+
+    /// Evaluates one candidate op by rebuilding only the affected
+    /// trees against freed residual capacity; returns the would-be
+    /// state and its score (acceptance is the caller's policy).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub(crate) fn try_op(
+        &self,
+        op: PartitionOp,
+        partition: &Partition,
+        trees: &[PlannedTree],
+        avail: &BTreeMap<NodeId, f64>,
+        collector_avail: f64,
+        ctx: &EvalContext<'_>,
+    ) -> Option<(
+        Partition,
+        Vec<PlannedTree>,
+        BTreeMap<NodeId, f64>,
+        f64,
+        Score,
+    )> {
+        let mut new_partition = partition.clone();
+        let affected_old: Vec<usize> = match op {
+            PartitionOp::Merge(i, j) => vec![i, j],
+            PartitionOp::Split(i, _) => vec![i],
+        };
+        new_partition.apply(op).ok()?;
+
+        // Free the affected trees' capacity.
+        let mut freed = avail.clone();
+        let mut freed_collector = collector_avail;
+        for &k in &affected_old {
+            for (&n, &u) in &trees[k].usage {
+                *freed.get_mut(&n).expect("known node") += u;
+            }
+            freed_collector += trees[k].collector_usage;
+        }
+
+        // Which new sets must be (re)built?
+        let new_set_idx: Vec<usize> = match op {
+            PartitionOp::Merge(i, j) => vec![i.min(j)],
+            PartitionOp::Split(i, _) => vec![i, new_partition.len() - 1],
+        };
+
+        // Build them smaller-first (ordered on-demand within the
+        // candidate), drawing down the freed residual.
+        let mut build_order = new_set_idx.clone();
+        build_order.sort_by_key(|&k| ctx.pairs.participants(&new_partition.sets()[k]).len());
+        let mut built: BTreeMap<usize, PlannedTree> = BTreeMap::new();
+        let mut residual = freed.clone();
+        let mut residual_collector = freed_collector;
+        for k in build_order {
+            let t = build_tree_for_set(
+                &new_partition.sets()[k],
+                ctx,
+                &residual,
+                residual_collector,
+            );
+            for (&n, &u) in &t.usage {
+                *residual.get_mut(&n).expect("known node") -= u;
+            }
+            residual_collector -= t.collector_usage;
+            built.insert(k, t);
+        }
+
+        // Assemble the new tree vector parallel to the new partition.
+        let mut new_trees: Vec<PlannedTree> = Vec::with_capacity(new_partition.len());
+        match op {
+            PartitionOp::Merge(i, j) => {
+                let (lo, hi) = (i.min(j), i.max(j));
+                for (k, t) in trees.iter().enumerate() {
+                    if k == hi {
+                        continue;
+                    }
+                    if k == lo {
+                        new_trees.push(built.remove(&lo).expect("merged tree built"));
+                    } else {
+                        new_trees.push(t.clone());
+                    }
+                }
+            }
+            PartitionOp::Split(i, _) => {
+                for (k, t) in trees.iter().enumerate() {
+                    if k == i {
+                        new_trees.push(built.remove(&i).expect("shrunk tree built"));
+                    } else {
+                        new_trees.push(t.clone());
+                    }
+                }
+                new_trees.push(
+                    built
+                        .remove(&(new_partition.len() - 1))
+                        .expect("extracted tree built"),
+                );
+            }
+        }
+
+        let new_score = Score {
+            pairs: new_trees.iter().map(|t| t.collected_pairs).sum(),
+            volume: new_trees.iter().map(|t| t.message_volume).sum(),
+        };
+        Some((
+            new_partition,
+            new_trees,
+            residual,
+            residual_collector,
+            new_score,
+        ))
+    }
+}
+
+/// Convenience handles for the two baseline schemes of §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// One attribute per tree (PIER-style).
+    SingletonSet,
+    /// One tree for all attributes.
+    OneSet,
+    /// REMO's partition-augmentation search.
+    Remo,
+}
+
+impl PartitionScheme {
+    /// Plans under this scheme with shared planner settings.
+    pub fn plan(
+        &self,
+        planner: &Planner,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+    ) -> MonitoringPlan {
+        match self {
+            PartitionScheme::SingletonSet => planner.evaluate_partition(
+                &Partition::singleton(pairs.attr_universe()),
+                pairs,
+                caps,
+                cost,
+                catalog,
+            ),
+            PartitionScheme::OneSet => planner.evaluate_partition(
+                &Partition::one_set(pairs.attr_universe()),
+                pairs,
+                caps,
+                cost,
+                catalog,
+            ),
+            PartitionScheme::Remo => planner.plan_with_catalog(pairs, caps, cost, catalog),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    fn setup(nodes: usize, budget: f64, collector: f64) -> (CapacityMap, CostModel, AttrCatalog) {
+        (
+            CapacityMap::uniform(nodes, budget, collector).unwrap(),
+            CostModel::new(2.0, 1.0).unwrap(),
+            AttrCatalog::new(),
+        )
+    }
+
+    #[test]
+    fn plan_on_empty_pairs_is_empty() {
+        let (caps, cost, _) = setup(4, 10.0, 100.0);
+        let plan = Planner::default().plan(&PairSet::new(), &caps, cost);
+        assert_eq!(plan.collected_pairs(), 0);
+        assert_eq!(plan.trees().len(), 0);
+    }
+
+    #[test]
+    fn remo_at_least_matches_both_baselines() {
+        // A moderately loaded system where neither extreme is optimal.
+        let pairs = dense_pairs(12, 4);
+        let (caps, cost, catalog) = setup(12, 14.0, 120.0);
+        let planner = Planner::default();
+        let sp = PartitionScheme::SingletonSet
+            .plan(&planner, &pairs, &caps, cost, &catalog)
+            .collected_pairs();
+        let op = PartitionScheme::OneSet
+            .plan(&planner, &pairs, &caps, cost, &catalog)
+            .collected_pairs();
+        let remo = PartitionScheme::Remo
+            .plan(&planner, &pairs, &caps, cost, &catalog)
+            .collected_pairs();
+        assert!(remo >= sp.max(op), "remo {remo} vs sp {sp}, op {op}");
+    }
+
+    #[test]
+    fn search_merges_overlapping_singletons() {
+        // Plenty of capacity: merging everything into few trees is
+        // strictly better on message volume.
+        let pairs = dense_pairs(8, 3);
+        let (caps, cost, catalog) = setup(8, 100.0, 1000.0);
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        assert!(
+            plan.partition().len() < 3,
+            "expected merges, got {} sets",
+            plan.partition().len()
+        );
+        assert_eq!(plan.coverage(), 1.0);
+    }
+
+    #[test]
+    fn plan_respects_capacities() {
+        let pairs = dense_pairs(15, 5);
+        let (caps, cost, catalog) = setup(15, 12.0, 80.0);
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        for (n, u) in plan.node_usage() {
+            assert!(u <= caps.node(n).unwrap() + 1e-6, "node {n} over budget");
+        }
+        assert!(plan.collector_usage() <= caps.collector() + 1e-6);
+        assert!(plan.partition().is_valid());
+    }
+
+    #[test]
+    fn forbidden_pairs_never_share_a_tree() {
+        let pairs = dense_pairs(10, 4);
+        let (caps, cost, catalog) = setup(10, 100.0, 1000.0);
+        let cfg = PlannerConfig {
+            forbidden_pairs: vec![(AttrId(0), AttrId(1))],
+            ..PlannerConfig::default()
+        };
+        let plan = Planner::new(cfg).plan_with_catalog(&pairs, &caps, cost, &catalog);
+        for set in plan.partition().sets() {
+            assert!(
+                !(set.contains(&AttrId(0)) && set.contains(&AttrId(1))),
+                "forbidden pair co-located in {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_set_initial_with_splits_relieves_congestion() {
+        let pairs = dense_pairs(14, 6);
+        let (caps, cost, catalog) = setup(14, 10.0, 60.0);
+        let cfg = PlannerConfig {
+            initial: InitialPartition::OneSet,
+            ..PlannerConfig::default()
+        };
+        let from_one = Planner::new(cfg).plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let baseline = Planner::default()
+            .evaluate_partition(
+                &Partition::one_set(pairs.attr_universe()),
+                &pairs,
+                &caps,
+                cost,
+                &catalog,
+            )
+            .collected_pairs();
+        assert!(
+            from_one.collected_pairs() >= baseline,
+            "search must not be worse than its start"
+        );
+    }
+
+    #[test]
+    fn plan_with_report_counts_search_work() {
+        let pairs = dense_pairs(10, 4);
+        let (caps, cost, catalog) = setup(10, 14.0, 120.0);
+        let (plan, report) = Planner::default().plan_with_report(&pairs, &caps, cost, &catalog);
+        assert!(report.seeds_evaluated >= 1);
+        assert!(report.rounds >= 1);
+        assert!(report.local_evals >= report.local_accepts);
+        assert!(report.tolerant_accepts <= report.local_accepts);
+        assert!(plan.collected_pairs() > 0);
+        // The report-producing path returns the same plan.
+        let direct = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        assert_eq!(plan.collected_pairs(), direct.collected_pairs());
+        assert_eq!(plan.partition(), direct.partition());
+    }
+
+    #[test]
+    fn score_ordering() {
+        let a = Score {
+            pairs: 5,
+            volume: 10.0,
+        };
+        let b = Score {
+            pairs: 5,
+            volume: 12.0,
+        };
+        let c = Score {
+            pairs: 6,
+            volume: 99.0,
+        };
+        assert!(a.better_than(&b));
+        assert!(!b.better_than(&a));
+        assert!(c.better_than(&a));
+        assert!(!a.better_than(&a));
+    }
+}

@@ -1,0 +1,293 @@
+//! Reliability enhancement by task rewriting (paper §6.2).
+//!
+//! REMO hardens delivery without touching the planning machinery:
+//! monitoring tasks are *rewritten* so that replicas of a value travel
+//! through different monitoring trees.
+//!
+//! - **SSDP** (same source, different paths): an attribute `a` is
+//!   aliased as `a′, a″, …`; alias tasks collect from the same nodes,
+//!   and co-partition constraints guarantee each alias lands in a
+//!   different tree. A link/node failure on one path leaves the other
+//!   replicas intact.
+//! - **DSDP** (different sources, different paths): when groups of
+//!   nodes observe the *same* value (e.g. hosts sharing a storage
+//!   array), the task is rewritten into `k` tasks over disjoint
+//!   representative node sets, again with co-partition constraints.
+
+use crate::attribute::{AttrCatalog, AttrInfo};
+use crate::error::PlanError;
+use crate::ids::{AttrId, NodeId, TaskId};
+use crate::task::MonitoringTask;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Output of a reliability rewrite: the replacement tasks plus the
+/// constraints and alias bookkeeping the planner and collector need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityRewrite {
+    /// Tasks to submit in place of the original.
+    pub tasks: Vec<MonitoringTask>,
+    /// Alias attribute ids per original attribute (original id first).
+    pub aliases: BTreeMap<AttrId, Vec<AttrId>>,
+    /// Attribute pairs that must never share a partition set; feed
+    /// these into
+    /// [`PlannerConfig::forbidden_pairs`](crate::planner::PlannerConfig).
+    pub forbidden_pairs: Vec<(AttrId, AttrId)>,
+}
+
+impl ReliabilityRewrite {
+    /// Resolves an alias back to its original attribute (identity for
+    /// non-aliases).
+    pub fn original_of(&self, attr: AttrId) -> AttrId {
+        for (&orig, aliases) in &self.aliases {
+            if aliases.contains(&attr) {
+                return orig;
+            }
+        }
+        attr
+    }
+}
+
+/// Rewrites `task` for SSDP replication: every attribute is delivered
+/// `replication` times over disjoint trees from the same source nodes.
+///
+/// New alias attributes are registered in `catalog` (cloning the
+/// original's metadata); replacement task ids start at `first_task_id`.
+///
+/// # Errors
+///
+/// Returns [`PlanError::InvalidParameter`] if `replication == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::{MonitoringTask, TaskId, NodeId, AttrId, AttrCatalog, AttrInfo};
+/// use remo_core::reliability::rewrite_ssdp;
+/// let mut catalog = AttrCatalog::new();
+/// let a = catalog.register(AttrInfo::new("latency"));
+/// let task = MonitoringTask::new(TaskId(0), [a], (0..4).map(NodeId));
+/// let rw = rewrite_ssdp(&task, 2, &mut catalog, TaskId(100))?;
+/// assert_eq!(rw.tasks.len(), 2);
+/// assert_eq!(rw.forbidden_pairs.len(), 1);
+/// # Ok::<(), remo_core::PlanError>(())
+/// ```
+pub fn rewrite_ssdp(
+    task: &MonitoringTask,
+    replication: usize,
+    catalog: &mut AttrCatalog,
+    first_task_id: TaskId,
+) -> Result<ReliabilityRewrite, PlanError> {
+    if replication == 0 {
+        return Err(PlanError::InvalidParameter {
+            name: "replication",
+            value: 0.0,
+        });
+    }
+    let mut aliases: BTreeMap<AttrId, Vec<AttrId>> = BTreeMap::new();
+    let mut forbidden = Vec::new();
+    let mut replica_attr_sets: Vec<BTreeSet<AttrId>> =
+        (0..replication).map(|_| BTreeSet::new()).collect();
+
+    for &attr in task.attrs() {
+        let mut ids = vec![attr];
+        for r in 1..replication {
+            let info = catalog.get_or_default(attr);
+            let alias =
+                catalog.register(AttrInfo::new(format!("{}#r{r}", info.name())));
+            ids.push(alias);
+        }
+        for x in 0..ids.len() {
+            for y in (x + 1)..ids.len() {
+                forbidden.push((ids[x], ids[y]));
+            }
+        }
+        for (r, &id) in ids.iter().enumerate() {
+            replica_attr_sets[r].insert(id);
+        }
+        aliases.insert(attr, ids);
+    }
+
+    let tasks = replica_attr_sets
+        .into_iter()
+        .enumerate()
+        .map(|(r, attrs)| {
+            MonitoringTask::new(
+                TaskId(first_task_id.0 + r as u32),
+                attrs,
+                task.nodes().iter().copied(),
+            )
+        })
+        .collect();
+
+    Ok(ReliabilityRewrite {
+        tasks,
+        aliases,
+        forbidden_pairs: forbidden,
+    })
+}
+
+/// Rewrites a DSDP task: `groups[g]` is the set of nodes all observing
+/// the same value `v_g` of attribute `attr`. The rewrite produces
+/// `replication` tasks, each collecting `attr` (or an alias) from one
+/// distinct representative per group, so every value reaches the
+/// collector from `replication` different sources over different trees.
+///
+/// # Errors
+///
+/// Returns [`PlanError::InfeasibleReplication`] if some group has fewer
+/// members than `replication`, or [`PlanError::InvalidParameter`] if
+/// `replication == 0` or `groups` is empty.
+pub fn rewrite_dsdp(
+    attr: AttrId,
+    groups: &[BTreeSet<NodeId>],
+    replication: usize,
+    catalog: &mut AttrCatalog,
+    first_task_id: TaskId,
+) -> Result<ReliabilityRewrite, PlanError> {
+    if replication == 0 || groups.is_empty() {
+        return Err(PlanError::InvalidParameter {
+            name: "replication",
+            value: replication as f64,
+        });
+    }
+    let feasible = groups.iter().map(BTreeSet::len).min().unwrap_or(0);
+    if feasible < replication {
+        return Err(PlanError::InfeasibleReplication {
+            requested: replication,
+            feasible,
+        });
+    }
+
+    let mut ids = vec![attr];
+    for r in 1..replication {
+        let info = catalog.get_or_default(attr);
+        let alias = catalog.register(AttrInfo::new(format!("{}#s{r}", info.name())));
+        ids.push(alias);
+    }
+    let mut forbidden = Vec::new();
+    for x in 0..ids.len() {
+        for y in (x + 1)..ids.len() {
+            forbidden.push((ids[x], ids[y]));
+        }
+    }
+
+    let tasks = (0..replication)
+        .map(|r| {
+            let nodes: BTreeSet<NodeId> = groups
+                .iter()
+                .map(|g| *g.iter().nth(r).expect("group large enough"))
+                .collect();
+            MonitoringTask::new(TaskId(first_task_id.0 + r as u32), [ids[r]], nodes)
+        })
+        .collect();
+
+    let mut aliases = BTreeMap::new();
+    aliases.insert(attr, ids);
+    Ok(ReliabilityRewrite {
+        tasks,
+        aliases,
+        forbidden_pairs: forbidden,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(sizes: &[u32]) -> Vec<BTreeSet<NodeId>> {
+        let mut next = 0u32;
+        sizes
+            .iter()
+            .map(|&s| {
+                let g = (next..next + s).map(NodeId).collect();
+                next += s;
+                g
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ssdp_duplicates_attrs_across_tasks() {
+        let mut catalog = AttrCatalog::new();
+        let a = catalog.register(AttrInfo::new("x"));
+        let b = catalog.register(AttrInfo::new("y"));
+        let task = MonitoringTask::new(TaskId(0), [a, b], (0..3).map(NodeId));
+        let rw = rewrite_ssdp(&task, 3, &mut catalog, TaskId(10)).unwrap();
+        assert_eq!(rw.tasks.len(), 3);
+        // Same node sets everywhere.
+        for t in &rw.tasks {
+            assert_eq!(t.nodes().len(), 3);
+            assert_eq!(t.attrs().len(), 2);
+        }
+        // 2 attrs × C(3,2) alias pairs.
+        assert_eq!(rw.forbidden_pairs.len(), 6);
+        // Catalog gained 2 aliases per original beyond the originals.
+        assert_eq!(catalog.len(), 2 + 4);
+    }
+
+    #[test]
+    fn ssdp_alias_resolution() {
+        let mut catalog = AttrCatalog::new();
+        let a = catalog.register(AttrInfo::new("x"));
+        let task = MonitoringTask::new(TaskId(0), [a], [NodeId(0)]);
+        let rw = rewrite_ssdp(&task, 2, &mut catalog, TaskId(1)).unwrap();
+        let alias = rw.aliases[&a][1];
+        assert_eq!(rw.original_of(alias), a);
+        assert_eq!(rw.original_of(a), a);
+        assert_eq!(rw.original_of(AttrId(999)), AttrId(999));
+    }
+
+    #[test]
+    fn ssdp_replication_one_is_identity_shape() {
+        let mut catalog = AttrCatalog::new();
+        let a = catalog.register(AttrInfo::new("x"));
+        let task = MonitoringTask::new(TaskId(0), [a], [NodeId(0), NodeId(1)]);
+        let rw = rewrite_ssdp(&task, 1, &mut catalog, TaskId(5)).unwrap();
+        assert_eq!(rw.tasks.len(), 1);
+        assert!(rw.forbidden_pairs.is_empty());
+    }
+
+    #[test]
+    fn ssdp_zero_replication_rejected() {
+        let mut catalog = AttrCatalog::new();
+        let task = MonitoringTask::new(TaskId(0), [AttrId(0)], [NodeId(0)]);
+        assert!(rewrite_ssdp(&task, 0, &mut catalog, TaskId(1)).is_err());
+    }
+
+    #[test]
+    fn dsdp_picks_distinct_representatives() {
+        let mut catalog = AttrCatalog::new();
+        let a = catalog.register(AttrInfo::new("storage_io"));
+        let gs = groups(&[3, 4, 2]);
+        let rw = rewrite_dsdp(a, &gs, 2, &mut catalog, TaskId(7)).unwrap();
+        assert_eq!(rw.tasks.len(), 2);
+        let n0: Vec<_> = rw.tasks[0].nodes().iter().copied().collect();
+        let n1: Vec<_> = rw.tasks[1].nodes().iter().copied().collect();
+        // Representatives are disjoint between replicas.
+        for n in &n0 {
+            assert!(!n1.contains(n));
+        }
+        // One representative per group.
+        assert_eq!(n0.len(), 3);
+        assert_eq!(rw.forbidden_pairs.len(), 1);
+    }
+
+    #[test]
+    fn dsdp_infeasible_replication() {
+        let mut catalog = AttrCatalog::new();
+        let err = rewrite_dsdp(AttrId(0), &groups(&[3, 1]), 2, &mut catalog, TaskId(0));
+        assert_eq!(
+            err,
+            Err(PlanError::InfeasibleReplication {
+                requested: 2,
+                feasible: 1
+            })
+        );
+    }
+
+    #[test]
+    fn dsdp_empty_groups_rejected() {
+        let mut catalog = AttrCatalog::new();
+        assert!(rewrite_dsdp(AttrId(0), &[], 1, &mut catalog, TaskId(0)).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The task manager: registry of live monitoring tasks, deduplication
+//! into node-attribute pairs, and application of task churn
+//! (paper §2.2, "Task manager").
+
+use crate::error::PlanError;
+use crate::ids::TaskId;
+use crate::pairs::PairSet;
+use crate::task::{MonitoringTask, TaskChange};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Holds the set of live monitoring tasks and produces the deduplicated
+/// [`PairSet`] the planner consumes.
+///
+/// Two tasks asking for the same attribute on the same node produce
+/// *one* pair: the node reports the value once and the data collector
+/// fans results back out to tasks.
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::{TaskManager, MonitoringTask, TaskId, NodeId, AttrId};
+/// let mut tm = TaskManager::new();
+/// tm.add(MonitoringTask::new(TaskId(0), [AttrId(0)], [NodeId(0), NodeId(1)]))?;
+/// tm.add(MonitoringTask::new(TaskId(1), [AttrId(0)], [NodeId(1), NodeId(2)]))?;
+/// // n1/a0 is requested by both tasks but deduplicated:
+/// assert_eq!(tm.pairs().len(), 3);
+/// # Ok::<(), remo_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskManager {
+    tasks: BTreeMap<TaskId, MonitoringTask>,
+}
+
+impl TaskManager {
+    /// Creates an empty task manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::DuplicateTask`] if a task with the same id
+    /// exists, or [`PlanError::EmptyTask`] if the task requests nothing.
+    pub fn add(&mut self, task: MonitoringTask) -> Result<(), PlanError> {
+        if task.is_empty() {
+            return Err(PlanError::EmptyTask(task.id()));
+        }
+        if self.tasks.contains_key(&task.id()) {
+            return Err(PlanError::DuplicateTask(task.id()));
+        }
+        self.tasks.insert(task.id(), task);
+        Ok(())
+    }
+
+    /// Withdraws a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::UnknownTask`] if no such task exists.
+    pub fn remove(&mut self, id: TaskId) -> Result<MonitoringTask, PlanError> {
+        self.tasks.remove(&id).ok_or(PlanError::UnknownTask(id))
+    }
+
+    /// Applies a [`TaskChange`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`add`](Self::add) and
+    /// [`remove`](Self::remove); `Modify` of an unknown task returns
+    /// [`PlanError::UnknownTask`].
+    pub fn apply(&mut self, change: TaskChange) -> Result<(), PlanError> {
+        match change {
+            TaskChange::Add(task) => self.add(task),
+            TaskChange::Remove(id) => self.remove(id).map(|_| ()),
+            TaskChange::Modify { id, attrs, nodes } => {
+                if !self.tasks.contains_key(&id) {
+                    return Err(PlanError::UnknownTask(id));
+                }
+                let replacement = MonitoringTask::new(id, attrs, nodes);
+                if replacement.is_empty() {
+                    return Err(PlanError::EmptyTask(id));
+                }
+                self.tasks.insert(id, replacement);
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of live tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if no tasks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Looks up a task.
+    pub fn get(&self, id: TaskId) -> Option<&MonitoringTask> {
+        self.tasks.get(&id)
+    }
+
+    /// Iterates over live tasks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &MonitoringTask> {
+        self.tasks.values()
+    }
+
+    /// Produces the deduplicated node-attribute pair set across all
+    /// live tasks — the planner's input.
+    pub fn pairs(&self) -> PairSet {
+        self.tasks
+            .values()
+            .flat_map(MonitoringTask::pairs)
+            .collect()
+    }
+
+    /// Returns the next unused task id, for callers generating churn.
+    pub fn next_id(&self) -> TaskId {
+        TaskId(
+            self.tasks
+                .keys()
+                .next_back()
+                .map_or(0, |t| t.0.wrapping_add(1)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttrId, NodeId};
+
+    fn task(id: u32, attrs: &[u32], nodes: &[u32]) -> MonitoringTask {
+        MonitoringTask::new(
+            TaskId(id),
+            attrs.iter().map(|&a| AttrId(a)),
+            nodes.iter().map(|&n| NodeId(n)),
+        )
+    }
+
+    #[test]
+    fn dedup_across_tasks() {
+        // The paper's §2.2 example: t1 = (cpu, {a,b}), t2 = (cpu, {b,c}).
+        let mut tm = TaskManager::new();
+        tm.add(task(1, &[0], &[0, 1])).unwrap();
+        tm.add(task(2, &[0], &[1, 2])).unwrap();
+        let pairs = tm.pairs();
+        assert_eq!(pairs.len(), 3, "b-cpu pair must be deduplicated");
+    }
+
+    #[test]
+    fn duplicate_and_empty_tasks_rejected() {
+        let mut tm = TaskManager::new();
+        tm.add(task(1, &[0], &[0])).unwrap();
+        assert_eq!(
+            tm.add(task(1, &[1], &[1])),
+            Err(PlanError::DuplicateTask(TaskId(1)))
+        );
+        assert_eq!(tm.add(task(2, &[], &[0])), Err(PlanError::EmptyTask(TaskId(2))));
+    }
+
+    #[test]
+    fn modify_replaces_sets() {
+        let mut tm = TaskManager::new();
+        tm.add(task(1, &[0, 1], &[0, 1])).unwrap();
+        tm.apply(TaskChange::Modify {
+            id: TaskId(1),
+            attrs: [AttrId(2)].into_iter().collect(),
+            nodes: [NodeId(5)].into_iter().collect(),
+        })
+        .unwrap();
+        let pairs = tm.pairs();
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(NodeId(5), AttrId(2)));
+    }
+
+    #[test]
+    fn modify_unknown_fails() {
+        let mut tm = TaskManager::new();
+        let err = tm.apply(TaskChange::Modify {
+            id: TaskId(3),
+            attrs: [AttrId(0)].into_iter().collect(),
+            nodes: [NodeId(0)].into_iter().collect(),
+        });
+        assert_eq!(err, Err(PlanError::UnknownTask(TaskId(3))));
+    }
+
+    #[test]
+    fn remove_then_pairs_shrink() {
+        let mut tm = TaskManager::new();
+        tm.add(task(1, &[0], &[0, 1])).unwrap();
+        tm.add(task(2, &[1], &[0])).unwrap();
+        assert_eq!(tm.pairs().len(), 3);
+        tm.apply(TaskChange::Remove(TaskId(1))).unwrap();
+        assert_eq!(tm.pairs().len(), 1);
+        assert_eq!(tm.len(), 1);
+    }
+
+    #[test]
+    fn next_id_advances() {
+        let mut tm = TaskManager::new();
+        assert_eq!(tm.next_id(), TaskId(0));
+        tm.add(task(4, &[0], &[0])).unwrap();
+        assert_eq!(tm.next_id(), TaskId(5));
+    }
+}

@@ -1,0 +1,357 @@
+//! Plan auditing: independent re-verification that a monitoring plan
+//! is structurally sound and within every budget.
+//!
+//! The planner maintains these invariants by construction; this module
+//! recomputes them from scratch so operators (and tests) can audit a
+//! plan that crossed a serialization boundary or was produced by an
+//! experimental scheme.
+
+use crate::attribute::AttrCatalog;
+use crate::capacity::CapacityMap;
+use crate::cost::CostModel;
+use crate::ids::{AttrId, NodeId};
+use crate::pairs::PairSet;
+use crate::plan::MonitoringPlan;
+use crate::tree::Parent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A tree's internal structure is inconsistent (cycle, missing
+    /// parent, bad children index).
+    MalformedTree {
+        /// Index of the offending tree.
+        tree: usize,
+    },
+    /// A node appears in a tree but owns no attribute of its set and
+    /// relays nothing (wasted membership is legal but flagged).
+    IdleMember {
+        /// Tree index.
+        tree: usize,
+        /// The idle node.
+        node: NodeId,
+    },
+    /// Recomputed usage of a node exceeds its budget.
+    NodeOverBudget {
+        /// The overloaded node.
+        node: NodeId,
+        /// Recomputed usage.
+        usage: f64,
+        /// Its budget.
+        budget: f64,
+    },
+    /// Recomputed collector usage exceeds the collector budget.
+    CollectorOverBudget {
+        /// Recomputed usage.
+        usage: f64,
+        /// The collector budget.
+        budget: f64,
+    },
+    /// The plan's recorded collected-pairs figure disagrees with the
+    /// tree structures.
+    PairAccounting {
+        /// Tree index.
+        tree: usize,
+        /// Pairs recorded by the plan.
+        recorded: usize,
+        /// Pairs implied by the structure.
+        recomputed: usize,
+    },
+    /// An attribute's pairs are demanded but the attribute is in no
+    /// partition set.
+    UnplannedAttr {
+        /// The orphaned attribute.
+        attr: AttrId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MalformedTree { tree } => write!(f, "tree {tree} is malformed"),
+            Violation::IdleMember { tree, node } => {
+                write!(f, "node {node} is an idle member of tree {tree}")
+            }
+            Violation::NodeOverBudget {
+                node,
+                usage,
+                budget,
+            } => write!(f, "node {node} uses {usage:.2} of budget {budget:.2}"),
+            Violation::CollectorOverBudget { usage, budget } => {
+                write!(f, "collector uses {usage:.2} of budget {budget:.2}")
+            }
+            Violation::PairAccounting {
+                tree,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "tree {tree} records {recorded} pairs but structure implies {recomputed}"
+            ),
+            Violation::UnplannedAttr { attr } => {
+                write!(f, "attribute {attr} is demanded but not planned")
+            }
+        }
+    }
+}
+
+/// Result of a full plan audit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// All findings, hard violations first.
+    pub violations: Vec<Violation>,
+    /// Recomputed aggregate node usage.
+    pub node_usage: BTreeMap<NodeId, f64>,
+    /// Recomputed collector usage.
+    pub collector_usage: f64,
+}
+
+impl AuditReport {
+    /// Returns `true` if no *hard* violation was found (idle members
+    /// are advisory).
+    pub fn is_clean(&self) -> bool {
+        self.violations
+            .iter()
+            .all(|v| matches!(v, Violation::IdleMember { .. }))
+    }
+}
+
+/// Audits `plan` against demand, budgets, and the cost model,
+/// recomputing all loads from the tree structures (funnel-aware via
+/// `catalog`).
+///
+/// # Examples
+///
+/// ```
+/// use remo_core::{CapacityMap, CostModel, NodeId, AttrId, PairSet, AttrCatalog};
+/// use remo_core::planner::Planner;
+/// use remo_core::validate::audit_plan;
+///
+/// # fn main() -> Result<(), remo_core::PlanError> {
+/// let caps = CapacityMap::uniform(8, 30.0, 200.0)?;
+/// let pairs: PairSet = (0..8).map(|n| (NodeId(n), AttrId(0))).collect();
+/// let catalog = AttrCatalog::new();
+/// let cost = CostModel::default();
+/// let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+/// let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
+/// assert!(report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+pub fn audit_plan(
+    plan: &MonitoringPlan,
+    pairs: &PairSet,
+    caps: &CapacityMap,
+    cost: CostModel,
+    catalog: &AttrCatalog,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    // Demand coverage: every demanded attribute must be planned.
+    for attr in pairs.attrs() {
+        if plan.partition().set_of(attr).is_none() {
+            report.violations.push(Violation::UnplannedAttr { attr });
+        }
+    }
+
+    for (k, (set, planned)) in plan
+        .partition()
+        .sets()
+        .iter()
+        .zip(plan.trees())
+        .enumerate()
+    {
+        let Some(tree) = planned.tree.as_ref() else {
+            if planned.collected_pairs != 0 {
+                report.violations.push(Violation::PairAccounting {
+                    tree: k,
+                    recorded: planned.collected_pairs,
+                    recomputed: 0,
+                });
+            }
+            continue;
+        };
+        if !tree.is_valid() {
+            report.violations.push(Violation::MalformedTree { tree: k });
+            continue;
+        }
+
+        // Per-metric outgoing counts, bottom-up.
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut stack = vec![tree.root()];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            stack.extend(tree.children(n).iter().copied());
+        }
+        order.reverse();
+
+        let mut outgoing: BTreeMap<NodeId, BTreeMap<AttrId, f64>> = BTreeMap::new();
+        let mut recomputed_pairs = 0usize;
+        for &n in &order {
+            let mut per_attr: BTreeMap<AttrId, f64> = BTreeMap::new();
+            let local = pairs
+                .attrs_of(n)
+                .map(|owned| owned.intersection(set).copied().collect::<Vec<_>>())
+                .unwrap_or_default();
+            recomputed_pairs += local.len();
+            for attr in &local {
+                *per_attr.entry(*attr).or_insert(0.0) += 1.0;
+            }
+            let mut relays_anything = false;
+            for c in tree.children(n) {
+                for (attr, v) in &outgoing[c] {
+                    *per_attr.entry(*attr).or_insert(0.0) += v;
+                    relays_anything = true;
+                }
+            }
+            if local.is_empty() && !relays_anything {
+                report.violations.push(Violation::IdleMember { tree: k, node: n });
+            }
+            // Apply funnels.
+            for (attr, v) in per_attr.iter_mut() {
+                *v = catalog.get_or_default(*attr).aggregation().funnel(*v);
+            }
+            outgoing.insert(n, per_attr);
+        }
+
+        if recomputed_pairs != planned.collected_pairs {
+            report.violations.push(Violation::PairAccounting {
+                tree: k,
+                recorded: planned.collected_pairs,
+                recomputed: recomputed_pairs,
+            });
+        }
+
+        // Usages: send + receives.
+        let send = |n: NodeId| -> f64 {
+            cost.message_cost(outgoing[&n].values().sum::<f64>())
+        };
+        for &n in &order {
+            let mut u = send(n);
+            for c in tree.children(n) {
+                u += send(*c);
+            }
+            *report.node_usage.entry(n).or_insert(0.0) += u;
+        }
+        // Collector pays the root's message.
+        let root = tree.nodes().find(|&n| tree.parent(n) == Some(Parent::Collector));
+        if let Some(root) = root {
+            report.collector_usage += send(root);
+        }
+    }
+
+    // Budget checks on the recomputed aggregates.
+    for (&n, &u) in &report.node_usage {
+        if let Some(b) = caps.node(n) {
+            if u > b + 1e-6 {
+                report.violations.push(Violation::NodeOverBudget {
+                    node: n,
+                    usage: u,
+                    budget: b,
+                });
+            }
+        }
+    }
+    if report.collector_usage > caps.collector() + 1e-6 {
+        report.violations.push(Violation::CollectorOverBudget {
+            usage: report.collector_usage,
+            budget: caps.collector(),
+        });
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PartitionScheme, Planner};
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    #[test]
+    fn planner_output_audits_clean() {
+        let pairs = dense_pairs(12, 4);
+        let caps = CapacityMap::uniform(12, 25.0, 200.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        for scheme in [
+            PartitionScheme::SingletonSet,
+            PartitionScheme::OneSet,
+            PartitionScheme::Remo,
+        ] {
+            let plan = scheme.plan(&Planner::default(), &pairs, &caps, cost, &catalog);
+            let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
+            assert!(
+                report.is_clean(),
+                "{scheme:?}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn audit_recomputation_matches_plan() {
+        let pairs = dense_pairs(10, 3);
+        let caps = CapacityMap::uniform(10, 30.0, 300.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
+        // Independent recomputation agrees with the planner's figures.
+        for (n, u) in plan.node_usage() {
+            let audited = report.node_usage.get(&n).copied().unwrap_or(0.0);
+            assert!((audited - u).abs() < 1e-6, "node {n}: {audited} vs {u}");
+        }
+        assert!((report.collector_usage - plan.collector_usage()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overloaded_plan_is_flagged() {
+        // Plan with generous budgets, audit against starved ones.
+        let pairs = dense_pairs(8, 2);
+        let roomy = CapacityMap::uniform(8, 100.0, 500.0).unwrap();
+        let tight = CapacityMap::uniform(8, 5.0, 500.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &roomy, cost, &catalog);
+        let report = audit_plan(&plan, &pairs, &tight, cost, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NodeOverBudget { .. })));
+    }
+
+    #[test]
+    fn unplanned_attr_is_flagged() {
+        let pairs = dense_pairs(4, 2);
+        let caps = CapacityMap::uniform(4, 50.0, 200.0).unwrap();
+        let cost = CostModel::default();
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let mut bigger = pairs.clone();
+        bigger.insert(NodeId(0), AttrId(9));
+        let report = audit_plan(&plan, &bigger, &caps, cost, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UnplannedAttr { attr } if *attr == AttrId(9))));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::NodeOverBudget {
+            node: NodeId(3),
+            usage: 12.5,
+            budget: 10.0,
+        };
+        assert_eq!(v.to_string(), "node n3 uses 12.50 of budget 10.00");
+    }
+}

@@ -1,0 +1,105 @@
+//! `remo-plan` — plan a monitoring forest from a JSON deployment spec.
+//!
+//! ```sh
+//! remo-plan spec.json              # human-readable summary
+//! remo-plan spec.json --dot        # Graphviz DOT of the forest
+//! remo-plan spec.json --audit      # independent feasibility audit
+//! remo-plan --example              # print a starter spec
+//! ```
+
+use remo::spec::{AttrSpec, DeploymentSpec, TaskSpec};
+use remo_core::export::{summarize, to_dot};
+use remo_core::validate::audit_plan;
+use std::process::ExitCode;
+
+fn example_spec() -> DeploymentSpec {
+    DeploymentSpec {
+        nodes: 12,
+        node_capacity: 40.0,
+        capacity_overrides: Default::default(),
+        collector_capacity: 400.0,
+        per_message_cost: 6.0,
+        per_value_cost: 1.0,
+        attributes: vec![
+            AttrSpec {
+                name: "cpu_utilization".into(),
+                ..AttrSpec::default()
+            },
+            AttrSpec {
+                name: "memory_rss".into(),
+                ..AttrSpec::default()
+            },
+            AttrSpec {
+                name: "peak_latency".into(),
+                aggregation: Some("max".into()),
+                frequency: None,
+            },
+        ],
+        tasks: vec![
+            TaskSpec {
+                attrs: vec![0, 1],
+                nodes: (0..12).collect(),
+            },
+            TaskSpec {
+                attrs: vec![2],
+                nodes: (0..6).collect(),
+            },
+        ],
+        aggregation_aware: true,
+        frequency_aware: false,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--example") {
+        println!("{}", example_spec().to_json());
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: remo-plan <spec.json> [--dot|--audit] | remo-plan --example");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("remo-plan: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match DeploymentSpec::from_json(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("remo-plan: bad spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match spec.plan() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("remo-plan: planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.iter().any(|a| a == "--dot") {
+        print!("{}", to_dot(&plan));
+    } else if args.iter().any(|a| a == "--audit") {
+        let caps = spec.capacities().expect("validated by plan()");
+        let cost = spec.cost().expect("validated by plan()");
+        let catalog = spec.catalog().expect("validated by plan()");
+        let pairs = spec.pairs().expect("validated by plan()");
+        let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
+        if report.is_clean() {
+            println!("audit clean: plan respects all budgets");
+        } else {
+            for v in &report.violations {
+                println!("violation: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    } else {
+        print!("{}", summarize(&plan));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,365 @@
+//! Node agents: one thread per monitoring node.
+//!
+//! Agents run in coordinator-driven lockstep: each `Tick(e)` starts
+//! epoch `e`, on which the agent refills its token bucket, samples its
+//! local attributes, folds in traffic received from children during
+//! epoch `e − 1`, applies in-network aggregation, and forwards one
+//! message per tree upstream — exactly the per-epoch behavior the
+//! planner budgets for.
+
+use crate::proto::{WireMessage, WireReading};
+use crate::throttle::TokenBucket;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use remo_core::{Aggregation, AttrId, CostModel, NodeId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Produces the locally observed value of `(node, attr)` at an epoch.
+pub type Sampler = Arc<dyn Fn(NodeId, AttrId, u64) -> f64 + Send + Sync>;
+
+/// Where an agent forwards a tree's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// This agent is the tree's root; traffic goes to the collector.
+    Collector,
+    /// Forward to another agent.
+    Node(NodeId),
+}
+
+/// One attribute an agent samples locally for a tree.
+#[derive(Debug, Clone)]
+pub struct LocalAttr {
+    /// The attribute.
+    pub attr: AttrId,
+    /// Sampling period in epochs (1 = every epoch).
+    pub period: u64,
+    /// In-network aggregation applied at relay points.
+    pub aggregation: Aggregation,
+}
+
+/// An agent's role within one monitoring tree.
+#[derive(Debug, Clone)]
+pub struct TreeAssignment {
+    /// Tree index in the deployed forest.
+    pub tree: u32,
+    /// Upstream route.
+    pub parent: Route,
+    /// Locally sampled attributes.
+    pub local: Vec<LocalAttr>,
+    /// Aggregation kinds for attributes this agent may relay (keyed by
+    /// attribute; holistic if absent).
+    pub relay_aggregation: BTreeMap<AttrId, Aggregation>,
+}
+
+/// Messages an agent can receive.
+#[derive(Debug)]
+pub enum AgentMsg {
+    /// A monitoring frame from a child, tagged with the epoch it was
+    /// sent in (transport metadata, not part of the frame).
+    Data {
+        /// Sender's epoch.
+        sent_epoch: u64,
+        /// Encoded [`WireMessage`].
+        frame: Bytes,
+    },
+    /// Start of an epoch.
+    Tick {
+        /// The epoch now beginning.
+        epoch: u64,
+    },
+    /// Replace this agent's tree assignments (topology adaptation).
+    Reconfigure {
+        /// New assignments (full replacement).
+        assignments: Vec<TreeAssignment>,
+    },
+    /// Crash or heal the agent (failure injection): a failed agent
+    /// drops all data traffic but still acknowledges ticks so the
+    /// coordinator's lockstep never wedges.
+    SetFailed(bool),
+    /// Terminate the agent thread.
+    Shutdown,
+}
+
+/// Per-epoch activity report sent back to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TickReport {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Epoch covered.
+    pub epoch: u64,
+    /// Messages sent upstream.
+    pub sent_messages: u32,
+    /// Readings sent upstream.
+    pub sent_readings: u32,
+    /// Messages dropped on the receive side (budget exhausted).
+    pub dropped_messages: u32,
+    /// Readings lost (receive drops + send-side trimming).
+    pub dropped_readings: u32,
+    /// Cost-units of traffic this agent paid for this epoch.
+    pub volume: f64,
+}
+
+/// The agent state machine (runs on its own thread via
+/// [`run_agent`]).
+pub struct Agent {
+    id: NodeId,
+    inbox: Receiver<AgentMsg>,
+    peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+    collector: Sender<(u64, Bytes)>,
+    reports: Sender<TickReport>,
+    bucket: TokenBucket,
+    cost: CostModel,
+    sampler: Sampler,
+    assignments: Vec<TreeAssignment>,
+    /// Buffered readings per tree: `(sent_epoch, reading)`.
+    buffers: BTreeMap<u32, Vec<(u64, WireReading)>>,
+    epoch: u64,
+    failed: bool,
+    /// Receive-side drops accumulated since the last tick report.
+    drop_messages: u32,
+    drop_readings: u32,
+}
+
+impl std::fmt::Debug for Agent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Agent")
+            .field("id", &self.id)
+            .field("epoch", &self.epoch)
+            .field("assignments", &self.assignments.len())
+            .finish()
+    }
+}
+
+impl Agent {
+    /// Creates an agent (not yet running; see [`run_agent`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: NodeId,
+        inbox: Receiver<AgentMsg>,
+        peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+        collector: Sender<(u64, Bytes)>,
+        reports: Sender<TickReport>,
+        capacity: f64,
+        cost: CostModel,
+        sampler: Sampler,
+        assignments: Vec<TreeAssignment>,
+    ) -> Self {
+        Agent {
+            id,
+            inbox,
+            peers,
+            collector,
+            reports,
+            bucket: TokenBucket::new(capacity),
+            cost,
+            sampler,
+            assignments,
+            buffers: BTreeMap::new(),
+            epoch: 0,
+            failed: false,
+            drop_messages: 0,
+            drop_readings: 0,
+        }
+    }
+
+    /// Processes messages until shutdown.
+    pub fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                AgentMsg::Shutdown => break,
+                AgentMsg::Reconfigure { assignments } => {
+                    // Buffers of trees we no longer serve are dropped.
+                    let live: Vec<u32> = assignments.iter().map(|a| a.tree).collect();
+                    self.buffers.retain(|tree, _| live.contains(tree));
+                    self.assignments = assignments;
+                }
+                AgentMsg::SetFailed(failed) => {
+                    self.failed = failed;
+                    if failed {
+                        // A crashed process loses its buffers.
+                        self.buffers.clear();
+                    }
+                }
+                AgentMsg::Data { sent_epoch, frame } => self.on_data(sent_epoch, frame),
+                AgentMsg::Tick { epoch } => self.on_tick(epoch),
+            }
+        }
+    }
+
+    fn on_data(&mut self, sent_epoch: u64, frame: Bytes) {
+        if self.failed {
+            if let Ok(msg) = WireMessage::decode(frame) {
+                self.pending_drop(msg.readings.len() as u32);
+            }
+            return;
+        }
+        let Ok(msg) = WireMessage::decode(frame) else {
+            return; // corrupt frames are silently dropped
+        };
+        let cost = self.cost.message_cost(msg.readings.len() as f64);
+        if !self.bucket.try_consume(cost) {
+            // Receive-side drop; reported with the next tick.
+            self.pending_drop(msg.readings.len() as u32);
+            return;
+        }
+        let buf = self.buffers.entry(msg.tree).or_default();
+        for r in msg.readings {
+            buf.push((sent_epoch, r));
+        }
+    }
+
+    // Receive-side drops accumulate between ticks.
+    fn pending_drop(&mut self, readings: u32) {
+        self.drop_readings += readings;
+        self.drop_messages += 1;
+    }
+
+    fn on_tick(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.bucket.refill();
+        let mut report = TickReport {
+            node: self.id,
+            epoch,
+            dropped_messages: std::mem::take(&mut self.drop_messages),
+            dropped_readings: std::mem::take(&mut self.drop_readings),
+            ..TickReport::default()
+        };
+        if self.failed {
+            // Crashed: produce nothing, but keep the lockstep alive.
+            let _ = self.reports.send(report);
+            return;
+        }
+
+        for ai in 0..self.assignments.len() {
+            let a = self.assignments[ai].clone();
+            let mut readings: Vec<WireReading> = Vec::new();
+            for la in &a.local {
+                if !epoch.is_multiple_of(la.period.max(1)) {
+                    continue;
+                }
+                readings.push(WireReading {
+                    node: self.id,
+                    attr: la.attr,
+                    value: (self.sampler)(self.id, la.attr, epoch),
+                    produced: epoch,
+                    contributors: 1,
+                });
+            }
+            // Forward child traffic sent strictly before this epoch.
+            if let Some(buf) = self.buffers.get_mut(&a.tree) {
+                let mut keep = Vec::new();
+                for (sent, r) in buf.drain(..) {
+                    if sent < epoch {
+                        readings.push(r);
+                    } else {
+                        keep.push((sent, r));
+                    }
+                }
+                *buf = keep;
+            }
+            if readings.is_empty() {
+                continue;
+            }
+            readings = fold_aggregates(self.id, readings, &a);
+
+            // Send-side budget enforcement (oldest trimmed first).
+            let full = self.cost.message_cost(readings.len() as f64);
+            if !self.bucket.try_consume(full) {
+                let affordable = ((self.bucket.available() - self.cost.per_message())
+                    / self.cost.per_value())
+                .floor();
+                if affordable < 1.0 {
+                    report.dropped_readings += readings.len() as u32;
+                    continue;
+                }
+                readings.sort_by_key(|r| std::cmp::Reverse(r.produced));
+                let keep = (affordable as usize).min(readings.len());
+                report.dropped_readings += (readings.len() - keep) as u32;
+                readings.truncate(keep);
+                let cost = self.cost.message_cost(readings.len() as f64);
+                let ok = self.bucket.try_consume(cost);
+                debug_assert!(ok, "trimmed message must fit");
+            }
+
+            let msg = WireMessage {
+                tree: a.tree,
+                from: self.id,
+                readings,
+            };
+            report.sent_messages += 1;
+            report.sent_readings += msg.readings.len() as u32;
+            report.volume += self.cost.message_cost(msg.readings.len() as f64);
+            let frame = msg.encode();
+            match a.parent {
+                Route::Collector => {
+                    let _ = self.collector.send((epoch, frame));
+                }
+                Route::Node(p) => {
+                    if let Some(tx) = self.peers.get(&p) {
+                        let _ = tx.send(AgentMsg::Data {
+                            sent_epoch: epoch,
+                            frame,
+                        });
+                    }
+                }
+            }
+        }
+        let _ = self.reports.send(report);
+    }
+}
+
+/// Applies in-network aggregation at a relay point.
+fn fold_aggregates(
+    at: NodeId,
+    readings: Vec<WireReading>,
+    assignment: &TreeAssignment,
+) -> Vec<WireReading> {
+    let mut by_attr: BTreeMap<AttrId, Vec<WireReading>> = BTreeMap::new();
+    for r in readings {
+        by_attr.entry(r.attr).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for (attr, group) in by_attr {
+        let kind = assignment
+            .relay_aggregation
+            .get(&attr)
+            .copied()
+            .unwrap_or(Aggregation::Holistic);
+        match kind {
+            Aggregation::Holistic | Aggregation::Distinct => out.extend(group),
+            Aggregation::Sum => out.push(fold(at, attr, &group, group.iter().map(|r| r.value).sum())),
+            Aggregation::Max => out.push(fold(
+                at,
+                attr,
+                &group,
+                group.iter().map(|r| r.value).fold(f64::NEG_INFINITY, f64::max),
+            )),
+            Aggregation::Top(k) => {
+                let mut g = group;
+                g.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+                g.truncate(k as usize);
+                out.extend(g);
+            }
+        }
+    }
+    out
+}
+
+fn fold(at: NodeId, attr: AttrId, group: &[WireReading], value: f64) -> WireReading {
+    WireReading {
+        node: at,
+        attr,
+        value,
+        produced: group.iter().map(|r| r.produced).min().unwrap_or(0),
+        contributors: group.iter().map(|r| r.contributors).sum(),
+    }
+}
+
+/// Spawns an agent on a dedicated thread.
+pub fn run_agent(agent: Agent) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("remo-agent-{}", agent.id))
+        .spawn(move || agent.run())
+        .expect("spawn agent thread")
+}

@@ -1,0 +1,485 @@
+//! Deployment coordinator: launches agents for a monitoring plan and
+//! drives them through lockstep epochs.
+
+use crate::agent::{
+    run_agent, Agent, AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment,
+};
+use crate::proto::WireMessage;
+use crate::throttle::TokenBucket;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use remo_core::{
+    AttrCatalog, AttrId, CapacityMap, CostModel, MonitoringPlan, NodeId, PairSet, Parent,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A value stored at the collector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observed {
+    /// Reported value.
+    pub value: f64,
+    /// Epoch the sample was produced.
+    pub produced: u64,
+    /// Epoch it reached the collector.
+    pub received: u64,
+    /// Samples folded in (aggregates).
+    pub contributors: u32,
+}
+
+/// Aggregate statistics of one epoch across the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochReport {
+    /// Epoch covered.
+    pub epoch: u64,
+    /// Values recorded at the collector.
+    pub delivered_values: u64,
+    /// Messages dropped anywhere.
+    pub dropped_messages: u64,
+    /// Readings lost anywhere.
+    pub dropped_readings: u64,
+    /// Monitoring traffic volume in cost units.
+    pub volume: f64,
+}
+
+/// A running in-process deployment of a monitoring plan.
+#[derive(Debug)]
+pub struct Deployment {
+    agents: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+    handles: Vec<JoinHandle<()>>,
+    reports: Receiver<TickReport>,
+    collector_rx: Receiver<(u64, Bytes)>,
+    collector_bucket: TokenBucket,
+    cost: CostModel,
+    epoch: u64,
+    store: BTreeMap<(NodeId, AttrId), Observed>,
+    aggregates: BTreeMap<AttrId, Observed>,
+    node_count: usize,
+}
+
+impl Deployment {
+    /// Launches one agent thread per node in `caps` and wires them
+    /// according to `plan`.
+    pub fn launch(
+        plan: &MonitoringPlan,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+        sampler: Sampler,
+    ) -> Self {
+        let (report_tx, report_rx) = unbounded();
+        let (collector_tx, collector_rx) = unbounded();
+
+        let mut senders: BTreeMap<NodeId, Sender<AgentMsg>> = BTreeMap::new();
+        let mut inboxes: BTreeMap<NodeId, Receiver<AgentMsg>> = BTreeMap::new();
+        for node in caps.node_ids() {
+            let (tx, rx) = unbounded();
+            senders.insert(node, tx);
+            inboxes.insert(node, rx);
+        }
+        let peers = Arc::new(senders);
+
+        let assignments = assignments_of(plan, pairs, catalog);
+        let mut handles = Vec::new();
+        for (node, inbox) in inboxes {
+            let agent = Agent::new(
+                node,
+                inbox,
+                Arc::clone(&peers),
+                collector_tx.clone(),
+                report_tx.clone(),
+                caps.node(node).unwrap_or(0.0),
+                cost,
+                Arc::clone(&sampler),
+                assignments.get(&node).cloned().unwrap_or_default(),
+            );
+            handles.push(run_agent(agent));
+        }
+
+        Deployment {
+            node_count: peers.len(),
+            agents: peers,
+            handles,
+            reports: report_rx,
+            collector_rx,
+            collector_bucket: TokenBucket::new(caps.collector()),
+            cost,
+            epoch: 0,
+            store: BTreeMap::new(),
+            aggregates: BTreeMap::new(),
+        }
+    }
+
+    /// Current epoch (completed ticks).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The collector's snapshot of a pair.
+    pub fn observed(&self, node: NodeId, attr: AttrId) -> Option<Observed> {
+        self.store.get(&(node, attr)).copied()
+    }
+
+    /// The collector's snapshot of an aggregated attribute.
+    pub fn observed_aggregate(&self, attr: AttrId) -> Option<Observed> {
+        self.aggregates.get(&attr).copied()
+    }
+
+    /// Number of distinct pairs ever observed.
+    pub fn observed_pairs(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Snapshot of an explicit pair list: observed values plus the
+    /// pairs with no observation yet (the runtime analog of the
+    /// simulator's task-scoped query).
+    pub fn snapshot(
+        &self,
+        pairs: impl IntoIterator<Item = (NodeId, AttrId)>,
+    ) -> (BTreeMap<(NodeId, AttrId), Observed>, Vec<(NodeId, AttrId)>) {
+        let mut values = BTreeMap::new();
+        let mut missing = Vec::new();
+        for (n, a) in pairs {
+            match self.store.get(&(n, a)) {
+                Some(&o) => {
+                    values.insert((n, a), o);
+                }
+                None => missing.push((n, a)),
+            }
+        }
+        (values, missing)
+    }
+
+    /// Advances one lockstep epoch and returns its aggregate report.
+    pub fn tick(&mut self) -> EpochReport {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut report = EpochReport {
+            epoch,
+            ..EpochReport::default()
+        };
+
+        for tx in self.agents.values() {
+            let _ = tx.send(AgentMsg::Tick { epoch });
+        }
+        for _ in 0..self.node_count {
+            let tr = self
+                .reports
+                .recv()
+                .expect("agents alive while deployment holds their senders");
+            report.dropped_messages += tr.dropped_messages as u64;
+            report.dropped_readings += tr.dropped_readings as u64;
+            report.volume += tr.volume;
+        }
+
+        // Collector intake: frames roots sent this epoch.
+        self.collector_bucket.refill();
+        while let Ok((sent_epoch, frame)) = self.collector_rx.try_recv() {
+            let Ok(msg) = WireMessage::decode(frame) else {
+                continue;
+            };
+            let cost = self.cost.message_cost(msg.readings.len() as f64);
+            if !self.collector_bucket.try_consume(cost) {
+                report.dropped_messages += 1;
+                report.dropped_readings += msg.readings.len() as u64;
+                continue;
+            }
+            for r in msg.readings {
+                let observed = Observed {
+                    value: r.value,
+                    produced: r.produced,
+                    received: sent_epoch + 1,
+                    contributors: r.contributors,
+                };
+                report.delivered_values += r.contributors as u64;
+                if r.contributors > 1 {
+                    let slot = self.aggregates.entry(r.attr).or_insert(observed);
+                    if observed.produced >= slot.produced {
+                        *slot = observed;
+                    }
+                } else {
+                    let slot = self.store.entry((r.node, r.attr)).or_insert(observed);
+                    if observed.produced >= slot.produced {
+                        *slot = observed;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs `epochs` ticks, returning the summed report.
+    pub fn run(&mut self, epochs: u64) -> EpochReport {
+        let mut total = EpochReport::default();
+        for _ in 0..epochs {
+            let r = self.tick();
+            total.epoch = r.epoch;
+            total.delivered_values += r.delivered_values;
+            total.dropped_messages += r.dropped_messages;
+            total.dropped_readings += r.dropped_readings;
+            total.volume += r.volume;
+        }
+        total
+    }
+
+    /// Pushes a new plan to the agents (topology adaptation); returns
+    /// the number of reconfiguration messages sent.
+    pub fn apply_plan(
+        &mut self,
+        plan: &MonitoringPlan,
+        pairs: &PairSet,
+        catalog: &AttrCatalog,
+    ) -> usize {
+        let assignments = assignments_of(plan, pairs, catalog);
+        let mut sent = 0;
+        for (&node, tx) in self.agents.iter() {
+            let a = assignments.get(&node).cloned().unwrap_or_default();
+            let _ = tx.send(AgentMsg::Reconfigure { assignments: a });
+            sent += 1;
+        }
+        sent
+    }
+
+    /// Crashes a node: it drops all traffic until healed. Takes
+    /// effect from the next tick.
+    pub fn fail_node(&mut self, node: NodeId) {
+        if let Some(tx) = self.agents.get(&node) {
+            let _ = tx.send(AgentMsg::SetFailed(true));
+        }
+    }
+
+    /// Heals a crashed node.
+    pub fn heal_node(&mut self, node: NodeId) {
+        if let Some(tx) = self.agents.get(&node) {
+            let _ = tx.send(AgentMsg::SetFailed(false));
+        }
+    }
+
+    /// Stops all agent threads and waits for them.
+    pub fn shutdown(mut self) {
+        for tx in self.agents.values() {
+            let _ = tx.send(AgentMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        for tx in self.agents.values() {
+            let _ = tx.send(AgentMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Computes every node's tree assignments from a plan.
+fn assignments_of(
+    plan: &MonitoringPlan,
+    pairs: &PairSet,
+    catalog: &AttrCatalog,
+) -> BTreeMap<NodeId, Vec<TreeAssignment>> {
+    let mut out: BTreeMap<NodeId, Vec<TreeAssignment>> = BTreeMap::new();
+    for (k, (set, planned)) in plan
+        .partition()
+        .sets()
+        .iter()
+        .zip(plan.trees())
+        .enumerate()
+    {
+        let Some(tree) = planned.tree.as_ref() else {
+            continue;
+        };
+        let relay_aggregation: BTreeMap<AttrId, remo_core::Aggregation> = set
+            .iter()
+            .map(|&a| (a, catalog.get_or_default(a).aggregation()))
+            .collect();
+        for node in tree.nodes() {
+            let parent = match tree.parent(node).expect("member has parent") {
+                Parent::Collector => Route::Collector,
+                Parent::Node(p) => Route::Node(p),
+            };
+            let local: Vec<LocalAttr> = pairs
+                .attrs_of(node)
+                .map(|owned| {
+                    owned
+                        .intersection(set)
+                        .map(|&attr| {
+                            let info = catalog.get_or_default(attr);
+                            LocalAttr {
+                                attr,
+                                period: (1.0 / info.frequency()).round().max(1.0) as u64,
+                                aggregation: info.aggregation(),
+                            }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            out.entry(node).or_default().push(TreeAssignment {
+                tree: k as u32,
+                parent,
+                local,
+                relay_aggregation: relay_aggregation.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remo_core::planner::Planner;
+
+    fn sampler() -> Sampler {
+        Arc::new(|n: NodeId, a: AttrId, e: u64| (n.0 * 1000 + a.0 * 10) as f64 + (e % 7) as f64)
+    }
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    fn launch(nodes: usize, attrs: u32, budget: f64) -> (Deployment, PairSet) {
+        let caps = CapacityMap::uniform(nodes, budget, 10_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(nodes as u32, attrs);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let dep = Deployment::launch(&plan, &pairs, &caps, cost, &catalog, sampler());
+        (dep, pairs)
+    }
+
+    #[test]
+    fn all_pairs_eventually_observed() {
+        let (mut dep, pairs) = launch(6, 2, 100.0);
+        dep.run(12);
+        assert_eq!(dep.observed_pairs(), pairs.len());
+        dep.shutdown();
+    }
+
+    #[test]
+    fn observed_values_match_sampler() {
+        let (mut dep, pairs) = launch(5, 1, 100.0);
+        dep.run(10);
+        let s = sampler();
+        for (n, a) in pairs.iter() {
+            let obs = dep.observed(n, a).expect("pair observed");
+            assert_eq!(obs.value, s(n, a, obs.produced), "value integrity for {n}/{a}");
+        }
+        dep.shutdown();
+    }
+
+    #[test]
+    fn staleness_matches_tree_depth() {
+        let (mut dep, pairs) = launch(8, 1, 100.0);
+        dep.run(10);
+        for (n, a) in pairs.iter() {
+            let obs = dep.observed(n, a).expect("observed");
+            let staleness = obs.received - obs.produced;
+            assert!(
+                (1..=8).contains(&staleness),
+                "staleness {staleness} out of range for {n}"
+            );
+        }
+        dep.shutdown();
+    }
+
+    #[test]
+    fn tight_budget_drops_traffic() {
+        // Plan with generous budgets, then deploy on starved nodes: the
+        // runtime must shed load rather than violate capacity.
+        let plan_caps = CapacityMap::uniform(10, 1_000.0, 10_000.0).unwrap();
+        let run_caps = CapacityMap::uniform(10, 6.0, 10_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(10, 4);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &plan_caps, cost, &catalog);
+        let mut dep = Deployment::launch(&plan, &pairs, &run_caps, cost, &catalog, sampler());
+        let total = dep.run(10);
+        assert!(
+            total.dropped_readings > 0 || total.dropped_messages > 0,
+            "starved deployment must drop"
+        );
+        dep.shutdown();
+    }
+
+    #[test]
+    fn reconfiguration_switches_topology() {
+        let caps = CapacityMap::uniform(6, 100.0, 10_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(6, 2);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let mut dep = Deployment::launch(&plan, &pairs, &caps, cost, &catalog, sampler());
+        dep.run(5);
+        let before = dep.observed_pairs();
+
+        // Add a new attribute and re-plan.
+        let mut pairs2 = pairs.clone();
+        for n in 0..6 {
+            pairs2.insert(NodeId(n), AttrId(9));
+        }
+        let plan2 = Planner::default().plan_with_catalog(&pairs2, &caps, cost, &catalog);
+        let sent = dep.apply_plan(&plan2, &pairs2, &catalog);
+        assert_eq!(sent, 6);
+        dep.run(8);
+        assert!(dep.observed_pairs() > before);
+        assert!(dep.observed(NodeId(3), AttrId(9)).is_some());
+        dep.shutdown();
+    }
+
+    #[test]
+    fn failed_node_stops_and_heals() {
+        let (mut dep, pairs) = launch(6, 1, 100.0);
+        dep.run(8);
+        // Every pair observed while healthy.
+        assert_eq!(dep.observed_pairs(), pairs.len());
+        let victim = NodeId(2);
+        dep.fail_node(victim);
+        dep.run(5);
+        let stale = dep.observed(victim, AttrId(0)).unwrap();
+        let lag_when_failed = dep.epoch() - stale.produced;
+        assert!(
+            lag_when_failed >= 4,
+            "victim's snapshot should go stale, lag {lag_when_failed}"
+        );
+        dep.heal_node(victim);
+        dep.run(8);
+        let fresh = dep.observed(victim, AttrId(0)).unwrap();
+        assert!(
+            dep.epoch() - fresh.produced <= 8,
+            "healed node resumes reporting"
+        );
+        assert!(fresh.produced > stale.produced);
+        dep.shutdown();
+    }
+
+    #[test]
+    fn snapshot_query_partitions_observed_and_missing() {
+        let (mut dep, pairs) = launch(5, 1, 100.0);
+        dep.run(8);
+        let mut wanted: Vec<(NodeId, AttrId)> = pairs.iter().collect();
+        wanted.push((NodeId(99), AttrId(0))); // never observed
+        let (values, missing) = dep.snapshot(wanted);
+        assert_eq!(values.len(), pairs.len());
+        assert_eq!(missing, vec![(NodeId(99), AttrId(0))]);
+        dep.shutdown();
+    }
+
+    #[test]
+    fn volume_accounts_for_messages() {
+        let (mut dep, _) = launch(4, 1, 100.0);
+        let r = dep.tick();
+        // 4 nodes each send one message on the first epoch.
+        assert!(r.volume > 0.0);
+        dep.shutdown();
+    }
+}

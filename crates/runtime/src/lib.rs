@@ -1,0 +1,49 @@
+//! # remo-runtime
+//!
+//! A real, threaded deployment substrate for REMO monitoring plans:
+//! one agent thread per monitoring node, channel-based messaging with
+//! a binary wire protocol ([`proto`]), token-bucket capacity emulation
+//! ([`throttle`]), coordinator-driven lockstep epochs, in-network
+//! aggregation at relay points, and live topology reconfiguration.
+//!
+//! Where [`remo-sim`](../remo_sim/index.html) is the fast, fully
+//! deterministic model used for the paper's parameter sweeps, this
+//! crate actually moves bytes between threads — it validates that a
+//! plan's trees carry real traffic end to end (the role the
+//! BlueGene/System S deployment plays in the paper).
+//!
+//! ```
+//! use remo_core::{CapacityMap, CostModel, NodeId, AttrId, PairSet, AttrCatalog};
+//! use remo_core::planner::Planner;
+//! use remo_runtime::{Deployment, Sampler};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), remo_core::PlanError> {
+//! let caps = CapacityMap::uniform(4, 50.0, 1_000.0)?;
+//! let cost = CostModel::default();
+//! let pairs: PairSet = (0..4).map(|n| (NodeId(n), AttrId(0))).collect();
+//! let catalog = AttrCatalog::new();
+//! let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+//!
+//! let sampler: Sampler = Arc::new(|n, _a, _e| n.0 as f64);
+//! let mut dep = Deployment::launch(&plan, &pairs, &caps, cost, &catalog, sampler);
+//! dep.run(8);
+//! assert_eq!(dep.observed_pairs(), 4);
+//! dep.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent;
+pub mod deployment;
+pub mod proto;
+pub mod samplers;
+pub mod throttle;
+
+pub use agent::{AgentMsg, Route, Sampler, TickReport, TreeAssignment};
+pub use deployment::{Deployment, EpochReport, Observed};
+pub use proto::{WireMessage, WireReading};
+pub use throttle::TokenBucket;

@@ -1,0 +1,243 @@
+//! Binary wire protocol for monitoring messages.
+//!
+//! A realistic serialization layer: each update message carries a
+//! fixed header (the per-message overhead `C` of the cost model made
+//! tangible) plus densely packed readings. Encoding is explicit and
+//! versioned rather than serde-derived so the framing — and its fixed
+//! overhead — is visible and testable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use remo_core::{AttrId, NodeId};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Protocol magic marker.
+pub const MAGIC: u16 = 0x5235; // "R5"
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes: magic (2) + version (1) + tree (4) +
+/// from (4) + count (4).
+pub const HEADER_LEN: usize = 15;
+/// Encoded size of one reading: node (4) + attr (4) + value (8) +
+/// produced (8) + contributors (4).
+pub const READING_LEN: usize = 28;
+
+/// One encoded observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireReading {
+    /// Source node.
+    pub node: NodeId,
+    /// Attribute type.
+    pub attr: AttrId,
+    /// Observed value.
+    pub value: f64,
+    /// Producing epoch.
+    pub produced: u64,
+    /// Samples folded in (1 unless aggregated).
+    pub contributors: u32,
+}
+
+/// A monitoring update message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMessage {
+    /// Tree index within the deployed forest.
+    pub tree: u32,
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload.
+    pub readings: Vec<WireReading>,
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Magic marker mismatch — not one of our frames.
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Declared reading count exceeds the remaining bytes.
+    BadCount(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame shorter than header"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadCount(c) => write!(f, "reading count {c} exceeds frame size"),
+        }
+    }
+}
+
+impl StdError for DecodeError {}
+
+impl WireMessage {
+    /// Encodes the message into a frame.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use remo_runtime::proto::{WireMessage, WireReading};
+    /// use remo_core::{NodeId, AttrId};
+    /// let msg = WireMessage {
+    ///     tree: 0,
+    ///     from: NodeId(3),
+    ///     readings: vec![WireReading {
+    ///         node: NodeId(3),
+    ///         attr: AttrId(1),
+    ///         value: 0.5,
+    ///         produced: 42,
+    ///         contributors: 1,
+    ///     }],
+    /// };
+    /// let frame = msg.encode();
+    /// assert_eq!(WireMessage::decode(frame).unwrap(), msg);
+    /// ```
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.readings.len() * READING_LEN);
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32(self.tree);
+        buf.put_u32(self.from.0);
+        buf.put_u32(self.readings.len() as u32);
+        for r in &self.readings {
+            buf.put_u32(r.node.0);
+            buf.put_u32(r.attr.0);
+            buf.put_f64(r.value);
+            buf.put_u64(r.produced);
+            buf.put_u32(r.contributors);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated, foreign, or corrupt
+    /// frames.
+    pub fn decode(mut frame: Bytes) -> Result<Self, DecodeError> {
+        if frame.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = frame.get_u16();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = frame.get_u8();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let tree = frame.get_u32();
+        let from = NodeId(frame.get_u32());
+        let count = frame.get_u32();
+        if frame.remaining() < count as usize * READING_LEN {
+            return Err(DecodeError::BadCount(count));
+        }
+        let mut readings = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            readings.push(WireReading {
+                node: NodeId(frame.get_u32()),
+                attr: AttrId(frame.get_u32()),
+                value: frame.get_f64(),
+                produced: frame.get_u64(),
+                contributors: frame.get_u32(),
+            });
+        }
+        Ok(WireMessage {
+            tree,
+            from,
+            readings,
+        })
+    }
+
+    /// The frame size this message encodes to.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.readings.len() * READING_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msg(n: usize) -> WireMessage {
+        WireMessage {
+            tree: 7,
+            from: NodeId(9),
+            readings: (0..n)
+                .map(|i| WireReading {
+                    node: NodeId(i as u32),
+                    attr: AttrId(100 + i as u32),
+                    value: i as f64 * 1.5,
+                    produced: 1000 + i as u64,
+                    contributors: 1 + i as u32,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for n in [0, 1, 3, 100] {
+            let msg = sample_msg(n);
+            assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let msg = sample_msg(5);
+        assert_eq!(msg.encode().len(), msg.encoded_len());
+        assert_eq!(msg.encoded_len(), HEADER_LEN + 5 * READING_LEN);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let frame = sample_msg(2).encode();
+        let short = frame.slice(0..HEADER_LEN - 1);
+        assert_eq!(WireMessage::decode(short), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = BytesMut::from(&sample_msg(0).encode()[..]);
+        buf[0] = 0;
+        assert!(matches!(
+            WireMessage::decode(buf.freeze()),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = BytesMut::from(&sample_msg(0).encode()[..]);
+        buf[2] = 99;
+        assert_eq!(
+            WireMessage::decode(buf.freeze()),
+            Err(DecodeError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_lying_count() {
+        let frame = sample_msg(3).encode();
+        // Keep header, drop one reading's bytes.
+        let cut = frame.slice(0..frame.len() - 1);
+        assert_eq!(
+            WireMessage::decode(cut),
+            Err(DecodeError::BadCount(3))
+        );
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let mut msg = sample_msg(1);
+        msg.readings[0].value = f64::MAX;
+        let back = WireMessage::decode(msg.encode()).unwrap();
+        assert_eq!(back.readings[0].value, f64::MAX);
+    }
+}

@@ -1,0 +1,753 @@
+//! The epoch-driven monitoring-network simulator.
+//!
+//! Replaces the paper's BlueGene/P + System S testbed with a
+//! deterministic, seeded simulation that exercises the identical
+//! planner outputs. The model (paper §2.3, §3.3):
+//!
+//! - datacenter-like network: any two endpoints communicate at equal
+//!   cost; only endpoint CPU matters;
+//! - a message with `x` values costs `C + a·x` at the sender *and* at
+//!   the receiver, charged against each node's per-epoch budget;
+//! - store-and-forward with one hop per epoch: a value produced at
+//!   depth `d` reaches the collector `d + 1` epochs later — the
+//!   latency-staleness that drives the Fig. 8 percentage-error metric;
+//! - a node over budget drops traffic (receive side: whole messages;
+//!   send side: oldest readings first), which is how overload turns
+//!   into observation error.
+
+use crate::collector::CollectorStore;
+use crate::metrics::{EpochStats, SimMetrics};
+use crate::reading::{aggregate, Reading};
+use crate::values::{ValueModel, ValueProcess};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_core::{
+    AttrCatalog, AttrId, AttrSet, CapacityMap, CostModel, MonitoringPlan, NodeId, PairSet, Parent,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Simulator tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// RNG seed (all stochasticity is seeded and reproducible).
+    pub seed: u64,
+    /// Value process assigned to every pair unless overridden.
+    pub default_model: ValueModel,
+    /// Per-pair relative error cap (default 1.0 = 100%).
+    pub error_cap: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 7,
+            default_model: ValueModel::default(),
+            error_cap: 1.0,
+        }
+    }
+}
+
+/// Everything needed to instantiate a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimSetup<'a> {
+    /// The monitoring plan to deploy.
+    pub plan: &'a MonitoringPlan,
+    /// The pair set the plan was built from (after any reliability
+    /// rewriting).
+    pub planned_pairs: &'a PairSet,
+    /// The pairs error metrics are computed over (pre-rewrite
+    /// originals); `None` uses `planned_pairs`.
+    pub metric_pairs: Option<&'a PairSet>,
+    /// Node and collector budgets.
+    pub caps: &'a CapacityMap,
+    /// Message cost model.
+    pub cost: CostModel,
+    /// Attribute metadata (aggregation, frequency).
+    pub catalog: &'a AttrCatalog,
+    /// Alias → original map from reliability rewriting (empty when
+    /// unused).
+    pub aliases: BTreeMap<AttrId, AttrId>,
+    /// Tuning knobs.
+    pub config: SimConfig,
+}
+
+#[derive(Debug, Clone)]
+struct TreeRoute {
+    attrs: AttrSet,
+    parent: BTreeMap<NodeId, Parent>,
+    members: Vec<NodeId>,
+    /// Per member: the attrs it locally samples for this tree.
+    local: BTreeMap<NodeId, Vec<AttrId>>,
+}
+
+#[derive(Debug, Clone)]
+struct Message {
+    tree: usize,
+    from: NodeId,
+    to: Parent,
+    readings: Vec<Reading>,
+}
+
+/// The epoch-driven simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    caps: CapacityMap,
+    cost: CostModel,
+    catalog: AttrCatalog,
+    config: SimConfig,
+    rng: SmallRng,
+    epoch: u64,
+    routes: Vec<TreeRoute>,
+    values: BTreeMap<(NodeId, AttrId), ValueProcess>,
+    metric_pairs: PairSet,
+    aliases: BTreeMap<AttrId, AttrId>,
+    inbox: BTreeMap<(usize, NodeId), Vec<Reading>>,
+    in_transit: Vec<Message>,
+    collector: CollectorStore,
+    metrics: SimMetrics,
+    failed_nodes: BTreeSet<NodeId>,
+    failed_links: BTreeSet<(NodeId, NodeId)>,
+    control_charges: BTreeMap<NodeId, f64>,
+    pending_control_volume: f64,
+}
+
+impl Simulator {
+    /// Builds a simulator for a deployed plan.
+    pub fn new(setup: SimSetup<'_>) -> Self {
+        let metric_pairs = setup.metric_pairs.unwrap_or(setup.planned_pairs).clone();
+        let mut collector = CollectorStore::new();
+        collector.set_aliases(setup.aliases.clone());
+
+        let mut sim = Simulator {
+            caps: setup.caps.clone(),
+            cost: setup.cost,
+            catalog: setup.catalog.clone(),
+            config: setup.config,
+            rng: SmallRng::seed_from_u64(setup.config.seed),
+            epoch: 0,
+            routes: Vec::new(),
+            values: BTreeMap::new(),
+            metric_pairs,
+            aliases: setup.aliases,
+            inbox: BTreeMap::new(),
+            in_transit: Vec::new(),
+            collector,
+            metrics: SimMetrics::new(),
+            failed_nodes: BTreeSet::new(),
+            failed_links: BTreeSet::new(),
+            control_charges: BTreeMap::new(),
+            pending_control_volume: 0.0,
+        };
+        sim.routes = sim.routes_of(setup.plan, setup.planned_pairs);
+        sim.ensure_values(setup.planned_pairs);
+        let metric_pairs = sim.metric_pairs.clone();
+        sim.ensure_values(&metric_pairs);
+        sim
+    }
+
+    fn resolve(&self, attr: AttrId) -> AttrId {
+        self.aliases.get(&attr).copied().unwrap_or(attr)
+    }
+
+    fn ensure_values(&mut self, pairs: &PairSet) {
+        for (node, attr) in pairs.iter() {
+            let key = (node, self.resolve(attr));
+            let model = self.config.default_model;
+            self.values
+                .entry(key)
+                .or_insert_with(|| ValueProcess::new(model));
+        }
+    }
+
+    fn routes_of(&self, plan: &MonitoringPlan, pairs: &PairSet) -> Vec<TreeRoute> {
+        plan.partition()
+            .sets()
+            .iter()
+            .zip(plan.trees())
+            .filter_map(|(set, planned)| {
+                let tree = planned.tree.as_ref()?;
+                let members: Vec<NodeId> = tree.nodes().collect();
+                let parent = members
+                    .iter()
+                    .map(|&n| (n, tree.parent(n).expect("member has parent")))
+                    .collect();
+                let local = members
+                    .iter()
+                    .map(|&n| {
+                        let attrs: Vec<AttrId> = pairs
+                            .attrs_of(n)
+                            .map(|owned| owned.intersection(set).copied().collect())
+                            .unwrap_or_default();
+                        (n, attrs)
+                    })
+                    .collect();
+                Some(TreeRoute {
+                    attrs: set.clone(),
+                    parent,
+                    members,
+                    local,
+                })
+            })
+            .collect()
+    }
+
+    /// Current epoch (number of completed steps).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Recorded metrics so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// The collector's snapshot store.
+    pub fn collector(&self) -> &CollectorStore {
+        &self.collector
+    }
+
+    /// The true value of a pair right now (aliases resolve to their
+    /// original's process).
+    pub fn true_value(&self, node: NodeId, attr: AttrId) -> Option<f64> {
+        self.values
+            .get(&(node, self.resolve(attr)))
+            .map(ValueProcess::value)
+    }
+
+    /// Overrides the value process of one pair.
+    pub fn set_model(&mut self, node: NodeId, attr: AttrId, model: ValueModel) {
+        let key = (node, self.resolve(attr));
+        self.values.insert(key, ValueProcess::new(model));
+    }
+
+    /// Marks a node crashed: it neither sends nor receives.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.failed_nodes.insert(node);
+    }
+
+    /// Heals a crashed node.
+    pub fn heal_node(&mut self, node: NodeId) {
+        self.failed_nodes.remove(&node);
+    }
+
+    /// Fails the directed link `from → to`.
+    pub fn fail_link(&mut self, from: NodeId, to: NodeId) {
+        self.failed_links.insert((from, to));
+    }
+
+    /// Heals a failed link.
+    pub fn heal_link(&mut self, from: NodeId, to: NodeId) {
+        self.failed_links.remove(&(from, to));
+    }
+
+    /// Deploys a new plan (runtime adaptation). Topology changes cost
+    /// one control message per changed edge, charged to the re-parented
+    /// node's budget next epoch; buffered traffic of restructured trees
+    /// is lost. Returns the number of control messages.
+    pub fn apply_plan(&mut self, plan: &MonitoringPlan, pairs: &PairSet) -> usize {
+        let new_routes = self.routes_of(plan, pairs);
+        self.ensure_values(pairs);
+
+        // Edge changes: per attribute set, compare parent assignments.
+        let old_by_set: BTreeMap<Vec<AttrId>, &TreeRoute> = self
+            .routes
+            .iter()
+            .map(|r| (r.attrs.iter().copied().collect(), r))
+            .collect();
+        let mut control = 0usize;
+        let mut changed_sets: BTreeSet<Vec<AttrId>> = BTreeSet::new();
+        for route in &new_routes {
+            let key: Vec<AttrId> = route.attrs.iter().copied().collect();
+            match old_by_set.get(&key) {
+                None => {
+                    changed_sets.insert(key);
+                    for &n in &route.members {
+                        control += 1;
+                        *self.control_charges.entry(n).or_insert(0.0) +=
+                            self.cost.message_cost(1.0);
+                    }
+                }
+                Some(old) => {
+                    let mut any = false;
+                    for &n in &route.members {
+                        if old.parent.get(&n) != route.parent.get(&n) {
+                            any = true;
+                            control += 1;
+                            *self.control_charges.entry(n).or_insert(0.0) +=
+                                self.cost.message_cost(1.0);
+                        }
+                    }
+                    for &n in old.members.iter() {
+                        if !route.parent.contains_key(&n) {
+                            any = true;
+                            control += 1;
+                            *self.control_charges.entry(n).or_insert(0.0) +=
+                                self.cost.message_cost(1.0);
+                        }
+                    }
+                    if any {
+                        changed_sets.insert(key);
+                    }
+                }
+            }
+        }
+        for route in &self.routes {
+            let key: Vec<AttrId> = route.attrs.iter().copied().collect();
+            if !new_routes
+                .iter()
+                .any(|r| r.attrs == route.attrs)
+            {
+                changed_sets.insert(key);
+                for &n in &route.members {
+                    control += 1;
+                    *self.control_charges.entry(n).or_insert(0.0) +=
+                        self.cost.message_cost(1.0);
+                }
+            }
+        }
+
+        // Migrate buffers of unchanged trees to their new index; drop
+        // the rest (reconfiguration disruption).
+        let mut new_inbox: BTreeMap<(usize, NodeId), Vec<Reading>> = BTreeMap::new();
+        let mut new_transit: Vec<Message> = Vec::new();
+        for (new_idx, route) in new_routes.iter().enumerate() {
+            let key: Vec<AttrId> = route.attrs.iter().copied().collect();
+            if changed_sets.contains(&key) {
+                continue;
+            }
+            if let Some(old_idx) = self.routes.iter().position(|r| r.attrs == route.attrs) {
+                for &n in &route.members {
+                    if let Some(buf) = self.inbox.remove(&(old_idx, n)) {
+                        new_inbox.insert((new_idx, n), buf);
+                    }
+                }
+                for msg in self.in_transit.iter().filter(|m| m.tree == old_idx) {
+                    let mut m = msg.clone();
+                    m.tree = new_idx;
+                    new_transit.push(m);
+                }
+            }
+        }
+        self.inbox = new_inbox;
+        self.in_transit = new_transit;
+        self.routes = new_routes;
+        self.pending_control_volume += control as f64 * self.cost.message_cost(1.0);
+        control
+    }
+
+    /// Advances one epoch; returns that epoch's stats (also recorded in
+    /// [`metrics`](Self::metrics)).
+    pub fn step(&mut self) -> EpochStats {
+        self.epoch += 1;
+        let now = self.epoch;
+        let mut stats = EpochStats {
+            epoch: now,
+            control_volume: std::mem::take(&mut self.pending_control_volume),
+            ..EpochStats::default()
+        };
+
+        // 1. True values advance.
+        for process in self.values.values_mut() {
+            process.step(&mut self.rng);
+        }
+
+        // 2. Per-epoch budgets, minus pending control charges.
+        let mut budget: BTreeMap<NodeId, f64> = self.caps.iter().collect();
+        for (n, charge) in std::mem::take(&mut self.control_charges) {
+            if let Some(b) = budget.get_mut(&n) {
+                *b -= charge;
+            }
+        }
+        let mut collector_budget = self.caps.collector();
+
+        // 3. Delivery of last epoch's messages.
+        let transit = std::mem::take(&mut self.in_transit);
+        for msg in transit {
+            let cost = self.cost.message_cost(msg.readings.len() as f64);
+            if self.failed_nodes.contains(&msg.from) {
+                stats.dropped_messages += 1;
+                stats.dropped_readings += msg.readings.len() as u64;
+                continue;
+            }
+            match msg.to {
+                Parent::Collector => {
+                    if collector_budget >= cost {
+                        collector_budget -= cost;
+                        for r in &msg.readings {
+                            self.collector.record(r, now);
+                            stats.delivered_values += r.contributors as u64;
+                        }
+                    } else {
+                        stats.dropped_messages += 1;
+                        stats.dropped_readings += msg.readings.len() as u64;
+                    }
+                }
+                Parent::Node(p) => {
+                    let link_down = self.failed_links.contains(&(msg.from, p));
+                    if self.failed_nodes.contains(&p) || link_down {
+                        stats.dropped_messages += 1;
+                        stats.dropped_readings += msg.readings.len() as u64;
+                        continue;
+                    }
+                    let b = budget.get_mut(&p).expect("member node has a budget");
+                    if *b >= cost {
+                        *b -= cost;
+                        self.inbox
+                            .entry((msg.tree, p))
+                            .or_default()
+                            .extend(msg.readings);
+                    } else {
+                        stats.dropped_messages += 1;
+                        stats.dropped_readings += msg.readings.len() as u64;
+                    }
+                }
+            }
+        }
+
+        // 4. Send phase.
+        for k in 0..self.routes.len() {
+            let members = self.routes[k].members.clone();
+            for node in members {
+                if self.failed_nodes.contains(&node) {
+                    continue;
+                }
+                let mut readings: Vec<Reading> = Vec::new();
+                // Fresh local samples, gated by update frequency.
+                for &attr in &self.routes[k].local[&node] {
+                    let freq = self.catalog.get_or_default(attr).frequency();
+                    let period = (1.0 / freq).round().max(1.0) as u64;
+                    if !now.is_multiple_of(period) {
+                        continue;
+                    }
+                    let value = self.values[&(node, self.resolve(attr))].value();
+                    readings.push(Reading::sample(node, attr, value, now));
+                }
+                // Relayed traffic buffered since last epoch.
+                if let Some(buf) = self.inbox.remove(&(k, node)) {
+                    readings.extend(buf);
+                }
+                if readings.is_empty() {
+                    continue;
+                }
+                // In-network aggregation per funnel attribute.
+                readings = self.aggregate_at(node, readings);
+
+                // Send-side budget enforcement: trim oldest first.
+                let b = budget.get_mut(&node).expect("member node has a budget");
+                let full_cost = self.cost.message_cost(readings.len() as f64);
+                let kept = if *b >= full_cost {
+                    readings
+                } else {
+                    let affordable =
+                        ((*b - self.cost.per_message()) / self.cost.per_value()).floor();
+                    if affordable < 1.0 {
+                        stats.dropped_readings += readings.len() as u64;
+                        continue;
+                    }
+                    readings.sort_by_key(|r| std::cmp::Reverse(r.produced));
+                    let keep = (affordable as usize).min(readings.len());
+                    stats.dropped_readings += (readings.len() - keep) as u64;
+                    readings.truncate(keep);
+                    readings
+                };
+                let cost = self.cost.message_cost(kept.len() as f64);
+                *budget.get_mut(&node).expect("member") -= cost;
+                stats.monitoring_volume += cost;
+                let to = self.routes[k].parent[&node];
+                self.in_transit.push(Message {
+                    tree: k,
+                    from: node,
+                    to,
+                    readings: kept,
+                });
+            }
+        }
+
+        // 5. Error metric against true values.
+        let truth: BTreeMap<(NodeId, AttrId), f64> = self
+            .metric_pairs
+            .iter()
+            .map(|(n, a)| ((n, a), self.values[&(n, self.resolve(a))].value()))
+            .collect();
+        stats.avg_error = self.collector.mean_error(&truth, self.config.error_cap);
+
+        self.metrics.push(stats);
+        stats
+    }
+
+    /// Applies in-network aggregation at `node`: readings of each
+    /// funnel attribute fold into partial aggregates.
+    fn aggregate_at(&self, node: NodeId, readings: Vec<Reading>) -> Vec<Reading> {
+        let mut by_attr: BTreeMap<AttrId, Vec<Reading>> = BTreeMap::new();
+        for r in readings {
+            by_attr.entry(r.attr).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for (attr, group) in by_attr {
+            let kind = self.catalog.get_or_default(attr).aggregation();
+            out.extend(aggregate(kind, node, group));
+        }
+        out
+    }
+
+    /// Runs `epochs` steps.
+    pub fn run(&mut self, epochs: u64) {
+        for _ in 0..epochs {
+            self.step();
+        }
+    }
+
+    /// Fraction of metric pairs with a snapshot received within
+    /// `window` epochs of now.
+    pub fn fresh_fraction(&self, window: u64) -> f64 {
+        let truth: BTreeMap<(NodeId, AttrId), f64> = self
+            .metric_pairs
+            .iter()
+            .map(|(n, a)| ((n, a), 0.0))
+            .collect();
+        self.collector.fresh_fraction(&truth, self.epoch, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remo_core::planner::Planner;
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    fn setup_sim(nodes: usize, attrs: u32, budget: f64) -> (Simulator, PairSet) {
+        let caps = CapacityMap::uniform(nodes, budget, 1_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(nodes as u32, attrs);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let sim = Simulator::new(SimSetup {
+            plan: &plan,
+            planned_pairs: &pairs,
+            metric_pairs: None,
+            caps: &caps,
+            cost,
+            catalog: &catalog,
+            aliases: BTreeMap::new(),
+            config: SimConfig::default(),
+        });
+        (sim, pairs)
+    }
+
+    #[test]
+    fn values_flow_to_collector() {
+        let (mut sim, pairs) = setup_sim(8, 2, 50.0);
+        sim.run(10);
+        assert!(sim.metrics().total_delivered() > 0);
+        // Every pair should eventually land.
+        assert_eq!(sim.collector().len(), pairs.len());
+    }
+
+    #[test]
+    fn error_decreases_after_warmup() {
+        let (mut sim, _) = setup_sim(8, 2, 50.0);
+        let first = sim.step().avg_error;
+        sim.run(15);
+        let late = sim.metrics().epochs().last().unwrap().avg_error;
+        assert!(late < first, "late {late} vs first {first}");
+    }
+
+    #[test]
+    fn constant_values_reach_zero_error() {
+        let caps = CapacityMap::uniform(5, 50.0, 500.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(5, 1);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let mut sim = Simulator::new(SimSetup {
+            plan: &plan,
+            planned_pairs: &pairs,
+            metric_pairs: None,
+            caps: &caps,
+            cost,
+            catalog: &catalog,
+            aliases: BTreeMap::new(),
+            config: SimConfig {
+                default_model: ValueModel::Constant(42.0),
+                ..SimConfig::default()
+            },
+        });
+        sim.run(10);
+        assert_eq!(sim.metrics().epochs().last().unwrap().avg_error, 0.0);
+    }
+
+    #[test]
+    fn failed_node_blocks_its_subtree() {
+        let (mut sim, _) = setup_sim(8, 1, 50.0);
+        sim.run(5);
+        let baseline = sim.metrics().epochs().last().unwrap().avg_error;
+        // Fail the tree root: nothing reaches the collector anymore.
+        let root_delivery_before = sim.metrics().total_delivered();
+        for n in 0..8 {
+            sim.fail_node(NodeId(n));
+        }
+        sim.run(10);
+        assert_eq!(
+            sim.metrics().total_delivered(),
+            root_delivery_before,
+            "no deliveries while everything is failed"
+        );
+        let degraded = sim.metrics().epochs().last().unwrap().avg_error;
+        assert!(degraded >= baseline);
+    }
+
+    #[test]
+    fn heal_restores_flow() {
+        let (mut sim, _) = setup_sim(6, 1, 50.0);
+        for n in 0..6 {
+            sim.fail_node(NodeId(n));
+        }
+        sim.run(3);
+        assert_eq!(sim.metrics().total_delivered(), 0);
+        for n in 0..6 {
+            sim.heal_node(NodeId(n));
+        }
+        sim.run(5);
+        assert!(sim.metrics().total_delivered() > 0);
+    }
+
+    #[test]
+    fn tight_budgets_cause_drops() {
+        // Plan against generous budgets, then simulate on starved nodes
+        // (the planner itself never over-commits a node, so drops only
+        // appear when reality falls short of the plan's assumptions).
+        let plan_caps = CapacityMap::uniform(12, 1_000.0, 10_000.0).unwrap();
+        let run_caps = CapacityMap::uniform(12, 7.0, 10_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(12, 3);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &plan_caps, cost, &catalog);
+        let mut sim = Simulator::new(SimSetup {
+            plan: &plan,
+            planned_pairs: &pairs,
+            metric_pairs: None,
+            caps: &run_caps,
+            cost,
+            catalog: &catalog,
+            aliases: BTreeMap::new(),
+            config: SimConfig::default(),
+        });
+        sim.run(12);
+        assert!(
+            sim.metrics().total_dropped_readings() > 0
+                || sim.metrics().total_dropped_messages() > 0,
+            "overload must manifest as drops"
+        );
+    }
+
+    #[test]
+    fn apply_plan_counts_control_messages() {
+        let (mut sim, pairs) = setup_sim(8, 2, 50.0);
+        sim.run(3);
+        // Re-plan with a different builder to force topology changes.
+        let caps = CapacityMap::uniform(8, 50.0, 1_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let chain_planner = Planner::new(remo_core::planner::PlannerConfig {
+            builder: remo_core::build::BuilderKind::Chain,
+            ..Default::default()
+        });
+        let plan2 = chain_planner.plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let control = sim.apply_plan(&plan2, &pairs);
+        assert!(control > 0, "different topology must cost control messages");
+        let stats = sim.step();
+        assert!(stats.control_volume > 0.0);
+        sim.run(5);
+        assert!(sim.metrics().total_delivered() > 0, "flow continues");
+    }
+
+    #[test]
+    fn identical_plan_is_free() {
+        let caps = CapacityMap::uniform(8, 50.0, 1_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(8, 2);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let mut sim = Simulator::new(SimSetup {
+            plan: &plan,
+            planned_pairs: &pairs,
+            metric_pairs: None,
+            caps: &caps,
+            cost,
+            catalog: &catalog,
+            aliases: BTreeMap::new(),
+            config: SimConfig::default(),
+        });
+        sim.run(2);
+        assert_eq!(sim.apply_plan(&plan, &pairs), 0);
+    }
+
+    #[test]
+    fn frequency_gates_sampling() {
+        use remo_core::AttrInfo;
+        let mut catalog = AttrCatalog::new();
+        let slow = catalog.register(AttrInfo::new("slow").with_frequency(0.25).unwrap());
+        let caps = CapacityMap::uniform(3, 50.0, 500.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs: PairSet = (0..3).map(|n| (NodeId(n), slow)).collect();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let mut sim = Simulator::new(SimSetup {
+            plan: &plan,
+            planned_pairs: &pairs,
+            metric_pairs: None,
+            caps: &caps,
+            cost,
+            catalog: &catalog,
+            aliases: BTreeMap::new(),
+            config: SimConfig::default(),
+        });
+        sim.run(16);
+        // At freq 1/4 over 16 epochs, each node samples 4 times; all
+        // three nodes' samples arrive (minus pipeline tail).
+        let delivered = sim.metrics().total_delivered();
+        assert!(delivered <= 12, "delivered {delivered} exceeds sample budget");
+        assert!(delivered >= 6, "delivered {delivered} too low");
+    }
+
+    #[test]
+    fn aggregation_reduces_traffic() {
+        use remo_core::AttrInfo;
+        let build = |agg: bool| {
+            let mut catalog = AttrCatalog::new();
+            let attr = if agg {
+                catalog.register(
+                    AttrInfo::new("m").with_aggregation(remo_core::Aggregation::Max),
+                )
+            } else {
+                catalog.register(AttrInfo::new("m"))
+            };
+            let caps = CapacityMap::uniform(8, 50.0, 500.0).unwrap();
+            let cost = CostModel::new(2.0, 1.0).unwrap();
+            let pairs: PairSet = (0..8).map(|n| (NodeId(n), attr)).collect();
+            let planner = Planner::new(remo_core::planner::PlannerConfig {
+                aggregation_aware: agg,
+                ..Default::default()
+            });
+            let plan = planner.plan_with_catalog(&pairs, &caps, cost, &catalog);
+            let mut sim = Simulator::new(SimSetup {
+                plan: &plan,
+                planned_pairs: &pairs,
+                metric_pairs: None,
+                caps: &caps,
+                cost,
+                catalog: &catalog,
+                aliases: BTreeMap::new(),
+                config: SimConfig::default(),
+            });
+            sim.run(10);
+            sim.metrics().total_monitoring_volume()
+        };
+        assert!(build(true) < build(false));
+    }
+}

@@ -1,0 +1,150 @@
+//! Readings: the payload units traveling through monitoring trees.
+
+use remo_core::{Aggregation, AttrId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One attribute observation in flight.
+///
+/// For holistic attributes a reading represents a single
+/// `(node, attr)` sample. Aggregating nodes merge readings of the same
+/// funnel attribute into a partial aggregate whose `contributors`
+/// counts the samples folded in; `produced` keeps the *oldest*
+/// contributing epoch so staleness is conservative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reading {
+    /// Source node (for aggregates: the node that produced the
+    /// partial).
+    pub node: NodeId,
+    /// Attribute type.
+    pub attr: AttrId,
+    /// Observed or aggregated value.
+    pub value: f64,
+    /// Epoch the (oldest contributing) sample was produced.
+    pub produced: u64,
+    /// Samples folded into this reading (1 for holistic).
+    pub contributors: u32,
+}
+
+impl Reading {
+    /// A fresh single-sample reading.
+    pub fn sample(node: NodeId, attr: AttrId, value: f64, produced: u64) -> Self {
+        Reading {
+            node,
+            attr,
+            value,
+            produced,
+            contributors: 1,
+        }
+    }
+}
+
+/// Folds `readings` of one attribute according to its aggregation,
+/// returning the outgoing readings (in place of the inputs).
+///
+/// Holistic/DISTINCT pass everything through; SUM and MAX emit one
+/// partial; TOP-k keeps the k largest values.
+///
+/// # Examples
+///
+/// ```
+/// use remo_sim::reading::{aggregate, Reading};
+/// use remo_core::{Aggregation, AttrId, NodeId};
+/// let rs = vec![
+///     Reading::sample(NodeId(0), AttrId(0), 5.0, 10),
+///     Reading::sample(NodeId(1), AttrId(0), 9.0, 8),
+/// ];
+/// let out = aggregate(Aggregation::Max, NodeId(2), rs);
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].value, 9.0);
+/// assert_eq!(out[0].contributors, 2);
+/// assert_eq!(out[0].produced, 8, "oldest contributor's epoch");
+/// ```
+pub fn aggregate(kind: Aggregation, at: NodeId, readings: Vec<Reading>) -> Vec<Reading> {
+    if readings.is_empty() {
+        return readings;
+    }
+    match kind {
+        Aggregation::Holistic | Aggregation::Distinct => readings,
+        Aggregation::Sum => {
+            let attr = readings[0].attr;
+            let value = readings.iter().map(|r| r.value).sum();
+            vec![fold(at, attr, value, &readings)]
+        }
+        Aggregation::Max => {
+            let attr = readings[0].attr;
+            let value = readings
+                .iter()
+                .map(|r| r.value)
+                .fold(f64::NEG_INFINITY, f64::max);
+            vec![fold(at, attr, value, &readings)]
+        }
+        Aggregation::Top(k) => {
+            let mut sorted = readings;
+            sorted.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+            sorted.truncate(k as usize);
+            sorted
+        }
+    }
+}
+
+fn fold(at: NodeId, attr: AttrId, value: f64, inputs: &[Reading]) -> Reading {
+    Reading {
+        node: at,
+        attr,
+        value,
+        produced: inputs.iter().map(|r| r.produced).min().unwrap_or(0),
+        contributors: inputs.iter().map(|r| r.contributors).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(values: &[f64]) -> Vec<Reading> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Reading::sample(NodeId(i as u32), AttrId(0), v, 100 + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn sum_folds_to_one() {
+        let out = aggregate(Aggregation::Sum, NodeId(9), rs(&[1.0, 2.0, 3.0]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 6.0);
+        assert_eq!(out[0].contributors, 3);
+        assert_eq!(out[0].node, NodeId(9));
+    }
+
+    #[test]
+    fn topk_keeps_largest() {
+        let out = aggregate(Aggregation::Top(2), NodeId(9), rs(&[5.0, 1.0, 9.0, 3.0]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, 9.0);
+        assert_eq!(out[1].value, 5.0);
+    }
+
+    #[test]
+    fn holistic_passthrough() {
+        let input = rs(&[4.0, 2.0]);
+        let out = aggregate(Aggregation::Holistic, NodeId(9), input.clone());
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(aggregate(Aggregation::Sum, NodeId(0), Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn nested_sum_preserves_contributor_count() {
+        let first = aggregate(Aggregation::Sum, NodeId(5), rs(&[1.0, 1.0]));
+        let mut next = rs(&[1.0]);
+        next.extend(first);
+        let out = aggregate(Aggregation::Sum, NodeId(6), next);
+        assert_eq!(out[0].contributors, 3);
+        assert_eq!(out[0].value, 3.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Experiment driver: couples an [`AdaptivePlanner`] to a [`Simulator`]
+//! under a churn schedule — the setup of the paper's runtime-adaptation
+//! experiments (Fig. 9).
+
+use crate::engine::{SimConfig, SimSetup, Simulator};
+use crate::metrics::SimMetrics;
+use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
+use remo_core::planner::Planner;
+use remo_core::{AttrCatalog, CapacityMap, CostModel, PairSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Aggregate outcome of one adaptation experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationRunStats {
+    /// Total wall-clock planning time across all updates (Fig. 9a).
+    pub planning_time: Duration,
+    /// Total adaptation (control) messages (Fig. 9b numerator).
+    pub adaptation_messages: usize,
+    /// Total monitoring traffic volume in cost units.
+    pub monitoring_volume: f64,
+    /// Total control traffic volume in cost units.
+    pub control_volume: f64,
+    /// Values delivered to the collector (Fig. 9d).
+    pub delivered_values: u64,
+    /// Mean percentage error after warmup.
+    pub mean_error: f64,
+    /// Task-update batches applied.
+    pub updates_applied: usize,
+}
+
+impl AdaptationRunStats {
+    /// Control volume as a fraction of total traffic (Fig. 9b).
+    pub fn control_fraction(&self) -> f64 {
+        let total = self.control_volume + self.monitoring_volume;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.control_volume / total
+        }
+    }
+
+    /// Total traffic volume (Fig. 9c).
+    pub fn total_volume(&self) -> f64 {
+        self.control_volume + self.monitoring_volume
+    }
+}
+
+/// Runs a churn experiment: simulate `epochs` epochs, applying each
+/// pair-set update from `updates` at its scheduled epoch through the
+/// chosen adaptation scheme.
+///
+/// `updates` maps epoch → the *full* new pair set effective from that
+/// epoch (as produced by the task manager after a batch of task
+/// changes).
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptation_experiment(
+    planner: Planner,
+    scheme: AdaptScheme,
+    initial_pairs: PairSet,
+    updates: BTreeMap<u64, PairSet>,
+    caps: CapacityMap,
+    cost: CostModel,
+    catalog: AttrCatalog,
+    sim_config: SimConfig,
+    epochs: u64,
+) -> (AdaptationRunStats, SimMetrics) {
+    let mut adaptive = AdaptivePlanner::new(
+        planner,
+        scheme,
+        initial_pairs.clone(),
+        caps.clone(),
+        cost,
+        catalog.clone(),
+    );
+    let mut sim = Simulator::new(SimSetup {
+        plan: adaptive.plan(),
+        planned_pairs: &initial_pairs,
+        metric_pairs: None,
+        caps: &caps,
+        cost,
+        catalog: &catalog,
+        aliases: BTreeMap::new(),
+        config: sim_config,
+    });
+
+    let mut planning_time = Duration::ZERO;
+    let mut adaptation_messages = 0usize;
+    let mut updates_applied = 0usize;
+
+    for epoch in 1..=epochs {
+        if let Some(new_pairs) = updates.get(&epoch) {
+            let report = adaptive.update(new_pairs.clone(), epoch);
+            planning_time += report.planning_time;
+            adaptation_messages += report.adaptation_messages;
+            updates_applied += 1;
+            sim.apply_plan(adaptive.plan(), new_pairs);
+        }
+        sim.step();
+    }
+
+    let metrics = sim.metrics().clone();
+    let warmup = (epochs / 5) as usize;
+    let stats = AdaptationRunStats {
+        planning_time,
+        adaptation_messages,
+        monitoring_volume: metrics.total_monitoring_volume(),
+        control_volume: metrics.total_control_volume(),
+        delivered_values: metrics.total_delivered(),
+        mean_error: metrics.mean_error(warmup),
+        updates_applied,
+    };
+    (stats, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remo_core::{AttrId, NodeId};
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    fn churned(base: &PairSet, round: u32) -> PairSet {
+        let mut p = base.clone();
+        let node = NodeId(round % 8);
+        p.remove(node, AttrId(round % 3));
+        p.insert(node, AttrId(50 + round));
+        p
+    }
+
+    #[test]
+    fn experiment_runs_and_applies_updates() {
+        let pairs = dense_pairs(8, 3);
+        let mut updates = BTreeMap::new();
+        let mut cur = pairs.clone();
+        for (i, epoch) in [10u64, 20, 30].into_iter().enumerate() {
+            cur = churned(&cur, i as u32);
+            updates.insert(epoch, cur.clone());
+        }
+        let caps = CapacityMap::uniform(8, 30.0, 300.0).unwrap();
+        let (stats, metrics) = run_adaptation_experiment(
+            Planner::default(),
+            AdaptScheme::Adaptive,
+            pairs,
+            updates,
+            caps,
+            CostModel::new(2.0, 1.0).unwrap(),
+            AttrCatalog::new(),
+            SimConfig::default(),
+            40,
+        );
+        assert_eq!(stats.updates_applied, 3);
+        assert!(stats.delivered_values > 0);
+        assert_eq!(metrics.len(), 40);
+        assert!(stats.planning_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn rebuild_costs_more_adaptation_than_direct_apply() {
+        let pairs = dense_pairs(10, 4);
+        let make_updates = || {
+            let mut updates = BTreeMap::new();
+            let mut cur = pairs.clone();
+            for i in 0..4u32 {
+                cur = churned(&cur, i);
+                updates.insert(5 + 5 * i as u64, cur.clone());
+            }
+            updates
+        };
+        let caps = CapacityMap::uniform(10, 20.0, 200.0).unwrap();
+        let run = |scheme| {
+            run_adaptation_experiment(
+                Planner::default(),
+                scheme,
+                pairs.clone(),
+                make_updates(),
+                caps.clone(),
+                CostModel::new(2.0, 1.0).unwrap(),
+                AttrCatalog::new(),
+                SimConfig::default(),
+                30,
+            )
+            .0
+        };
+        let da = run(AdaptScheme::DirectApply);
+        let rebuild = run(AdaptScheme::Rebuild);
+        assert!(
+            rebuild.adaptation_messages >= da.adaptation_messages,
+            "rebuild {} vs d-a {}",
+            rebuild.adaptation_messages,
+            da.adaptation_messages
+        );
+    }
+}

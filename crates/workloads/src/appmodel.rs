@@ -1,0 +1,227 @@
+//! A System-S-like distributed streaming application model.
+//!
+//! The paper's real-system experiments deploy *YieldMonitor* — a chip
+//! manufacturing analytics application of >200 processes across 200
+//! BlueGene/P nodes, with 30–50 observable attributes per node (stream
+//! rates, buffer occupancies, operator counters, OS metrics). This
+//! module generates a synthetic application with the same observable
+//! structure: an operator dataflow graph placed on nodes, each node
+//! exporting a 30–50 attribute mix.
+
+use crate::taskgen::TaskGenConfig;
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::Rng;
+use rand::SeedableRng;
+use remo_core::{
+    Aggregation, AttrCatalog, AttrId, AttrInfo, MonitoringTask, NodeId, PairSet, TaskId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the synthetic application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppModelConfig {
+    /// Number of hosting nodes (the paper uses 200).
+    pub nodes: usize,
+    /// Observable attributes per node, inclusive range (paper: 30–50).
+    pub attrs_per_node: (usize, usize),
+    /// Number of distinct attribute *types* across the application.
+    pub attr_types: usize,
+    /// Fraction of attribute types updated at half rate (0.5
+    /// frequency), emulating slow OS-level counters.
+    pub slow_fraction: f64,
+    /// Fraction of attribute types that are MAX-aggregable health
+    /// metrics.
+    pub max_aggregable_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AppModelConfig {
+    fn default() -> Self {
+        AppModelConfig {
+            nodes: 200,
+            attrs_per_node: (30, 50),
+            attr_types: 120,
+            slow_fraction: 0.0,
+            max_aggregable_fraction: 0.0,
+            seed: 2012,
+        }
+    }
+}
+
+/// The generated application: which attributes each node can observe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppModel {
+    catalog: AttrCatalog,
+    observable: BTreeMap<NodeId, BTreeSet<AttrId>>,
+}
+
+impl AppModel {
+    /// Generates an application from the configuration.
+    pub fn generate(cfg: &AppModelConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut catalog = AttrCatalog::new();
+        let names = [
+            "tuple_rate_in",
+            "tuple_rate_out",
+            "buffer_occupancy",
+            "window_lag",
+            "cpu_utilization",
+            "memory_rss",
+            "net_bytes_in",
+            "net_bytes_out",
+            "operator_latency",
+            "queue_depth",
+        ];
+        for i in 0..cfg.attr_types {
+            let base = names[i % names.len()];
+            let mut info = AttrInfo::new(format!("{base}_{i}"));
+            if rng.gen_bool(cfg.max_aggregable_fraction.clamp(0.0, 1.0)) {
+                info = info.with_aggregation(Aggregation::Max);
+            }
+            if rng.gen_bool(cfg.slow_fraction.clamp(0.0, 1.0)) {
+                info = info.with_frequency(0.5).expect("0.5 is a valid frequency");
+            }
+            catalog.register(info);
+        }
+
+        let (lo, hi) = cfg.attrs_per_node;
+        let mut observable = BTreeMap::new();
+        for n in 0..cfg.nodes {
+            let count = rng
+                .gen_range(lo.min(hi)..=hi.max(lo))
+                .clamp(1, cfg.attr_types);
+            let attrs: BTreeSet<AttrId> = sample(&mut rng, cfg.attr_types, count)
+                .into_iter()
+                .map(|i| AttrId(i as u32))
+                .collect();
+            observable.insert(NodeId(n as u32), attrs);
+        }
+        AppModel {
+            catalog,
+            observable,
+        }
+    }
+
+    /// The attribute catalog (aggregation kinds, frequencies).
+    pub fn catalog(&self) -> &AttrCatalog {
+        &self.catalog
+    }
+
+    /// Attributes observable on `node`.
+    pub fn observable(&self, node: NodeId) -> Option<&BTreeSet<AttrId>> {
+        self.observable.get(&node)
+    }
+
+    /// Number of nodes hosting the application.
+    pub fn nodes(&self) -> usize {
+        self.observable.len()
+    }
+
+    /// Generates monitoring tasks against this application and returns
+    /// them with observability enforced: each generated `(node, attr)`
+    /// request is kept only if the node can actually observe the
+    /// attribute.
+    pub fn tasks(
+        &self,
+        gen: &TaskGenConfig,
+        count: usize,
+        first_id: TaskId,
+        rng: &mut SmallRng,
+    ) -> Vec<MonitoringTask> {
+        gen.generate(count, first_id, rng)
+    }
+
+    /// Deduplicates tasks into the *observable* pair set: requested
+    /// pairs the application can actually produce.
+    pub fn observable_pairs(&self, tasks: &[MonitoringTask]) -> PairSet {
+        tasks
+            .iter()
+            .flat_map(MonitoringTask::pairs)
+            .filter(|&(n, a)| {
+                self.observable
+                    .get(&n)
+                    .is_some_and(|attrs| attrs.contains(&a))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> AppModelConfig {
+        AppModelConfig {
+            nodes: 20,
+            attrs_per_node: (5, 8),
+            attr_types: 15,
+            seed: 3,
+            ..AppModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn per_node_attr_counts_in_range() {
+        let app = AppModel::generate(&small_cfg());
+        assert_eq!(app.nodes(), 20);
+        for n in 0..20 {
+            let count = app.observable(NodeId(n)).unwrap().len();
+            assert!((5..=8).contains(&count), "node {n} has {count}");
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let app = AppModel::generate(&AppModelConfig {
+            nodes: 50,
+            ..AppModelConfig::default()
+        });
+        for n in 0..50 {
+            let count = app.observable(NodeId(n)).unwrap().len();
+            assert!((30..=50).contains(&count));
+        }
+    }
+
+    #[test]
+    fn observable_pairs_filters_unobservable() {
+        let app = AppModel::generate(&small_cfg());
+        // A task over everything: pairs must be exactly the observable
+        // sets.
+        let t = MonitoringTask::new(
+            TaskId(0),
+            (0..15).map(AttrId),
+            (0..20).map(NodeId),
+        );
+        let pairs = app.observable_pairs(&[t]);
+        let expected: usize = (0..20)
+            .map(|n| app.observable(NodeId(n)).unwrap().len())
+            .sum();
+        assert_eq!(pairs.len(), expected);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = AppModel::generate(&small_cfg());
+        let b = AppModel::generate(&small_cfg());
+        assert_eq!(
+            a.observable(NodeId(3)).unwrap(),
+            b.observable(NodeId(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn flags_set_catalog_metadata() {
+        let app = AppModel::generate(&AppModelConfig {
+            slow_fraction: 1.0,
+            max_aggregable_fraction: 1.0,
+            ..small_cfg()
+        });
+        for (_, info) in app.catalog().iter() {
+            assert_eq!(info.frequency(), 0.5);
+            assert!(!info.aggregation().is_identity());
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! An explicit stream-processing dataflow model.
+//!
+//! Where [`appmodel`](crate::appmodel) only reproduces the *observable
+//! surface* of a System S deployment (attributes per node), this module
+//! models the application itself: a layered DAG of operators placed on
+//! nodes, each exporting the metrics the paper's motivation names
+//! (data receiving/sending rate, buffer occupancy, operator latency —
+//! §1). It can then generate the monitoring tasks operators actually
+//! submit: dashboards over whole layers and *diagnosis tasks* covering
+//! the upstream path of a suspect operator.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use remo_core::{AttrCatalog, AttrId, AttrInfo, MonitoringTask, NodeId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Role of an operator in the dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Ingests external data.
+    Source,
+    /// Stateless transformation.
+    Filter,
+    /// Windowed aggregation.
+    Aggregate,
+    /// Multi-input join.
+    Join,
+    /// Egress.
+    Sink,
+}
+
+/// Identifier of an operator within the dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OperatorId(pub u32);
+
+/// One placed operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Its id.
+    pub id: OperatorId,
+    /// Its role.
+    pub kind: OperatorKind,
+    /// The node hosting it.
+    pub node: NodeId,
+    /// Operators it feeds.
+    pub downstream: Vec<OperatorId>,
+    /// Metrics it exports (registered in the app's catalog).
+    pub metrics: Vec<AttrId>,
+}
+
+/// Configuration for dataflow generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataflowConfig {
+    /// Hosting nodes.
+    pub nodes: usize,
+    /// DAG layers (sources → … → sinks).
+    pub layers: usize,
+    /// Operators per layer.
+    pub operators_per_layer: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DataflowConfig {
+    fn default() -> Self {
+        DataflowConfig {
+            nodes: 50,
+            layers: 5,
+            operators_per_layer: 10,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated, placed dataflow application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataflowApp {
+    operators: Vec<Operator>,
+    catalog: AttrCatalog,
+    nodes: usize,
+}
+
+impl DataflowApp {
+    /// Generates a layered DAG and places it round-robin-with-jitter
+    /// across the nodes. Each operator exports four metrics:
+    /// `rate_in`, `rate_out`, `buffer_occupancy`, `latency`.
+    pub fn generate(cfg: &DataflowConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut catalog = AttrCatalog::new();
+        let mut operators = Vec::new();
+        let per = cfg.operators_per_layer.max(1);
+        let layers = cfg.layers.max(2);
+        let total = layers * per;
+
+        for i in 0..total {
+            let layer = i / per;
+            let kind = if layer == 0 {
+                OperatorKind::Source
+            } else if layer == layers - 1 {
+                OperatorKind::Sink
+            } else {
+                match rng.gen_range(0..3) {
+                    0 => OperatorKind::Filter,
+                    1 => OperatorKind::Aggregate,
+                    _ => OperatorKind::Join,
+                }
+            };
+            let node = NodeId(((i + rng.gen_range(0..cfg.nodes.max(1))) % cfg.nodes.max(1)) as u32);
+            let metrics = ["rate_in", "rate_out", "buffer_occupancy", "latency"]
+                .iter()
+                .map(|m| catalog.register(AttrInfo::new(format!("op{i}_{m}"))))
+                .collect();
+            // Each non-sink operator feeds 1-2 operators in the next
+            // layer.
+            let downstream = if layer + 1 < layers {
+                let fanout = rng.gen_range(1..=2usize);
+                (0..fanout)
+                    .map(|_| {
+                        OperatorId(((layer + 1) * per + rng.gen_range(0..per)) as u32)
+                    })
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            operators.push(Operator {
+                id: OperatorId(i as u32),
+                kind,
+                node,
+                downstream,
+                metrics,
+            });
+        }
+        DataflowApp {
+            operators,
+            catalog,
+            nodes: cfg.nodes,
+        }
+    }
+
+    /// All operators.
+    pub fn operators(&self) -> &[Operator] {
+        &self.operators
+    }
+
+    /// The metric catalog.
+    pub fn catalog(&self) -> &AttrCatalog {
+        &self.catalog
+    }
+
+    /// Number of hosting nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Looks up an operator.
+    pub fn operator(&self, id: OperatorId) -> Option<&Operator> {
+        self.operators.get(id.0 as usize)
+    }
+
+    /// The operators feeding `id` (reverse edges).
+    pub fn upstream_of(&self, id: OperatorId) -> Vec<OperatorId> {
+        self.operators
+            .iter()
+            .filter(|op| op.downstream.contains(&id))
+            .map(|op| op.id)
+            .collect()
+    }
+
+    /// The full upstream closure of `id` (everything whose output can
+    /// reach it), including `id` itself — the scope of a bottleneck
+    /// diagnosis.
+    pub fn upstream_closure(&self, id: OperatorId) -> BTreeSet<OperatorId> {
+        let mut seen: BTreeSet<OperatorId> = BTreeSet::new();
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            if seen.insert(cur) {
+                stack.extend(self.upstream_of(cur));
+            }
+        }
+        seen
+    }
+
+    /// A dashboard task: one metric type class (e.g. every operator's
+    /// `buffer_occupancy`) across all hosting nodes.
+    pub fn dashboard_task(&self, id: TaskId, metric_index: usize) -> MonitoringTask {
+        let attrs: Vec<AttrId> = self
+            .operators
+            .iter()
+            .filter_map(|op| op.metrics.get(metric_index % 4).copied())
+            .collect();
+        let nodes: BTreeSet<NodeId> = self.operators.iter().map(|op| op.node).collect();
+        MonitoringTask::new(id, attrs, nodes)
+    }
+
+    /// A diagnosis task for a perceived bottleneck at `suspect`: all
+    /// four metrics of every operator in its upstream closure, on the
+    /// nodes hosting them (paper §1's diagnosis scenario).
+    pub fn diagnosis_task(&self, id: TaskId, suspect: OperatorId) -> MonitoringTask {
+        let scope = self.upstream_closure(suspect);
+        let mut attrs = BTreeSet::new();
+        let mut nodes = BTreeSet::new();
+        for op_id in scope {
+            if let Some(op) = self.operator(op_id) {
+                attrs.extend(op.metrics.iter().copied());
+                nodes.insert(op.node);
+            }
+        }
+        MonitoringTask::new(id, attrs, nodes)
+    }
+
+    /// The observable pairs of a task set: a pair survives only if the
+    /// node actually hosts an operator exporting that metric.
+    pub fn observable_pairs(&self, tasks: &[MonitoringTask]) -> remo_core::PairSet {
+        let mut hosted: BTreeMap<NodeId, BTreeSet<AttrId>> = BTreeMap::new();
+        for op in &self.operators {
+            hosted
+                .entry(op.node)
+                .or_default()
+                .extend(op.metrics.iter().copied());
+        }
+        tasks
+            .iter()
+            .flat_map(MonitoringTask::pairs)
+            .filter(|(n, a)| hosted.get(n).is_some_and(|s| s.contains(a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> DataflowApp {
+        DataflowApp::generate(&DataflowConfig {
+            nodes: 20,
+            layers: 4,
+            operators_per_layer: 5,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn generates_layered_dag() {
+        let a = app();
+        assert_eq!(a.operators().len(), 20);
+        // Sources in layer 0, sinks in the last.
+        for op in &a.operators()[0..5] {
+            assert_eq!(op.kind, OperatorKind::Source);
+        }
+        for op in &a.operators()[15..20] {
+            assert_eq!(op.kind, OperatorKind::Sink);
+            assert!(op.downstream.is_empty());
+        }
+        // Edges only go to the next layer.
+        for (i, op) in a.operators().iter().enumerate() {
+            let layer = i / 5;
+            for d in &op.downstream {
+                assert_eq!((d.0 as usize) / 5, layer + 1, "edge skips a layer");
+            }
+        }
+    }
+
+    #[test]
+    fn every_operator_exports_four_metrics() {
+        let a = app();
+        for op in a.operators() {
+            assert_eq!(op.metrics.len(), 4);
+            for &m in &op.metrics {
+                assert!(a.catalog().get(m).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn upstream_closure_contains_only_reaching_operators() {
+        let a = app();
+        let sink = a.operators()[16].id;
+        let scope = a.upstream_closure(sink);
+        assert!(scope.contains(&sink));
+        // Everything in scope reaches the sink by following downstream
+        // edges.
+        for &op_id in &scope {
+            if op_id == sink {
+                continue;
+            }
+            let mut frontier = vec![op_id];
+            let mut reached = false;
+            let mut visited = BTreeSet::new();
+            while let Some(cur) = frontier.pop() {
+                if cur == sink {
+                    reached = true;
+                    break;
+                }
+                if visited.insert(cur) {
+                    frontier.extend(a.operator(cur).unwrap().downstream.iter().copied());
+                }
+            }
+            assert!(reached, "{op_id:?} in closure but does not reach sink");
+        }
+    }
+
+    #[test]
+    fn diagnosis_task_scopes_to_upstream_hosts() {
+        let a = app();
+        let sink = a.operators()[15].id;
+        let t = a.diagnosis_task(TaskId(0), sink);
+        let scope = a.upstream_closure(sink);
+        assert_eq!(t.attrs().len(), scope.len() * 4);
+        assert!(!t.nodes().is_empty());
+    }
+
+    #[test]
+    fn dashboard_task_covers_all_operators() {
+        let a = app();
+        let t = a.dashboard_task(TaskId(1), 2);
+        assert_eq!(t.attrs().len(), 20, "one metric per operator");
+    }
+
+    #[test]
+    fn observable_pairs_respect_placement() {
+        let a = app();
+        let t = a.dashboard_task(TaskId(0), 0);
+        let pairs = a.observable_pairs(&[t]);
+        // Every surviving pair's node hosts an operator with that metric.
+        for (n, attr) in pairs.iter() {
+            let hosts = a
+                .operators()
+                .iter()
+                .any(|op| op.node == n && op.metrics.contains(&attr));
+            assert!(hosts, "pair {n}/{attr} not hosted");
+        }
+        assert_eq!(pairs.len(), 20, "each operator's metric observable at its host");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = app();
+        let b = app();
+        assert_eq!(a.operators(), b.operators());
+    }
+}

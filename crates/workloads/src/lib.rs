@@ -1,0 +1,32 @@
+//! # remo-workloads
+//!
+//! Synthetic workloads for REMO experiments:
+//!
+//! - [`taskgen`] — the paper's §7 synthetic monitoring tasks
+//!   (small-scale vs. large-scale);
+//! - [`appmodel`] — a System-S-like application (200 nodes, 30–50
+//!   observable attributes each) standing in for IBM's YieldMonitor
+//!   deployment;
+//! - [`dataflow`] — an explicit operator-DAG stream application with
+//!   dashboard and bottleneck-diagnosis task generation;
+//! - [`churn`] — the runtime-adaptation churn generator (5% of nodes
+//!   swap 50% of their attributes per batch);
+//! - [`scenario`] — canned experiment environments shared by figure
+//!   harnesses, tests, and examples.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod appmodel;
+pub mod churn;
+pub mod dataflow;
+pub mod scenario;
+pub mod taskchurn;
+pub mod taskgen;
+
+pub use appmodel::{AppModel, AppModelConfig};
+pub use dataflow::{DataflowApp, DataflowConfig, Operator, OperatorId, OperatorKind};
+pub use churn::{churn_pairs, churn_schedule, ChurnConfig};
+pub use scenario::{Scenario, ScenarioConfig};
+pub use taskchurn::{churn_batch, churn_step, TaskChurnConfig};
+pub use taskgen::TaskGenConfig;

@@ -1,0 +1,156 @@
+//! Synthetic monitoring-task generators (paper §7, "Synthetic data set
+//! experiments").
+//!
+//! Tasks pick `|A_t|` attributes and `|N_t|` nodes uniformly at random
+//! from the universe. The paper distinguishes *small-scale* tasks (few
+//! attributes from few nodes) and *large-scale* tasks (many nodes or
+//! many attributes).
+
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::Rng;
+use remo_core::{AttrId, MonitoringTask, NodeId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic task generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskGenConfig {
+    /// System size: nodes are `NodeId(0..nodes)`.
+    pub nodes: usize,
+    /// Attribute universe size: `AttrId(0..attrs)`.
+    pub attrs: usize,
+    /// Attributes per task (`|A_t|`), inclusive range.
+    pub attrs_per_task: (usize, usize),
+    /// Nodes per task (`|N_t|`), inclusive range.
+    pub nodes_per_task: (usize, usize),
+}
+
+impl TaskGenConfig {
+    /// Small-scale tasks: a handful of attributes from a handful of
+    /// nodes (paper §7: "small set of attributes from a small set of
+    /// nodes").
+    pub fn small_scale(nodes: usize, attrs: usize) -> Self {
+        TaskGenConfig {
+            nodes,
+            attrs,
+            attrs_per_task: (2, (attrs / 10).clamp(2, 8)),
+            nodes_per_task: (2, (nodes / 10).clamp(2, 10)),
+        }
+    }
+
+    /// Large-scale tasks: many nodes or many attributes.
+    pub fn large_scale(nodes: usize, attrs: usize) -> Self {
+        TaskGenConfig {
+            nodes,
+            attrs,
+            attrs_per_task: ((attrs / 4).max(2), (attrs / 2).max(3)),
+            nodes_per_task: ((nodes / 2).max(2), nodes.max(3)),
+        }
+    }
+
+    /// Fixed task shape (used by the `|A_t|`/`|N_t|` sweeps of
+    /// Fig. 5a/5b).
+    pub fn fixed(nodes: usize, attrs: usize, attrs_per_task: usize, nodes_per_task: usize) -> Self {
+        TaskGenConfig {
+            nodes,
+            attrs,
+            attrs_per_task: (attrs_per_task, attrs_per_task),
+            nodes_per_task: (nodes_per_task, nodes_per_task),
+        }
+    }
+
+    /// Generates one task with the given id.
+    pub fn generate_one(&self, id: TaskId, rng: &mut SmallRng) -> MonitoringTask {
+        let (alo, ahi) = self.attrs_per_task;
+        let (nlo, nhi) = self.nodes_per_task;
+        let n_attrs = rng
+            .gen_range(alo.min(ahi)..=ahi.max(alo))
+            .clamp(1, self.attrs);
+        let n_nodes = rng
+            .gen_range(nlo.min(nhi)..=nhi.max(nlo))
+            .clamp(1, self.nodes);
+        let attrs = sample(rng, self.attrs, n_attrs)
+            .into_iter()
+            .map(|i| AttrId(i as u32));
+        let nodes = sample(rng, self.nodes, n_nodes)
+            .into_iter()
+            .map(|i| NodeId(i as u32));
+        MonitoringTask::new(id, attrs, nodes)
+    }
+
+    /// Generates `count` tasks with ids `first_id..`.
+    pub fn generate(
+        &self,
+        count: usize,
+        first_id: TaskId,
+        rng: &mut SmallRng,
+    ) -> Vec<MonitoringTask> {
+        (0..count)
+            .map(|i| self.generate_one(TaskId(first_id.0 + i as u32), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn tasks_respect_universe_bounds() {
+        let cfg = TaskGenConfig::small_scale(20, 30);
+        let tasks = cfg.generate(50, TaskId(0), &mut rng());
+        for t in &tasks {
+            assert!(!t.is_empty());
+            for &a in t.attrs() {
+                assert!(a.0 < 30);
+            }
+            for &n in t.nodes() {
+                assert!(n.0 < 20);
+            }
+        }
+    }
+
+    #[test]
+    fn small_tasks_are_smaller_than_large() {
+        let small = TaskGenConfig::small_scale(100, 100);
+        let large = TaskGenConfig::large_scale(100, 100);
+        let mut r = rng();
+        let avg = |cfg: &TaskGenConfig, r: &mut SmallRng| {
+            let tasks = cfg.generate(40, TaskId(0), r);
+            tasks.iter().map(MonitoringTask::pair_count).sum::<usize>() as f64 / 40.0
+        };
+        assert!(avg(&small, &mut r) * 4.0 < avg(&large, &mut r));
+    }
+
+    #[test]
+    fn fixed_shape_is_exact() {
+        let cfg = TaskGenConfig::fixed(50, 50, 7, 9);
+        let t = cfg.generate_one(TaskId(3), &mut rng());
+        assert_eq!(t.attrs().len(), 7);
+        assert_eq!(t.nodes().len(), 9);
+        assert_eq!(t.id(), TaskId(3));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = TaskGenConfig::small_scale(30, 30);
+        let a = cfg.generate(5, TaskId(0), &mut SmallRng::seed_from_u64(1));
+        let b = cfg.generate(5, TaskId(0), &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let cfg = TaskGenConfig::small_scale(10, 10);
+        let tasks = cfg.generate(3, TaskId(7), &mut rng());
+        assert_eq!(
+            tasks.iter().map(|t| t.id()).collect::<Vec<_>>(),
+            vec![TaskId(7), TaskId(8), TaskId(9)]
+        );
+    }
+}

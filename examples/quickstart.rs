@@ -1,0 +1,96 @@
+//! Quickstart: submit monitoring tasks, plan a resource-aware
+//! monitoring forest, and inspect the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use remo::prelude::*;
+
+fn main() -> Result<(), PlanError> {
+    // A 24-node cluster. Each node can spend 60 capacity units per
+    // epoch on monitoring; the central collector can spend 400.
+    let caps = CapacityMap::uniform(24, 60.0, 400.0)?;
+
+    // Message cost model: sending/receiving a message with x values
+    // costs C + a·x = 6 + 1·x (per-message overhead is what makes
+    // naive topologies collapse).
+    let cost = CostModel::new(6.0, 1.0)?;
+
+    // Three overlapping monitoring tasks, the way operators actually
+    // submit them: one dashboard task over everything, two debugging
+    // tasks over subsets.
+    let mut tasks = TaskManager::new();
+    tasks.add(MonitoringTask::new(
+        TaskId(0),
+        [AttrId(0), AttrId(1)], // cpu, memory
+        (0..24).map(NodeId),
+    ))?;
+    tasks.add(MonitoringTask::new(
+        TaskId(1),
+        [AttrId(1), AttrId(2), AttrId(3)], // memory, rx_rate, tx_rate
+        (0..12).map(NodeId),
+    ))?;
+    tasks.add(MonitoringTask::new(
+        TaskId(2),
+        [AttrId(0), AttrId(3)],
+        (8..24).map(NodeId),
+    ))?;
+
+    // Deduplicate into node-attribute pairs and plan.
+    let pairs = tasks.pairs();
+    println!(
+        "{} tasks → {} deduplicated node-attribute pairs",
+        tasks.len(),
+        pairs.len()
+    );
+
+    let planner = Planner::new(PlannerConfig::default());
+    let plan = planner.plan(&pairs, &caps, cost);
+
+    println!(
+        "planned {} trees, collected {}/{} pairs ({:.1}% coverage)",
+        plan.trees().len(),
+        plan.collected_pairs(),
+        plan.demanded_pairs(),
+        plan.coverage() * 100.0
+    );
+    println!("attribute partition: {}", plan.partition());
+
+    for (i, (set, tree)) in plan
+        .partition()
+        .sets()
+        .iter()
+        .zip(plan.trees())
+        .enumerate()
+    {
+        let attrs: Vec<String> = set.iter().map(|a| a.to_string()).collect();
+        match &tree.tree {
+            Some(t) => println!(
+                "  tree {i}: attrs [{}] — {} nodes, height {}, root {}",
+                attrs.join(" "),
+                t.len(),
+                t.height(),
+                t.root()
+            ),
+            None => println!("  tree {i}: attrs [{}] — unplaceable", attrs.join(" ")),
+        }
+    }
+
+    // Compare against the two classical baselines.
+    let catalog = AttrCatalog::new();
+    for (name, scheme) in [
+        ("SINGLETON-SET", PartitionScheme::SingletonSet),
+        ("ONE-SET", PartitionScheme::OneSet),
+        ("REMO", PartitionScheme::Remo),
+    ] {
+        let p = scheme.plan(&planner, &pairs, &caps, cost, &catalog);
+        println!(
+            "{name:>14}: {:>3} trees, {:>5.1}% coverage, volume {:.0}",
+            p.trees().len(),
+            p.coverage() * 100.0,
+            p.message_volume()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! End-to-end tests of the `remo-plan` CLI binary.
+
+use std::process::Command;
+
+fn remo_plan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_remo-plan"))
+}
+
+#[test]
+fn example_spec_round_trips_through_planning() {
+    let out = remo_plan().arg("--example").output().expect("run");
+    assert!(out.status.success());
+    let spec_json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(spec_json.contains("\"nodes\""));
+
+    let dir = std::env::temp_dir().join("remo-plan-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spec.json");
+    std::fs::write(&path, &spec_json).unwrap();
+
+    // Summary mode.
+    let out = remo_plan().arg(&path).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("monitoring plan:"), "summary output: {text}");
+    assert!(text.contains("coverage"));
+
+    // DOT mode.
+    let out = remo_plan().arg(&path).arg("--dot").output().expect("run");
+    assert!(out.status.success());
+    let dot = String::from_utf8(out.stdout).unwrap();
+    assert!(dot.starts_with("digraph monitoring"));
+    assert!(dot.contains("collector"));
+
+    // Audit mode.
+    let out = remo_plan().arg(&path).arg("--audit").output().expect("run");
+    assert!(out.status.success());
+    let audit = String::from_utf8(out.stdout).unwrap();
+    assert!(audit.contains("audit clean"), "audit output: {audit}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = remo_plan().arg("/nonexistent/spec.json").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn malformed_spec_fails_cleanly() {
+    let dir = std::env::temp_dir().join("remo-plan-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{\"nodes\": }").unwrap();
+    let out = remo_plan().arg(&path).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("bad spec"));
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = remo_plan().output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+}

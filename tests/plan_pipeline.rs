@@ -1,0 +1,206 @@
+//! End-to-end planning pipeline tests: task generation → deduplication
+//! → planning, across partition schemes, builders, and allocation
+//! schemes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo::prelude::*;
+use remo_core::alloc::AllocationScheme;
+use remo_core::build::{AdjustConfig, BuilderKind};
+use remo_core::planner::{PartitionScheme, PlannerConfig};
+use remo_core::TaskId;
+
+fn scenario(nodes: usize, attrs: usize, tasks: usize, budget: f64) -> Scenario {
+    Scenario::with_taskgen(
+        &ScenarioConfig {
+            nodes,
+            attrs,
+            tasks,
+            node_budget: budget,
+            collector_budget: budget * nodes as f64 / 4.0,
+            c_over_a: 2.0,
+            seed: 99,
+        },
+        &TaskGenConfig::small_scale(nodes, attrs),
+    )
+}
+
+#[test]
+fn all_schemes_respect_capacity_invariants() {
+    let s = scenario(40, 30, 40, 20.0);
+    let planner = Planner::default();
+    let catalog = AttrCatalog::new();
+    for scheme in [
+        PartitionScheme::SingletonSet,
+        PartitionScheme::OneSet,
+        PartitionScheme::Remo,
+    ] {
+        let plan = scheme.plan(&planner, &s.pairs, &s.caps, s.cost, &catalog);
+        for (n, u) in plan.node_usage() {
+            assert!(
+                u <= s.caps.node(n).unwrap() + 1e-6,
+                "{scheme:?}: node {n} over budget"
+            );
+        }
+        assert!(plan.collector_usage() <= s.caps.collector() + 1e-6);
+        assert!(plan.partition().is_valid());
+        assert_eq!(plan.demanded_pairs(), s.pairs.len());
+        for t in plan.trees() {
+            if let Some(tree) = &t.tree {
+                assert!(tree.is_valid(), "{scheme:?} produced an invalid tree");
+            }
+        }
+    }
+}
+
+#[test]
+fn remo_dominates_baselines_across_loads() {
+    let planner = Planner::default();
+    let catalog = AttrCatalog::new();
+    for budget in [10.0, 20.0, 40.0] {
+        let s = scenario(30, 24, 30, budget);
+        let score = |scheme: PartitionScheme| {
+            scheme
+                .plan(&planner, &s.pairs, &s.caps, s.cost, &catalog)
+                .collected_pairs()
+        };
+        let remo = score(PartitionScheme::Remo);
+        let sp = score(PartitionScheme::SingletonSet);
+        let op = score(PartitionScheme::OneSet);
+        assert!(
+            remo >= sp.max(op),
+            "budget {budget}: remo {remo} below baselines (sp {sp}, op {op})"
+        );
+    }
+}
+
+#[test]
+fn every_collected_pair_is_actually_routed() {
+    // Cross-check the plan's collected count against the tree
+    // structures: summing per-node local loads over included nodes must
+    // reproduce collected_pairs.
+    let s = scenario(25, 20, 25, 25.0);
+    let plan = Planner::default().plan(&s.pairs, &s.caps, s.cost);
+    for (set, planned) in plan.partition().sets().iter().zip(plan.trees()) {
+        let from_tree: usize = planned
+            .tree
+            .as_ref()
+            .map(|t| {
+                t.nodes()
+                    .map(|n| s.pairs.node_load_in(n, set))
+                    .sum::<usize>()
+            })
+            .unwrap_or(0);
+        assert_eq!(from_tree, planned.collected_pairs);
+    }
+}
+
+#[test]
+fn builders_form_expected_shapes_at_scale() {
+    let s = scenario(30, 6, 10, 1_000.0);
+    let catalog = AttrCatalog::new();
+    let shape = |kind: BuilderKind| {
+        let cfg = PlannerConfig {
+            builder: kind,
+            ..PlannerConfig::default()
+        };
+        let plan = Planner::new(cfg).evaluate_partition(
+            &remo_core::Partition::one_set(s.pairs.attr_universe()),
+            &s.pairs,
+            &s.caps,
+            s.cost,
+            &catalog,
+        );
+        plan.trees()[0].tree.as_ref().map(|t| t.height()).unwrap_or(0)
+    };
+    let star = shape(BuilderKind::Star);
+    let chain = shape(BuilderKind::Chain);
+    assert!(star < chain, "star {star} should be shallower than chain {chain}");
+}
+
+#[test]
+fn adaptive_builder_beats_simple_builders_under_pressure() {
+    let s = scenario(40, 10, 40, 14.0);
+    let catalog = AttrCatalog::new();
+    let collect = |kind: BuilderKind| {
+        let cfg = PlannerConfig {
+            builder: kind,
+            ..PlannerConfig::default()
+        };
+        Planner::new(cfg)
+            .evaluate_partition(
+                &remo_core::Partition::singleton(s.pairs.attr_universe()),
+                &s.pairs,
+                &s.caps,
+                s.cost,
+                &catalog,
+            )
+            .collected_pairs()
+    };
+    let adaptive = collect(BuilderKind::Adaptive(AdjustConfig::default()));
+    for kind in [BuilderKind::Star, BuilderKind::Chain, BuilderKind::MaxAvb] {
+        let other = collect(kind);
+        assert!(
+            adaptive >= other,
+            "{kind:?} collected {other} > adaptive {adaptive}"
+        );
+    }
+}
+
+#[test]
+fn allocation_schemes_ranked_as_paper_reports() {
+    // Fig. 11 ordering: ORDERED ≥ ON-DEMAND ≥ max(UNIFORM, PROPORTIONAL)
+    // on mixed-size trees. We assert the ends of the ordering.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let gen = TaskGenConfig::small_scale(35, 25);
+    let tasks = gen.generate(45, TaskId(0), &mut rng);
+    let pairs: PairSet = tasks.iter().flat_map(|t| t.pairs()).collect();
+    let caps = CapacityMap::uniform(35, 15.0, 200.0).unwrap();
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let catalog = AttrCatalog::new();
+    let collect = |alloc: AllocationScheme| {
+        let cfg = PlannerConfig {
+            allocation: alloc,
+            ..PlannerConfig::default()
+        };
+        Planner::new(cfg)
+            .evaluate_partition(
+                &remo_core::Partition::singleton(pairs.attr_universe()),
+                &pairs,
+                &caps,
+                cost,
+                &catalog,
+            )
+            .collected_pairs()
+    };
+    let ordered = collect(AllocationScheme::Ordered);
+    let uniform = collect(AllocationScheme::Uniform);
+    assert!(
+        ordered >= uniform,
+        "ordered {ordered} must match or beat uniform {uniform}"
+    );
+}
+
+#[test]
+fn task_manager_round_trips_through_planner() {
+    let mut tm = TaskManager::new();
+    tm.add(MonitoringTask::new(
+        TaskId(0),
+        (0..3).map(AttrId),
+        (0..10).map(NodeId),
+    ))
+    .unwrap();
+    tm.add(MonitoringTask::new(
+        TaskId(1),
+        (1..4).map(AttrId),
+        (5..15).map(NodeId),
+    ))
+    .unwrap();
+    let caps = CapacityMap::uniform(15, 100.0, 1_000.0).unwrap();
+    let plan = Planner::default().plan(&tm.pairs(), &caps, CostModel::default());
+    assert_eq!(plan.coverage(), 1.0, "ample capacity collects everything");
+    // Remove a task: fewer pairs demanded.
+    tm.apply(TaskChange::Remove(TaskId(1))).unwrap();
+    let plan2 = Planner::default().plan(&tm.pairs(), &caps, CostModel::default());
+    assert!(plan2.demanded_pairs() < plan.demanded_pairs());
+}

@@ -1,0 +1,252 @@
+//! Plan → simulator integration: the error and delivery behavior the
+//! paper measures on the real system must emerge from the simulated
+//! substrate.
+
+use remo::prelude::*;
+use remo_core::planner::PartitionScheme;
+use std::collections::BTreeMap;
+
+fn simulate(plan: &MonitoringPlan, pairs: &PairSet, caps: &CapacityMap, cost: CostModel) -> f64 {
+    let catalog = AttrCatalog::new();
+    let mut sim = Simulator::new(SimSetup {
+        plan,
+        planned_pairs: pairs,
+        metric_pairs: None,
+        caps,
+        cost,
+        catalog: &catalog,
+        aliases: BTreeMap::new(),
+        config: SimConfig {
+            seed: 31,
+            ..SimConfig::default()
+        },
+    });
+    sim.run(50);
+    sim.metrics().mean_error(10)
+}
+
+#[test]
+fn remo_error_at_most_baselines() {
+    let s = Scenario::synthetic(&ScenarioConfig {
+        nodes: 40,
+        attrs: 30,
+        tasks: 50,
+        node_budget: 18.0,
+        collector_budget: 250.0,
+        c_over_a: 2.0,
+        seed: 8,
+    });
+    let planner = Planner::default();
+    let catalog = AttrCatalog::new();
+    let err = |scheme: PartitionScheme| {
+        let plan = scheme.plan(&planner, &s.pairs, &s.caps, s.cost, &catalog);
+        simulate(&plan, &s.pairs, &s.caps, s.cost)
+    };
+    let remo = err(PartitionScheme::Remo);
+    let sp = err(PartitionScheme::SingletonSet);
+    let op = err(PartitionScheme::OneSet);
+    assert!(
+        remo <= sp.min(op) + 0.02,
+        "remo error {remo:.3} vs sp {sp:.3}, op {op:.3}"
+    );
+}
+
+#[test]
+fn higher_coverage_means_lower_error() {
+    // Within one scheme, more capacity → higher coverage → lower error.
+    let planner = Planner::default();
+    let catalog = AttrCatalog::new();
+    let mut prev_err = f64::INFINITY;
+    for budget in [8.0, 16.0, 48.0] {
+        let s = Scenario::synthetic(&ScenarioConfig {
+            nodes: 30,
+            attrs: 24,
+            tasks: 40,
+            node_budget: budget,
+            collector_budget: budget * 12.0,
+            c_over_a: 2.0,
+            seed: 8,
+        });
+        let plan = planner.plan_with_catalog(&s.pairs, &s.caps, s.cost, &catalog);
+        let err = simulate(&plan, &s.pairs, &s.caps, s.cost);
+        assert!(
+            err <= prev_err + 0.05,
+            "error should fall (or hold) as budget grows: {err} after {prev_err}"
+        );
+        prev_err = err;
+    }
+}
+
+#[test]
+fn deeper_trees_are_staler() {
+    // Chain topology has higher depth than star; with equal delivery,
+    // its snapshots lag more, so its error is at least star's.
+    use remo_core::build::BuilderKind;
+    use remo_core::planner::PlannerConfig;
+    let pairs: PairSet = (0..12)
+        .flat_map(|n| (0..1).map(move |a| (NodeId(n), AttrId(a))))
+        .collect();
+    let caps = CapacityMap::uniform(12, 1_000.0, 1_000.0).unwrap();
+    let cost = CostModel::default();
+    let catalog = AttrCatalog::new();
+    let err_of = |builder| {
+        let plan = Planner::new(PlannerConfig {
+            builder,
+            ..PlannerConfig::default()
+        })
+        .evaluate_partition(
+            &remo_core::Partition::one_set(pairs.attr_universe()),
+            &pairs,
+            &caps,
+            cost,
+            &catalog,
+        );
+        simulate(&plan, &pairs, &caps, cost)
+    };
+    let star = err_of(BuilderKind::Star);
+    let chain = err_of(BuilderKind::Chain);
+    assert!(
+        chain >= star,
+        "chain staleness {chain:.4} must be at least star's {star:.4}"
+    );
+}
+
+#[test]
+fn adaptation_experiment_tracks_churn() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use remo_core::adapt::AdaptScheme;
+    use remo_sim::run_adaptation_experiment;
+    use remo_workloads::churn::churn_schedule;
+
+    let s = Scenario::synthetic(&ScenarioConfig {
+        nodes: 25,
+        attrs: 20,
+        tasks: 30,
+        node_budget: 20.0,
+        collector_budget: 250.0,
+        c_over_a: 2.0,
+        seed: 12,
+    });
+    let mut rng = SmallRng::seed_from_u64(3);
+    let schedule = churn_schedule(
+        &s.pairs,
+        &ChurnConfig {
+            attr_universe: 20,
+            ..ChurnConfig::default()
+        },
+        4,
+        10,
+        10,
+        &mut rng,
+    );
+    let updates: std::collections::BTreeMap<u64, PairSet> = schedule.into_iter().collect();
+    let (stats, metrics) = run_adaptation_experiment(
+        Planner::default(),
+        AdaptScheme::Adaptive,
+        s.pairs.clone(),
+        updates,
+        s.caps.clone(),
+        s.cost,
+        AttrCatalog::new(),
+        SimConfig::default(),
+        60,
+    );
+    assert_eq!(stats.updates_applied, 4);
+    assert!(stats.delivered_values > 0);
+    assert!(metrics.len() == 60);
+    // Control traffic exists but does not dominate.
+    assert!(stats.control_volume > 0.0);
+    assert!(stats.control_fraction() < 0.5);
+}
+
+#[test]
+fn failure_handling_reroutes_around_dead_node() {
+    use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
+    // A node dies mid-run; the management core re-plans around it and
+    // the collector's error recovers without the node's own pairs.
+    let pairs: PairSet = (0..12)
+        .flat_map(|n| (0..2).map(move |a| (NodeId(n), AttrId(a))))
+        .collect();
+    let caps = CapacityMap::uniform(12, 40.0, 400.0).unwrap();
+    let cost = CostModel::new(4.0, 1.0).unwrap();
+    let catalog = AttrCatalog::new();
+    let mut ap = AdaptivePlanner::new(
+        Planner::default(),
+        AdaptScheme::Adaptive,
+        pairs.clone(),
+        caps.clone(),
+        cost,
+        catalog.clone(),
+    );
+    let mut sim = Simulator::new(SimSetup {
+        plan: ap.plan(),
+        planned_pairs: &pairs,
+        metric_pairs: None,
+        caps: &caps,
+        cost,
+        catalog: &catalog,
+        aliases: std::collections::BTreeMap::new(),
+        config: SimConfig::default(),
+    });
+    sim.run(10);
+
+    // Kill a relay (any non-root node with children).
+    let victim = ap
+        .plan()
+        .trees()
+        .iter()
+        .filter_map(|t| t.tree.as_ref())
+        .flat_map(|t| t.nodes().collect::<Vec<_>>())
+        .find(|&n| {
+            ap.plan().trees().iter().any(|t| {
+                t.tree
+                    .as_ref()
+                    .is_some_and(|tr| tr.root() != n && !tr.children(n).is_empty())
+            })
+        })
+        .expect("a relay exists");
+    sim.fail_node(victim);
+    sim.run(10);
+    let degraded = sim.metrics().epochs().last().unwrap().avg_error;
+
+    // Management reaction: re-plan without the victim, redeploy.
+    ap.handle_node_failure(victim, sim.epoch());
+    sim.apply_plan(ap.plan(), &pairs);
+    sim.run(20);
+    let recovered = sim.metrics().epochs().last().unwrap().avg_error;
+    assert!(
+        recovered < degraded,
+        "re-planning must recover error: {recovered:.3} vs {degraded:.3}"
+    );
+}
+
+#[test]
+fn failures_degrade_then_heal() {
+    let pairs: PairSet = (0..10).map(|n| (NodeId(n), AttrId(0))).collect();
+    let caps = CapacityMap::uniform(10, 50.0, 500.0).unwrap();
+    let cost = CostModel::default();
+    let catalog = AttrCatalog::new();
+    let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+    let mut sim = Simulator::new(SimSetup {
+        plan: &plan,
+        planned_pairs: &pairs,
+        metric_pairs: None,
+        caps: &caps,
+        cost,
+        catalog: &catalog,
+        aliases: BTreeMap::new(),
+        config: SimConfig::default(),
+    });
+    sim.run(15);
+    let healthy = sim.metrics().mean_error(10);
+    let root = plan.trees()[0].tree.as_ref().unwrap().root();
+    sim.fail_node(root);
+    sim.run(20);
+    let failed = sim.metrics().epochs().last().unwrap().avg_error;
+    assert!(failed > healthy, "root failure must raise error");
+    sim.heal_node(root);
+    sim.run(20);
+    let healed = sim.metrics().epochs().last().unwrap().avg_error;
+    assert!(healed < failed, "healing must recover");
+}
