@@ -56,8 +56,7 @@ fn request(nodes: usize, values_per_node: f64, seed: u64) -> BuildRequest {
             .map(|i| NodeDemand {
                 node: NodeId(i as u32),
                 load: LocalLoad::holistic(values_per_node),
-                budget: (30.0 + hub * (1.0 - i as f64 / nodes as f64))
-                    * rng.gen_range(0.9..1.1),
+                budget: (30.0 + hub * (1.0 - i as f64 / nodes as f64)) * rng.gen_range(0.9..1.1),
                 pairs: values_per_node as usize,
             })
             .collect(),
@@ -98,7 +97,12 @@ fn main() {
 
     // 10b: sweep per-node load (stands in for task count growth).
     let mut rep = Reporter::new("fig10b_speedup_vs_load");
-    rep.header(&["values_per_node", "variant", "speedup", "coverage_penalty_pct"]);
+    rep.header(&[
+        "values_per_node",
+        "variant",
+        "speedup",
+        "coverage_penalty_pct",
+    ]);
     for &load in &[1.0f64, 2.0, 4.0, 8.0] {
         let (t_basic, c_basic) = timed(300, load, AdjustConfig::basic());
         for (name, cfg) in VARIANTS {

@@ -11,9 +11,7 @@ use rand::SeedableRng;
 use remo_bench::{f3, Reporter};
 use remo_core::alloc::AllocationScheme;
 use remo_core::planner::{Planner, PlannerConfig};
-use remo_core::{
-    AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, Partition, TaskId,
-};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, Partition, TaskId};
 use remo_workloads::TaskGenConfig;
 
 const ALLOCS: [(&str, AllocationScheme); 4] = [
@@ -35,12 +33,7 @@ fn mixed_pairs(nodes: usize, attrs: usize, tasks: usize, seed: u64) -> PairSet {
     all.iter().flat_map(MonitoringTask::pairs).collect()
 }
 
-fn coverage(
-    alloc: AllocationScheme,
-    pairs: &PairSet,
-    caps: &CapacityMap,
-    cost: CostModel,
-) -> f64 {
+fn coverage(alloc: AllocationScheme, pairs: &PairSet, caps: &CapacityMap, cost: CostModel) -> f64 {
     let catalog = AttrCatalog::new();
     let planner = Planner::new(PlannerConfig {
         allocation: alloc,

@@ -15,8 +15,8 @@ use remo_bench::{f3, Reporter};
 use remo_core::planner::{Planner, PlannerConfig};
 use remo_core::reliability::rewrite_ssdp;
 use remo_core::{
-    Aggregation, AttrCatalog, AttrId, AttrInfo, CapacityMap, CostModel, MonitoringTask,
-    PairSet, Partition, TaskId,
+    Aggregation, AttrCatalog, AttrId, AttrInfo, CapacityMap, CostModel, MonitoringTask, PairSet,
+    Partition, TaskId,
 };
 use remo_workloads::TaskGenConfig;
 
@@ -97,8 +97,8 @@ fn fig12b() {
         let mut rewritten: Vec<MonitoringTask> = Vec::new();
         let mut forbidden = Vec::new();
         for t in &tasks {
-            let rw = rewrite_ssdp(t, 2, &mut catalog, TaskId(next_task))
-                .expect("valid replication");
+            let rw =
+                rewrite_ssdp(t, 2, &mut catalog, TaskId(next_task)).expect("valid replication");
             next_task += rw.tasks.len() as u32;
             rewritten.extend(rw.tasks);
             forbidden.extend(rw.forbidden_pairs);
@@ -126,14 +126,10 @@ fn fig12b() {
         rep.row(&[&count, &"SINGLETON-SET-2", &f3(sp2.coverage() * 100.0)]);
 
         // ONE-SET-2: originals in one tree, aliases in another.
-        let originals: std::collections::BTreeSet<AttrId> = pairs
-            .attrs()
-            .filter(|a| a.index() < n_attrs)
-            .collect();
-        let aliases: std::collections::BTreeSet<AttrId> = pairs
-            .attrs()
-            .filter(|a| a.index() >= n_attrs)
-            .collect();
+        let originals: std::collections::BTreeSet<AttrId> =
+            pairs.attrs().filter(|a| a.index() < n_attrs).collect();
+        let aliases: std::collections::BTreeSet<AttrId> =
+            pairs.attrs().filter(|a| a.index() >= n_attrs).collect();
         let sets: Vec<_> = [originals, aliases]
             .into_iter()
             .filter(|s| !s.is_empty())

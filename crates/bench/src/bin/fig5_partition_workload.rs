@@ -54,7 +54,14 @@ fn main() {
         let gen = TaskGenConfig::fixed(NODES, ATTRS, at, 10);
         let mut rng = SmallRng::seed_from_u64(50 + at as u64);
         let tasks = gen.generate(30, TaskId(0), &mut rng);
-        run_point(&mut rep, at, &pairs_of(&tasks), heavy_overhead, 1_000.0, 20_000.0);
+        run_point(
+            &mut rep,
+            at,
+            &pairs_of(&tasks),
+            heavy_overhead,
+            1_000.0,
+            20_000.0,
+        );
     }
 
     // 5b: extreme |At|, sweep |Nt| — payload-dominated regime where
@@ -89,7 +96,14 @@ fn main() {
         let gen = TaskGenConfig::small_scale(NODES, ATTRS);
         let mut rng = SmallRng::seed_from_u64(900 + count as u64);
         let tasks = gen.generate(count, TaskId(0), &mut rng);
-        run_point(&mut rep, count, &pairs_of(&tasks), heavy_overhead, 1_000.0, 20_000.0);
+        run_point(
+            &mut rep,
+            count,
+            &pairs_of(&tasks),
+            heavy_overhead,
+            1_000.0,
+            20_000.0,
+        );
     }
 
     // 5d: number of large-scale tasks.
@@ -99,6 +113,13 @@ fn main() {
         let gen = TaskGenConfig::large_scale(NODES, ATTRS);
         let mut rng = SmallRng::seed_from_u64(1300 + count as u64);
         let tasks = gen.generate(count, TaskId(0), &mut rng);
-        run_point(&mut rep, count, &pairs_of(&tasks), heavy_overhead, 1_500.0, 30_000.0);
+        run_point(
+            &mut rep,
+            count,
+            &pairs_of(&tasks),
+            heavy_overhead,
+            1_500.0,
+            30_000.0,
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
 
     // 6a/6b: sweep node count with small-/large-scale tasks. Tasks
     // scale with the system (paper: "about as many tasks as nodes").
-    for (fig, small) in [("fig6a_nodes_small_tasks", true), ("fig6b_nodes_large_tasks", false)] {
+    for (fig, small) in [
+        ("fig6a_nodes_small_tasks", true),
+        ("fig6b_nodes_large_tasks", false),
+    ] {
         let mut rep = Reporter::new(fig);
         rep.header(&["nodes", "scheme", "collected_pct"]);
         for &nodes in &[25usize, 50, 100, 150] {
@@ -37,8 +40,7 @@ fn main() {
             let mut rng = SmallRng::seed_from_u64(7 + nodes as u64);
             let tasks = gen.generate(count, TaskId(0), &mut rng);
             let pairs = pairs_of(&tasks);
-            let caps = CapacityMap::uniform(nodes, 1_000.0, 400.0 * nodes as f64)
-                .expect("caps");
+            let caps = CapacityMap::uniform(nodes, 1_000.0, 400.0 * nodes as f64).expect("caps");
             let catalog = AttrCatalog::new();
             for (name, scheme) in SCHEMES {
                 let plan = plan_scheme(scheme, &pairs, &caps, cost, &catalog);
@@ -49,7 +51,10 @@ fn main() {
 
     // 6c/6d: sweep C/a with fixed budgets; higher per-message overhead
     // shrinks the message budget every scheme lives on.
-    for (fig, small) in [("fig6c_ca_small_tasks", true), ("fig6d_ca_large_tasks", false)] {
+    for (fig, small) in [
+        ("fig6c_ca_small_tasks", true),
+        ("fig6d_ca_large_tasks", false),
+    ] {
         let mut rep = Reporter::new(fig);
         rep.header(&["c_over_a", "scheme", "collected_pct", "remo_trees"]);
         let nodes = 50usize;

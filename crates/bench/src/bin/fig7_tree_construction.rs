@@ -11,9 +11,7 @@ use rand::SeedableRng;
 use remo_bench::{f3, Reporter};
 use remo_core::build::{AdjustConfig, BuilderKind};
 use remo_core::planner::{Planner, PlannerConfig};
-use remo_core::{
-    AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, Partition, TaskId,
-};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, Partition, TaskId};
 use remo_workloads::TaskGenConfig;
 
 const BUILDERS: [(&str, BuilderKind); 4] = [
@@ -29,12 +27,7 @@ const BUILDERS: [(&str, BuilderKind); 4] = [
     ),
 ];
 
-fn collected(
-    builder: BuilderKind,
-    pairs: &PairSet,
-    caps: &CapacityMap,
-    cost: CostModel,
-) -> f64 {
+fn collected(builder: BuilderKind, pairs: &PairSet, caps: &CapacityMap, cost: CostModel) -> f64 {
     let catalog = AttrCatalog::new();
     let planner = Planner::new(PlannerConfig {
         builder,
@@ -95,7 +88,10 @@ fn main() {
     }
 
     // 7c/7d: sweep C/a under light and heavy workloads.
-    for (fig, count, budget) in [("fig7c_ca_light", 10usize, 200.0f64), ("fig7d_ca_heavy", 60, 150.0)] {
+    for (fig, count, budget) in [
+        ("fig7c_ca_light", 10usize, 200.0f64),
+        ("fig7d_ca_heavy", 60, 150.0),
+    ] {
         let mut rep = Reporter::new(fig);
         rep.header(&["c_over_a", "builder", "collected_pct"]);
         let gen = TaskGenConfig::small_scale(nodes, attrs);

@@ -61,7 +61,13 @@ fn main() {
 
     // 8a: sweep node count, tasks = nodes.
     let mut rep = Reporter::new("fig8a_error_vs_nodes");
-    rep.header(&["nodes", "scheme", "error_pct", "coverage_pct", "mean_staleness"]);
+    rep.header(&[
+        "nodes",
+        "scheme",
+        "error_pct",
+        "coverage_pct",
+        "mean_staleness",
+    ]);
     for &nodes in &[25usize, 50, 100, 150] {
         let app = AppModel::generate(&AppModelConfig {
             nodes,
@@ -83,7 +89,13 @@ fn main() {
 
     // 8b: sweep task count at fixed node count.
     let mut rep = Reporter::new("fig8b_error_vs_tasks");
-    rep.header(&["tasks", "scheme", "error_pct", "coverage_pct", "mean_staleness"]);
+    rep.header(&[
+        "tasks",
+        "scheme",
+        "error_pct",
+        "coverage_pct",
+        "mean_staleness",
+    ]);
     let nodes = 80usize;
     let app = AppModel::generate(&AppModelConfig {
         nodes,

@@ -97,9 +97,17 @@ fn main() {
             } else {
                 run(scheme, &pairs, &caps, cost, bpw)
             };
-            rep_a.row(&[&bpw, &name, &f3(stats.planning_time.as_secs_f64() * 1_000.0)]);
+            rep_a.row(&[
+                &bpw,
+                &name,
+                &f3(stats.planning_time.as_secs_f64() * 1_000.0),
+            ]);
             rep_b.row(&[&bpw, &name, &f3(stats.control_fraction() * 100.0)]);
-            rep_c.row(&[&bpw, &name, &f3(stats.total_volume() / da.total_volume().max(1e-9))]);
+            rep_c.row(&[
+                &bpw,
+                &name,
+                &f3(stats.total_volume() / da.total_volume().max(1e-9)),
+            ]);
             rep_d.row(&[
                 &bpw,
                 &name,

@@ -162,6 +162,22 @@ impl AdaptivePlanner {
         self.scheme
     }
 
+    /// The current node capacities (reflecting failures applied via
+    /// [`AdaptivePlanner::set_node_capacity`]).
+    pub fn caps(&self) -> &CapacityMap {
+        &self.caps
+    }
+
+    /// The cost model plans are built against.
+    pub fn cost(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The attribute catalog plans are built against.
+    pub fn catalog(&self) -> &AttrCatalog {
+        &self.catalog
+    }
+
     /// Applies a new deduplicated pair set (produced by the task
     /// manager after churn) at epoch `now`, returning what changed.
     pub fn update(&mut self, new_pairs: PairSet, now: u64) -> AdaptationReport {
@@ -170,9 +186,12 @@ impl AdaptivePlanner {
 
         let report = match self.scheme {
             AdaptScheme::Rebuild => {
-                let plan =
-                    self.planner
-                        .plan_with_catalog(&new_pairs, &self.caps, self.cost, &self.catalog);
+                let plan = self.planner.plan_with_catalog(
+                    &new_pairs,
+                    &self.caps,
+                    self.cost,
+                    &self.catalog,
+                );
                 self.plan = plan;
                 AdaptationReport {
                     adaptation_messages: 0,
@@ -259,10 +278,7 @@ impl AdaptivePlanner {
             .zip(self.plan.trees())
             .enumerate()
             .filter(|(_, (set, planned))| {
-                planned
-                    .tree
-                    .as_ref()
-                    .is_some_and(|t| t.contains(node))
+                planned.tree.as_ref().is_some_and(|t| t.contains(node))
                     || set.iter().any(|a| demanded.contains(a))
             })
             .map(|(i, _)| i)
@@ -553,14 +569,10 @@ impl AdaptivePlanner {
                     PartitionOp::Merge(i, j) => vec![i, j],
                     PartitionOp::Split(i, _) => vec![i],
                 };
-                let m_adapt =
-                    op_edge_changes(op, &partition, &trees, &new_partition, &new_trees);
+                let m_adapt = op_edge_changes(op, &partition, &trees, &new_partition, &new_trees);
                 let m_adapt_volume = m_adapt as f64 * self.cost.message_cost(1.0);
 
-                let c_cur: f64 = affected_old
-                    .iter()
-                    .map(|&k| trees[k].message_volume)
-                    .sum();
+                let c_cur: f64 = affected_old.iter().map(|&k| trees[k].message_volume).sum();
                 let new_affected: Vec<usize> = match op {
                     PartitionOp::Merge(i, j) => vec![i.min(j)],
                     PartitionOp::Split(i, _) => vec![i, new_partition.len() - 1],
@@ -570,14 +582,12 @@ impl AdaptivePlanner {
                     .map(|&k| new_trees[k].message_volume)
                     .sum();
                 let pair_gain = new_score.pairs.saturating_sub(score.pairs) as f64;
-                let gain_per_epoch =
-                    (c_cur - c_adj) + self.cost.per_value() * pair_gain;
+                let gain_per_epoch = (c_cur - c_adj) + self.cost.per_value() * pair_gain;
 
                 let min_adjust = affected_old
                     .iter()
                     .map(|&k| {
-                        let key: Vec<AttrId> =
-                            partition.sets()[k].iter().copied().collect();
+                        let key: Vec<AttrId> = partition.sets()[k].iter().copied().collect();
                         self.last_adjust.get(&key).copied().unwrap_or(0)
                     })
                     .min()
@@ -616,13 +626,7 @@ impl AdaptivePlanner {
             .map(|(s, t)| (s.iter().copied().collect(), t))
             .collect();
         let mut fresh: BTreeMap<Vec<AttrId>, u64> = BTreeMap::new();
-        for (set, tree) in self
-            .plan
-            .partition()
-            .sets()
-            .iter()
-            .zip(self.plan.trees())
-        {
+        for (set, tree) in self.plan.partition().sets().iter().zip(self.plan.trees()) {
             let key: Vec<AttrId> = set.iter().copied().collect();
             let changed = match old_by_set.get(&key) {
                 None => true,
@@ -694,11 +698,7 @@ fn op_edge_changes(
 
 /// Remaps the touched-tree index set across a partition op and adds the
 /// op's result trees.
-fn remap_touched(
-    touched: &BTreeSet<usize>,
-    op: PartitionOp,
-    new_len: usize,
-) -> BTreeSet<usize> {
+fn remap_touched(touched: &BTreeSet<usize>, op: PartitionOp, new_len: usize) -> BTreeSet<usize> {
     let mut out = BTreeSet::new();
     match op {
         PartitionOp::Merge(i, j) => {

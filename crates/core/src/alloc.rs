@@ -33,7 +33,10 @@ impl AllocationScheme {
     /// Returns `true` if budgets are computed statically up front
     /// (uniform/proportional) rather than from residual capacity.
     pub fn is_static(&self) -> bool {
-        matches!(self, AllocationScheme::Uniform | AllocationScheme::Proportional)
+        matches!(
+            self,
+            AllocationScheme::Uniform | AllocationScheme::Proportional
+        )
     }
 
     /// The order in which trees should be constructed, as indexes into

@@ -1,0 +1,1132 @@
+//! Resource-constrained collection-tree construction (paper §3.2 and
+//! the adjustment optimizations of §5.1).
+//!
+//! Given one attribute set of the partition and the per-node residual
+//! budgets, a builder produces a rooted collection tree that includes
+//! as many participating nodes as the `C + a·x` cost model allows.
+//! Four schemes are provided, matching Fig. 7's candidates:
+//!
+//! - [`BuilderKind::Star`] — every node reports directly to the root,
+//!   minimizing relay cost but concentrating per-message overhead.
+//! - [`BuilderKind::Chain`] — a linear relay chain, minimizing
+//!   per-message overhead at the root but maximizing relay cost.
+//! - [`BuilderKind::MaxAvb`] — each node attaches beneath the member
+//!   with the most available capacity.
+//! - [`BuilderKind::Adaptive`] — REMO's adjusting procedure: greedy
+//!   placement with congestion-relieving branch relocation, seeded
+//!   against the simple schemes so it dominates them by construction.
+//!
+//! All schemes share the [`LoadTracker`], an incrementally-maintained
+//! account of per-node outgoing values (with in-network aggregation
+//! funnels), usage, and budget feasibility.
+
+use crate::cost::{Aggregation, CostModel};
+use crate::ids::NodeId;
+use crate::partition::AttrSet;
+use crate::tree::Tree;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Slack tolerated in floating-point budget comparisons.
+const EPS: f64 = 1e-9;
+
+/// How many candidate parents a greedy placement tries before giving
+/// up (or, for ADAPTIVE, before invoking the adjusting procedure).
+const PARENT_CANDIDATES: usize = 8;
+
+/// Local per-metric load of one node: values it produces itself.
+///
+/// `holistic` carries all identity-funnel metrics folded into one
+/// scalar; `funnel` has one entry per non-identity aggregation in the
+/// request's funnel table (parallel to [`BuildRequest::funnels`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LocalLoad {
+    /// Values of holistic (identity-funnel) metrics.
+    pub holistic: f64,
+    /// Values per funnel metric, parallel to the funnel table.
+    pub funnel: Vec<f64>,
+}
+
+impl LocalLoad {
+    /// A purely holistic load (empty funnel vector; trackers pad it to
+    /// the funnel-table length).
+    pub fn holistic(values: f64) -> Self {
+        LocalLoad {
+            holistic: values,
+            funnel: Vec::new(),
+        }
+    }
+
+    /// Total values represented.
+    pub fn total(&self) -> f64 {
+        self.holistic + self.funnel.iter().sum::<f64>()
+    }
+
+    fn add(&mut self, other: &LocalLoad) {
+        self.holistic += other.holistic;
+        for (a, b) in self.funnel.iter_mut().zip(&other.funnel) {
+            *a += *b;
+        }
+    }
+
+    fn padded(mut self, funnels: usize) -> Self {
+        self.funnel.resize(funnels, 0.0);
+        self
+    }
+}
+
+/// One participating node's demand on the tree under construction.
+#[derive(Debug, Clone)]
+pub struct NodeDemand {
+    /// The node.
+    pub node: NodeId,
+    /// Values it produces locally for this attribute set.
+    pub load: LocalLoad,
+    /// Its residual capacity budget.
+    pub budget: f64,
+    /// Raw node-attribute pairs it contributes (the objective unit).
+    pub pairs: usize,
+}
+
+/// Everything a tree builder needs for one attribute set.
+#[derive(Debug, Clone)]
+pub struct BuildRequest {
+    /// The attribute set the tree delivers.
+    pub attrs: AttrSet,
+    /// Participating nodes with loads and budgets.
+    pub demand: Vec<NodeDemand>,
+    /// Residual collector budget available to this tree's root link.
+    pub collector_budget: f64,
+    /// The message cost model.
+    pub cost: CostModel,
+    /// Funnel table: the non-identity aggregations present in the set
+    /// (loads' `funnel` vectors are parallel to this).
+    pub funnels: Vec<Aggregation>,
+}
+
+/// Knobs of the adjusting procedure (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjustConfig {
+    /// Relocate whole branches instead of single leaves (§5.1.1).
+    pub branch_based: bool,
+    /// Restrict relocation targets to the congested node's subtree
+    /// (§5.1.2).
+    pub subtree_only: bool,
+}
+
+impl AdjustConfig {
+    /// The basic adjusting procedure: single-node moves, global target
+    /// search.
+    pub fn basic() -> Self {
+        AdjustConfig {
+            branch_based: false,
+            subtree_only: false,
+        }
+    }
+}
+
+impl Default for AdjustConfig {
+    /// Both optimizations on (the paper's COMBINED variant).
+    fn default() -> Self {
+        AdjustConfig {
+            branch_based: true,
+            subtree_only: true,
+        }
+    }
+}
+
+/// Tree-construction scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuilderKind {
+    /// All nodes report directly to the root.
+    Star,
+    /// A linear relay chain.
+    Chain,
+    /// Attach beneath the member with maximum available capacity.
+    MaxAvb,
+    /// REMO's adjusting procedure.
+    Adaptive(AdjustConfig),
+}
+
+impl Default for BuilderKind {
+    fn default() -> Self {
+        BuilderKind::Adaptive(AdjustConfig::default())
+    }
+}
+
+/// The product of one tree construction.
+#[derive(Debug, Clone)]
+pub struct BuildOutcome {
+    /// The constructed tree, or `None` when no node could be placed.
+    pub tree: Option<Tree>,
+    /// Per-node usage attributable to this tree.
+    pub usage: BTreeMap<NodeId, f64>,
+    /// Collector-side usage (receive cost of the root's message).
+    pub collector_usage: f64,
+    /// Node-attribute pairs collected (Σ pairs over included nodes).
+    pub collected_pairs: usize,
+    /// Node-attribute pairs demanded (Σ pairs over all demand).
+    pub demanded_pairs: usize,
+    /// Nodes that could not be included.
+    pub excluded: Vec<NodeId>,
+    /// Σ send costs over included nodes.
+    pub message_volume: f64,
+}
+
+/// Why an attach was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachError {
+    /// The node is already in the tracker.
+    DuplicateNode,
+    /// The requested parent is not in the tracker.
+    MissingParent,
+    /// Some node's usage would exceed its budget.
+    BudgetExceeded,
+    /// The root's message would exceed the collector budget.
+    CollectorExceeded,
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AttachError::DuplicateNode => "node already in tree",
+            AttachError::MissingParent => "parent not in tree",
+            AttachError::BudgetExceeded => "node budget exceeded",
+            AttachError::CollectorExceeded => "collector budget exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+/// A detached subtree: structure, loads, and budgets, ready for
+/// reattachment elsewhere.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// Preorder list: `(node, parent-within-branch, load, budget)`.
+    /// The first entry is the branch root with parent `None`.
+    nodes: Vec<(NodeId, Option<NodeId>, LocalLoad, f64)>,
+}
+
+impl Branch {
+    /// The branch's root node.
+    pub fn root(&self) -> NodeId {
+        self.nodes[0].0
+    }
+
+    /// Number of nodes in the branch.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the branch is empty (never produced by
+    /// [`LoadTracker::detach_subtree`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    local: LocalLoad,
+    budget: f64,
+    /// Values leaving this node per epoch, after funnel application.
+    outgoing: LocalLoad,
+}
+
+/// Incrementally-maintained load accounting for a tree under
+/// construction or adjustment.
+///
+/// Tracks, per node, the outgoing value vector (holistic plus one
+/// entry per funnel metric), from which usage follows: a node pays the
+/// send cost of its own message and the receive cost of each child's
+/// message (`C + a·x` each, paper §2.3). Attach operations are
+/// transactional — on budget violation the tracker is left unchanged.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    cost: CostModel,
+    funnels: Vec<Aggregation>,
+    collector_budget: f64,
+    root: Option<NodeId>,
+    entries: BTreeMap<NodeId, Entry>,
+}
+
+impl LoadTracker {
+    /// An empty tracker.
+    pub fn new(cost: CostModel, funnels: Vec<Aggregation>, collector_budget: f64) -> Self {
+        LoadTracker {
+            cost,
+            funnels,
+            collector_budget,
+            root: None,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Installs the root node.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::DuplicateNode`] if the tracker already has a
+    /// root; [`AttachError::BudgetExceeded`] /
+    /// [`AttachError::CollectorExceeded`] if even the root's own
+    /// message does not fit.
+    pub fn init_root(
+        &mut self,
+        node: NodeId,
+        load: LocalLoad,
+        budget: f64,
+    ) -> Result<(), AttachError> {
+        if self.root.is_some() {
+            return Err(AttachError::DuplicateNode);
+        }
+        let local = load.padded(self.funnels.len());
+        let outgoing = self.apply_funnels(local.clone());
+        let send = self.cost.message_cost(outgoing.total());
+        if send > budget + EPS {
+            return Err(AttachError::BudgetExceeded);
+        }
+        if send > self.collector_budget + EPS {
+            return Err(AttachError::CollectorExceeded);
+        }
+        self.entries.insert(
+            node,
+            Entry {
+                parent: None,
+                children: Vec::new(),
+                local,
+                budget,
+                outgoing,
+            },
+        );
+        self.root = Some(node);
+        Ok(())
+    }
+
+    /// The root node, if any.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tracker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All tracked nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Whether `node` is tracked.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.contains_key(&node)
+    }
+
+    /// The parent of `node` (`None` for the root or an absent node).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.entries.get(&node).and_then(|e| e.parent)
+    }
+
+    /// The children of `node` (empty for leaves or absent nodes).
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        self.entries
+            .get(&node)
+            .map_or(&[], |e| e.children.as_slice())
+    }
+
+    /// Values leaving `node` per epoch (after funnels).
+    pub fn outgoing_values(&self, node: NodeId) -> Option<f64> {
+        self.entries.get(&node).map(|e| e.outgoing.total())
+    }
+
+    /// Current usage of `node`: send cost of its message plus receive
+    /// cost of each child's message.
+    pub fn usage(&self, node: NodeId) -> Option<f64> {
+        let e = self.entries.get(&node)?;
+        let mut u = self.cost.message_cost(e.outgoing.total());
+        for c in &e.children {
+            u += self.cost.message_cost(self.entries[c].outgoing.total());
+        }
+        Some(u)
+    }
+
+    /// Remaining budget of `node`.
+    pub fn available(&self, node: NodeId) -> Option<f64> {
+        let e = self.entries.get(&node)?;
+        Some(e.budget - self.usage(node).expect("node present"))
+    }
+
+    /// Collector-side usage: receive cost of the root's message.
+    pub fn collector_usage(&self) -> f64 {
+        match self.root {
+            Some(r) => self.cost.message_cost(self.entries[&r].outgoing.total()),
+            None => 0.0,
+        }
+    }
+
+    /// Σ send costs over all tracked nodes.
+    pub fn message_volume(&self) -> f64 {
+        self.entries
+            .values()
+            .map(|e| self.cost.message_cost(e.outgoing.total()))
+            .sum()
+    }
+
+    fn apply_funnels(&self, incoming: LocalLoad) -> LocalLoad {
+        LocalLoad {
+            holistic: incoming.holistic,
+            funnel: incoming
+                .funnel
+                .iter()
+                .zip(&self.funnels)
+                .map(|(&v, agg)| agg.funnel(v))
+                .collect(),
+        }
+    }
+
+    fn compute_outgoing(&self, node: NodeId) -> LocalLoad {
+        let e = &self.entries[&node];
+        let mut incoming = e.local.clone();
+        for c in &e.children {
+            incoming.add(&self.entries[c].outgoing);
+        }
+        self.apply_funnels(incoming)
+    }
+
+    /// Recomputes outgoing vectors from `start` up to the root,
+    /// recording prior values for rollback.
+    fn refresh_upward(&mut self, start: NodeId) -> Vec<(NodeId, LocalLoad)> {
+        let mut saved = Vec::new();
+        let mut cur = Some(start);
+        while let Some(n) = cur {
+            let fresh = self.compute_outgoing(n);
+            let e = self.entries.get_mut(&n).expect("path node present");
+            saved.push((n, std::mem::replace(&mut e.outgoing, fresh)));
+            cur = e.parent;
+        }
+        saved
+    }
+
+    fn restore_outgoing(&mut self, saved: Vec<(NodeId, LocalLoad)>) {
+        for (n, out) in saved {
+            if let Some(e) = self.entries.get_mut(&n) {
+                e.outgoing = out;
+            }
+        }
+    }
+
+    /// Checks budgets of every node from `start` up to the root, plus
+    /// the collector constraint.
+    fn check_path(&self, start: NodeId) -> Result<(), AttachError> {
+        let mut cur = Some(start);
+        while let Some(n) = cur {
+            let e = &self.entries[&n];
+            if self.usage(n).expect("path node") > e.budget + EPS {
+                return Err(AttachError::BudgetExceeded);
+            }
+            cur = e.parent;
+        }
+        if self.collector_usage() > self.collector_budget + EPS {
+            return Err(AttachError::CollectorExceeded);
+        }
+        Ok(())
+    }
+
+    /// Attaches `node` as a leaf under `parent`, transactionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint; the tracker is unchanged on
+    /// error.
+    pub fn try_attach(
+        &mut self,
+        node: NodeId,
+        load: LocalLoad,
+        budget: f64,
+        parent: NodeId,
+    ) -> Result<(), AttachError> {
+        if self.entries.contains_key(&node) {
+            return Err(AttachError::DuplicateNode);
+        }
+        if !self.entries.contains_key(&parent) {
+            return Err(AttachError::MissingParent);
+        }
+        let local = load.padded(self.funnels.len());
+        let outgoing = self.apply_funnels(local.clone());
+        self.entries.insert(
+            node,
+            Entry {
+                parent: Some(parent),
+                children: Vec::new(),
+                local,
+                budget,
+                outgoing,
+            },
+        );
+        self.entries
+            .get_mut(&parent)
+            .expect("parent present")
+            .children
+            .push(node);
+
+        let saved = self.refresh_upward(parent);
+        let verdict = self
+            .check_node_budget(node)
+            .and_then(|()| self.check_path(parent));
+        if let Err(e) = verdict {
+            self.restore_outgoing(saved);
+            self.remove_leaf(node);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn check_node_budget(&self, node: NodeId) -> Result<(), AttachError> {
+        let e = &self.entries[&node];
+        if self.usage(node).expect("node present") > e.budget + EPS {
+            Err(AttachError::BudgetExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn remove_leaf(&mut self, node: NodeId) {
+        let e = self.entries.remove(&node).expect("leaf present");
+        debug_assert!(e.children.is_empty());
+        if let Some(p) = e.parent {
+            let kids = &mut self.entries.get_mut(&p).expect("parent").children;
+            kids.retain(|&k| k != node);
+        } else {
+            self.root = None;
+        }
+    }
+
+    /// Detaches the subtree rooted at `node` and returns it as a
+    /// [`Branch`]; ancestors' accounting is updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not tracked.
+    pub fn detach_subtree(&mut self, node: NodeId) -> Branch {
+        assert!(self.entries.contains_key(&node), "detach of absent node");
+        // Preorder walk.
+        let mut order = vec![node];
+        let mut i = 0;
+        while i < order.len() {
+            order.extend(self.entries[&order[i]].children.iter().copied());
+            i += 1;
+        }
+        let old_parent = self.entries[&node].parent;
+        let mut nodes = Vec::with_capacity(order.len());
+        for (idx, &n) in order.iter().enumerate() {
+            let e = self.entries.remove(&n).expect("subtree node present");
+            let parent_in_branch = if idx == 0 { None } else { e.parent };
+            nodes.push((n, parent_in_branch, e.local, e.budget));
+        }
+        match old_parent {
+            Some(p) => {
+                self.entries
+                    .get_mut(&p)
+                    .expect("parent present")
+                    .children
+                    .retain(|&k| k != node);
+                let _ = self.refresh_upward(p);
+            }
+            None => self.root = None,
+        }
+        Branch { nodes }
+    }
+
+    /// Reattaches a detached branch under `target`, transactionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the branch back together with the violated constraint;
+    /// the tracker is unchanged on error.
+    pub fn try_attach_branch(
+        &mut self,
+        branch: Branch,
+        target: NodeId,
+    ) -> Result<(), (Branch, AttachError)> {
+        if !self.entries.contains_key(&target) {
+            return Err((branch, AttachError::MissingParent));
+        }
+        if branch
+            .nodes
+            .iter()
+            .any(|(n, ..)| self.entries.contains_key(n))
+        {
+            return Err((branch, AttachError::DuplicateNode));
+        }
+
+        // Insert structurally in preorder (parents before children).
+        for (n, parent_in_branch, local, budget) in branch.nodes.iter().cloned() {
+            let parent = Some(parent_in_branch.unwrap_or(target));
+            self.entries.insert(
+                n,
+                Entry {
+                    parent,
+                    children: Vec::new(),
+                    local: local.padded(self.funnels.len()),
+                    budget,
+                    outgoing: LocalLoad::default(),
+                },
+            );
+        }
+        for (n, parent_in_branch, ..) in &branch.nodes {
+            let p = parent_in_branch.unwrap_or(target);
+            self.entries
+                .get_mut(&p)
+                .expect("parent inserted first")
+                .children
+                .push(*n);
+        }
+        // Branch-internal outgoing, children before parents.
+        for (n, ..) in branch.nodes.iter().rev() {
+            let fresh = self.compute_outgoing(*n);
+            self.entries.get_mut(n).expect("present").outgoing = fresh;
+        }
+        let saved = self.refresh_upward(target);
+
+        let verdict = branch
+            .nodes
+            .iter()
+            .try_for_each(|(n, ..)| self.check_node_budget(*n))
+            .and_then(|()| self.check_path(target));
+        if let Err(e) = verdict {
+            self.restore_outgoing(saved);
+            // Remove the just-inserted nodes (leaves last in preorder).
+            for (n, ..) in branch.nodes.iter().rev() {
+                self.entries.remove(n);
+            }
+            self.entries
+                .get_mut(&target)
+                .expect("target present")
+                .children
+                .retain(|k| branch.nodes[0].0 != *k);
+            return Err((branch, e));
+        }
+        Ok(())
+    }
+
+    /// Verifies the incremental accounting against a from-scratch
+    /// recomputation (and the structural indices against each other).
+    pub fn check_consistency(&self) -> bool {
+        for (&n, e) in &self.entries {
+            match e.parent {
+                None => {
+                    if self.root != Some(n) {
+                        return false;
+                    }
+                }
+                Some(p) => match self.entries.get(&p) {
+                    Some(pe) if pe.children.contains(&n) => {}
+                    _ => return false,
+                },
+            }
+            for c in &e.children {
+                if self.entries.get(c).map(|ce| ce.parent) != Some(Some(n)) {
+                    return false;
+                }
+            }
+            let fresh = self.compute_outgoing(n);
+            if (fresh.holistic - e.outgoing.holistic).abs() > 1e-6 {
+                return false;
+            }
+            if fresh.funnel.len() != e.outgoing.funnel.len() {
+                return false;
+            }
+            for (a, b) in fresh.funnel.iter().zip(&e.outgoing.funnel) {
+                if (a - b).abs() > 1e-6 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Materializes the tracked structure as a [`Tree`].
+    pub fn to_tree(&self, attrs: AttrSet) -> Option<Tree> {
+        let root = self.root?;
+        let mut tree = Tree::new(attrs, root);
+        let mut stack: Vec<NodeId> = self.children(root).to_vec();
+        while let Some(n) = stack.pop() {
+            let p = self.parent(n).expect("non-root has parent");
+            tree.attach(n, p);
+            stack.extend(self.children(n).iter().copied());
+        }
+        Some(tree)
+    }
+
+    /// Per-node usage map (for [`BuildOutcome::usage`]).
+    pub fn usage_map(&self) -> BTreeMap<NodeId, f64> {
+        self.entries
+            .keys()
+            .map(|&n| (n, self.usage(n).expect("tracked")))
+            .collect()
+    }
+}
+
+/// Builds one collection tree for `request` under `kind`.
+pub fn build_tree(kind: BuilderKind, request: &BuildRequest) -> BuildOutcome {
+    match kind {
+        BuilderKind::Star => build_star(request),
+        BuilderKind::Chain => build_chain(request),
+        BuilderKind::MaxAvb => build_max_avb(request),
+        BuilderKind::Adaptive(cfg) => build_adaptive(request, cfg),
+    }
+}
+
+/// Demand sorted by budget descending (ties by node id): hubs first.
+fn sorted_demand(request: &BuildRequest) -> Vec<&NodeDemand> {
+    let mut d: Vec<&NodeDemand> = request.demand.iter().collect();
+    d.sort_by(|a, b| {
+        b.budget
+            .partial_cmp(&a.budget)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    d
+}
+
+fn empty_outcome(request: &BuildRequest) -> BuildOutcome {
+    BuildOutcome {
+        tree: None,
+        usage: BTreeMap::new(),
+        collector_usage: 0.0,
+        collected_pairs: 0,
+        demanded_pairs: request.demand.iter().map(|d| d.pairs).sum(),
+        excluded: request.demand.iter().map(|d| d.node).collect(),
+        message_volume: 0.0,
+    }
+}
+
+fn finish(tracker: &LoadTracker, request: &BuildRequest, excluded: Vec<NodeId>) -> BuildOutcome {
+    let pairs_of: BTreeMap<NodeId, usize> =
+        request.demand.iter().map(|d| (d.node, d.pairs)).collect();
+    let collected = tracker.nodes().map(|n| pairs_of[&n]).sum();
+    BuildOutcome {
+        tree: tracker.to_tree(request.attrs.clone()),
+        usage: tracker.usage_map(),
+        collector_usage: tracker.collector_usage(),
+        collected_pairs: collected,
+        demanded_pairs: request.demand.iter().map(|d| d.pairs).sum(),
+        excluded,
+        message_volume: tracker.message_volume(),
+    }
+}
+
+/// Installs the first workable root from `order`, returning the
+/// tracker and the index of the chosen root.
+fn seed_root(request: &BuildRequest, order: &[&NodeDemand]) -> Option<(LoadTracker, usize)> {
+    for (i, d) in order.iter().enumerate() {
+        let mut t = LoadTracker::new(
+            request.cost,
+            request.funnels.clone(),
+            request.collector_budget,
+        );
+        if t.init_root(d.node, d.load.clone(), d.budget).is_ok() {
+            return Some((t, i));
+        }
+    }
+    None
+}
+
+fn build_star(request: &BuildRequest) -> BuildOutcome {
+    let order = sorted_demand(request);
+    let Some((mut t, root_idx)) = seed_root(request, &order) else {
+        return empty_outcome(request);
+    };
+    let root = order[root_idx].node;
+    let mut excluded = Vec::new();
+    for (i, d) in order.iter().enumerate() {
+        if i == root_idx {
+            continue;
+        }
+        if t.try_attach(d.node, d.load.clone(), d.budget, root)
+            .is_err()
+        {
+            excluded.push(d.node);
+        }
+    }
+    finish(&t, request, excluded)
+}
+
+fn build_chain(request: &BuildRequest) -> BuildOutcome {
+    let order = sorted_demand(request);
+    let Some((mut t, root_idx)) = seed_root(request, &order) else {
+        return empty_outcome(request);
+    };
+    let mut tail = order[root_idx].node;
+    let mut excluded = Vec::new();
+    for (i, d) in order.iter().enumerate() {
+        if i == root_idx {
+            continue;
+        }
+        match t.try_attach(d.node, d.load.clone(), d.budget, tail) {
+            Ok(()) => tail = d.node,
+            Err(_) => excluded.push(d.node),
+        }
+    }
+    finish(&t, request, excluded)
+}
+
+/// Members ranked by available budget, best first.
+fn members_by_avail(t: &LoadTracker) -> Vec<NodeId> {
+    let mut m: Vec<(NodeId, f64)> = t
+        .nodes()
+        .map(|n| (n, t.available(n).expect("member")))
+        .collect();
+    m.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    m.into_iter().map(|(n, _)| n).collect()
+}
+
+/// Greedy placement under the best-available parents.
+fn try_place(t: &mut LoadTracker, d: &NodeDemand) -> bool {
+    for parent in members_by_avail(t).into_iter().take(PARENT_CANDIDATES) {
+        if t.try_attach(d.node, d.load.clone(), d.budget, parent)
+            .is_ok()
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn build_max_avb(request: &BuildRequest) -> BuildOutcome {
+    let order = sorted_demand(request);
+    let Some((mut t, root_idx)) = seed_root(request, &order) else {
+        return empty_outcome(request);
+    };
+    let mut excluded = Vec::new();
+    for (i, d) in order.iter().enumerate() {
+        if i == root_idx {
+            continue;
+        }
+        if !try_place(&mut t, d) {
+            excluded.push(d.node);
+        }
+    }
+    finish(&t, request, excluded)
+}
+
+/// One congestion-relief attempt: relocate load away from the most
+/// congested members so a pending node can fit. Returns `true` if any
+/// relocation was applied.
+fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
+    let mut donors = members_by_avail(t);
+    donors.reverse(); // most congested first
+    for donor in donors.into_iter().take(4) {
+        // Movable units under this donor.
+        let movable: Vec<NodeId> = if cfg.branch_based {
+            t.children(donor).to_vec()
+        } else {
+            // Single leaves within the donor's subtree.
+            let mut leaves = Vec::new();
+            let mut stack = t.children(donor).to_vec();
+            while let Some(n) = stack.pop() {
+                if t.children(n).is_empty() {
+                    leaves.push(n);
+                } else {
+                    stack.extend(t.children(n).iter().copied());
+                }
+            }
+            leaves
+        };
+        for unit in movable {
+            let old_parent = t.parent(unit).expect("movable unit has a parent");
+            let branch = t.detach_subtree(unit);
+            let in_branch: std::collections::BTreeSet<NodeId> =
+                branch.nodes.iter().map(|(n, ..)| *n).collect();
+            let targets: Vec<NodeId> = if cfg.subtree_only {
+                // Restrict to the donor's remaining subtree (§5.1.2).
+                let mut sub = vec![donor];
+                let mut i = 0;
+                while i < sub.len() {
+                    sub.extend(t.children(sub[i]).iter().copied());
+                    i += 1;
+                }
+                let mut ranked = members_by_avail(t);
+                ranked.retain(|n| sub.contains(n) && *n != old_parent);
+                ranked
+            } else {
+                let mut ranked = members_by_avail(t);
+                ranked.retain(|n| *n != old_parent);
+                ranked
+            };
+            let mut carried = Some(branch);
+            for target in targets
+                .into_iter()
+                .filter(|n| !in_branch.contains(n))
+                .take(PARENT_CANDIDATES)
+            {
+                match t.try_attach_branch(carried.take().expect("branch in hand"), target) {
+                    Ok(()) => break,
+                    Err((back, _)) => carried = Some(back),
+                }
+            }
+            match carried {
+                None => return true,
+                Some(back) => {
+                    t.try_attach_branch(back, old_parent)
+                        .expect("restoring a just-detached branch cannot fail");
+                }
+            }
+        }
+    }
+    false
+}
+
+fn build_adaptive(request: &BuildRequest, cfg: AdjustConfig) -> BuildOutcome {
+    let order = sorted_demand(request);
+    let Some((mut t, root_idx)) = seed_root(request, &order) else {
+        return empty_outcome(request);
+    };
+    let mut excluded = Vec::new();
+    // Congestion-relief moves are budgeted: each one is cheap, but an
+    // adversarial workload could otherwise trigger quadratically many.
+    let mut moves_left = 2 * request.demand.len();
+    for (i, d) in order.iter().enumerate() {
+        if i == root_idx {
+            continue;
+        }
+        let mut placed = try_place(&mut t, d);
+        while !placed && moves_left > 0 {
+            moves_left -= 1;
+            if !relieve_congestion(&mut t, cfg) {
+                break;
+            }
+            placed = try_place(&mut t, d);
+        }
+        if !placed {
+            excluded.push(d.node);
+        }
+    }
+    let adjusted = finish(&t, request, excluded);
+
+    // The adjusting procedure is seeded against the simple schemes and
+    // keeps the best outcome (more pairs, then lower volume) — the
+    // dominance the paper reports in Fig. 7 holds by construction.
+    [
+        build_star(request),
+        build_chain(request),
+        build_max_avb(request),
+    ]
+    .into_iter()
+    .fold(adjusted, |best, cand| {
+        if cand.collected_pairs > best.collected_pairs
+            || (cand.collected_pairs == best.collected_pairs
+                && cand.message_volume < best.message_volume - 1e-9)
+        {
+            cand
+        } else {
+            best
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+
+    fn uniform_request(n: u32, budget: f64, collector: f64, c: f64) -> BuildRequest {
+        BuildRequest {
+            attrs: [AttrId(0)].into_iter().collect(),
+            demand: (0..n)
+                .map(|i| NodeDemand {
+                    node: NodeId(i),
+                    load: LocalLoad::holistic(2.0),
+                    budget,
+                    pairs: 2,
+                })
+                .collect(),
+            collector_budget: collector,
+            cost: CostModel::new(c, 1.0).unwrap(),
+            funnels: Vec::new(),
+        }
+    }
+
+    const ALL: [BuilderKind; 4] = [
+        BuilderKind::Star,
+        BuilderKind::Chain,
+        BuilderKind::MaxAvb,
+        BuilderKind::Adaptive(AdjustConfig {
+            branch_based: true,
+            subtree_only: true,
+        }),
+    ];
+
+    #[test]
+    fn ample_budget_includes_everyone() {
+        let req = uniform_request(10, 1_000.0, 1_000.0, 2.0);
+        for kind in ALL {
+            let out = build_tree(kind, &req);
+            let tree = out.tree.expect("tree built");
+            assert_eq!(tree.len(), 10, "{kind:?}");
+            assert!(out.excluded.is_empty());
+            assert_eq!(out.collected_pairs, 20);
+            assert_eq!(out.demanded_pairs, 20);
+            assert!(tree.is_valid());
+        }
+    }
+
+    #[test]
+    fn star_is_flat_chain_is_deep() {
+        let req = uniform_request(8, 1_000.0, 1_000.0, 2.0);
+        let star = build_tree(BuilderKind::Star, &req).tree.unwrap();
+        let chain = build_tree(BuilderKind::Chain, &req).tree.unwrap();
+        assert_eq!(star.height(), 1);
+        assert_eq!(chain.height(), 7);
+    }
+
+    #[test]
+    fn budgets_bind_and_exclusions_account() {
+        let req = uniform_request(12, 9.0, 500.0, 2.0);
+        for kind in ALL {
+            let out = build_tree(kind, &req);
+            for (&n, &u) in &out.usage {
+                assert!(u <= 9.0 + 1e-6, "{kind:?}: {n} over budget ({u})");
+            }
+            let included = out.tree.as_ref().map_or(0, Tree::len);
+            assert_eq!(included + out.excluded.len(), 12, "{kind:?}");
+            assert_eq!(out.collected_pairs, included * 2, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_dominates_simple_schemes() {
+        for (budget, c) in [(9.0, 2.0), (14.0, 6.0), (30.0, 1.0)] {
+            let req = uniform_request(20, budget, 1e9, c);
+            let adaptive = build_tree(BuilderKind::default(), &req).collected_pairs;
+            for kind in [BuilderKind::Star, BuilderKind::Chain, BuilderKind::MaxAvb] {
+                let other = build_tree(kind, &req).collected_pairs;
+                assert!(
+                    adaptive >= other,
+                    "{kind:?} collected {other} > adaptive {adaptive} (budget {budget}, c {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collector_budget_limits_root_payload() {
+        // Collector can take C + a·x = 2 + x ≤ 8 → at most 6 values.
+        let mut req = uniform_request(10, 1_000.0, 8.0, 2.0);
+        req.demand.iter_mut().for_each(|d| {
+            d.load = LocalLoad::holistic(1.0);
+            d.pairs = 1;
+        });
+        for kind in ALL {
+            let out = build_tree(kind, &req);
+            assert!(out.collector_usage <= 8.0 + 1e-6, "{kind:?}");
+            assert!(out.collected_pairs <= 6, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_root_yields_empty_outcome() {
+        let req = uniform_request(3, 1.0, 100.0, 5.0); // send cost 7 > 1
+        for kind in ALL {
+            let out = build_tree(kind, &req);
+            assert!(out.tree.is_none(), "{kind:?}");
+            assert_eq!(out.excluded.len(), 3);
+            assert_eq!(out.collected_pairs, 0);
+            assert_eq!(out.demanded_pairs, 6);
+            assert_eq!(out.message_volume, 0.0);
+        }
+    }
+
+    #[test]
+    fn funnels_collapse_upstream_traffic() {
+        // One SUM metric: every node contributes 1 value, but each
+        // message carries at most 1 value upstream.
+        let req = BuildRequest {
+            attrs: [AttrId(0)].into_iter().collect(),
+            demand: (0..10)
+                .map(|i| NodeDemand {
+                    node: NodeId(i),
+                    load: LocalLoad {
+                        holistic: 0.0,
+                        funnel: vec![1.0],
+                    },
+                    budget: 7.0, // send (2+1) + one child recv (2+1) + margin
+                    pairs: 1,
+                })
+                .collect(),
+            collector_budget: 7.0,
+            cost: CostModel::new(2.0, 1.0).unwrap(),
+            funnels: vec![Aggregation::Sum],
+        };
+        let out = build_tree(BuilderKind::default(), &req);
+        // A star would need the root to receive 9 messages (27 cost);
+        // funnel-aware chains collect everything within budget 7.
+        assert_eq!(out.collected_pairs, 10, "excluded: {:?}", out.excluded);
+    }
+
+    #[test]
+    fn tracker_transactional_attach_rolls_back() {
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let mut lt = LoadTracker::new(cost, Vec::new(), 1e9);
+        lt.init_root(NodeId(0), LocalLoad::holistic(1.0), 100.0)
+            .unwrap();
+        // Budget 2.9 cannot even cover the leaf's send cost (2 + 1).
+        let err = lt
+            .try_attach(NodeId(1), LocalLoad::holistic(1.0), 2.9, NodeId(0))
+            .unwrap_err();
+        assert_eq!(err, AttachError::BudgetExceeded);
+        assert_eq!(lt.len(), 1);
+        assert!(lt.check_consistency());
+        // Root usage unchanged: its own send only.
+        assert!((lt.usage(NodeId(0)).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_branch_detach_reattach_roundtrip() {
+        let cost = CostModel::new(1.0, 1.0).unwrap();
+        let mut lt = LoadTracker::new(cost, Vec::new(), 1e9);
+        lt.init_root(NodeId(0), LocalLoad::holistic(1.0), 1e9)
+            .unwrap();
+        for (n, p) in [(1u32, 0u32), (2, 1), (3, 1), (4, 0)] {
+            lt.try_attach(NodeId(n), LocalLoad::holistic(1.0), 1e9, NodeId(p))
+                .unwrap();
+        }
+        let before_root_out = lt.outgoing_values(NodeId(0)).unwrap();
+        let branch = lt.detach_subtree(NodeId(1));
+        assert_eq!(branch.len(), 3);
+        assert_eq!(lt.len(), 2);
+        assert!(lt.check_consistency());
+        lt.try_attach_branch(branch, NodeId(4)).unwrap();
+        assert_eq!(lt.len(), 5);
+        assert!(lt.check_consistency());
+        assert_eq!(lt.parent(NodeId(1)), Some(NodeId(4)));
+        assert_eq!(
+            lt.parent(NodeId(2)),
+            Some(NodeId(1)),
+            "branch structure kept"
+        );
+        assert!((lt.outgoing_values(NodeId(0)).unwrap() - before_root_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip_builder_kind() {
+        for kind in ALL {
+            let v = serde::Serialize::serialize(&kind);
+            let back: BuilderKind = serde::Deserialize::deserialize(&v).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+}

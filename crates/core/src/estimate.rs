@@ -157,10 +157,9 @@ impl<'a> GainEstimator<'a> {
             // Root-feasibility penalty: the merged tree's root must
             // carry both trees' payloads in one message.
             if let Some(cap) = self.root_capacity {
-                let payload = (plan.trees()[i].collected_pairs
-                    + plan.trees()[j].collected_pairs) as f64;
-                let feasible = ((cap - self.cost.per_message()) / self.cost.per_value())
-                    .max(0.0);
+                let payload =
+                    (plan.trees()[i].collected_pairs + plan.trees()[j].collected_pairs) as f64;
+                let feasible = ((cap - self.cost.per_message()) / self.cost.per_value()).max(0.0);
                 let excess = payload - feasible;
                 if excess > 0.0 {
                     gain -= 2.0 * self.cost.per_value() * excess;
@@ -208,8 +207,8 @@ impl<'a> GainEstimator<'a> {
             let un = uncollected.get(i).copied().unwrap_or(0);
             for &attr in s {
                 let ov = multi_owner.get(&(i, attr)).copied().unwrap_or(0);
-                let gain = self.cost.per_value() * un as f64
-                    - 2.0 * self.cost.per_message() * ov as f64;
+                let gain =
+                    self.cost.per_value() * un as f64 - 2.0 * self.cost.per_message() * ov as f64;
                 ranked.push((PartitionOp::Split(i, attr), gain));
             }
         }

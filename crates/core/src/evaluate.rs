@@ -289,7 +289,10 @@ mod tests {
         let caps = CapacityMap::uniform(10, 12.0, 100.0).unwrap();
         let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
         for alloc in [AllocationScheme::OnDemand, AllocationScheme::Ordered] {
-            let ctx = EvalContext { allocation: alloc, ..ctx };
+            let ctx = EvalContext {
+                allocation: alloc,
+                ..ctx
+            };
             let plan = build_forest(&Partition::singleton(pairs.attr_universe()), &ctx);
             for (n, u) in plan.node_usage() {
                 assert!(
@@ -308,7 +311,10 @@ mod tests {
         let caps = CapacityMap::uniform(10, 12.0, 100.0).unwrap();
         let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
         for alloc in [AllocationScheme::Uniform, AllocationScheme::Proportional] {
-            let ctx = EvalContext { allocation: alloc, ..base };
+            let ctx = EvalContext {
+                allocation: alloc,
+                ..base
+            };
             let plan = build_forest(&Partition::singleton(pairs.attr_universe()), &ctx);
             for (n, u) in plan.node_usage() {
                 assert!(
@@ -336,7 +342,10 @@ mod tests {
         let catalog = AttrCatalog::new();
         let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
         let score = |alloc| {
-            let ctx = EvalContext { allocation: alloc, ..base };
+            let ctx = EvalContext {
+                allocation: alloc,
+                ..base
+            };
             build_forest(&Partition::singleton(pairs.attr_universe()), &ctx).collected_pairs()
         };
         assert!(score(AllocationScheme::Ordered) >= score(AllocationScheme::Uniform));
@@ -352,7 +361,10 @@ mod tests {
         let caps = CapacityMap::uniform(10, 7.0, 7.0).unwrap();
         let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
         let naive = build_forest(&Partition::one_set(pairs.attr_universe()), &base);
-        let aware = EvalContext { aggregation_aware: true, ..base };
+        let aware = EvalContext {
+            aggregation_aware: true,
+            ..base
+        };
         let aware = build_forest(&Partition::one_set(pairs.attr_universe()), &aware);
         assert!(
             aware.collected_pairs() > naive.collected_pairs(),
@@ -377,7 +389,10 @@ mod tests {
         let caps = CapacityMap::uniform(10, 50.0, 14.0).unwrap();
         let base = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
         let naive = build_forest(&Partition::one_set(pairs.attr_universe()), &base);
-        let awarectx = EvalContext { frequency_aware: true, ..base };
+        let awarectx = EvalContext {
+            frequency_aware: true,
+            ..base
+        };
         let aware = build_forest(&Partition::one_set(pairs.attr_universe()), &awarectx);
         assert!(aware.collected_pairs() >= naive.collected_pairs());
         assert!(aware.collected_pairs() > 0);

@@ -30,13 +30,7 @@ pub fn to_dot(plan: &MonitoringPlan) -> String {
     let mut out = String::from("digraph monitoring {\n");
     out.push_str("  rankdir=BT;\n");
     out.push_str("  collector [shape=doublecircle, label=\"collector\"];\n");
-    for (k, (set, planned)) in plan
-        .partition()
-        .sets()
-        .iter()
-        .zip(plan.trees())
-        .enumerate()
-    {
+    for (k, (set, planned)) in plan.partition().sets().iter().zip(plan.trees()).enumerate() {
         let attrs: Vec<String> = set.iter().map(|a| a.to_string()).collect();
         let _ = writeln!(out, "  subgraph cluster_{k} {{");
         let _ = writeln!(out, "    label=\"tree {k}: {}\";", attrs.join(" "));
@@ -76,13 +70,7 @@ pub fn summarize(plan: &MonitoringPlan) -> String {
         plan.coverage() * 100.0,
         plan.message_volume(),
     );
-    for (k, (set, planned)) in plan
-        .partition()
-        .sets()
-        .iter()
-        .zip(plan.trees())
-        .enumerate()
-    {
+    for (k, (set, planned)) in plan.partition().sets().iter().zip(plan.trees()).enumerate() {
         let attrs: Vec<String> = set.iter().map(|a| a.to_string()).collect();
         match planned.tree.as_ref() {
             Some(tree) => {

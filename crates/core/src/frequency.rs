@@ -136,8 +136,8 @@ pub fn plan_frequency_groups(
     let mut groups = Vec::with_capacity(ordered.len());
 
     for (freq, group_pairs) in ordered {
-        let mut group_caps = CapacityMap::new(collector_remaining.max(0.0))
-            .expect("non-negative collector budget");
+        let mut group_caps =
+            CapacityMap::new(collector_remaining.max(0.0)).expect("non-negative collector budget");
         for (&n, &b) in &remaining {
             group_caps
                 .set_node(n, b.max(0.0))
@@ -208,8 +208,7 @@ mod tests {
         let mut fast_catalog = AttrCatalog::new();
         let fa = fast_catalog.register(AttrInfo::new("x"));
         let mut slow_catalog = AttrCatalog::new();
-        let sa = slow_catalog
-            .register(AttrInfo::new("x").with_frequency(0.1).unwrap());
+        let sa = slow_catalog.register(AttrInfo::new("x").with_frequency(0.1).unwrap());
         let fast_pairs: PairSet = (0..5).map(|n| (NodeId(n), fa)).collect();
         let slow_pairs: PairSet = (0..5).map(|n| (NodeId(n), sa)).collect();
         let caps = CapacityMap::uniform(5, 50.0, 100.0).unwrap();
@@ -237,9 +236,9 @@ mod tests {
         // Tight budgets: the slow group must live off what the fast
         // group leaves; nothing may exceed the node budget in total.
         let mut catalog = AttrCatalog::new();
-        let fast: Vec<AttrId> = (0..3).map(|i| {
-            catalog.register(AttrInfo::new(format!("f{i}")))
-        }).collect();
+        let fast: Vec<AttrId> = (0..3)
+            .map(|i| catalog.register(AttrInfo::new(format!("f{i}"))))
+            .collect();
         let slow = catalog.register(AttrInfo::new("s").with_frequency(0.5).unwrap());
         let mut pairs = PairSet::new();
         for n in 0..6 {

@@ -22,7 +22,9 @@ use std::fmt;
 /// assert_eq!(n.index(), 3);
 /// assert_eq!(format!("{n}"), "n3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -58,7 +60,9 @@ impl From<u32> for NodeId {
 /// use remo_core::AttrId;
 /// assert_eq!(format!("{}", AttrId(7)), "a7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct AttrId(pub u32);
 
 impl AttrId {
@@ -90,7 +94,9 @@ impl From<u32> for AttrId {
 /// use remo_core::TaskId;
 /// assert_eq!(format!("{}", TaskId(0)), "t0");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TaskId(pub u32);
 
 impl fmt::Display for TaskId {

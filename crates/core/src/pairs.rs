@@ -147,8 +147,14 @@ impl PairSet {
     /// and pairs in `self` but not `other`. Used to find trees affected
     /// by task churn.
     pub fn diff(&self, other: &PairSet) -> PairDiff {
-        let added = other.iter().filter(|&(n, a)| !self.contains(n, a)).collect();
-        let removed = self.iter().filter(|&(n, a)| !other.contains(n, a)).collect();
+        let added = other
+            .iter()
+            .filter(|&(n, a)| !self.contains(n, a))
+            .collect();
+        let removed = self
+            .iter()
+            .filter(|&(n, a)| !other.contains(n, a))
+            .collect();
         (added, removed)
     }
 }
@@ -208,7 +214,11 @@ mod tests {
     fn reverse_index_consistent() {
         let p = sample();
         assert_eq!(
-            p.nodes_of(AttrId(0)).unwrap().iter().copied().collect::<Vec<_>>(),
+            p.nodes_of(AttrId(0))
+                .unwrap()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![NodeId(0), NodeId(1)]
         );
         assert_eq!(p.attr_universe().len(), 3);
@@ -228,7 +238,10 @@ mod tests {
         let p = sample();
         let set: BTreeSet<AttrId> = [AttrId(1), AttrId(2)].into_iter().collect();
         let d = p.participants(&set);
-        assert_eq!(d.into_iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(
+            d.into_iter().collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(2)]
+        );
     }
 
     #[test]

@@ -154,12 +154,7 @@ impl MonitoringPlan {
         let mut matched_other = vec![false; other.trees.len()];
         for (i, set) in self.partition.sets().iter().enumerate() {
             let this_tree = self.trees[i].tree.as_ref();
-            match other
-                .partition
-                .sets()
-                .iter()
-                .position(|s| s == set)
-            {
+            match other.partition.sets().iter().position(|s| s == set) {
                 Some(j) => {
                     matched_other[j] = true;
                     match (this_tree, other.trees[j].tree.as_ref()) {

@@ -106,8 +106,7 @@ pub(crate) struct Score {
 
 impl Score {
     pub(crate) fn better_than(&self, other: &Score) -> bool {
-        self.pairs > other.pairs
-            || (self.pairs == other.pairs && self.volume < other.volume - 1e-9)
+        self.pairs > other.pairs || (self.pairs == other.pairs && self.volume < other.volume - 1e-9)
     }
 }
 
@@ -228,8 +227,7 @@ impl Planner {
             return Vec::new();
         }
         let max_budget = caps.iter().map(|(_, b)| b).fold(0.0f64, f64::max);
-        let feasible_payload =
-            ((max_budget - cost.per_message()) / cost.per_value()).max(1.0);
+        let feasible_payload = ((max_budget - cost.per_message()) / cost.per_value()).max(1.0);
         let total_values = pairs.len() as f64;
         let k_min = (total_values / feasible_payload).ceil().max(1.0) as usize;
 
@@ -252,8 +250,11 @@ impl Planner {
                 *load += w;
                 set.insert(a);
             }
-            let sets: Vec<AttrSet> =
-                bins.into_iter().map(|(_, s)| s).filter(|s| !s.is_empty()).collect();
+            let sets: Vec<AttrSet> = bins
+                .into_iter()
+                .map(|(_, s)| s)
+                .filter(|s| !s.is_empty())
+                .collect();
             if let Ok(p) = Partition::from_sets(sets) {
                 if seeds.iter().all(|q: &Partition| q.len() != p.len()) {
                     seeds.push(p);
@@ -360,11 +361,7 @@ impl Planner {
             collector_avail -= t.collector_usage;
         }
 
-        let max_budget = ctx
-            .caps
-            .iter()
-            .map(|(_, b)| b)
-            .fold(0.0f64, f64::max);
+        let max_budget = ctx.caps.iter().map(|(_, b)| b).fold(0.0f64, f64::max);
         let estimator = GainEstimator::with_capacity(ctx.pairs, ctx.cost, max_budget);
         let mut score = Score {
             pairs: trees.iter().map(|t| t.collected_pairs).sum(),
@@ -465,11 +462,7 @@ impl Planner {
                     }
                 } else {
                     // Then, the top candidates evaluated globally.
-                    for (op, _gain) in ranked
-                        .iter()
-                        .take(self.config.global_candidates)
-                        .copied()
-                    {
+                    for (op, _gain) in ranked.iter().take(self.config.global_candidates).copied() {
                         if global_budget == 0 {
                             break;
                         }
@@ -596,12 +589,8 @@ impl Planner {
         let mut residual = freed.clone();
         let mut residual_collector = freed_collector;
         for k in build_order {
-            let t = build_tree_for_set(
-                &new_partition.sets()[k],
-                ctx,
-                &residual,
-                residual_collector,
-            );
+            let t =
+                build_tree_for_set(&new_partition.sets()[k], ctx, &residual, residual_collector);
             for (&n, &u) in &t.usage {
                 *residual.get_mut(&n).expect("known node") -= u;
             }

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Output of a reliability rewrite: the replacement tasks plus the
 /// constraints and alias bookkeeping the planner and collector need.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReliabilityRewrite {
     /// Tasks to submit in place of the original.
     pub tasks: Vec<MonitoringTask>,
@@ -33,15 +33,56 @@ pub struct ReliabilityRewrite {
     /// these into
     /// [`PlannerConfig::forbidden_pairs`](crate::planner::PlannerConfig).
     pub forbidden_pairs: Vec<(AttrId, AttrId)>,
+    /// Reverse alias index (alias → original), built at rewrite time
+    /// so [`ReliabilityRewrite::original_of`] is a single map lookup.
+    /// Absent in data serialized before this field existed.
+    #[serde(default)]
+    reverse: BTreeMap<AttrId, AttrId>,
+}
+
+impl PartialEq for ReliabilityRewrite {
+    fn eq(&self, other: &Self) -> bool {
+        // The reverse index is derived from `aliases`; comparing it
+        // would make rewrites deserialized from older data unequal to
+        // freshly built ones.
+        self.tasks == other.tasks
+            && self.aliases == other.aliases
+            && self.forbidden_pairs == other.forbidden_pairs
+    }
 }
 
 impl ReliabilityRewrite {
+    fn from_parts(
+        tasks: Vec<MonitoringTask>,
+        aliases: BTreeMap<AttrId, Vec<AttrId>>,
+        forbidden_pairs: Vec<(AttrId, AttrId)>,
+    ) -> Self {
+        let reverse = aliases
+            .iter()
+            .flat_map(|(&orig, ids)| ids.iter().map(move |&id| (id, orig)))
+            .collect();
+        ReliabilityRewrite {
+            tasks,
+            aliases,
+            forbidden_pairs,
+            reverse,
+        }
+    }
+
     /// Resolves an alias back to its original attribute (identity for
-    /// non-aliases).
+    /// non-aliases). O(log n) map lookup via the reverse index built
+    /// at rewrite time.
     pub fn original_of(&self, attr: AttrId) -> AttrId {
-        for (&orig, aliases) in &self.aliases {
-            if aliases.contains(&attr) {
-                return orig;
+        if let Some(&orig) = self.reverse.get(&attr) {
+            return orig;
+        }
+        if self.reverse.is_empty() {
+            // Deserialized from data predating the reverse index:
+            // fall back to scanning the forward map.
+            for (&orig, aliases) in &self.aliases {
+                if aliases.contains(&attr) {
+                    return orig;
+                }
             }
         }
         attr
@@ -92,8 +133,7 @@ pub fn rewrite_ssdp(
         let mut ids = vec![attr];
         for r in 1..replication {
             let info = catalog.get_or_default(attr);
-            let alias =
-                catalog.register(AttrInfo::new(format!("{}#r{r}", info.name())));
+            let alias = catalog.register(AttrInfo::new(format!("{}#r{r}", info.name())));
             ids.push(alias);
         }
         for x in 0..ids.len() {
@@ -119,11 +159,7 @@ pub fn rewrite_ssdp(
         })
         .collect();
 
-    Ok(ReliabilityRewrite {
-        tasks,
-        aliases,
-        forbidden_pairs: forbidden,
-    })
+    Ok(ReliabilityRewrite::from_parts(tasks, aliases, forbidden))
 }
 
 /// Rewrites a DSDP task: `groups[g]` is the set of nodes all observing
@@ -183,11 +219,7 @@ pub fn rewrite_dsdp(
 
     let mut aliases = BTreeMap::new();
     aliases.insert(attr, ids);
-    Ok(ReliabilityRewrite {
-        tasks,
-        aliases,
-        forbidden_pairs: forbidden,
-    })
+    Ok(ReliabilityRewrite::from_parts(tasks, aliases, forbidden))
 }
 
 #[cfg(test)]
@@ -235,6 +267,40 @@ mod tests {
         assert_eq!(rw.original_of(alias), a);
         assert_eq!(rw.original_of(a), a);
         assert_eq!(rw.original_of(AttrId(999)), AttrId(999));
+    }
+
+    #[test]
+    fn alias_resolution_survives_serialization_without_reverse_index() {
+        let mut catalog = AttrCatalog::new();
+        let a = catalog.register(AttrInfo::new("x"));
+        let b = catalog.register(AttrInfo::new("y"));
+        let task = MonitoringTask::new(TaskId(0), [a, b], (0..3).map(NodeId));
+        let rw = rewrite_ssdp(&task, 3, &mut catalog, TaskId(10)).unwrap();
+
+        // Round trip through the data model keeps resolution intact.
+        let back: ReliabilityRewrite =
+            serde::Deserialize::deserialize(&serde::Serialize::serialize(&rw)).unwrap();
+        assert_eq!(back, rw);
+        for (&orig, ids) in &rw.aliases {
+            for &id in ids {
+                assert_eq!(back.original_of(id), orig);
+            }
+        }
+
+        // Data predating the reverse index (empty map) falls back to
+        // the forward scan and still resolves every alias.
+        let legacy = ReliabilityRewrite {
+            tasks: rw.tasks.clone(),
+            aliases: rw.aliases.clone(),
+            forbidden_pairs: rw.forbidden_pairs.clone(),
+            reverse: BTreeMap::new(),
+        };
+        assert_eq!(legacy, rw);
+        for (&orig, ids) in &rw.aliases {
+            for &id in ids {
+                assert_eq!(legacy.original_of(id), orig);
+            }
+        }
     }
 
     #[test]

@@ -160,7 +160,10 @@ mod tests {
             tm.add(task(1, &[1], &[1])),
             Err(PlanError::DuplicateTask(TaskId(1)))
         );
-        assert_eq!(tm.add(task(2, &[], &[0])), Err(PlanError::EmptyTask(TaskId(2))));
+        assert_eq!(
+            tm.add(task(2, &[], &[0])),
+            Err(PlanError::EmptyTask(TaskId(2)))
+        );
     }
 
     #[test]

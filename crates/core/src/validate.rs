@@ -157,13 +157,7 @@ pub fn audit_plan(
         }
     }
 
-    for (k, (set, planned)) in plan
-        .partition()
-        .sets()
-        .iter()
-        .zip(plan.trees())
-        .enumerate()
-    {
+    for (k, (set, planned)) in plan.partition().sets().iter().zip(plan.trees()).enumerate() {
         let Some(tree) = planned.tree.as_ref() else {
             if planned.collected_pairs != 0 {
                 report.violations.push(Violation::PairAccounting {
@@ -208,7 +202,9 @@ pub fn audit_plan(
                 }
             }
             if local.is_empty() && !relays_anything {
-                report.violations.push(Violation::IdleMember { tree: k, node: n });
+                report
+                    .violations
+                    .push(Violation::IdleMember { tree: k, node: n });
             }
             // Apply funnels.
             for (attr, v) in per_attr.iter_mut() {
@@ -226,9 +222,7 @@ pub fn audit_plan(
         }
 
         // Usages: send + receives.
-        let send = |n: NodeId| -> f64 {
-            cost.message_cost(outgoing[&n].values().sum::<f64>())
-        };
+        let send = |n: NodeId| -> f64 { cost.message_cost(outgoing[&n].values().sum::<f64>()) };
         for &n in &order {
             let mut u = send(n);
             for c in tree.children(n) {
@@ -237,7 +231,9 @@ pub fn audit_plan(
             *report.node_usage.entry(n).or_insert(0.0) += u;
         }
         // Collector pays the root's message.
-        let root = tree.nodes().find(|&n| tree.parent(n) == Some(Parent::Collector));
+        let root = tree
+            .nodes()
+            .find(|&n| tree.parent(n) == Some(Parent::Collector));
         if let Some(root) = root {
             report.collector_usage += send(root);
         }
@@ -289,11 +285,7 @@ mod tests {
         ] {
             let plan = scheme.plan(&Planner::default(), &pairs, &caps, cost, &catalog);
             let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
-            assert!(
-                report.is_clean(),
-                "{scheme:?}: {:?}",
-                report.violations
-            );
+            assert!(report.is_clean(), "{scheme:?}: {:?}", report.violations);
         }
     }
 

@@ -1,0 +1,74 @@
+//! Chaos harness: drives a live [`Deployment`] from a declarative
+//! [`FailureSchedule`].
+//!
+//! `remo-sim`'s failure module scripts outages as data; this adapter
+//! replays the same schedule against the threaded runtime, so chaos
+//! scenarios (crash at epoch E, heal at epoch F, overlapping windows)
+//! can be asserted against the self-healing coordinator with the exact
+//! outage timeline the simulator used. Node outages map to
+//! [`Deployment::fail_node`] / [`Deployment::heal_node`]; link outages
+//! have no runtime counterpart (agents are wired point-to-point by the
+//! plan) and are ignored.
+
+use remo_core::NodeId;
+use remo_runtime::{Deployment, EpochReport};
+use remo_sim::failure::FailureSchedule;
+use std::collections::BTreeMap;
+
+/// Replays a [`FailureSchedule`]'s node outages against a
+/// [`Deployment`], tick by tick.
+///
+/// The driver tracks the last state it pushed per node so agents only
+/// see `SetFailed` transitions, not a re-assertion every epoch.
+#[derive(Debug, Clone)]
+pub struct ChaosDriver {
+    schedule: FailureSchedule,
+    pushed: BTreeMap<NodeId, bool>,
+}
+
+impl ChaosDriver {
+    /// Wraps a schedule for runtime replay.
+    pub fn new(schedule: FailureSchedule) -> Self {
+        ChaosDriver {
+            schedule,
+            pushed: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &FailureSchedule {
+        &self.schedule
+    }
+
+    /// Applies the schedule's net node state for the *upcoming* epoch
+    /// (call immediately before each [`Deployment::tick`]). Returns
+    /// the nodes whose state changed.
+    pub fn apply(&mut self, dep: &mut Deployment) -> Vec<NodeId> {
+        let epoch = dep.epoch() + 1;
+        let mut changed = Vec::new();
+        for (node, failed) in self.schedule.node_states_at(epoch) {
+            if self.pushed.get(&node) == Some(&failed) {
+                continue;
+            }
+            if failed {
+                dep.fail_node(node);
+            } else {
+                dep.heal_node(node);
+            }
+            self.pushed.insert(node, failed);
+            changed.push(node);
+        }
+        changed
+    }
+
+    /// Runs `epochs` ticks under the schedule, returning every epoch's
+    /// report (in order).
+    pub fn run(&mut self, dep: &mut Deployment, epochs: u64) -> Vec<EpochReport> {
+        (0..epochs)
+            .map(|_| {
+                self.apply(dep);
+                dep.tick()
+            })
+            .collect()
+    }
+}

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod spec;
 
 pub use remo_core as core;
@@ -42,13 +43,14 @@ pub use remo_sim as sim;
 pub use remo_workloads as workloads;
 
 pub use remo_core::{
-    AttrCatalog, AttrId, AttrInfo, AttrSet, Aggregation, CapacityMap, CostModel, MonitoringPlan,
-    MonitoringTask, NodeId, PairSet, Parent, Partition, PartitionOp, PlanError, TaskChange,
-    TaskId, TaskManager, Tree,
+    Aggregation, AttrCatalog, AttrId, AttrInfo, AttrSet, CapacityMap, CostModel, MonitoringPlan,
+    MonitoringTask, NodeId, PairSet, Parent, Partition, PartitionOp, PlanError, TaskChange, TaskId,
+    TaskManager, Tree,
 };
 
 /// Convenient glob import of the most used types across all layers.
 pub mod prelude {
+    pub use crate::chaos::ChaosDriver;
     pub use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
     pub use remo_core::alloc::AllocationScheme;
     pub use remo_core::build::BuilderKind;
@@ -57,6 +59,10 @@ pub mod prelude {
         Aggregation, AttrCatalog, AttrId, AttrInfo, CapacityMap, CostModel, MonitoringPlan,
         MonitoringTask, NodeId, PairSet, Partition, PlanError, TaskChange, TaskId, TaskManager,
     };
+    pub use remo_runtime::{Deployment, HealthConfig, HealthReport, HealthState, NodeHealthStats};
+    pub use remo_sim::failure::{FailureSchedule, Outage};
     pub use remo_sim::{SimConfig, SimSetup, Simulator, ValueModel};
-    pub use remo_workloads::{AppModel, AppModelConfig, ChurnConfig, Scenario, ScenarioConfig, TaskGenConfig};
+    pub use remo_workloads::{
+        AppModel, AppModelConfig, ChurnConfig, Scenario, ScenarioConfig, TaskGenConfig,
+    };
 }

@@ -4,7 +4,7 @@
 
 use remo_core::planner::{Planner, PlannerConfig};
 use remo_core::{
-    AttrCatalog, AttrId, AttrInfo, Aggregation, CapacityMap, CostModel, MonitoringPlan,
+    Aggregation, AttrCatalog, AttrId, AttrInfo, CapacityMap, CostModel, MonitoringPlan,
     MonitoringTask, NodeId, PairSet, PlanError, TaskId, TaskManager,
 };
 use serde::{Deserialize, Serialize};

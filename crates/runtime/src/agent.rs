@@ -28,7 +28,7 @@ pub enum Route {
 }
 
 /// One attribute an agent samples locally for a tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalAttr {
     /// The attribute.
     pub attr: AttrId,
@@ -39,7 +39,7 @@ pub struct LocalAttr {
 }
 
 /// An agent's role within one monitoring tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeAssignment {
     /// Tree index in the deployed forest.
     pub tree: u32,
@@ -74,8 +74,9 @@ pub enum AgentMsg {
         assignments: Vec<TreeAssignment>,
     },
     /// Crash or heal the agent (failure injection): a failed agent
-    /// drops all data traffic but still acknowledges ticks so the
-    /// coordinator's lockstep never wedges.
+    /// drops all data traffic and goes silent — it stops acknowledging
+    /// ticks, so the coordinator's epoch-deadline failure detector
+    /// observes the misses and can confirm the crash.
     SetFailed(bool),
     /// Terminate the agent thread.
     Shutdown,
@@ -217,6 +218,13 @@ impl Agent {
 
     fn on_tick(&mut self, epoch: u64) {
         self.epoch = epoch;
+        if self.failed {
+            // Crashed: produce nothing and stay silent. The missing
+            // report is the failure signal; receive-side drop counters
+            // keep accumulating and surface with the first report
+            // after healing.
+            return;
+        }
         self.bucket.refill();
         let mut report = TickReport {
             node: self.id,
@@ -225,11 +233,6 @@ impl Agent {
             dropped_readings: std::mem::take(&mut self.drop_readings),
             ..TickReport::default()
         };
-        if self.failed {
-            // Crashed: produce nothing, but keep the lockstep alive.
-            let _ = self.reports.send(report);
-            return;
-        }
 
         for ai in 0..self.assignments.len() {
             let a = self.assignments[ai].clone();
@@ -328,16 +331,25 @@ fn fold_aggregates(
             .unwrap_or(Aggregation::Holistic);
         match kind {
             Aggregation::Holistic | Aggregation::Distinct => out.extend(group),
-            Aggregation::Sum => out.push(fold(at, attr, &group, group.iter().map(|r| r.value).sum())),
+            Aggregation::Sum => {
+                out.push(fold(at, attr, &group, group.iter().map(|r| r.value).sum()))
+            }
             Aggregation::Max => out.push(fold(
                 at,
                 attr,
                 &group,
-                group.iter().map(|r| r.value).fold(f64::NEG_INFINITY, f64::max),
+                group
+                    .iter()
+                    .map(|r| r.value)
+                    .fold(f64::NEG_INFINITY, f64::max),
             )),
             Aggregation::Top(k) => {
                 let mut g = group;
-                g.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+                g.sort_by(|a, b| {
+                    b.value
+                        .partial_cmp(&a.value)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
                 g.truncate(k as usize);
                 out.extend(g);
             }

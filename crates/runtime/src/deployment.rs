@@ -1,19 +1,33 @@
 //! Deployment coordinator: launches agents for a monitoring plan and
 //! drives them through lockstep epochs.
+//!
+//! The tick barrier doubles as a failure detector: instead of blocking
+//! until every agent reports, the coordinator waits up to a
+//! configurable deadline ([`HealthConfig::deadline`]) and feeds the
+//! set of reporters into a [`HealthMonitor`]. A deployment launched
+//! with [`Deployment::launch_self_healing`] closes the loop: confirmed
+//! failures invoke `AdaptivePlanner::handle_node_failure`, the old and
+//! repaired plans are diffed, and only agents whose assignments
+//! changed receive targeted [`AgentMsg::Reconfigure`] messages (with
+//! bounded retry and exponential backoff), so orphaned subtrees
+//! reattach without restarting the deployment.
 
 use crate::agent::{
     run_agent, Agent, AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment,
 };
+use crate::health::{HealthConfig, HealthMonitor, HealthReport, HealthState};
 use crate::proto::WireMessage;
 use crate::throttle::TokenBucket;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use remo_core::adapt::AdaptivePlanner;
 use remo_core::{
     AttrCatalog, AttrId, CapacityMap, CostModel, MonitoringPlan, NodeId, PairSet, Parent,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A value stored at the collector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +55,24 @@ pub struct EpochReport {
     pub dropped_readings: u64,
     /// Monitoring traffic volume in cost units.
     pub volume: f64,
+    /// Nodes that entered the suspected state this epoch.
+    pub suspected: u64,
+    /// Nodes confirmed dead this epoch.
+    pub confirmed_dead: u64,
+    /// Confirmed failures the plan was repaired around this epoch.
+    pub repaired: u64,
+    /// Previously dead nodes that reported again this epoch.
+    pub recovered: u64,
+    /// Readings unhealthy nodes were scheduled to produce but could
+    /// not this epoch.
+    pub values_lost: u64,
+    /// Targeted reconfiguration messages sent by plan repair.
+    pub reconfigure_messages: u64,
 }
+
+/// Result of [`Deployment::snapshot`]: the observed values for the
+/// queried pairs plus the pairs with no observation yet.
+pub type Snapshot = (BTreeMap<(NodeId, AttrId), Observed>, Vec<(NodeId, AttrId)>);
 
 /// A running in-process deployment of a monitoring plan.
 #[derive(Debug)]
@@ -55,12 +86,22 @@ pub struct Deployment {
     epoch: u64,
     store: BTreeMap<(NodeId, AttrId), Observed>,
     aggregates: BTreeMap<AttrId, Observed>,
-    node_count: usize,
+    catalog: AttrCatalog,
+    /// Capacities as launched, used to reintegrate recovered nodes.
+    original_caps: CapacityMap,
+    /// Assignments currently pushed to each agent, diffed at repair
+    /// time so reconfiguration messages stay targeted.
+    assignments: BTreeMap<NodeId, Vec<TreeAssignment>>,
+    health_cfg: HealthConfig,
+    health: HealthMonitor,
+    /// Present only for self-healing deployments.
+    healer: Option<AdaptivePlanner>,
 }
 
 impl Deployment {
     /// Launches one agent thread per node in `caps` and wires them
-    /// according to `plan`.
+    /// according to `plan`, with default failure-detection settings
+    /// (see [`HealthConfig`]).
     pub fn launch(
         plan: &MonitoringPlan,
         pairs: &PairSet,
@@ -68,6 +109,28 @@ impl Deployment {
         cost: CostModel,
         catalog: &AttrCatalog,
         sampler: Sampler,
+    ) -> Self {
+        Self::launch_with_health(
+            plan,
+            pairs,
+            caps,
+            cost,
+            catalog,
+            sampler,
+            HealthConfig::default(),
+        )
+    }
+
+    /// [`Deployment::launch`] with explicit failure-detector tuning.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_with_health(
+        plan: &MonitoringPlan,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+        sampler: Sampler,
+        health_cfg: HealthConfig,
     ) -> Self {
         let (report_tx, report_rx) = unbounded();
         let (collector_tx, collector_rx) = unbounded();
@@ -98,8 +161,8 @@ impl Deployment {
             handles.push(run_agent(agent));
         }
 
+        let health = HealthMonitor::new(peers.keys().copied(), health_cfg.confirm_after);
         Deployment {
-            node_count: peers.len(),
             agents: peers,
             handles,
             reports: report_rx,
@@ -109,7 +172,38 @@ impl Deployment {
             epoch: 0,
             store: BTreeMap::new(),
             aggregates: BTreeMap::new(),
+            catalog: catalog.clone(),
+            original_caps: caps.clone(),
+            assignments,
+            health_cfg,
+            health,
+            healer: None,
         }
+    }
+
+    /// Launches a self-healing deployment driven by `planner`'s
+    /// current plan: confirmed agent failures trigger
+    /// `AdaptivePlanner::handle_node_failure` and a targeted
+    /// reconfiguration of the survivors; recovered agents reintegrate
+    /// via `handle_node_recovery` at their original capacity.
+    pub fn launch_self_healing(
+        planner: AdaptivePlanner,
+        sampler: Sampler,
+        health_cfg: HealthConfig,
+    ) -> Self {
+        let caps = planner.caps().clone();
+        let catalog = planner.catalog().clone();
+        let mut dep = Self::launch_with_health(
+            planner.plan(),
+            planner.pairs(),
+            &caps,
+            planner.cost(),
+            &catalog,
+            sampler,
+            health_cfg,
+        );
+        dep.healer = Some(planner);
+        dep
     }
 
     /// Current epoch (completed ticks).
@@ -135,10 +229,7 @@ impl Deployment {
     /// Snapshot of an explicit pair list: observed values plus the
     /// pairs with no observation yet (the runtime analog of the
     /// simulator's task-scoped query).
-    pub fn snapshot(
-        &self,
-        pairs: impl IntoIterator<Item = (NodeId, AttrId)>,
-    ) -> (BTreeMap<(NodeId, AttrId), Observed>, Vec<(NodeId, AttrId)>) {
+    pub fn snapshot(&self, pairs: impl IntoIterator<Item = (NodeId, AttrId)>) -> Snapshot {
         let mut values = BTreeMap::new();
         let mut missing = Vec::new();
         for (n, a) in pairs {
@@ -152,7 +243,18 @@ impl Deployment {
         (values, missing)
     }
 
+    /// Current health snapshot (states and incident statistics as of
+    /// the last completed tick).
+    pub fn health_report(&self) -> HealthReport {
+        self.health.report(self.epoch)
+    }
+
     /// Advances one lockstep epoch and returns its aggregate report.
+    ///
+    /// The tick barrier waits up to [`HealthConfig::deadline`] for
+    /// every non-dead agent's report; stragglers are fed to the
+    /// failure detector, and (in self-healing deployments) confirmed
+    /// failures trigger plan repair before the epoch completes.
     pub fn tick(&mut self) -> EpochReport {
         self.epoch += 1;
         let epoch = self.epoch;
@@ -164,14 +266,68 @@ impl Deployment {
         for tx in self.agents.values() {
             let _ = tx.send(AgentMsg::Tick { epoch });
         }
-        for _ in 0..self.node_count {
-            let tr = self
-                .reports
-                .recv()
-                .expect("agents alive while deployment holds their senders");
-            report.dropped_messages += tr.dropped_messages as u64;
-            report.dropped_readings += tr.dropped_readings as u64;
-            report.volume += tr.volume;
+
+        // Deadline-bounded barrier: wait for every expected (non-dead)
+        // reporter, but never past the health deadline. Any report —
+        // even a stale-epoch one racing in late — proves its sender's
+        // process is alive.
+        let mut missing: BTreeSet<NodeId> = self.health.expected_reporters();
+        let mut reporters: BTreeSet<NodeId> = BTreeSet::new();
+        let deadline = Instant::now() + self.health_cfg.deadline;
+        loop {
+            let fold = |tr: TickReport, report: &mut EpochReport| {
+                report.dropped_messages += tr.dropped_messages as u64;
+                report.dropped_readings += tr.dropped_readings as u64;
+                report.volume += tr.volume;
+            };
+            if missing.is_empty() {
+                // Barrier satisfied; drain anything already queued so
+                // reports from recovering (previously dead) agents are
+                // seen this epoch rather than next.
+                while let Ok(tr) = self.reports.try_recv() {
+                    missing.remove(&tr.node);
+                    reporters.insert(tr.node);
+                    fold(tr, &mut report);
+                }
+                break;
+            }
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match self.reports.recv_timeout(wait) {
+                Ok(tr) => {
+                    missing.remove(&tr.node);
+                    reporters.insert(tr.node);
+                    fold(tr, &mut report);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let events = self.health.observe(epoch, &reporters);
+        report.suspected = events.suspected.len() as u64;
+        report.confirmed_dead = events.confirmed.len() as u64;
+        report.recovered = events.recovered.len() as u64;
+
+        // Degradation telemetry: readings unhealthy nodes were
+        // scheduled to produce this epoch are lost until the plan is
+        // repaired around them (their assignments then become empty).
+        for (&node, assigns) in self.assignments.iter() {
+            if self.health.state(node) == HealthState::Healthy {
+                continue;
+            }
+            let due = assigns
+                .iter()
+                .flat_map(|a| a.local.iter())
+                .filter(|la| epoch.is_multiple_of(la.period.max(1)))
+                .count() as u64;
+            if due > 0 {
+                self.health.add_values_lost(node, due);
+                report.values_lost += due;
+            }
+        }
+
+        if !events.confirmed.is_empty() || !events.recovered.is_empty() {
+            self.repair(&events.confirmed, &events.recovered, epoch, &mut report);
         }
 
         // Collector intake: frames roots sent this epoch.
@@ -210,6 +366,47 @@ impl Deployment {
         report
     }
 
+    /// Repairs the plan around newly confirmed failures and
+    /// reintegrates recovered nodes, sending targeted `Reconfigure`
+    /// messages only to agents whose assignments changed.
+    fn repair(
+        &mut self,
+        confirmed: &[NodeId],
+        recovered: &[NodeId],
+        epoch: u64,
+        report: &mut EpochReport,
+    ) {
+        let Some(healer) = self.healer.as_mut() else {
+            return;
+        };
+        for &node in confirmed {
+            healer.handle_node_failure(node, epoch);
+        }
+        for &node in recovered {
+            let capacity = self.original_caps.node(node).unwrap_or(0.0);
+            healer.handle_node_recovery(node, capacity, epoch);
+        }
+        let fresh = assignments_of(healer.plan(), healer.pairs(), &self.catalog);
+        for (&node, tx) in self.agents.iter() {
+            let next = fresh.get(&node).cloned().unwrap_or_default();
+            let unchanged = self
+                .assignments
+                .get(&node)
+                .map_or(next.is_empty(), |old| *old == next);
+            if unchanged {
+                continue;
+            }
+            if send_reconfigure(tx, next, &self.health_cfg) {
+                report.reconfigure_messages += 1;
+            }
+        }
+        self.assignments = fresh;
+        for &node in confirmed {
+            self.health.mark_repaired(node, epoch);
+            report.repaired += 1;
+        }
+    }
+
     /// Runs `epochs` ticks, returning the summed report.
     pub fn run(&mut self, epochs: u64) -> EpochReport {
         let mut total = EpochReport::default();
@@ -220,6 +417,12 @@ impl Deployment {
             total.dropped_messages += r.dropped_messages;
             total.dropped_readings += r.dropped_readings;
             total.volume += r.volume;
+            total.suspected += r.suspected;
+            total.confirmed_dead += r.confirmed_dead;
+            total.repaired += r.repaired;
+            total.recovered += r.recovered;
+            total.values_lost += r.values_lost;
+            total.reconfigure_messages += r.reconfigure_messages;
         }
         total
     }
@@ -239,6 +442,7 @@ impl Deployment {
             let _ = tx.send(AgentMsg::Reconfigure { assignments: a });
             sent += 1;
         }
+        self.assignments = assignments;
         sent
     }
 
@@ -279,6 +483,31 @@ impl Drop for Deployment {
     }
 }
 
+/// Sends a targeted `Reconfigure` with bounded retry and exponential
+/// backoff; returns whether the send eventually succeeded.
+fn send_reconfigure(
+    tx: &Sender<AgentMsg>,
+    assignments: Vec<TreeAssignment>,
+    cfg: &HealthConfig,
+) -> bool {
+    let attempts = cfg.reconfigure_retries.max(1);
+    let mut backoff = cfg.backoff;
+    let mut msg = AgentMsg::Reconfigure { assignments };
+    for attempt in 0..attempts {
+        match tx.send(msg) {
+            Ok(()) => return true,
+            Err(err) => {
+                msg = err.0;
+                if attempt + 1 < attempts {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Computes every node's tree assignments from a plan.
 fn assignments_of(
     plan: &MonitoringPlan,
@@ -286,13 +515,7 @@ fn assignments_of(
     catalog: &AttrCatalog,
 ) -> BTreeMap<NodeId, Vec<TreeAssignment>> {
     let mut out: BTreeMap<NodeId, Vec<TreeAssignment>> = BTreeMap::new();
-    for (k, (set, planned)) in plan
-        .partition()
-        .sets()
-        .iter()
-        .zip(plan.trees())
-        .enumerate()
-    {
+    for (k, (set, planned)) in plan.partition().sets().iter().zip(plan.trees()).enumerate() {
         let Some(tree) = planned.tree.as_ref() else {
             continue;
         };
@@ -372,7 +595,11 @@ mod tests {
         let s = sampler();
         for (n, a) in pairs.iter() {
             let obs = dep.observed(n, a).expect("pair observed");
-            assert_eq!(obs.value, s(n, a, obs.produced), "value integrity for {n}/{a}");
+            assert_eq!(
+                obs.value,
+                s(n, a, obs.produced),
+                "value integrity for {n}/{a}"
+            );
         }
         dep.shutdown();
     }
@@ -480,6 +707,131 @@ mod tests {
         let r = dep.tick();
         // 4 nodes each send one message on the first epoch.
         assert!(r.volume > 0.0);
+        dep.shutdown();
+    }
+
+    fn fast_health(confirm_after: u32) -> HealthConfig {
+        HealthConfig {
+            deadline: std::time::Duration::from_millis(60),
+            confirm_after,
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn silent_crash_is_suspected_then_confirmed() {
+        let caps = CapacityMap::uniform(6, 100.0, 10_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(6, 1);
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let mut dep = Deployment::launch_with_health(
+            &plan,
+            &pairs,
+            &caps,
+            cost,
+            &catalog,
+            sampler(),
+            fast_health(2),
+        );
+        dep.run(4);
+        assert!(dep.health_report().dead_nodes().is_empty());
+
+        let victim = NodeId(4);
+        dep.fail_node(victim);
+        let total = dep.run(4);
+        let hr = dep.health_report();
+        assert_eq!(hr.states[&victim], HealthState::Dead);
+        assert_eq!(hr.stats[&victim].confirmed, 1);
+        assert_eq!(
+            hr.stats[&victim].time_to_detect, 1,
+            "K=2 confirms one epoch after first miss"
+        );
+        assert!(
+            hr.stats[&victim].values_lost > 0,
+            "victim's due readings counted as lost"
+        );
+        assert_eq!(total.suspected, 1);
+        assert_eq!(total.confirmed_dead, 1);
+        assert_eq!(total.repaired, 0, "no healer attached");
+        dep.shutdown();
+    }
+
+    fn self_healing(nodes: usize, attrs: u32, confirm_after: u32) -> (Deployment, PairSet) {
+        use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
+        let caps = CapacityMap::uniform(nodes, 100.0, 10_000.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let pairs = dense_pairs(nodes as u32, attrs);
+        let planner = AdaptivePlanner::new(
+            Planner::default(),
+            AdaptScheme::Adaptive,
+            pairs.clone(),
+            caps,
+            cost,
+            AttrCatalog::new(),
+        );
+        let dep = Deployment::launch_self_healing(planner, sampler(), fast_health(confirm_after));
+        (dep, pairs)
+    }
+
+    #[test]
+    fn confirmed_failure_triggers_plan_repair() {
+        let (mut dep, pairs) = self_healing(8, 1, 2);
+        dep.run(6);
+        assert_eq!(dep.observed_pairs(), pairs.len());
+
+        let victim = NodeId(3);
+        dep.fail_node(victim);
+        let total = dep.run(4);
+        assert_eq!(total.confirmed_dead, 1);
+        assert_eq!(total.repaired, 1, "healer repairs on confirmation");
+        assert!(
+            total.reconfigure_messages >= 1,
+            "at least one survivor re-routed"
+        );
+        let hr = dep.health_report();
+        assert_eq!(hr.stats[&victim].repaired, 1);
+        assert!(hr.stats[&victim].mttr_epochs >= hr.stats[&victim].time_to_detect);
+
+        // After repair the survivors keep delivering fresh values.
+        dep.run(6);
+        let now = dep.epoch();
+        for (n, a) in pairs.iter().filter(|(n, _)| *n != victim) {
+            let obs = dep.observed(n, a).expect("survivor pair observed");
+            assert!(
+                now - obs.produced <= 10,
+                "survivor {n}/{a} stale after repair: lag {}",
+                now - obs.produced
+            );
+        }
+        dep.shutdown();
+    }
+
+    #[test]
+    fn recovered_node_is_reintegrated() {
+        let (mut dep, pairs) = self_healing(6, 1, 2);
+        dep.run(4);
+        let victim = NodeId(2);
+        dep.fail_node(victim);
+        dep.run(4);
+        assert_eq!(dep.health_report().states[&victim], HealthState::Dead);
+
+        dep.heal_node(victim);
+        let total = dep.run(10);
+        assert_eq!(total.recovered, 1);
+        let hr = dep.health_report();
+        assert_eq!(hr.states[&victim], HealthState::Healthy);
+        assert_eq!(hr.stats[&victim].recovered, 1);
+        // The recovered node's pairs are being collected again.
+        let now = dep.epoch();
+        for (n, a) in pairs.iter().filter(|(n, _)| *n == victim) {
+            let obs = dep.observed(n, a).expect("recovered pair observed");
+            assert!(
+                now - obs.produced <= 10,
+                "recovered {n}/{a} should be fresh, lag {}",
+                now - obs.produced
+            );
+        }
         dep.shutdown();
     }
 }

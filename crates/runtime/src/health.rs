@@ -1,0 +1,351 @@
+//! Failure detection and health telemetry for deployments.
+//!
+//! The coordinator drives agents in lockstep epochs; a healthy agent
+//! acknowledges every `Tick` with a [`TickReport`](crate::TickReport).
+//! A crashed agent goes silent, so liveness falls out of the tick
+//! barrier itself: any agent that misses the per-epoch report deadline
+//! is *suspected*, and after [`HealthConfig::confirm_after`]
+//! consecutive misses it is *confirmed dead*. Confirmation is the
+//! signal the self-healing deployment uses to invoke
+//! `AdaptivePlanner::handle_node_failure` and reconfigure the
+//! survivors; an agent that reports again after confirmation is
+//! *recovered* and reintegrated via `handle_node_recovery`.
+//!
+//! [`HealthMonitor`] holds the per-node detector state machine and
+//! incident statistics; [`HealthReport`] is the serializable snapshot
+//! exposed through
+//! [`Deployment::health_report`](crate::Deployment::health_report).
+
+use remo_core::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Liveness state of one agent as seen by the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HealthState {
+    /// Reporting on time.
+    #[default]
+    Healthy,
+    /// Missed at least one epoch deadline, not yet confirmed dead.
+    Suspected,
+    /// Missed `confirm_after` consecutive deadlines.
+    Dead,
+}
+
+/// Failure-detector and repair tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// How long the coordinator waits each epoch for outstanding tick
+    /// reports before declaring the stragglers missed.
+    pub deadline: Duration,
+    /// Consecutive missed deadlines before a suspect is confirmed
+    /// dead (the paper-style `K`).
+    pub confirm_after: u32,
+    /// Attempts per targeted `Reconfigure` send during plan repair.
+    pub reconfigure_retries: u32,
+    /// Initial backoff between reconfigure retries; doubles per
+    /// attempt.
+    pub backoff: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            deadline: Duration::from_millis(200),
+            confirm_after: 3,
+            reconfigure_retries: 3,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Per-node incident statistics (cumulative over the deployment's
+/// lifetime; epoch quantities refer to the most recent incident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct NodeHealthStats {
+    /// Times this node entered the suspected state.
+    pub suspected: u64,
+    /// Times this node was confirmed dead.
+    pub confirmed: u64,
+    /// Times a plan repair completed after this node's confirmation.
+    pub repaired: u64,
+    /// Times this node reported again after being confirmed dead.
+    pub recovered: u64,
+    /// Epochs from first missed deadline to confirmation (last
+    /// incident): the detector's time-to-detect.
+    pub time_to_detect: u64,
+    /// Epochs from first missed deadline to completed plan repair
+    /// (last incident): mean-time-to-repair in epochs.
+    pub mttr_epochs: u64,
+    /// Readings this node was scheduled to produce but could not,
+    /// accumulated over its unhealthy windows.
+    pub values_lost: u64,
+}
+
+/// Serializable snapshot of deployment health.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HealthReport {
+    /// Epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// Current liveness state per node.
+    pub states: BTreeMap<NodeId, HealthState>,
+    /// Cumulative incident statistics per node.
+    pub stats: BTreeMap<NodeId, NodeHealthStats>,
+}
+
+impl HealthReport {
+    /// Nodes currently confirmed dead.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .filter(|(_, &s)| s == HealthState::Dead)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Total confirmed-dead incidents across all nodes.
+    pub fn total_confirmed(&self) -> u64 {
+        self.stats.values().map(|s| s.confirmed).sum()
+    }
+
+    /// Total completed repairs across all nodes.
+    pub fn total_repaired(&self) -> u64 {
+        self.stats.values().map(|s| s.repaired).sum()
+    }
+
+    /// Total readings lost to unhealthy windows across all nodes.
+    pub fn total_values_lost(&self) -> u64 {
+        self.stats.values().map(|s| s.values_lost).sum()
+    }
+}
+
+/// State transitions produced by one epoch's observation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthEvents {
+    /// Nodes that just became suspected.
+    pub suspected: Vec<NodeId>,
+    /// Nodes that just became confirmed dead.
+    pub confirmed: Vec<NodeId>,
+    /// Previously dead nodes that reported again.
+    pub recovered: Vec<NodeId>,
+}
+
+impl HealthEvents {
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.suspected.is_empty() && self.confirmed.is_empty() && self.recovered.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeHealth {
+    state: HealthState,
+    misses: u32,
+    first_miss: u64,
+    stats: NodeHealthStats,
+}
+
+/// The per-node failure-detector state machine.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    confirm_after: u32,
+    nodes: BTreeMap<NodeId, NodeHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor tracking `nodes`, confirming death after
+    /// `confirm_after` consecutive missed deadlines (clamped to ≥ 1).
+    pub fn new(nodes: impl IntoIterator<Item = NodeId>, confirm_after: u32) -> Self {
+        HealthMonitor {
+            confirm_after: confirm_after.max(1),
+            nodes: nodes
+                .into_iter()
+                .map(|n| {
+                    (
+                        n,
+                        NodeHealth {
+                            state: HealthState::Healthy,
+                            misses: 0,
+                            first_miss: 0,
+                            stats: NodeHealthStats::default(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Current state of a node (`Dead` for untracked nodes).
+    pub fn state(&self, node: NodeId) -> HealthState {
+        self.nodes.get(&node).map_or(HealthState::Dead, |h| h.state)
+    }
+
+    /// Nodes the tick barrier should still wait for (everything not
+    /// confirmed dead).
+    pub fn expected_reporters(&self) -> BTreeSet<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, h)| h.state != HealthState::Dead)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Folds one epoch's reporter set into the detector and returns
+    /// the transitions.
+    pub fn observe(&mut self, epoch: u64, reporters: &BTreeSet<NodeId>) -> HealthEvents {
+        let mut events = HealthEvents::default();
+        for (&node, h) in self.nodes.iter_mut() {
+            if reporters.contains(&node) {
+                if h.state == HealthState::Dead {
+                    h.stats.recovered += 1;
+                    events.recovered.push(node);
+                }
+                h.state = HealthState::Healthy;
+                h.misses = 0;
+            } else {
+                h.misses += 1;
+                if h.state == HealthState::Healthy {
+                    h.state = HealthState::Suspected;
+                    h.first_miss = epoch;
+                    h.stats.suspected += 1;
+                    events.suspected.push(node);
+                }
+                if h.state == HealthState::Suspected && h.misses >= self.confirm_after {
+                    h.state = HealthState::Dead;
+                    h.stats.confirmed += 1;
+                    h.stats.time_to_detect = epoch.saturating_sub(h.first_miss);
+                    events.confirmed.push(node);
+                }
+            }
+        }
+        events
+    }
+
+    /// Records that the plan was repaired around `node` at `epoch`
+    /// (sets the incident's MTTR).
+    pub fn mark_repaired(&mut self, node: NodeId, epoch: u64) {
+        if let Some(h) = self.nodes.get_mut(&node) {
+            h.stats.repaired += 1;
+            h.stats.mttr_epochs = epoch.saturating_sub(h.first_miss);
+        }
+    }
+
+    /// Charges `count` lost readings to `node`'s current incident.
+    pub fn add_values_lost(&mut self, node: NodeId, count: u64) {
+        if let Some(h) = self.nodes.get_mut(&node) {
+            h.stats.values_lost += count;
+        }
+    }
+
+    /// Serializable snapshot at `epoch`.
+    pub fn report(&self, epoch: u64) -> HealthReport {
+        HealthReport {
+            epoch,
+            states: self.nodes.iter().map(|(&n, h)| (n, h.state)).collect(),
+            stats: self.nodes.iter().map(|(&n, h)| (n, h.stats)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(n: u32) -> BTreeSet<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn silent_node_is_suspected_then_confirmed() {
+        let mut m = HealthMonitor::new((0..4).map(NodeId), 3);
+        let mut reporters = all(4);
+        reporters.remove(&NodeId(2));
+
+        let e1 = m.observe(1, &reporters);
+        assert_eq!(e1.suspected, vec![NodeId(2)]);
+        assert!(e1.confirmed.is_empty());
+        assert_eq!(m.state(NodeId(2)), HealthState::Suspected);
+
+        let e2 = m.observe(2, &reporters);
+        assert!(e2.is_empty(), "second miss is not yet confirmation");
+
+        let e3 = m.observe(3, &reporters);
+        assert_eq!(e3.confirmed, vec![NodeId(2)]);
+        assert_eq!(m.state(NodeId(2)), HealthState::Dead);
+        let r = m.report(3);
+        assert_eq!(r.stats[&NodeId(2)].time_to_detect, 2);
+        assert_eq!(r.dead_nodes(), vec![NodeId(2)]);
+        assert_eq!(r.total_confirmed(), 1);
+    }
+
+    #[test]
+    fn single_miss_recovers_without_confirmation() {
+        let mut m = HealthMonitor::new((0..2).map(NodeId), 3);
+        let mut some = all(2);
+        some.remove(&NodeId(1));
+        m.observe(1, &some);
+        assert_eq!(m.state(NodeId(1)), HealthState::Suspected);
+        m.observe(2, &all(2));
+        assert_eq!(m.state(NodeId(1)), HealthState::Healthy);
+        // Misses are consecutive: a fresh incident restarts the count.
+        m.observe(3, &some);
+        m.observe(4, &some);
+        assert_eq!(m.state(NodeId(1)), HealthState::Suspected);
+        m.observe(5, &some);
+        assert_eq!(m.state(NodeId(1)), HealthState::Dead);
+    }
+
+    #[test]
+    fn dead_node_reporting_again_is_recovered() {
+        let mut m = HealthMonitor::new((0..3).map(NodeId), 1);
+        let mut down = all(3);
+        down.remove(&NodeId(0));
+        let e = m.observe(1, &down);
+        assert_eq!(
+            e.confirmed,
+            vec![NodeId(0)],
+            "confirm_after=1 confirms at once"
+        );
+        assert_eq!(m.expected_reporters(), down);
+
+        let e = m.observe(2, &all(3));
+        assert_eq!(e.recovered, vec![NodeId(0)]);
+        assert_eq!(m.state(NodeId(0)), HealthState::Healthy);
+        assert_eq!(m.report(2).stats[&NodeId(0)].recovered, 1);
+    }
+
+    #[test]
+    fn repair_and_loss_accounting() {
+        let mut m = HealthMonitor::new((0..2).map(NodeId), 2);
+        let mut down = all(2);
+        down.remove(&NodeId(1));
+        m.observe(5, &down);
+        m.observe(6, &down);
+        assert_eq!(m.state(NodeId(1)), HealthState::Dead);
+        m.add_values_lost(NodeId(1), 3);
+        m.mark_repaired(NodeId(1), 7);
+        let r = m.report(7);
+        assert_eq!(r.stats[&NodeId(1)].mttr_epochs, 2);
+        assert_eq!(r.stats[&NodeId(1)].values_lost, 3);
+        assert_eq!(r.total_repaired(), 1);
+        assert_eq!(r.total_values_lost(), 3);
+    }
+
+    #[test]
+    fn report_serde_roundtrip() {
+        let mut m = HealthMonitor::new((0..3).map(NodeId), 2);
+        let mut down = all(3);
+        down.remove(&NodeId(2));
+        m.observe(1, &down);
+        m.observe(2, &down);
+        let report = m.report(2);
+        let v = serde::Serialize::serialize(&report);
+        let back: HealthReport = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, report);
+        let state = HealthState::Suspected;
+        let v = serde::Serialize::serialize(&state);
+        let back: HealthState = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, state);
+    }
+}

@@ -4,7 +4,11 @@
 //! one agent thread per monitoring node, channel-based messaging with
 //! a binary wire protocol ([`proto`]), token-bucket capacity emulation
 //! ([`throttle`]), coordinator-driven lockstep epochs, in-network
-//! aggregation at relay points, and live topology reconfiguration.
+//! aggregation at relay points, live topology reconfiguration, and a
+//! self-healing control loop ([`health`]): epoch-deadline failure
+//! detection, automatic plan repair through
+//! `remo_core::adapt::AdaptivePlanner`, and targeted reconfiguration
+//! of the surviving agents.
 //!
 //! Where [`remo-sim`](../remo_sim/index.html) is the fast, fully
 //! deterministic model used for the paper's parameter sweeps, this
@@ -39,11 +43,15 @@
 
 pub mod agent;
 pub mod deployment;
+pub mod health;
 pub mod proto;
 pub mod samplers;
 pub mod throttle;
 
 pub use agent::{AgentMsg, Route, Sampler, TickReport, TreeAssignment};
-pub use deployment::{Deployment, EpochReport, Observed};
+pub use deployment::{Deployment, EpochReport, Observed, Snapshot};
+pub use health::{
+    HealthConfig, HealthEvents, HealthMonitor, HealthReport, HealthState, NodeHealthStats,
+};
 pub use proto::{WireMessage, WireReading};
 pub use throttle::TokenBucket;

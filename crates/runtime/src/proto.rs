@@ -227,10 +227,7 @@ mod tests {
         let frame = sample_msg(3).encode();
         // Keep header, drop one reading's bytes.
         let cut = frame.slice(0..frame.len() - 1);
-        assert_eq!(
-            WireMessage::decode(cut),
-            Err(DecodeError::BadCount(3))
-        );
+        assert_eq!(WireMessage::decode(cut), Err(DecodeError::BadCount(3)));
     }
 
     #[test]

@@ -200,7 +200,10 @@ mod tests {
 
     fn store_with(node: u32, attr: u32, value: f64, produced: u64) -> CollectorStore {
         let mut s = CollectorStore::new();
-        s.record(&Reading::sample(NodeId(node), AttrId(attr), value, produced), produced + 1);
+        s.record(
+            &Reading::sample(NodeId(node), AttrId(attr), value, produced),
+            produced + 1,
+        );
         s
     }
 
@@ -238,8 +241,16 @@ mod tests {
         let mut rp = ResultProcessor::new();
         rp.add_rule(AlertRule::above("hot", AttrId(0), 90.0).with_max_staleness(3));
         let s = store_with(1, 0, 95.0, 10);
-        assert_eq!(rp.evaluate(&s, [(NodeId(1), AttrId(0))], 20), 0, "too stale");
-        assert_eq!(rp.evaluate(&s, [(NodeId(1), AttrId(0))], 12), 1, "fresh enough");
+        assert_eq!(
+            rp.evaluate(&s, [(NodeId(1), AttrId(0))], 20),
+            0,
+            "too stale"
+        );
+        assert_eq!(
+            rp.evaluate(&s, [(NodeId(1), AttrId(0))], 12),
+            1,
+            "fresh enough"
+        );
     }
 
     #[test]

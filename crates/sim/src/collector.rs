@@ -96,11 +96,7 @@ impl CollectorStore {
     /// (`(node, attr) → true value`), each pair's error capped at
     /// `cap`. Pairs never observed score the full cap — a dropped pair
     /// is as wrong as it gets.
-    pub fn mean_error(
-        &self,
-        truth: &BTreeMap<(NodeId, AttrId), f64>,
-        cap: f64,
-    ) -> f64 {
+    pub fn mean_error(&self, truth: &BTreeMap<(NodeId, AttrId), f64>, cap: f64) -> f64 {
         if truth.is_empty() {
             return 0.0;
         }

@@ -294,15 +294,11 @@ impl Simulator {
         }
         for route in &self.routes {
             let key: Vec<AttrId> = route.attrs.iter().copied().collect();
-            if !new_routes
-                .iter()
-                .any(|r| r.attrs == route.attrs)
-            {
+            if !new_routes.iter().any(|r| r.attrs == route.attrs) {
                 changed_sets.insert(key);
                 for &n in &route.members {
                     control += 1;
-                    *self.control_charges.entry(n).or_insert(0.0) +=
-                        self.cost.message_cost(1.0);
+                    *self.control_charges.entry(n).or_insert(0.0) += self.cost.message_cost(1.0);
                 }
             }
         }
@@ -711,7 +707,10 @@ mod tests {
         // At freq 1/4 over 16 epochs, each node samples 4 times; all
         // three nodes' samples arrive (minus pipeline tail).
         let delivered = sim.metrics().total_delivered();
-        assert!(delivered <= 12, "delivered {delivered} exceeds sample budget");
+        assert!(
+            delivered <= 12,
+            "delivered {delivered} exceeds sample budget"
+        );
         assert!(delivered >= 6, "delivered {delivered} too low");
     }
 
@@ -721,9 +720,7 @@ mod tests {
         let build = |agg: bool| {
             let mut catalog = AttrCatalog::new();
             let attr = if agg {
-                catalog.register(
-                    AttrInfo::new("m").with_aggregation(remo_core::Aggregation::Max),
-                )
+                catalog.register(AttrInfo::new("m").with_aggregation(remo_core::Aggregation::Max))
             } else {
                 catalog.register(AttrInfo::new("m"))
             };

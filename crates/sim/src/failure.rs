@@ -8,6 +8,7 @@
 use crate::engine::Simulator;
 use remo_core::NodeId;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// What fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,27 +93,53 @@ impl FailureSchedule {
         self.outages.is_empty()
     }
 
+    /// Net per-node failure state at `epoch`: a node is failed iff
+    /// *any* outage targeting it is active, regardless of the order
+    /// outages were added in.
+    pub fn node_states_at(&self, epoch: u64) -> BTreeMap<NodeId, bool> {
+        let mut states: BTreeMap<NodeId, bool> = BTreeMap::new();
+        for o in &self.outages {
+            if let FailureTarget::Node(n) = o.target {
+                *states.entry(n).or_insert(false) |= o.active_at(epoch);
+            }
+        }
+        states
+    }
+
+    /// Net per-link failure state at `epoch` (keyed by the directed
+    /// edge `from → to`), ORed across overlapping outages like
+    /// [`FailureSchedule::node_states_at`].
+    pub fn link_states_at(&self, epoch: u64) -> BTreeMap<(NodeId, NodeId), bool> {
+        let mut states: BTreeMap<(NodeId, NodeId), bool> = BTreeMap::new();
+        for o in &self.outages {
+            if let FailureTarget::Link(a, b) = o.target {
+                *states.entry((a, b)).or_insert(false) |= o.active_at(epoch);
+            }
+        }
+        states
+    }
+
     /// Applies the schedule's state for the *upcoming* epoch to the
     /// simulator (call immediately before each `step()`).
+    ///
+    /// Each target's state is the OR over all outages covering it, so
+    /// overlapping windows on the same target compose correctly: an
+    /// outage that has ended cannot heal a target another outage still
+    /// holds down.
     pub fn apply(&self, sim: &mut Simulator) {
         let epoch = sim.epoch() + 1;
-        for o in &self.outages {
-            let active = o.active_at(epoch);
-            match o.target {
-                FailureTarget::Node(n) => {
-                    if active {
-                        sim.fail_node(n);
-                    } else {
-                        sim.heal_node(n);
-                    }
-                }
-                FailureTarget::Link(a, b) => {
-                    if active {
-                        sim.fail_link(a, b);
-                    } else {
-                        sim.heal_link(a, b);
-                    }
-                }
+        for (n, failed) in self.node_states_at(epoch) {
+            if failed {
+                sim.fail_node(n);
+            } else {
+                sim.heal_node(n);
+            }
+        }
+        for ((a, b), failed) in self.link_states_at(epoch) {
+            if failed {
+                sim.fail_link(a, b);
+            } else {
+                sim.heal_link(a, b);
             }
         }
     }
@@ -196,14 +223,56 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_outages_on_one_target_compose() {
+        // Regression: a short outage ending mid-way through a longer
+        // one must not heal the target — the net state is the OR over
+        // all covering windows, independent of insertion order.
+        let mut sched = FailureSchedule::new();
+        sched.add(Outage::node(NodeId(2), 5, Some(20)));
+        sched.add(Outage::node(NodeId(2), 1, Some(10)));
+        for epoch in [1, 5, 10, 11, 15, 20] {
+            assert!(
+                sched.node_states_at(epoch)[&NodeId(2)],
+                "node 2 covered at epoch {epoch}"
+            );
+        }
+        assert!(!sched.node_states_at(21)[&NodeId(2)]);
+
+        // End-to-end: the node stays dark for the whole union window.
+        let mut s = sim();
+        let victim = NodeId(5);
+        let mut sched = FailureSchedule::new();
+        sched.add(Outage::node(victim, 10, Some(25)));
+        sched.add(Outage::node(victim, 5, Some(12))); // ends inside the first
+        sched.run(&mut s, 25);
+        // Between epoch 13 (where the buggy per-outage loop healed the
+        // victim) and 25, nothing fresh from the victim arrives.
+        let stored = s.collector().get(victim, AttrId(0)).expect("seen early");
+        assert!(
+            stored.produced < 13,
+            "victim healed mid-outage: fresh value produced at {}",
+            stored.produced
+        );
+        sched.run(&mut s, 10);
+        let healed = s.collector().get(victim, AttrId(0)).expect("resumes");
+        assert!(
+            healed.produced > 25,
+            "victim flows again after the union window"
+        );
+
+        // Links compose the same way.
+        let mut sched = FailureSchedule::new();
+        sched.add(Outage::link(NodeId(0), NodeId(1), 3, None));
+        sched.add(Outage::link(NodeId(0), NodeId(1), 1, Some(4)));
+        assert!(sched.link_states_at(100)[&(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
     fn empty_schedule_is_a_noop() {
         let mut a = sim();
         let mut b = sim();
         FailureSchedule::new().run(&mut a, 8);
         b.run(8);
-        assert_eq!(
-            a.metrics().total_delivered(),
-            b.metrics().total_delivered()
-        );
+        assert_eq!(a.metrics().total_delivered(), b.metrics().total_delivered());
     }
 }

@@ -78,11 +78,7 @@ impl TaskSnapshot {
 /// assert_eq!(snap.missing.len(), 1);
 /// assert_eq!(snap.completeness(), 0.5);
 /// ```
-pub fn snapshot_for_task(
-    store: &CollectorStore,
-    task: &MonitoringTask,
-    now: u64,
-) -> TaskSnapshot {
+pub fn snapshot_for_task(store: &CollectorStore, task: &MonitoringTask, now: u64) -> TaskSnapshot {
     snapshot_for_pairs(store, task.pairs(), now)
 }
 

@@ -80,7 +80,11 @@ pub fn aggregate(kind: Aggregation, at: NodeId, readings: Vec<Reading>) -> Vec<R
         }
         Aggregation::Top(k) => {
             let mut sorted = readings;
-            sorted.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+            sorted.sort_by(|a, b| {
+                b.value
+                    .partial_cmp(&a.value)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             sorted.truncate(k as usize);
             sorted
         }

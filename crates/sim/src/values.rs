@@ -63,9 +63,7 @@ impl ValueProcess {
     /// Starts a process at the model's midpoint (or the constant).
     pub fn new(model: ValueModel) -> Self {
         let current = match model {
-            ValueModel::Walk { lo, hi, .. } | ValueModel::Bursty { lo, hi, .. } => {
-                (lo + hi) / 2.0
-            }
+            ValueModel::Walk { lo, hi, .. } | ValueModel::Bursty { lo, hi, .. } => (lo + hi) / 2.0,
             ValueModel::Constant(v) => v,
         };
         ValueProcess { model, current }

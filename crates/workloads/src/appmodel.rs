@@ -190,11 +190,7 @@ mod tests {
         let app = AppModel::generate(&small_cfg());
         // A task over everything: pairs must be exactly the observable
         // sets.
-        let t = MonitoringTask::new(
-            TaskId(0),
-            (0..15).map(AttrId),
-            (0..20).map(NodeId),
-        );
+        let t = MonitoringTask::new(TaskId(0), (0..15).map(AttrId), (0..20).map(NodeId));
         let pairs = app.observable_pairs(&[t]);
         let expected: usize = (0..20)
             .map(|n| app.observable(NodeId(n)).unwrap().len())

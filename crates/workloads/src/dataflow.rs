@@ -117,9 +117,7 @@ impl DataflowApp {
             let downstream = if layer + 1 < layers {
                 let fanout = rng.gen_range(1..=2usize);
                 (0..fanout)
-                    .map(|_| {
-                        OperatorId(((layer + 1) * per + rng.gen_range(0..per)) as u32)
-                    })
+                    .map(|_| OperatorId(((layer + 1) * per + rng.gen_range(0..per)) as u32))
                     .collect::<BTreeSet<_>>()
                     .into_iter()
                     .collect()
@@ -333,7 +331,11 @@ mod tests {
                 .any(|op| op.node == n && op.metrics.contains(&attr));
             assert!(hosts, "pair {n}/{attr} not hosted");
         }
-        assert_eq!(pairs.len(), 20, "each operator's metric observable at its host");
+        assert_eq!(
+            pairs.len(),
+            20,
+            "each operator's metric observable at its host"
+        );
     }
 
     #[test]

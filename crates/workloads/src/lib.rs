@@ -25,8 +25,8 @@ pub mod taskchurn;
 pub mod taskgen;
 
 pub use appmodel::{AppModel, AppModelConfig};
-pub use dataflow::{DataflowApp, DataflowConfig, Operator, OperatorId, OperatorKind};
 pub use churn::{churn_pairs, churn_schedule, ChurnConfig};
+pub use dataflow::{DataflowApp, DataflowConfig, Operator, OperatorId, OperatorKind};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use taskchurn::{churn_batch, churn_step, TaskChurnConfig};
 pub use taskgen::TaskGenConfig;

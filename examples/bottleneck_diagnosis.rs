@@ -112,7 +112,13 @@ fn main() -> Result<(), PlanError> {
         snap.mean().unwrap_or(0.0)
     );
     let (pair, v) = snap.max_pair().expect("snapshot has data");
-    println!("  hottest upstream reading: {}/{} = {:.1}", pair.0, pair.1, v.value);
-    assert!(snap.completeness() > 0.9, "diagnosis must actually observe the path");
+    println!(
+        "  hottest upstream reading: {}/{} = {:.1}",
+        pair.0, pair.1, v.value
+    );
+    assert!(
+        snap.completeness() > 0.9,
+        "diagnosis must actually observe the path"
+    );
     Ok(())
 }

@@ -19,8 +19,8 @@ use remo_core::validate::audit_plan;
 const TARGET: f64 = 0.95;
 
 fn coverage_at(scheme: PartitionScheme, s: &Scenario, budget: f64) -> f64 {
-    let caps = CapacityMap::uniform(s.caps.len(), budget, s.caps.collector())
-        .expect("valid budget");
+    let caps =
+        CapacityMap::uniform(s.caps.len(), budget, s.caps.collector()).expect("valid budget");
     let catalog = AttrCatalog::new();
     scheme
         .plan(&Planner::default(), &s.pairs, &caps, s.cost, &catalog)

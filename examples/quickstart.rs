@@ -57,13 +57,7 @@ fn main() -> Result<(), PlanError> {
     );
     println!("attribute partition: {}", plan.partition());
 
-    for (i, (set, tree)) in plan
-        .partition()
-        .sets()
-        .iter()
-        .zip(plan.trees())
-        .enumerate()
-    {
+    for (i, (set, tree)) in plan.partition().sets().iter().zip(plan.trees()).enumerate() {
         let attrs: Vec<String> = set.iter().map(|a| a.to_string()).collect();
         match &tree.tree {
             Some(t) => println!(

@@ -83,6 +83,9 @@ fn main() -> Result<(), PlanError> {
         "  SSDP ×2      : {repl_fresh:>3} fresh pairs, mean error {:.1}%",
         repl_err * 100.0
     );
-    assert!(repl_fresh >= plain_fresh, "replication must not hurt freshness");
+    assert!(
+        repl_fresh >= plain_fresh,
+        "replication must not hurt freshness"
+    );
     Ok(())
 }

@@ -41,7 +41,10 @@ fn example_spec_round_trips_through_planning() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = remo_plan().arg("/nonexistent/spec.json").output().expect("run");
+    let out = remo_plan()
+        .arg("/nonexistent/spec.json")
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot read"));

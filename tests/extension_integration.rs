@@ -12,9 +12,7 @@ fn aggregation_aware_plan_collects_more_under_tight_collector() {
     let mut catalog = AttrCatalog::new();
     let maxes: Vec<AttrId> = (0..3)
         .map(|i| {
-            catalog.register(
-                AttrInfo::new(format!("max{i}")).with_aggregation(Aggregation::Max),
-            )
+            catalog.register(AttrInfo::new(format!("max{i}")).with_aggregation(Aggregation::Max))
         })
         .collect();
     let pairs: PairSet = (0..20)
@@ -126,6 +124,74 @@ fn ssdp_replication_survives_single_link_failure() {
 }
 
 #[test]
+fn ssdp_delivers_every_attribute_with_replica_tree_root_down() {
+    // Same rewrite as above, but the failure is a whole NODE — the
+    // root of the tree carrying the original attribute — scripted as
+    // a FailureSchedule instead of imperative fail_link calls. Every
+    // original attribute must keep flowing through the surviving
+    // replica tree; only pairs sourced at the dead node itself can go
+    // stale.
+    let mut catalog = AttrCatalog::new();
+    let attr = catalog.register(AttrInfo::new("critical"));
+    let task = MonitoringTask::new(TaskId(0), [attr], (0..12).map(NodeId));
+    let metric_pairs: PairSet = task.pairs().collect();
+    let rw = rewrite_ssdp(&task, 2, &mut catalog, TaskId(1)).unwrap();
+    let pairs: PairSet = rw.tasks.iter().flat_map(MonitoringTask::pairs).collect();
+    let aliases: BTreeMap<AttrId, AttrId> = rw
+        .aliases
+        .iter()
+        .flat_map(|(&orig, ids)| ids.iter().map(move |&id| (id, orig)))
+        .collect();
+
+    let caps = CapacityMap::uniform(12, 40.0, 400.0).unwrap();
+    let cost = CostModel::default();
+    let plan = Planner::new(PlannerConfig {
+        forbidden_pairs: rw.forbidden_pairs.clone(),
+        ..PlannerConfig::default()
+    })
+    .plan_with_catalog(&pairs, &caps, cost, &catalog);
+
+    let mut sim = Simulator::new(SimSetup {
+        plan: &plan,
+        planned_pairs: &pairs,
+        metric_pairs: Some(&metric_pairs),
+        caps: &caps,
+        cost,
+        catalog: &catalog,
+        aliases,
+        config: SimConfig::default(),
+    });
+    sim.run(10);
+
+    // Crash the root of the original attribute's tree, permanently,
+    // from epoch 11 on.
+    let k = plan.tree_of_attr(attr).expect("original attr planned");
+    let victim = plan.trees()[k].tree.as_ref().unwrap().root();
+    let mut sched = FailureSchedule::new();
+    sched.add(Outage::node(victim, 11, None));
+    sched.run(&mut sim, 20);
+
+    let now = sim.epoch();
+    // Every original pair not sourced at the dead node is still being
+    // delivered through the surviving replica's tree.
+    for (n, a) in metric_pairs.iter().filter(|(n, _)| *n != victim) {
+        let stored = sim.collector().get(n, a).expect("pair delivered");
+        assert!(
+            now - stored.produced <= 12,
+            "pair {n}/{a} went stale with one replica root down: produced {} at epoch {now}",
+            stored.produced
+        );
+    }
+    // Attribute-level SLO: the schedule killed one of twelve sources,
+    // so at least 11/12 of the task's pairs stay fresh.
+    let fraction = sim.fresh_fraction(12);
+    assert!(
+        fraction >= 11.0 / 12.0 - 1e-9,
+        "replication should hold all surviving pairs fresh, got {fraction}"
+    );
+}
+
+#[test]
 fn dsdp_uses_disjoint_sources() {
     let mut catalog = AttrCatalog::new();
     let attr = catalog.register(AttrInfo::new("shared_storage_iops"));
@@ -174,7 +240,10 @@ fn frequency_groups_collect_slow_attrs_cheaply() {
     // group's despite identical pair counts.
     let fast_vol = grouped.groups[0].plan.message_volume();
     let slow_vol = grouped.groups[1].plan.message_volume();
-    assert!(slow_vol < fast_vol * 0.5, "slow {slow_vol} vs fast {fast_vol}");
+    assert!(
+        slow_vol < fast_vol * 0.5,
+        "slow {slow_vol} vs fast {fast_vol}"
+    );
 }
 
 #[test]
@@ -182,8 +251,11 @@ fn frequency_aware_piggyback_collects_at_least_naive() {
     let mut catalog = AttrCatalog::new();
     let mut pairs = PairSet::new();
     for i in 0..4 {
-        let a = catalog
-            .register(AttrInfo::new(format!("a{i}")).with_frequency(if i % 2 == 0 { 1.0 } else { 0.5 }).unwrap());
+        let a = catalog.register(
+            AttrInfo::new(format!("a{i}"))
+                .with_frequency(if i % 2 == 0 { 1.0 } else { 0.5 })
+                .unwrap(),
+        );
         for n in 0..15 {
             pairs.insert(NodeId(n), a);
         }
@@ -199,5 +271,8 @@ fn frequency_aware_piggyback_collects_at_least_naive() {
     })
     .plan_with_catalog(&pairs, &caps, cost, &catalog)
     .collected_pairs();
-    assert!(aware >= naive, "frequency awareness regressed: {aware} < {naive}");
+    assert!(
+        aware >= naive,
+        "frequency awareness regressed: {aware} < {naive}"
+    );
 }

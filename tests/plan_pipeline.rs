@@ -111,11 +111,18 @@ fn builders_form_expected_shapes_at_scale() {
             s.cost,
             &catalog,
         );
-        plan.trees()[0].tree.as_ref().map(|t| t.height()).unwrap_or(0)
+        plan.trees()[0]
+            .tree
+            .as_ref()
+            .map(|t| t.height())
+            .unwrap_or(0)
     };
     let star = shape(BuilderKind::Star);
     let chain = shape(BuilderKind::Chain);
-    assert!(star < chain, "star {star} should be shallower than chain {chain}");
+    assert!(
+        star < chain,
+        "star {star} should be shallower than chain {chain}"
+    );
 }
 
 #[test]

@@ -6,9 +6,8 @@ use remo_core::build::{build_tree, BuildRequest, BuilderKind, LocalLoad, NodeDem
 use remo_core::{AttrSet, Partition};
 
 fn arb_universe(max: u32) -> impl Strategy<Value = Vec<AttrId>> {
-    prop::collection::btree_set(0..max, 1..(max as usize)).prop_map(|s| {
-        s.into_iter().map(AttrId).collect()
-    })
+    prop::collection::btree_set(0..max, 1..(max as usize))
+        .prop_map(|s| s.into_iter().map(AttrId).collect())
 }
 
 proptest! {

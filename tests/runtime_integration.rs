@@ -7,7 +7,9 @@ use remo_runtime::{Deployment, Sampler};
 use std::sync::Arc;
 
 fn sampler() -> Sampler {
-    Arc::new(|n: NodeId, a: AttrId, e: u64| (n.0 as f64) * 100.0 + (a.0 as f64) * 10.0 + (e % 5) as f64)
+    Arc::new(|n: NodeId, a: AttrId, e: u64| {
+        (n.0 as f64) * 100.0 + (a.0 as f64) * 10.0 + (e % 5) as f64
+    })
 }
 
 fn plan_for(

@@ -1,0 +1,177 @@
+//! Chaos-harness integration tests: crash and heal agents mid-run and
+//! assert the self-healing coordinator's recovery SLOs — confirmation
+//! within K epochs of a silent crash, automatic plan repair, and
+//! ≥ 95% of the surviving (node, attribute) pairs delivered within 10
+//! epochs of confirmation — with time-to-detect, MTTR, and lost-value
+//! telemetry present in the [`HealthReport`].
+
+use remo::prelude::*;
+use remo::runtime::Sampler;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONFIRM_AFTER: u32 = 2;
+
+fn sampler() -> Sampler {
+    Arc::new(|n: NodeId, a: AttrId, e: u64| (n.0 * 100 + a.0 * 10) as f64 + (e % 5) as f64)
+}
+
+fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+    (0..nodes)
+        .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+        .collect()
+}
+
+fn fast_health() -> HealthConfig {
+    HealthConfig {
+        deadline: Duration::from_millis(80),
+        confirm_after: CONFIRM_AFTER,
+        ..HealthConfig::default()
+    }
+}
+
+/// A self-healing deployment over `nodes` nodes plus the planned pair
+/// set and the root of the first monitoring tree (a relay whose crash
+/// orphans a whole subtree).
+fn launch(nodes: usize, attrs: u32) -> (Deployment, PairSet, NodeId) {
+    let caps = CapacityMap::uniform(nodes, 100.0, 10_000.0).unwrap();
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let pairs = dense_pairs(nodes as u32, attrs);
+    let planner = AdaptivePlanner::new(
+        Planner::default(),
+        AdaptScheme::Adaptive,
+        pairs.clone(),
+        caps,
+        cost,
+        AttrCatalog::new(),
+    );
+    let root = planner.plan().trees()[0]
+        .tree
+        .as_ref()
+        .expect("first tree planned")
+        .root();
+    let dep = Deployment::launch_self_healing(planner, sampler(), fast_health());
+    (dep, pairs, root)
+}
+
+/// Fraction of `pairs` whose collector snapshot was produced at or
+/// after `since`.
+fn fresh_fraction(
+    dep: &Deployment,
+    pairs: impl IntoIterator<Item = (NodeId, AttrId)>,
+    since: u64,
+) -> f64 {
+    let mut total = 0u64;
+    let mut fresh = 0u64;
+    for (n, a) in pairs {
+        total += 1;
+        if dep.observed(n, a).is_some_and(|obs| obs.produced >= since) {
+            fresh += 1;
+        }
+    }
+    fresh as f64 / total.max(1) as f64
+}
+
+#[test]
+fn crashed_relay_confirmed_repaired_and_survivors_recover() {
+    let (mut dep, pairs, victim) = launch(12, 2);
+    dep.run(6);
+    assert_eq!(
+        dep.observed_pairs(),
+        pairs.len(),
+        "healthy warm-up collects everything"
+    );
+
+    // Crash the first tree's root: its entire subtree is orphaned.
+    let crash_epoch = dep.epoch();
+    dep.fail_node(victim);
+
+    // The coordinator must confirm within K epochs of the first miss
+    // (plus the epoch where the crash takes effect).
+    let mut confirm_epoch = None;
+    for _ in 0..CONFIRM_AFTER as u64 + 1 {
+        dep.tick();
+        if dep.health_report().states[&victim] == HealthState::Dead {
+            confirm_epoch = Some(dep.epoch());
+            break;
+        }
+    }
+    let confirm_epoch = confirm_epoch.expect("confirmed within K epochs of the crash");
+    assert!(confirm_epoch <= crash_epoch + CONFIRM_AFTER as u64 + 1);
+
+    // Confirmation triggered handle_node_failure + targeted repair.
+    let hr = dep.health_report();
+    assert_eq!(hr.stats[&victim].confirmed, 1);
+    assert_eq!(
+        hr.stats[&victim].repaired, 1,
+        "plan repaired on confirmation"
+    );
+    assert!(hr.stats[&victim].values_lost > 0, "lost readings accounted");
+    assert!(hr.stats[&victim].mttr_epochs >= hr.stats[&victim].time_to_detect);
+
+    // SLO: within 10 epochs of confirmation, ≥95% of the remaining
+    // pairs deliver values produced after confirmation.
+    dep.run(10);
+    let remaining = pairs.iter().filter(|(n, _)| *n != victim);
+    let fraction = fresh_fraction(&dep, remaining, confirm_epoch);
+    assert!(
+        fraction >= 0.95,
+        "only {:.0}% of surviving pairs recovered within 10 epochs",
+        fraction * 100.0
+    );
+    dep.shutdown();
+}
+
+#[test]
+fn chaos_schedule_crashes_and_heals_agents_mid_run() {
+    let (mut dep, pairs, victim) = launch(10, 1);
+
+    // Two overlapping windows on the victim: the union is [4, 14].
+    let mut sched = FailureSchedule::new();
+    sched.add(Outage::node(victim, 4, Some(14)));
+    sched.add(Outage::node(victim, 6, Some(10)));
+    let mut chaos = ChaosDriver::new(sched);
+
+    let reports = chaos.run(&mut dep, 30);
+    let confirmed: u64 = reports.iter().map(|r| r.confirmed_dead).sum();
+    let repaired: u64 = reports.iter().map(|r| r.repaired).sum();
+    let recovered: u64 = reports.iter().map(|r| r.recovered).sum();
+    assert_eq!(
+        confirmed, 1,
+        "one crash confirmed despite overlapping windows"
+    );
+    assert_eq!(repaired, 1, "confirmation repaired the plan once");
+    assert_eq!(
+        recovered, 1,
+        "healing at the end of the union window reintegrates"
+    );
+
+    let hr = dep.health_report();
+    assert_eq!(hr.states[&victim], HealthState::Healthy);
+    assert_eq!(hr.stats[&victim].recovered, 1);
+    assert!(hr.stats[&victim].values_lost > 0);
+
+    // After reintegration every pair — including the victim's — is
+    // delivered again.
+    let fraction = fresh_fraction(&dep, pairs.iter(), dep.epoch().saturating_sub(10));
+    assert!(
+        fraction >= 0.95,
+        "only {:.0}% of all pairs fresh after reintegration",
+        fraction * 100.0
+    );
+    dep.shutdown();
+}
+
+#[test]
+fn epoch_reports_aggregate_health_counters() {
+    let (mut dep, _pairs, victim) = launch(8, 1);
+    dep.run(3);
+    dep.fail_node(victim);
+    let total = dep.run(6);
+    assert_eq!(total.suspected, 1);
+    assert_eq!(total.confirmed_dead, 1);
+    assert_eq!(total.repaired, 1);
+    assert!(total.reconfigure_messages >= 1, "survivors re-routed");
+    assert!(total.values_lost > 0);
+    dep.shutdown();
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module subset this workspace uses is provided,
+//! implemented over `std::sync::mpsc` (whose `Sender` has been `Sync`
+//! since Rust 1.72, which is all the agent mesh needs).
+
+/// MPSC channels with the crossbeam API surface used here.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if all receivers are gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying the message back when the
+        /// channel is disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvTimeoutError::Timeout`] on deadline expiry or
+        /// [`RecvTimeoutError::Disconnected`] when the channel closed.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when no message is queued or
+        /// [`TryRecvError::Disconnected`] when the channel closed.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}

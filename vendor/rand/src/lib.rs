@@ -1,0 +1,356 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the deterministic subset this workspace uses: a
+//! SplitMix64-backed [`rngs::SmallRng`], the [`Rng`] extension methods
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! and the `seq` helpers (`SliceRandom`, `IteratorRandom`,
+//! `index::sample`). All construction is seeded — there is no OS
+//! entropy source, which keeps every experiment reproducible offline.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling a value of `T` uniformly over its "natural" range
+/// (`[0, 1)` for floats, the full domain for integers, fair coin for
+/// `bool`) — the stand-in for `rand`'s `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range random values can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (f64::sample(rng) as $t) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (f64::sample(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// The user-facing extension methods (auto-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws a value via the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small fast deterministic generator (SplitMix64 core).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+
+    /// Random operations on iterators (reservoir sampling).
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Uniformly random element, or `None` for an empty iterator.
+        fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+            let mut picked = None;
+            for (seen, item) in self.enumerate() {
+                if rng.gen_range(0..seen + 1) == 0 {
+                    picked = Some(item);
+                }
+            }
+            picked
+        }
+
+        /// Up to `amount` distinct elements, uniformly.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            self,
+            rng: &mut R,
+            amount: usize,
+        ) -> Vec<Self::Item> {
+            let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+            for (seen, item) in self.enumerate() {
+                if reservoir.len() < amount {
+                    reservoir.push(item);
+                } else {
+                    let j = rng.gen_range(0..seen + 1);
+                    if j < amount {
+                        reservoir[j] = item;
+                    }
+                }
+            }
+            reservoir
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+
+    /// Index sampling (the `rand::seq::index` module).
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// A set of sampled indexes.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates the sampled indexes.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Consumes into a `Vec<usize>`.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indexes.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether nothing was sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indexes from `0..length`
+        /// (partial Fisher–Yates).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`, matching `rand`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indexes from {length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::{index::sample, IteratorRandom, SliceRandom};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(5.0f64..6.0);
+            assert!((5.0..6.0).contains(&y));
+            let z = rng.gen_range(2u32..=2);
+            assert_eq!(z, 2);
+            let w = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn sample_is_distinct_and_complete() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let picked = sample(&mut rng, 10, 10).into_vec();
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let picked = (0..5u32).choose_multiple(&mut rng, 3);
+        assert_eq!(picked.len(), 3);
+    }
+}

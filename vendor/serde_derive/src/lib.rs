@@ -1,0 +1,437 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the deriving item directly from its token stream (no `syn`)
+//! and emits `serde::Serialize` / `serde::Deserialize` impls against
+//! the stand-in's [`Value`]-tree data model. Supported shapes are the
+//! ones this workspace uses: named-field structs, tuple structs,
+//! and enums with unit, tuple, and struct variants. The only field
+//! attribute honored is `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i, &mut false);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => panic!("unsupported struct shape for `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            _ => panic!("malformed enum `{name}`"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility, noting whether the attributes included
+/// `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize, has_default: &mut bool) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    let text = g.stream().to_string();
+                    if text.contains("serde") && text.contains("default") {
+                        *has_default = true;
+                    }
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips tokens until a comma at zero angle-bracket depth (the end of
+/// a field type), leaving the index on the comma (or at the end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let mut has_default = false;
+        skip_attrs_and_vis(&tokens, &mut i, &mut has_default);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the comma (or past the end)
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        let mut ignored = false;
+        skip_attrs_and_vis(&tokens, &mut i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let mut ignored = false;
+        skip_attrs_and_vis(&tokens, &mut i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the variant separator (covers discriminants, which
+        // this workspace doesn't use, defensively).
+        while !matches!(tokens.get(i), None | Some(TokenTree::Punct(_))) {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), serde::Serialize::serialize(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{\n\
+                     serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: String = (0..*arity)
+                .map(|k| format!("serde::Serialize::serialize(&self.{k}),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::serialize(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::serialize({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), serde::Serialize::serialize({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_field_reads(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.has_default {
+                "std::default::Default::default()".to_string()
+            } else {
+                format!("return Err(\"missing field `{}`\".to_string())", f.name)
+            };
+            format!(
+                "{0}: match {source}.get(\"{0}\") {{\n\
+                     Some(x) => serde::Deserialize::deserialize(x)?,\n\
+                     None => {missing},\n\
+                 }},",
+                f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let reads = named_field_reads(fields, "v");
+            format!(
+                "if !matches!(v, serde::Value::Object(_)) {{\n\
+                     return Err(format!(\"expected object, found {{}}\", v.kind()));\n\
+                 }}\n\
+                 Ok({name} {{ {reads} }})"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("Ok({name}(serde::Deserialize::deserialize(v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let reads: String = (0..*arity)
+                .map(|k| format!("serde::Deserialize::deserialize(&items[{k}])?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::Array(items) if items.len() == {arity} => Ok({name}({reads})),\n\
+                     other => Err(format!(\"expected {arity}-element array, found {{}}\", other.kind())),\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::deserialize(inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let reads: String = (0..*n)
+                                .map(|k| format!("serde::Deserialize::deserialize(&items[{k}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vn}({reads})),\n\
+                                     other => Err(format!(\"variant `{vn}` expects a {n}-element array, found {{}}\", other.kind())),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let reads = named_field_reads(fields, "inner");
+                            Some(format!("\"{vn}\" => Ok({name}::{vn} {{ {reads} }}),"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(format!(\"unknown variant `{{other}}` of `{name}`\")),\n\
+                     }},\n\
+                     serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(format!(\"unknown variant `{{other}}` of `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(format!(\"expected enum value, found {{}}\", other.kind())),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
