@@ -1,0 +1,179 @@
+//! `remo-audit` — audit a serialized plan bundle against the paper's
+//! named invariants.
+//!
+//! ```text
+//! remo-audit <bundle.json> [--sarif <out.json>] [--errors-only]
+//!            [--disable <rule>]... [--severity <rule>=<level>]...
+//! remo-audit --list-rules
+//! remo-audit --example
+//! ```
+//!
+//! Exit status: 0 when no error-severity finding fired, 1 when at
+//! least one did, 2 on usage or I/O problems.
+
+use remo_audit::{corpus, rule, sarif, Audit, AuditBundle, Severity, RULES};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: remo-audit <bundle.json> [options]
+       remo-audit --list-rules
+       remo-audit --example
+
+options:
+  --sarif <out.json>        also write a SARIF-style report
+  --errors-only             run only error-severity rules
+  --disable <rule>          skip a rule by name (repeatable)
+  --severity <rule>=<level> override a rule's severity to
+                            error|warn|info (repeatable)
+  --list-rules              print the rule registry and exit
+  --example                 print an example bundle (a known-bad
+                            corpus entry) and exit
+";
+
+fn parse_severity(text: &str) -> Option<Severity> {
+    match text {
+        "error" => Some(Severity::Error),
+        "warn" | "warning" => Some(Severity::Warn),
+        "info" | "note" => Some(Severity::Info),
+        _ => None,
+    }
+}
+
+fn list_rules() {
+    println!(
+        "{:<7} {:<30} {:<8} {:<10} summary",
+        "code", "rule", "level", "paper"
+    );
+    for r in RULES {
+        println!(
+            "{:<7} {:<30} {:<8} {:<10} {}",
+            r.code,
+            r.name,
+            r.severity.to_string(),
+            r.paper_section,
+            r.summary
+        );
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("remo-audit: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--example") {
+        let cases = corpus::known_bad();
+        let case = &cases[0];
+        match case.bundle.to_json() {
+            Ok(text) => {
+                println!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("remo-audit: cannot render example: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut bundle_path: Option<String> = None;
+    let mut sarif_path: Option<String> = None;
+    let mut audit = Audit::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--errors-only" => {
+                *audit.rules_mut() = remo_audit::RuleSet::errors_only();
+            }
+            "--sarif" => match it.next() {
+                Some(path) => sarif_path = Some(path),
+                None => return usage_error("--sarif needs a path"),
+            },
+            "--disable" => match it.next() {
+                Some(name) => {
+                    if rule(&name).is_none() {
+                        return usage_error(&format!("unknown rule `{name}`"));
+                    }
+                    audit.rules_mut().disable(&name);
+                }
+                None => return usage_error("--disable needs a rule name"),
+            },
+            "--severity" => match it.next() {
+                Some(spec) => {
+                    let Some((name, level)) = spec.split_once('=') else {
+                        return usage_error("--severity needs <rule>=<level>");
+                    };
+                    if rule(name).is_none() {
+                        return usage_error(&format!("unknown rule `{name}`"));
+                    }
+                    let Some(sev) = parse_severity(level) else {
+                        return usage_error(&format!("unknown severity `{level}`"));
+                    };
+                    audit.rules_mut().set_severity(name, sev);
+                }
+                None => return usage_error("--severity needs <rule>=<level>"),
+            },
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown option `{other}`"));
+            }
+            path => {
+                if bundle_path.replace(path.to_string()).is_some() {
+                    return usage_error("more than one bundle path given");
+                }
+            }
+        }
+    }
+
+    let Some(path) = bundle_path else {
+        return usage_error("no bundle path given");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("remo-audit: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bundle = match AuditBundle::from_json(&text) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("remo-audit: {path} is not a valid bundle: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = bundle.audit(&audit);
+    if let Some(out) = sarif_path {
+        if let Err(e) = std::fs::write(&out, sarif::sarif_json(&outcome)) {
+            eprintln!("remo-audit: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if outcome.findings.is_empty() {
+        println!("{path}: clean ({} rules)", RULES.len());
+    } else {
+        print!("{}", outcome.render());
+        let errors = outcome.errors().count();
+        println!(
+            "{path}: {} finding(s), {errors} error(s)",
+            outcome.findings.len()
+        );
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end checks of the `remo-audit` binary: exit codes, SARIF
+//! output, and rule toggling through the command line.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use remo_audit::{corpus, rules, AuditBundle};
+use remo_core::planner::Planner;
+use remo_core::{AttrCatalog, AttrId, CapacityMap, CostModel, NodeId, PairSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_remo-audit"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remo-audit-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn clean_bundle() -> AuditBundle {
+    let pairs: PairSet = (0..6)
+        .flat_map(|n| (0..2).map(move |a| (NodeId(n), AttrId(a))))
+        .collect();
+    let caps = CapacityMap::uniform(6, 40.0, 300.0).unwrap();
+    let cost = CostModel::default();
+    let catalog = AttrCatalog::new();
+    let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+    AuditBundle::new(plan, pairs, caps, cost)
+}
+
+#[test]
+fn clean_bundle_exits_zero() {
+    let path = scratch("clean.json");
+    std::fs::write(&path, clean_bundle().to_json().unwrap()).unwrap();
+    let out = bin().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn error_finding_exits_one_and_writes_sarif() {
+    let case = corpus::known_bad()
+        .into_iter()
+        .find(|c| c.rule == rules::CAPACITY_BUDGET)
+        .expect("corpus has a capacity case");
+    let path = scratch("overload.json");
+    let report = scratch("overload.sarif.json");
+    std::fs::write(&path, case.bundle.to_json().unwrap()).unwrap();
+
+    let out = bin()
+        .arg(&path)
+        .arg("--sarif")
+        .arg(&report)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[RA001] capacity-budget"), "{stdout}");
+
+    let sarif = std::fs::read_to_string(&report).unwrap();
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"RA001\""), "{sarif}");
+}
+
+#[test]
+fn disabling_the_rule_silences_the_finding() {
+    let case = corpus::known_bad()
+        .into_iter()
+        .find(|c| c.rule == rules::CAPACITY_BUDGET)
+        .expect("corpus has a capacity case");
+    let path = scratch("overload-disabled.json");
+    std::fs::write(&path, case.bundle.to_json().unwrap()).unwrap();
+    let out = bin()
+        .arg(&path)
+        .arg("--disable")
+        .arg(rules::CAPACITY_BUDGET)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn severity_override_demotes_to_warning() {
+    let case = corpus::known_bad()
+        .into_iter()
+        .find(|c| c.rule == rules::CAPACITY_BUDGET)
+        .expect("corpus has a capacity case");
+    let path = scratch("overload-demoted.json");
+    std::fs::write(&path, case.bundle.to_json().unwrap()).unwrap();
+    let out = bin()
+        .arg(&path)
+        .arg("--severity")
+        .arg(format!("{}=warn", rules::CAPACITY_BUDGET))
+        .output()
+        .unwrap();
+    // Still reported, but no longer fails the audit.
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warning[RA001]"), "{stdout}");
+}
+
+#[test]
+fn list_rules_covers_the_registry() {
+    let out = bin().arg("--list-rules").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for r in remo_audit::RULES {
+        assert!(stdout.contains(r.code), "missing {}", r.code);
+        assert!(stdout.contains(r.name), "missing {}", r.name);
+    }
+}
+
+#[test]
+fn example_bundle_feeds_back_into_the_cli() {
+    let out = bin().arg("--example").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let path = scratch("example.json");
+    std::fs::write(&path, &text).unwrap();
+    // The example is a known-bad corpus entry, so auditing it fails.
+    let out = bin().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn usage_problems_exit_two() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no args");
+
+    let out = bin().arg("/nonexistent/bundle.json").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing file");
+
+    let out = bin()
+        .arg("x.json")
+        .arg("--disable")
+        .arg("not-a-rule")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown rule");
+
+    let garbage = scratch("garbage.json");
+    std::fs::write(&garbage, "{ not json").unwrap();
+    let out = bin().arg(&garbage).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unparseable bundle");
+}

@@ -47,6 +47,7 @@ fn coverage(alloc: AllocationScheme, pairs: &PairSet, caps: &CapacityMap, cost: 
         cost,
         &catalog,
     );
+    remo_audit::assert_plan_clean(&plan, pairs, caps, cost, &catalog);
     plan.coverage() * 100.0
 }
 

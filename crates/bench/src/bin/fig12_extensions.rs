@@ -61,13 +61,24 @@ fn fig12a() {
     let cost = CostModel::new(10.0, 1.0).expect("cost");
 
     let run = |agg: bool, freq: bool| {
-        Planner::new(PlannerConfig {
+        let plan = Planner::new(PlannerConfig {
             aggregation_aware: agg,
             frequency_aware: freq,
             ..PlannerConfig::default()
         })
-        .plan_with_catalog(&pairs, &caps, cost, &catalog)
-        .collected_pairs() as f64
+        .plan_with_catalog(&pairs, &caps, cost, &catalog);
+        // Self-audit with the same extension flags the planner used.
+        let outcome = remo_audit::Audit::new().run(
+            &remo_audit::AuditInput::new(&plan, &pairs, &caps, cost, &catalog)
+                .aggregation_aware(agg)
+                .frequency_aware(freq),
+        );
+        assert!(
+            outcome.is_clean(),
+            "fig12a plan failed its audit:\n{}",
+            outcome.render()
+        );
+        plan.collected_pairs() as f64
     };
     let base = run(false, false).max(1.0);
     rep.row(&[&"BASIC", &f3(1.0)]);
@@ -111,6 +122,7 @@ fn fig12b() {
             ..PlannerConfig::default()
         })
         .plan_with_catalog(&pairs, &caps, cost, &catalog);
+        remo_audit::assert_plan_clean(&remo2, &pairs, &caps, cost, &catalog);
         rep.row(&[&count, &"REMO-2", &f3(remo2.coverage() * 100.0)]);
 
         // SINGLETON-SET-2: every attribute (original or alias) in its

@@ -80,6 +80,10 @@ pub const SCHEMES: [(&str, PartitionScheme); 3] = [
 ];
 
 /// Plans one scheme with a search window sized for experiment scale.
+///
+/// Every plan is audited against the error-severity paper invariants
+/// before it is returned, so no reported figure can come from a plan
+/// that violates a budget or miscounts its own coverage.
 pub fn plan_scheme(
     scheme: PartitionScheme,
     pairs: &PairSet,
@@ -91,7 +95,9 @@ pub fn plan_scheme(
         max_rounds: 256,
         ..PlannerConfig::default()
     });
-    scheme.plan(&planner, pairs, caps, cost, catalog)
+    let plan = scheme.plan(&planner, pairs, caps, cost, catalog);
+    remo_audit::assert_plan_clean(&plan, pairs, caps, cost, catalog);
+    plan
 }
 
 /// The default experiment cost model: a per-message overhead that

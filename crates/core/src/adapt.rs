@@ -229,10 +229,44 @@ impl AdaptivePlanner {
         self.pairs = new_pairs;
         let adaptation_messages = old_plan.edge_diff(&self.plan);
         self.stamp_adjust_times(&old_plan, now);
+        self.debug_audit();
         AdaptationReport {
             adaptation_messages,
             planning_time: t0.elapsed(),
             ..report
+        }
+    }
+
+    /// Runs the full rule-registry audit over the current plan against
+    /// the current demand and capacities, with the planner's own
+    /// extension flags (so exact-accounting rules replicate its
+    /// arithmetic).
+    pub fn audit(&self) -> crate::validate::AuditOutcome {
+        crate::validate::Audit::new().run(
+            &crate::validate::AuditInput::new(
+                &self.plan,
+                &self.pairs,
+                &self.caps,
+                self.cost,
+                &self.catalog,
+            )
+            .aggregation_aware(self.planner.config().aggregation_aware)
+            .frequency_aware(self.planner.config().frequency_aware),
+        )
+    }
+
+    /// Post-condition (debug builds): the adapted plan must still pass
+    /// every error-severity audit rule against the current demand and
+    /// capacities.
+    fn debug_audit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let outcome = self.audit();
+            debug_assert!(
+                outcome.is_clean(),
+                "adaptation produced a plan that fails the audit:\n{}",
+                outcome.render()
+            );
         }
     }
 
@@ -294,6 +328,7 @@ impl AdaptivePlanner {
 
         let adaptation_messages = old_plan.edge_diff(&self.plan);
         self.stamp_adjust_times(&old_plan, now);
+        self.debug_audit();
         AdaptationReport {
             adaptation_messages,
             planning_time: t0.elapsed(),

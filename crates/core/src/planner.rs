@@ -210,6 +210,21 @@ impl Planner {
         }
         let plan = best.expect("at least one seed");
         let refined = self.refine_with_report(plan, &ctx, &mut report);
+        #[cfg(debug_assertions)]
+        {
+            // Post-condition: re-prove every error-severity paper
+            // invariant on the plan we are about to hand out.
+            let outcome = crate::validate::Audit::new().run(
+                &crate::validate::AuditInput::new(&refined, pairs, caps, cost, catalog)
+                    .aggregation_aware(self.config.aggregation_aware)
+                    .frequency_aware(self.config.frequency_aware),
+            );
+            debug_assert!(
+                outcome.is_clean(),
+                "planner emitted a plan that fails its own audit:\n{}",
+                outcome.render()
+            );
+        }
         (refined, report)
     }
 

@@ -110,7 +110,10 @@ impl Tree {
         self.children.entry(parent_node).or_default().push(node);
     }
 
-    /// Depth of `node` (root = 0), or `None` if absent.
+    /// Depth of `node` (root = 0), or `None` if absent or on a cycle.
+    /// Deserialized trees can contain cycles (the builders cannot
+    /// create them), so this walks at most `len` edges instead of
+    /// asserting.
     pub fn depth(&self, node: NodeId) -> Option<usize> {
         let mut cur = node;
         let mut d = 0;
@@ -120,7 +123,9 @@ impl Tree {
                 Parent::Node(p) => {
                     cur = *p;
                     d += 1;
-                    debug_assert!(d <= self.parent.len(), "cycle in tree");
+                    if d > self.parent.len() {
+                        return None;
+                    }
                 }
             }
         }

@@ -1,10 +1,36 @@
-//! Plan auditing: independent re-verification that a monitoring plan
-//! is structurally sound and within every budget.
+//! Whole-plan static analysis: a rule registry that re-proves every
+//! paper invariant from scratch.
 //!
-//! The planner maintains these invariants by construction; this module
-//! recomputes them from scratch so operators (and tests) can audit a
-//! plan that crossed a serialization boundary or was produced by an
-//! experimental scheme.
+//! The planner maintains its invariants *by construction*; this module
+//! recomputes them independently so a plan that crossed a
+//! serialization boundary, was repaired by the self-healing runtime,
+//! or was rewritten for reliability can be re-verified. Every
+//! invariant is a named, individually-toggleable rule (see [`RULES`])
+//! with a stable code, a default severity, the paper section it comes
+//! from, and a fix-hint.
+//!
+//! The entry point is [`Audit::run`] over an [`AuditInput`]; the
+//! legacy [`audit_plan`] / [`Violation`] API is kept as a deprecated
+//! shim for one release.
+//!
+//! # Examples
+//!
+//! ```
+//! use remo_core::{CapacityMap, CostModel, NodeId, AttrId, PairSet, AttrCatalog};
+//! use remo_core::planner::Planner;
+//! use remo_core::validate::{Audit, AuditInput};
+//!
+//! # fn main() -> Result<(), remo_core::PlanError> {
+//! let caps = CapacityMap::uniform(8, 30.0, 200.0)?;
+//! let pairs: PairSet = (0..8).map(|n| (NodeId(n), AttrId(0))).collect();
+//! let catalog = AttrCatalog::new();
+//! let cost = CostModel::default();
+//! let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+//! let outcome = Audit::new().run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog));
+//! assert!(outcome.is_clean());
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::attribute::AttrCatalog;
 use crate::capacity::CapacityMap;
@@ -12,12 +38,983 @@ use crate::cost::CostModel;
 use crate::ids::{AttrId, NodeId};
 use crate::pairs::PairSet;
 use crate::plan::MonitoringPlan;
-use crate::tree::Parent;
+use crate::reliability::ReliabilityRewrite;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// One audit finding.
+/// Relative/absolute tolerance for comparing recorded vs. recomputed
+/// cost figures.
+const TOL: f64 = 1e-6;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * 1f64.max(a.abs()).max(b.abs())
+}
+
+// ------------------------------------------------------------------ registry
+
+/// How bad a finding is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Informational; never fails an audit.
+    Info,
+    /// Suspicious but legal; advisory.
+    #[default]
+    Warn,
+    /// A paper invariant is broken; the plan must not be deployed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable rule names (use these instead of string literals).
+pub mod rules {
+    /// Recomputed per-node / collector usage within capacity budgets.
+    pub const CAPACITY_BUDGET: &str = "capacity-budget";
+    /// Partition sets are non-empty, pairwise disjoint, and parallel
+    /// to the planned trees.
+    pub const PARTITION_DISJOINT: &str = "partition-disjoint";
+    /// Demanded pairs are planned and per-tree pair bookkeeping
+    /// matches the structure.
+    pub const PAIR_COVERAGE: &str = "pair-coverage";
+    /// Every tree is structurally valid (single root, consistent
+    /// indexes, acyclic).
+    pub const TREE_ACYCLIC: &str = "tree-acyclic";
+    /// Recorded per-tree usage equals the recomputed allocation.
+    pub const ALLOC_CONSERVATION: &str = "alloc-conservation";
+    /// Recorded message volume matches the `C + a·x` cost model.
+    pub const COST_MODEL_ACCOUNTING: &str = "cost-model-accounting";
+    /// Reliability aliases and forbidden pairs are respected.
+    pub const RELIABILITY_ALIAS_CONSISTENCY: &str = "reliability-alias-consistency";
+    /// Adaptation never loses coverage on surviving nodes.
+    pub const ADAPTATION_MONOTONIC: &str = "adaptation-monotonic";
+    /// A tree member neither samples nor relays anything.
+    pub const IDLE_MEMBER: &str = "idle-member";
+    /// A tree member relays for children but samples nothing itself.
+    pub const RELAY_ONLY: &str = "relay-only";
+    /// Runtime assignments faithfully implement the plan (checked by
+    /// the `remo-audit` crate's cross-layer pass).
+    pub const DEPLOYMENT_ROUTE_FIDELITY: &str = "deployment-route-fidelity";
+    /// Failure schedules are self-consistent (checked by the
+    /// `remo-audit` crate's cross-layer pass).
+    pub const FAILURE_SCHEDULE_CONSISTENT: &str = "failure-schedule-consistent";
+}
+
+/// Static description of one audit rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleMeta {
+    /// Stable kebab-case rule name.
+    pub name: &'static str,
+    /// Stable short code (`RA…`), for machine consumption.
+    pub code: &'static str,
+    /// Default severity (overridable per [`RuleSet`]).
+    pub severity: Severity,
+    /// Paper section the invariant comes from.
+    pub paper_section: &'static str,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// How to fix a violation.
+    pub fix_hint: &'static str,
+}
+
+/// The full rule registry, in code order.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        name: rules::CAPACITY_BUDGET,
+        code: "RA001",
+        severity: Severity::Error,
+        paper_section: "§3.2",
+        summary: "recomputed node and collector usage stays within capacity budgets",
+        fix_hint: "re-plan with the audited capacities, or raise the offending budget",
+    },
+    RuleMeta {
+        name: rules::PARTITION_DISJOINT,
+        code: "RA002",
+        severity: Severity::Error,
+        paper_section: "§3.1",
+        summary: "attribute partition sets are non-empty, disjoint, and parallel to the trees",
+        fix_hint: "rebuild the plan; the partition was corrupted after planning",
+    },
+    RuleMeta {
+        name: rules::PAIR_COVERAGE,
+        code: "RA003",
+        severity: Severity::Error,
+        paper_section: "§2, §3.2",
+        summary: "demanded pairs are planned and pair bookkeeping matches the structures",
+        fix_hint: "re-plan against the current demand (a task changed after planning)",
+    },
+    RuleMeta {
+        name: rules::TREE_ACYCLIC,
+        code: "RA004",
+        severity: Severity::Error,
+        paper_section: "§3.2",
+        summary: "every collection tree is a rooted acyclic tree with consistent indexes",
+        fix_hint: "rebuild the tree; its parent/children indexes were corrupted",
+    },
+    RuleMeta {
+        name: rules::ALLOC_CONSERVATION,
+        code: "RA005",
+        severity: Severity::Error,
+        paper_section: "§5",
+        summary: "recorded per-tree usage equals the recomputed capacity allocation",
+        fix_hint: "re-evaluate the plan; recorded usage diverged from the tree structures",
+    },
+    RuleMeta {
+        name: rules::COST_MODEL_ACCOUNTING,
+        code: "RA006",
+        severity: Severity::Error,
+        paper_section: "§2.3",
+        summary: "recorded message volume matches the C + a·x per-message cost model",
+        fix_hint: "re-evaluate the plan with the audited cost model parameters",
+    },
+    RuleMeta {
+        name: rules::RELIABILITY_ALIAS_CONSISTENCY,
+        code: "RA007",
+        severity: Severity::Error,
+        paper_section: "§6.2",
+        summary: "alias replicas land in distinct trees and forbidden pairs never share a set",
+        fix_hint: "pass the rewrite's forbidden_pairs into PlannerConfig and re-plan",
+    },
+    RuleMeta {
+        name: rules::ADAPTATION_MONOTONIC,
+        code: "RA008",
+        severity: Severity::Warn,
+        paper_section: "§4.2",
+        summary: "adaptation does not lose coverage on surviving nodes",
+        fix_hint: "widen the adaptation search (candidates/rounds) or rebuild from scratch",
+    },
+    RuleMeta {
+        name: rules::IDLE_MEMBER,
+        code: "RA009",
+        severity: Severity::Warn,
+        paper_section: "§3.2",
+        summary: "every tree member samples or relays at least one attribute",
+        fix_hint: "prune the member; it spends budget without contributing pairs",
+    },
+    RuleMeta {
+        name: rules::RELAY_ONLY,
+        code: "RA010",
+        severity: Severity::Info,
+        paper_section: "§3.2",
+        summary: "members that only relay are surfaced (legal, but costs without local pairs)",
+        fix_hint: "no action needed; consider reattaching children to a sampling member",
+    },
+    RuleMeta {
+        name: rules::DEPLOYMENT_ROUTE_FIDELITY,
+        code: "RA011",
+        severity: Severity::Error,
+        paper_section: "§3.2",
+        summary: "runtime tree assignments mirror the plan's routes, samples, and funnels",
+        fix_hint: "redeploy from the audited plan; assignments drifted from it",
+    },
+    RuleMeta {
+        name: rules::FAILURE_SCHEDULE_CONSISTENT,
+        code: "RA012",
+        severity: Severity::Warn,
+        paper_section: "§6.2",
+        summary: "scripted outages have non-empty windows, real targets, and no duplicates",
+        fix_hint: "fix the outage windows/targets in the failure schedule",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule(name: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Which rules run, and at what severity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    disabled: BTreeSet<String>,
+    severities: BTreeMap<String, Severity>,
+}
+
+impl RuleSet {
+    /// Every rule enabled at its default severity.
+    pub fn all() -> Self {
+        RuleSet::default()
+    }
+
+    /// Only the rules whose default severity is [`Severity::Error`].
+    pub fn errors_only() -> Self {
+        let mut rs = RuleSet::default();
+        for r in RULES {
+            if r.severity != Severity::Error {
+                rs.disable(r.name);
+            }
+        }
+        rs
+    }
+
+    /// Turns a rule off.
+    pub fn disable(&mut self, name: &str) -> &mut Self {
+        self.disabled.insert(name.to_string());
+        self
+    }
+
+    /// Turns a rule back on.
+    pub fn enable(&mut self, name: &str) -> &mut Self {
+        self.disabled.remove(name);
+        self
+    }
+
+    /// Overrides a rule's severity.
+    pub fn set_severity(&mut self, name: &str, severity: Severity) -> &mut Self {
+        self.severities.insert(name.to_string(), severity);
+        self
+    }
+
+    /// Whether a rule runs.
+    pub fn is_enabled(&self, name: &str) -> bool {
+        !self.disabled.contains(name)
+    }
+
+    /// The effective severity of a rule.
+    pub fn severity(&self, meta: &RuleMeta) -> Severity {
+        self.severities
+            .get(meta.name)
+            .copied()
+            .unwrap_or(meta.severity)
+    }
+}
+
+// ------------------------------------------------------------------ findings
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule name (see [`rules`]).
+    pub rule: String,
+    /// Stable rule code (`RA…`).
+    pub code: String,
+    /// Effective severity.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Offending tree index, if tree-scoped.
+    #[serde(default)]
+    pub tree: Option<usize>,
+    /// Offending node, if node-scoped.
+    #[serde(default)]
+    pub node: Option<NodeId>,
+    /// Offending attribute, if attribute-scoped.
+    #[serde(default)]
+    pub attr: Option<AttrId>,
+    /// Measured quantity (usage, recorded figure, …), when numeric.
+    #[serde(default)]
+    pub actual: Option<f64>,
+    /// The bound or expected quantity, when numeric.
+    #[serde(default)]
+    pub limit: Option<f64>,
+    /// How to fix it.
+    pub fix_hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a full audit.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditOutcome {
+    /// All findings, in rule order.
+    pub findings: Vec<Finding>,
+    /// Recomputed aggregate per-node usage.
+    pub node_usage: BTreeMap<NodeId, f64>,
+    /// Recomputed collector usage.
+    pub collector_usage: f64,
+}
+
+impl AuditOutcome {
+    /// `true` when no error-severity finding was produced.
+    pub fn is_clean(&self) -> bool {
+        !self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// The findings of one rule.
+    pub fn of_rule<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Finding> {
+        self.findings.iter().filter(move |f| f.rule == name)
+    }
+
+    /// The worst severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Human diagnostics: one line per finding plus its fix-hint.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+            if !f.fix_hint.is_empty() {
+                out.push_str("  = help: ");
+                out.push_str(&f.fix_hint);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------ input
+
+/// Everything an audit runs against: the plan, the demand and budgets
+/// it claims to satisfy, and optional cross-cutting artifacts.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditInput<'a> {
+    plan: &'a MonitoringPlan,
+    pairs: &'a PairSet,
+    caps: &'a CapacityMap,
+    cost: CostModel,
+    catalog: &'a AttrCatalog,
+    aggregation_aware: bool,
+    frequency_aware: bool,
+    rewrite: Option<&'a ReliabilityRewrite>,
+    predecessor: Option<&'a MonitoringPlan>,
+    failed: Option<&'a BTreeSet<NodeId>>,
+}
+
+impl<'a> AuditInput<'a> {
+    /// An input with no optional artifacts; funnels are applied
+    /// (matching the legacy audit), frequency weighting is off.
+    pub fn new(
+        plan: &'a MonitoringPlan,
+        pairs: &'a PairSet,
+        caps: &'a CapacityMap,
+        cost: CostModel,
+        catalog: &'a AttrCatalog,
+    ) -> Self {
+        AuditInput {
+            plan,
+            pairs,
+            caps,
+            cost,
+            catalog,
+            aggregation_aware: true,
+            frequency_aware: false,
+            rewrite: None,
+            predecessor: None,
+            failed: None,
+        }
+    }
+
+    /// Sets whether loads are recomputed with aggregation funnels
+    /// (must match how the plan was built for the exact-accounting
+    /// rules to hold).
+    pub fn aggregation_aware(mut self, on: bool) -> Self {
+        self.aggregation_aware = on;
+        self
+    }
+
+    /// Sets whether loads are weighted by update frequency (must match
+    /// how the plan was built).
+    pub fn frequency_aware(mut self, on: bool) -> Self {
+        self.frequency_aware = on;
+        self
+    }
+
+    /// Attaches a reliability rewrite, enabling
+    /// [`rules::RELIABILITY_ALIAS_CONSISTENCY`].
+    pub fn with_rewrite(mut self, rewrite: &'a ReliabilityRewrite) -> Self {
+        self.rewrite = Some(rewrite);
+        self
+    }
+
+    /// Attaches the plan this one was adapted from (and the nodes that
+    /// failed in between), enabling [`rules::ADAPTATION_MONOTONIC`].
+    pub fn with_predecessor(
+        mut self,
+        predecessor: &'a MonitoringPlan,
+        failed: &'a BTreeSet<NodeId>,
+    ) -> Self {
+        self.predecessor = Some(predecessor);
+        self.failed = Some(failed);
+        self
+    }
+}
+
+// ------------------------------------------------------------------ engine
+
+/// The audit engine: a [`RuleSet`] plus the analysis passes.
+#[derive(Debug, Clone, Default)]
+pub struct Audit {
+    rules: RuleSet,
+}
+
+struct Emitter<'r> {
+    rules: &'r RuleSet,
+    findings: Vec<Finding>,
+}
+
+impl Emitter<'_> {
+    fn emit(&mut self, name: &str, message: String) -> Option<&mut Finding> {
+        if !self.rules.is_enabled(name) {
+            return None;
+        }
+        let meta = rule(name).unwrap_or(&RULES[0]);
+        self.findings.push(Finding {
+            rule: meta.name.to_string(),
+            code: meta.code.to_string(),
+            severity: self.rules.severity(meta),
+            message,
+            tree: None,
+            node: None,
+            attr: None,
+            actual: None,
+            limit: None,
+            fix_hint: meta.fix_hint.to_string(),
+        });
+        self.findings.last_mut()
+    }
+}
+
+impl Audit {
+    /// An audit running every rule at its default severity.
+    pub fn new() -> Self {
+        Audit::default()
+    }
+
+    /// An audit with an explicit rule configuration.
+    pub fn with_rules(rules: RuleSet) -> Self {
+        Audit { rules }
+    }
+
+    /// The active rule configuration.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Mutable access to the rule configuration.
+    pub fn rules_mut(&mut self) -> &mut RuleSet {
+        &mut self.rules
+    }
+
+    /// Runs every enabled rule over `input`.
+    pub fn run(&self, input: &AuditInput<'_>) -> AuditOutcome {
+        let mut em = Emitter {
+            rules: &self.rules,
+            findings: Vec::new(),
+        };
+        let mut outcome = AuditOutcome::default();
+
+        self.check_partition(input, &mut em);
+        self.check_unplanned(input, &mut em);
+        self.check_trees(input, &mut em, &mut outcome);
+        self.check_budgets(input, &mut em, &outcome);
+        if let Some(rewrite) = input.rewrite {
+            self.check_reliability(input, rewrite, &mut em);
+        }
+        if let Some(predecessor) = input.predecessor {
+            self.check_adaptation(input, predecessor, &mut em);
+        }
+
+        outcome.findings = em.findings;
+        outcome
+            .findings
+            .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(&b.code)));
+        outcome
+    }
+
+    fn check_partition(&self, input: &AuditInput<'_>, em: &mut Emitter<'_>) {
+        let sets = input.plan.partition().sets();
+        if sets.len() != input.plan.trees().len() {
+            em.emit(
+                rules::PARTITION_DISJOINT,
+                format!(
+                    "plan has {} partition sets but {} planned trees",
+                    sets.len(),
+                    input.plan.trees().len()
+                ),
+            );
+        }
+        let mut seen: BTreeMap<AttrId, usize> = BTreeMap::new();
+        for (k, set) in sets.iter().enumerate() {
+            if set.is_empty() {
+                if let Some(f) = em.emit(
+                    rules::PARTITION_DISJOINT,
+                    format!("partition set {k} is empty"),
+                ) {
+                    f.tree = Some(k);
+                }
+            }
+            for &attr in set {
+                if let Some(prev) = seen.insert(attr, k) {
+                    if let Some(f) = em.emit(
+                        rules::PARTITION_DISJOINT,
+                        format!("attribute {attr} appears in partition sets {prev} and {k}"),
+                    ) {
+                        f.tree = Some(k);
+                        f.attr = Some(attr);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_unplanned(&self, input: &AuditInput<'_>, em: &mut Emitter<'_>) {
+        for attr in input.pairs.attrs() {
+            if input.plan.partition().set_of(attr).is_none() {
+                if let Some(f) = em.emit(
+                    rules::PAIR_COVERAGE,
+                    format!("attribute {attr} is demanded but in no partition set"),
+                ) {
+                    f.attr = Some(attr);
+                }
+            }
+        }
+    }
+
+    /// Per-tree structural pass: recomputes loads bottom-up exactly as
+    /// the evaluator does and checks every tree-scoped rule.
+    fn check_trees(
+        &self,
+        input: &AuditInput<'_>,
+        em: &mut Emitter<'_>,
+        outcome: &mut AuditOutcome,
+    ) {
+        let weight = |attr: AttrId| -> f64 {
+            if input.frequency_aware {
+                input.catalog.get_or_default(attr).frequency()
+            } else {
+                1.0
+            }
+        };
+
+        for (k, (set, planned)) in input
+            .plan
+            .partition()
+            .sets()
+            .iter()
+            .zip(input.plan.trees())
+            .enumerate()
+        {
+            // Demanded pairs follow from demand alone, tree or not.
+            let demanded: usize = input
+                .pairs
+                .participants(set)
+                .iter()
+                .filter_map(|n| input.pairs.attrs_of(*n))
+                .map(|owned| owned.intersection(set).count())
+                .sum();
+            if demanded != planned.demanded_pairs {
+                if let Some(f) = em.emit(
+                    rules::PAIR_COVERAGE,
+                    format!(
+                        "tree {k} records {} demanded pairs but demand implies {demanded}",
+                        planned.demanded_pairs
+                    ),
+                ) {
+                    f.tree = Some(k);
+                    f.actual = Some(planned.demanded_pairs as f64);
+                    f.limit = Some(demanded as f64);
+                }
+            }
+
+            let Some(tree) = planned.tree.as_ref() else {
+                if planned.collected_pairs != 0 {
+                    if let Some(f) = em.emit(
+                        rules::PAIR_COVERAGE,
+                        format!(
+                            "tree {k} is unbuilt but records {} collected pairs",
+                            planned.collected_pairs
+                        ),
+                    ) {
+                        f.tree = Some(k);
+                        f.actual = Some(planned.collected_pairs as f64);
+                        f.limit = Some(0.0);
+                    }
+                }
+                if !planned.usage.is_empty() || planned.collector_usage.abs() > TOL {
+                    if let Some(f) = em.emit(
+                        rules::ALLOC_CONSERVATION,
+                        format!("tree {k} is unbuilt but records nonzero usage"),
+                    ) {
+                        f.tree = Some(k);
+                    }
+                }
+                if planned.message_volume.abs() > TOL {
+                    if let Some(f) = em.emit(
+                        rules::COST_MODEL_ACCOUNTING,
+                        format!(
+                            "tree {k} is unbuilt but records message volume {:.3}",
+                            planned.message_volume
+                        ),
+                    ) {
+                        f.tree = Some(k);
+                        f.actual = Some(planned.message_volume);
+                        f.limit = Some(0.0);
+                    }
+                }
+                continue;
+            };
+
+            if !tree.is_valid() {
+                if let Some(f) = em.emit(rules::TREE_ACYCLIC, format!("tree {k} is malformed")) {
+                    f.tree = Some(k);
+                }
+                // Structure is unusable; skip the load recomputation.
+                continue;
+            }
+
+            // Bottom-up traversal order.
+            let mut order: Vec<NodeId> = Vec::new();
+            let mut stack = vec![tree.root()];
+            while let Some(n) = stack.pop() {
+                order.push(n);
+                stack.extend(tree.children(n).iter().copied());
+            }
+            order.reverse();
+
+            // Per-node weighted outgoing values per attribute.
+            let mut outgoing: BTreeMap<NodeId, BTreeMap<AttrId, f64>> = BTreeMap::new();
+            let mut collected = 0usize;
+            for &n in &order {
+                let mut per_attr: BTreeMap<AttrId, f64> = BTreeMap::new();
+                let local = input
+                    .pairs
+                    .attrs_of(n)
+                    .map(|owned| owned.intersection(set).copied().collect::<Vec<_>>())
+                    .unwrap_or_default();
+                collected += local.len();
+                for &attr in &local {
+                    *per_attr.entry(attr).or_insert(0.0) += weight(attr);
+                }
+                let mut relays_anything = false;
+                for c in tree.children(n) {
+                    for (attr, v) in &outgoing[c] {
+                        *per_attr.entry(*attr).or_insert(0.0) += v;
+                        relays_anything = true;
+                    }
+                }
+                if local.is_empty() {
+                    let (name, what) = if relays_anything {
+                        (rules::RELAY_ONLY, "relays for its children but samples")
+                    } else {
+                        (rules::IDLE_MEMBER, "neither relays nor samples")
+                    };
+                    if let Some(f) = em.emit(
+                        name,
+                        format!("node {n} in tree {k} {what} no attribute of the set"),
+                    ) {
+                        f.tree = Some(k);
+                        f.node = Some(n);
+                    }
+                }
+                if input.aggregation_aware {
+                    for (attr, v) in per_attr.iter_mut() {
+                        *v = input.catalog.get_or_default(*attr).aggregation().funnel(*v);
+                    }
+                }
+                outgoing.insert(n, per_attr);
+            }
+
+            if collected != planned.collected_pairs {
+                if let Some(f) = em.emit(
+                    rules::PAIR_COVERAGE,
+                    format!(
+                        "tree {k} records {} collected pairs but the structure implies {collected}",
+                        planned.collected_pairs
+                    ),
+                ) {
+                    f.tree = Some(k);
+                    f.actual = Some(planned.collected_pairs as f64);
+                    f.limit = Some(collected as f64);
+                }
+            }
+
+            // Excluded nodes must not also be members.
+            for x in &planned.excluded {
+                if tree.parent(*x).is_some() {
+                    if let Some(f) = em.emit(
+                        rules::ALLOC_CONSERVATION,
+                        format!("node {x} is both a member and excluded from tree {k}"),
+                    ) {
+                        f.tree = Some(k);
+                        f.node = Some(*x);
+                    }
+                }
+            }
+
+            // Usage: own send plus receive cost of children's sends.
+            let send =
+                |n: NodeId| -> f64 { input.cost.message_cost(outgoing[&n].values().sum::<f64>()) };
+            let mut tree_usage: BTreeMap<NodeId, f64> = BTreeMap::new();
+            let mut volume = 0.0;
+            for &n in &order {
+                let mut u = send(n);
+                volume += send(n);
+                for c in tree.children(n) {
+                    u += send(*c);
+                }
+                tree_usage.insert(n, u);
+            }
+            let root_send = send(tree.root());
+
+            // alloc-conservation: the recorded allocation must equal
+            // the recomputation node-for-node.
+            for (&n, &recorded) in &planned.usage {
+                match tree_usage.get(&n) {
+                    Some(&recomputed) if close(recorded, recomputed) => {}
+                    Some(&recomputed) => {
+                        if let Some(f) = em.emit(
+                            rules::ALLOC_CONSERVATION,
+                            format!(
+                                "tree {k} records usage {recorded:.3} at node {n} \
+                                 but the structure implies {recomputed:.3}"
+                            ),
+                        ) {
+                            f.tree = Some(k);
+                            f.node = Some(n);
+                            f.actual = Some(recorded);
+                            f.limit = Some(recomputed);
+                        }
+                    }
+                    None => {
+                        if let Some(f) = em.emit(
+                            rules::ALLOC_CONSERVATION,
+                            format!("tree {k} records usage at {n}, which is not a member"),
+                        ) {
+                            f.tree = Some(k);
+                            f.node = Some(n);
+                            f.actual = Some(recorded);
+                        }
+                    }
+                }
+                if recorded < -TOL {
+                    if let Some(f) = em.emit(
+                        rules::ALLOC_CONSERVATION,
+                        format!("tree {k} records negative usage {recorded:.3} at node {n}"),
+                    ) {
+                        f.tree = Some(k);
+                        f.node = Some(n);
+                        f.actual = Some(recorded);
+                    }
+                }
+            }
+            for (&n, &recomputed) in &tree_usage {
+                if !planned.usage.contains_key(&n) && recomputed > TOL {
+                    if let Some(f) = em.emit(
+                        rules::ALLOC_CONSERVATION,
+                        format!(
+                            "tree {k} member {n} incurs usage {recomputed:.3} \
+                             that the plan does not record"
+                        ),
+                    ) {
+                        f.tree = Some(k);
+                        f.node = Some(n);
+                        f.limit = Some(recomputed);
+                    }
+                }
+            }
+            if !close(planned.collector_usage, root_send) {
+                if let Some(f) = em.emit(
+                    rules::ALLOC_CONSERVATION,
+                    format!(
+                        "tree {k} records collector usage {:.3} but the root sends {root_send:.3}",
+                        planned.collector_usage
+                    ),
+                ) {
+                    f.tree = Some(k);
+                    f.actual = Some(planned.collector_usage);
+                    f.limit = Some(root_send);
+                }
+            }
+
+            // cost-model-accounting: recorded volume vs Σ send costs.
+            if !close(planned.message_volume, volume) {
+                if let Some(f) = em.emit(
+                    rules::COST_MODEL_ACCOUNTING,
+                    format!(
+                        "tree {k} records message volume {:.3} but C + a·x over its \
+                         structure gives {volume:.3}",
+                        planned.message_volume
+                    ),
+                ) {
+                    f.tree = Some(k);
+                    f.actual = Some(planned.message_volume);
+                    f.limit = Some(volume);
+                }
+            }
+
+            for (n, u) in tree_usage {
+                *outcome.node_usage.entry(n).or_insert(0.0) += u;
+            }
+            outcome.collector_usage += root_send;
+        }
+    }
+
+    fn check_budgets(&self, input: &AuditInput<'_>, em: &mut Emitter<'_>, outcome: &AuditOutcome) {
+        for (&n, &u) in &outcome.node_usage {
+            if let Some(b) = input.caps.node(n) {
+                if u > b + TOL {
+                    if let Some(f) = em.emit(
+                        rules::CAPACITY_BUDGET,
+                        format!("node {n} uses {u:.2} of budget {b:.2}"),
+                    ) {
+                        f.node = Some(n);
+                        f.actual = Some(u);
+                        f.limit = Some(b);
+                    }
+                }
+            } else if let Some(f) = em.emit(
+                rules::CAPACITY_BUDGET,
+                format!("node {n} carries load but has no capacity entry"),
+            ) {
+                f.node = Some(n);
+                f.actual = Some(u);
+            }
+        }
+        if outcome.collector_usage > input.caps.collector() + TOL {
+            if let Some(f) = em.emit(
+                rules::CAPACITY_BUDGET,
+                format!(
+                    "collector uses {:.2} of budget {:.2}",
+                    outcome.collector_usage,
+                    input.caps.collector()
+                ),
+            ) {
+                f.actual = Some(outcome.collector_usage);
+                f.limit = Some(input.caps.collector());
+            }
+        }
+    }
+
+    fn check_reliability(
+        &self,
+        input: &AuditInput<'_>,
+        rewrite: &ReliabilityRewrite,
+        em: &mut Emitter<'_>,
+    ) {
+        let partition = input.plan.partition();
+        for &(a, b) in &rewrite.forbidden_pairs {
+            if let (Some(i), Some(j)) = (partition.set_of(a), partition.set_of(b)) {
+                if i == j {
+                    if let Some(f) = em.emit(
+                        rules::RELIABILITY_ALIAS_CONSISTENCY,
+                        format!("forbidden pair ({a}, {b}) shares partition set {i}"),
+                    ) {
+                        f.tree = Some(i);
+                        f.attr = Some(a);
+                    }
+                }
+            }
+        }
+        let mut owner: BTreeMap<AttrId, AttrId> = BTreeMap::new();
+        for (&orig, ids) in &rewrite.aliases {
+            if ids.first() != Some(&orig) {
+                if let Some(f) = em.emit(
+                    rules::RELIABILITY_ALIAS_CONSISTENCY,
+                    format!("alias list of {orig} does not start with the original attribute"),
+                ) {
+                    f.attr = Some(orig);
+                }
+            }
+            for &id in ids {
+                if let Some(prev) = owner.insert(id, orig) {
+                    if prev != orig {
+                        if let Some(f) = em.emit(
+                            rules::RELIABILITY_ALIAS_CONSISTENCY,
+                            format!("attribute {id} is an alias of both {prev} and {orig}"),
+                        ) {
+                            f.attr = Some(id);
+                        }
+                    }
+                }
+            }
+            // Replicas of one original must land in distinct trees.
+            let mut used: BTreeMap<usize, AttrId> = BTreeMap::new();
+            for &id in ids {
+                if let Some(set) = partition.set_of(id) {
+                    if let Some(&other) = used.get(&set) {
+                        if let Some(f) = em.emit(
+                            rules::RELIABILITY_ALIAS_CONSISTENCY,
+                            format!(
+                                "replicas {other} and {id} of attribute {orig} \
+                                 share partition set {set}"
+                            ),
+                        ) {
+                            f.tree = Some(set);
+                            f.attr = Some(id);
+                        }
+                    }
+                    used.insert(set, id);
+                }
+            }
+        }
+    }
+
+    fn check_adaptation(
+        &self,
+        input: &AuditInput<'_>,
+        predecessor: &MonitoringPlan,
+        em: &mut Emitter<'_>,
+    ) {
+        let empty = BTreeSet::new();
+        let failed = input.failed.unwrap_or(&empty);
+        let surviving = |plan: &MonitoringPlan| -> usize {
+            plan.partition()
+                .sets()
+                .iter()
+                .zip(plan.trees())
+                .filter_map(|(set, planned)| planned.tree.as_ref().map(|t| (set, t)))
+                .map(|(set, tree)| {
+                    tree.nodes()
+                        .filter(|n| !failed.contains(n))
+                        .filter_map(|n| input.pairs.attrs_of(n))
+                        .map(|owned| owned.intersection(set).count())
+                        .sum::<usize>()
+                })
+                .sum()
+        };
+        let before = surviving(predecessor);
+        let after = surviving(input.plan);
+        if after < before {
+            if let Some(f) = em.emit(
+                rules::ADAPTATION_MONOTONIC,
+                format!(
+                    "adaptation dropped surviving coverage from {before} to {after} pairs \
+                     ({} nodes failed)",
+                    failed.len()
+                ),
+            ) {
+                f.actual = Some(after as f64);
+                f.limit = Some(before as f64);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- legacy shim
+
+/// One audit finding (legacy API).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `validate::Audit` with `AuditInput`; findings are now `validate::Finding`"
+)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Violation {
     /// A tree's internal structure is inconsistent (cycle, missing
@@ -50,8 +1047,8 @@ pub enum Violation {
         /// The collector budget.
         budget: f64,
     },
-    /// The plan's recorded collected-pairs figure disagrees with the
-    /// tree structures.
+    /// The plan's recorded pair figures disagree with the tree
+    /// structures.
     PairAccounting {
         /// Tree index.
         tree: usize,
@@ -68,6 +1065,7 @@ pub enum Violation {
     },
 }
 
+#[allow(deprecated)]
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -98,7 +1096,12 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Result of a full plan audit.
+/// Result of a full plan audit (legacy API).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `validate::Audit` with `AuditInput`; results are now `validate::AuditOutcome`"
+)]
+#[allow(deprecated)]
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct AuditReport {
     /// All findings, hard violations first.
@@ -109,6 +1112,7 @@ pub struct AuditReport {
     pub collector_usage: f64,
 }
 
+#[allow(deprecated)]
 impl AuditReport {
     /// Returns `true` if no *hard* violation was found (idle members
     /// are advisory).
@@ -119,28 +1123,14 @@ impl AuditReport {
     }
 }
 
-/// Audits `plan` against demand, budgets, and the cost model,
-/// recomputing all loads from the tree structures (funnel-aware via
-/// `catalog`).
-///
-/// # Examples
-///
-/// ```
-/// use remo_core::{CapacityMap, CostModel, NodeId, AttrId, PairSet, AttrCatalog};
-/// use remo_core::planner::Planner;
-/// use remo_core::validate::audit_plan;
-///
-/// # fn main() -> Result<(), remo_core::PlanError> {
-/// let caps = CapacityMap::uniform(8, 30.0, 200.0)?;
-/// let pairs: PairSet = (0..8).map(|n| (NodeId(n), AttrId(0))).collect();
-/// let catalog = AttrCatalog::new();
-/// let cost = CostModel::default();
-/// let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
-/// let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
-/// assert!(report.is_clean());
-/// # Ok(())
-/// # }
-/// ```
+/// Audits `plan` against demand, budgets, and the cost model (legacy
+/// API): runs the rule engine and converts the findings the legacy
+/// rules covered back into [`Violation`]s.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `validate::Audit::run` with `validate::AuditInput`"
+)]
+#[allow(deprecated)]
 pub fn audit_plan(
     plan: &MonitoringPlan,
     pairs: &PairSet,
@@ -148,128 +1138,82 @@ pub fn audit_plan(
     cost: CostModel,
     catalog: &AttrCatalog,
 ) -> AuditReport {
-    let mut report = AuditReport::default();
-
-    // Demand coverage: every demanded attribute must be planned.
-    for attr in pairs.attrs() {
-        if plan.partition().set_of(attr).is_none() {
-            report.violations.push(Violation::UnplannedAttr { attr });
-        }
+    let outcome = Audit::new().run(&AuditInput::new(plan, pairs, caps, cost, catalog));
+    let violations = outcome
+        .findings
+        .iter()
+        .filter_map(|f| match f.rule.as_str() {
+            rules::TREE_ACYCLIC => Some(Violation::MalformedTree { tree: f.tree? }),
+            rules::IDLE_MEMBER => Some(Violation::IdleMember {
+                tree: f.tree?,
+                node: f.node?,
+            }),
+            rules::CAPACITY_BUDGET => match f.node {
+                Some(node) => Some(Violation::NodeOverBudget {
+                    node,
+                    usage: f.actual?,
+                    budget: f.limit.unwrap_or(0.0),
+                }),
+                None => Some(Violation::CollectorOverBudget {
+                    usage: f.actual?,
+                    budget: f.limit?,
+                }),
+            },
+            rules::PAIR_COVERAGE => match f.attr {
+                Some(attr) => Some(Violation::UnplannedAttr { attr }),
+                None => Some(Violation::PairAccounting {
+                    tree: f.tree?,
+                    recorded: f.actual? as usize,
+                    recomputed: f.limit? as usize,
+                }),
+            },
+            _ => None,
+        })
+        .collect();
+    AuditReport {
+        violations,
+        node_usage: outcome.node_usage,
+        collector_usage: outcome.collector_usage,
     }
-
-    for (k, (set, planned)) in plan.partition().sets().iter().zip(plan.trees()).enumerate() {
-        let Some(tree) = planned.tree.as_ref() else {
-            if planned.collected_pairs != 0 {
-                report.violations.push(Violation::PairAccounting {
-                    tree: k,
-                    recorded: planned.collected_pairs,
-                    recomputed: 0,
-                });
-            }
-            continue;
-        };
-        if !tree.is_valid() {
-            report.violations.push(Violation::MalformedTree { tree: k });
-            continue;
-        }
-
-        // Per-metric outgoing counts, bottom-up.
-        let mut order: Vec<NodeId> = Vec::new();
-        let mut stack = vec![tree.root()];
-        while let Some(n) = stack.pop() {
-            order.push(n);
-            stack.extend(tree.children(n).iter().copied());
-        }
-        order.reverse();
-
-        let mut outgoing: BTreeMap<NodeId, BTreeMap<AttrId, f64>> = BTreeMap::new();
-        let mut recomputed_pairs = 0usize;
-        for &n in &order {
-            let mut per_attr: BTreeMap<AttrId, f64> = BTreeMap::new();
-            let local = pairs
-                .attrs_of(n)
-                .map(|owned| owned.intersection(set).copied().collect::<Vec<_>>())
-                .unwrap_or_default();
-            recomputed_pairs += local.len();
-            for attr in &local {
-                *per_attr.entry(*attr).or_insert(0.0) += 1.0;
-            }
-            let mut relays_anything = false;
-            for c in tree.children(n) {
-                for (attr, v) in &outgoing[c] {
-                    *per_attr.entry(*attr).or_insert(0.0) += v;
-                    relays_anything = true;
-                }
-            }
-            if local.is_empty() && !relays_anything {
-                report
-                    .violations
-                    .push(Violation::IdleMember { tree: k, node: n });
-            }
-            // Apply funnels.
-            for (attr, v) in per_attr.iter_mut() {
-                *v = catalog.get_or_default(*attr).aggregation().funnel(*v);
-            }
-            outgoing.insert(n, per_attr);
-        }
-
-        if recomputed_pairs != planned.collected_pairs {
-            report.violations.push(Violation::PairAccounting {
-                tree: k,
-                recorded: planned.collected_pairs,
-                recomputed: recomputed_pairs,
-            });
-        }
-
-        // Usages: send + receives.
-        let send = |n: NodeId| -> f64 { cost.message_cost(outgoing[&n].values().sum::<f64>()) };
-        for &n in &order {
-            let mut u = send(n);
-            for c in tree.children(n) {
-                u += send(*c);
-            }
-            *report.node_usage.entry(n).or_insert(0.0) += u;
-        }
-        // Collector pays the root's message.
-        let root = tree
-            .nodes()
-            .find(|&n| tree.parent(n) == Some(Parent::Collector));
-        if let Some(root) = root {
-            report.collector_usage += send(root);
-        }
-    }
-
-    // Budget checks on the recomputed aggregates.
-    for (&n, &u) in &report.node_usage {
-        if let Some(b) = caps.node(n) {
-            if u > b + 1e-6 {
-                report.violations.push(Violation::NodeOverBudget {
-                    node: n,
-                    usage: u,
-                    budget: b,
-                });
-            }
-        }
-    }
-    if report.collector_usage > caps.collector() + 1e-6 {
-        report.violations.push(Violation::CollectorOverBudget {
-            usage: report.collector_usage,
-            budget: caps.collector(),
-        });
-    }
-
-    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::planner::{PartitionScheme, Planner};
+    use crate::plan::PlannedTree;
+    use crate::planner::{PartitionScheme, Planner, PlannerConfig};
+    use crate::tree::Tree;
+    use crate::AttrInfo;
+    use crate::Partition;
 
     fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
         (0..nodes)
             .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
             .collect()
+    }
+
+    fn audit(
+        plan: &MonitoringPlan,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+    ) -> AuditOutcome {
+        Audit::new().run(&AuditInput::new(plan, pairs, caps, cost, catalog))
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        let mut codes = BTreeSet::new();
+        let mut names = BTreeSet::new();
+        for r in RULES {
+            assert!(codes.insert(r.code), "duplicate code {}", r.code);
+            assert!(names.insert(r.name), "duplicate name {}", r.name);
+            assert!(!r.fix_hint.is_empty());
+            assert!(!r.summary.is_empty());
+        }
+        assert_eq!(rule(rules::CAPACITY_BUDGET).map(|r| r.code), Some("RA001"));
+        assert!(rule("no-such-rule").is_none());
     }
 
     #[test]
@@ -284,8 +1228,8 @@ mod tests {
             PartitionScheme::Remo,
         ] {
             let plan = scheme.plan(&Planner::default(), &pairs, &caps, cost, &catalog);
-            let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
-            assert!(report.is_clean(), "{scheme:?}: {:?}", report.violations);
+            let outcome = audit(&plan, &pairs, &caps, cost, &catalog);
+            assert!(outcome.is_clean(), "{scheme:?}:\n{}", outcome.render());
         }
     }
 
@@ -296,33 +1240,63 @@ mod tests {
         let cost = CostModel::new(2.0, 1.0).unwrap();
         let catalog = AttrCatalog::new();
         let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
-        let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
-        // Independent recomputation agrees with the planner's figures.
+        let outcome = audit(&plan, &pairs, &caps, cost, &catalog);
         for (n, u) in plan.node_usage() {
-            let audited = report.node_usage.get(&n).copied().unwrap_or(0.0);
+            let audited = outcome.node_usage.get(&n).copied().unwrap_or(0.0);
             assert!((audited - u).abs() < 1e-6, "node {n}: {audited} vs {u}");
         }
-        assert!((report.collector_usage - plan.collector_usage()).abs() < 1e-6);
+        assert!((outcome.collector_usage - plan.collector_usage()).abs() < 1e-6);
+        // Exact accounting holds, so these rules found nothing.
+        assert_eq!(outcome.of_rule(rules::ALLOC_CONSERVATION).count(), 0);
+        assert_eq!(outcome.of_rule(rules::COST_MODEL_ACCOUNTING).count(), 0);
     }
 
     #[test]
-    fn overloaded_plan_is_flagged() {
-        // Plan with generous budgets, audit against starved ones.
+    fn extension_aware_plans_audit_exactly() {
+        // Funnel and frequency accounting must replicate the
+        // evaluator's arithmetic bit-for-bit when the flags match.
+        let pairs = dense_pairs(10, 3);
+        let caps = CapacityMap::uniform(10, 40.0, 400.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let mut catalog = AttrCatalog::new();
+        catalog.register(AttrInfo::new("sum").with_aggregation(crate::Aggregation::Sum));
+        catalog.register(AttrInfo::new("top").with_aggregation(crate::Aggregation::Top(2)));
+        catalog.register(
+            AttrInfo::new("slow")
+                .with_frequency(0.25)
+                .expect("valid frequency"),
+        );
+        let planner = Planner::new(PlannerConfig {
+            aggregation_aware: true,
+            frequency_aware: true,
+            ..PlannerConfig::default()
+        });
+        let plan = planner.plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let outcome = Audit::new().run(
+            &AuditInput::new(&plan, &pairs, &caps, cost, &catalog)
+                .aggregation_aware(true)
+                .frequency_aware(true),
+        );
+        assert!(outcome.is_clean(), "{}", outcome.render());
+        assert_eq!(outcome.of_rule(rules::ALLOC_CONSERVATION).count(), 0);
+        assert_eq!(outcome.of_rule(rules::COST_MODEL_ACCOUNTING).count(), 0);
+    }
+
+    #[test]
+    fn overloaded_plan_trips_capacity_budget() {
         let pairs = dense_pairs(8, 2);
         let roomy = CapacityMap::uniform(8, 100.0, 500.0).unwrap();
         let tight = CapacityMap::uniform(8, 5.0, 500.0).unwrap();
         let cost = CostModel::new(2.0, 1.0).unwrap();
         let catalog = AttrCatalog::new();
         let plan = Planner::default().plan_with_catalog(&pairs, &roomy, cost, &catalog);
-        let report = audit_plan(&plan, &pairs, &tight, cost, &catalog);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::NodeOverBudget { .. })));
+        let outcome = audit(&plan, &pairs, &tight, cost, &catalog);
+        assert!(!outcome.is_clean());
+        assert!(outcome.of_rule(rules::CAPACITY_BUDGET).count() > 0);
     }
 
     #[test]
-    fn unplanned_attr_is_flagged() {
+    fn unplanned_attr_trips_pair_coverage() {
         let pairs = dense_pairs(4, 2);
         let caps = CapacityMap::uniform(4, 50.0, 200.0).unwrap();
         let cost = CostModel::default();
@@ -330,15 +1304,159 @@ mod tests {
         let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
         let mut bigger = pairs.clone();
         bigger.insert(NodeId(0), AttrId(9));
-        let report = audit_plan(&plan, &bigger, &caps, cost, &catalog);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::UnplannedAttr { attr } if *attr == AttrId(9))));
+        let outcome = audit(&plan, &bigger, &caps, cost, &catalog);
+        assert!(outcome
+            .of_rule(rules::PAIR_COVERAGE)
+            .any(|f| f.attr == Some(AttrId(9))));
+    }
+
+    /// A hand-built forest where node 1 owns nothing of the set but
+    /// relays node 2's values, and node 3 is a true idle leaf.
+    fn relay_fixture() -> (MonitoringPlan, PairSet, CapacityMap, CostModel) {
+        let pairs: PairSet = [(NodeId(0), AttrId(0)), (NodeId(2), AttrId(0))]
+            .into_iter()
+            .collect();
+        let set: crate::AttrSet = [AttrId(0)].into_iter().collect();
+        let mut tree = Tree::new(set.clone(), NodeId(0));
+        tree.attach(NodeId(1), NodeId(0));
+        tree.attach(NodeId(2), NodeId(1));
+        tree.attach(NodeId(3), NodeId(0));
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        // Recompute the bookkeeping the builder would have recorded.
+        let send2 = cost.message_cost(1.0); // n2 sends its own value
+        let send1 = cost.message_cost(1.0); // n1 relays n2's value
+        let send3 = cost.message_cost(0.0); // n3 sends an empty message
+        let send0 = cost.message_cost(2.0); // n0: own value + relayed
+        let usage: BTreeMap<NodeId, f64> = [
+            (NodeId(0), send0 + send1 + send3),
+            (NodeId(1), send1 + send2),
+            (NodeId(2), send2),
+            (NodeId(3), send3),
+        ]
+        .into_iter()
+        .collect();
+        let planned = PlannedTree {
+            tree: Some(tree),
+            usage,
+            collector_usage: send0,
+            collected_pairs: 2,
+            demanded_pairs: 2,
+            excluded: Vec::new(),
+            message_volume: send0 + send1 + send2 + send3,
+        };
+        let plan = MonitoringPlan::new(Partition::one_set(set), vec![planned]);
+        let caps = CapacityMap::uniform(4, 100.0, 100.0).unwrap();
+        (plan, pairs, caps, cost)
     }
 
     #[test]
-    fn violation_display_is_informative() {
+    fn relay_only_member_is_distinguished_from_idle() {
+        // Regression: a relaying non-sampling member used to be
+        // indistinguishable from a true leaf — no finding at all.
+        let (plan, pairs, caps, cost) = relay_fixture();
+        let catalog = AttrCatalog::new();
+        let outcome = audit(&plan, &pairs, &caps, cost, &catalog);
+        let relay: Vec<_> = outcome.of_rule(rules::RELAY_ONLY).collect();
+        assert_eq!(relay.len(), 1, "{}", outcome.render());
+        assert_eq!(relay[0].node, Some(NodeId(1)));
+        assert_eq!(relay[0].severity, Severity::Info);
+        let idle: Vec<_> = outcome.of_rule(rules::IDLE_MEMBER).collect();
+        assert_eq!(idle.len(), 1);
+        assert_eq!(idle[0].node, Some(NodeId(3)));
+        // Info/warn findings do not fail the audit.
+        assert!(outcome.is_clean(), "{}", outcome.render());
+    }
+
+    #[test]
+    fn rules_are_individually_toggleable() {
+        let (plan, pairs, caps, cost) = relay_fixture();
+        let catalog = AttrCatalog::new();
+        let mut rs = RuleSet::all();
+        rs.disable(rules::RELAY_ONLY).disable(rules::IDLE_MEMBER);
+        let outcome =
+            Audit::with_rules(rs).run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog));
+        assert_eq!(outcome.findings.len(), 0, "{}", outcome.render());
+
+        // Severity override promotes an advisory rule to an error.
+        let mut rs = RuleSet::all();
+        rs.set_severity(rules::IDLE_MEMBER, Severity::Error);
+        let outcome =
+            Audit::with_rules(rs).run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog));
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn tampered_bookkeeping_trips_the_exact_rules() {
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 50.0, 300.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let clean = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+
+        // Inflate one recorded usage entry → alloc-conservation.
+        let mut trees = clean.trees().to_vec();
+        if let Some((_, u)) = trees[0].usage.iter_mut().next() {
+            *u *= 2.0;
+        }
+        let tampered = MonitoringPlan::new(clean.partition().clone(), trees);
+        let outcome = audit(&tampered, &pairs, &caps, cost, &catalog);
+        assert!(outcome.of_rule(rules::ALLOC_CONSERVATION).count() > 0);
+
+        // Inflate the recorded volume → cost-model-accounting.
+        let mut trees = clean.trees().to_vec();
+        trees[0].message_volume += 5.0;
+        let tampered = MonitoringPlan::new(clean.partition().clone(), trees);
+        let outcome = audit(&tampered, &pairs, &caps, cost, &catalog);
+        assert!(outcome.of_rule(rules::COST_MODEL_ACCOUNTING).count() > 0);
+    }
+
+    #[test]
+    fn adaptation_regression_is_flagged() {
+        let pairs = dense_pairs(8, 2);
+        let roomy = CapacityMap::uniform(8, 100.0, 500.0).unwrap();
+        let tight = CapacityMap::uniform(8, 9.0, 500.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let full = Planner::default().plan_with_catalog(&pairs, &roomy, cost, &catalog);
+        let partial = Planner::default().plan_with_catalog(&pairs, &tight, cost, &catalog);
+        assert!(partial.collected_pairs() < full.collected_pairs());
+        let failed = BTreeSet::new();
+        let outcome = Audit::new().run(
+            &AuditInput::new(&partial, &pairs, &tight, cost, &catalog)
+                .with_predecessor(&full, &failed),
+        );
+        let hits: Vec<_> = outcome.of_rule(rules::ADAPTATION_MONOTONIC).collect();
+        assert_eq!(hits.len(), 1, "{}", outcome.render());
+        assert_eq!(hits[0].severity, Severity::Warn);
+        // Warn severity: the audit still passes.
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn finding_display_and_render() {
+        let (plan, pairs, caps, cost) = relay_fixture();
+        let catalog = AttrCatalog::new();
+        let outcome = audit(&plan, &pairs, &caps, cost, &catalog);
+        let text = outcome.render();
+        assert!(text.contains("warning[RA009] idle-member"), "{text}");
+        assert!(text.contains("= help:"), "{text}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_matches_old_behavior() {
+        let pairs = dense_pairs(8, 2);
+        let roomy = CapacityMap::uniform(8, 100.0, 500.0).unwrap();
+        let tight = CapacityMap::uniform(8, 5.0, 500.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let plan = Planner::default().plan_with_catalog(&pairs, &roomy, cost, &catalog);
+        assert!(audit_plan(&plan, &pairs, &roomy, cost, &catalog).is_clean());
+        let report = audit_plan(&plan, &pairs, &tight, cost, &catalog);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NodeOverBudget { .. })));
         let v = Violation::NodeOverBudget {
             node: NodeId(3),
             usage: 12.5,

@@ -3,13 +3,14 @@
 //! ```sh
 //! remo-plan spec.json              # human-readable summary
 //! remo-plan spec.json --dot        # Graphviz DOT of the forest
-//! remo-plan spec.json --audit      # independent feasibility audit
+//! remo-plan spec.json --audit      # run the full rule registry
+//! remo-plan spec.json --bundle     # emit a bundle for remo-audit
 //! remo-plan --example              # print a starter spec
 //! ```
 
 use remo::spec::{AttrSpec, DeploymentSpec, TaskSpec};
+use remo_audit::{Audit, AuditBundle};
 use remo_core::export::{summarize, to_dot};
-use remo_core::validate::audit_plan;
 use std::process::ExitCode;
 
 fn example_spec() -> DeploymentSpec {
@@ -84,19 +85,57 @@ fn main() -> ExitCode {
 
     if args.iter().any(|a| a == "--dot") {
         print!("{}", to_dot(&plan));
-    } else if args.iter().any(|a| a == "--audit") {
-        let caps = spec.capacities().expect("validated by plan()");
-        let cost = spec.cost().expect("validated by plan()");
-        let catalog = spec.catalog().expect("validated by plan()");
-        let pairs = spec.pairs().expect("validated by plan()");
-        let report = audit_plan(&plan, &pairs, &caps, cost, &catalog);
-        if report.is_clean() {
-            println!("audit clean: plan respects all budgets");
-        } else {
-            for v in &report.violations {
-                println!("violation: {v}");
+    } else if args.iter().any(|a| a == "--audit" || a == "--bundle") {
+        let caps = match spec.capacities() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("remo-plan: {e}");
+                return ExitCode::FAILURE;
             }
-            return ExitCode::FAILURE;
+        };
+        let cost = match spec.cost() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("remo-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let catalog = match spec.catalog() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("remo-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let pairs = match spec.pairs() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("remo-plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut bundle = AuditBundle::new(plan, pairs, caps, cost);
+        bundle.catalog = catalog;
+        bundle.aggregation_aware = spec.aggregation_aware;
+        bundle.frequency_aware = spec.frequency_aware;
+        if args.iter().any(|a| a == "--bundle") {
+            match bundle.to_json() {
+                Ok(text) => println!("{text}"),
+                Err(e) => {
+                    eprintln!("remo-plan: cannot serialize bundle: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            let outcome = bundle.audit(&Audit::new());
+            if outcome.findings.is_empty() {
+                println!("audit clean: plan satisfies all rules");
+            } else {
+                print!("{}", outcome.render());
+            }
+            if !outcome.is_clean() {
+                return ExitCode::FAILURE;
+            }
         }
     } else {
         print!("{}", summarize(&plan));

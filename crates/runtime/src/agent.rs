@@ -370,8 +370,9 @@ fn fold(at: NodeId, attr: AttrId, group: &[WireReading], value: f64) -> WireRead
 
 /// Spawns an agent on a dedicated thread.
 pub fn run_agent(agent: Agent) -> std::thread::JoinHandle<()> {
+    let name = format!("remo-agent-{}", agent.id);
     std::thread::Builder::new()
-        .name(format!("remo-agent-{}", agent.id))
+        .name(name.clone())
         .spawn(move || agent.run())
-        .expect("spawn agent thread")
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"))
 }

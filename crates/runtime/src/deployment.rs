@@ -144,7 +144,7 @@ impl Deployment {
         }
         let peers = Arc::new(senders);
 
-        let assignments = assignments_of(plan, pairs, catalog);
+        let assignments = plan_assignments(plan, pairs, catalog);
         let mut handles = Vec::new();
         for (node, inbox) in inboxes {
             let agent = Agent::new(
@@ -209,6 +209,14 @@ impl Deployment {
     /// Current epoch (completed ticks).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The assignments currently pushed to each agent (updated by
+    /// launch, [`Deployment::apply_plan`], and plan repair). The
+    /// `remo-audit` crate checks these against the plan they claim to
+    /// implement.
+    pub fn assignments(&self) -> &BTreeMap<NodeId, Vec<TreeAssignment>> {
+        &self.assignments
     }
 
     /// The collector's snapshot of a pair.
@@ -386,7 +394,7 @@ impl Deployment {
             let capacity = self.original_caps.node(node).unwrap_or(0.0);
             healer.handle_node_recovery(node, capacity, epoch);
         }
-        let fresh = assignments_of(healer.plan(), healer.pairs(), &self.catalog);
+        let fresh = plan_assignments(healer.plan(), healer.pairs(), &self.catalog);
         for (&node, tx) in self.agents.iter() {
             let next = fresh.get(&node).cloned().unwrap_or_default();
             let unchanged = self
@@ -401,6 +409,17 @@ impl Deployment {
             }
         }
         self.assignments = fresh;
+        #[cfg(debug_assertions)]
+        {
+            // Post-condition: the repaired plan must still pass every
+            // error-severity audit rule before agents act on it.
+            let outcome = healer.audit();
+            debug_assert!(
+                outcome.is_clean(),
+                "repair left a plan that fails the audit:\n{}",
+                outcome.render()
+            );
+        }
         for &node in confirmed {
             self.health.mark_repaired(node, epoch);
             report.repaired += 1;
@@ -435,7 +454,7 @@ impl Deployment {
         pairs: &PairSet,
         catalog: &AttrCatalog,
     ) -> usize {
-        let assignments = assignments_of(plan, pairs, catalog);
+        let assignments = plan_assignments(plan, pairs, catalog);
         let mut sent = 0;
         for (&node, tx) in self.agents.iter() {
             let a = assignments.get(&node).cloned().unwrap_or_default();
@@ -508,8 +527,11 @@ fn send_reconfigure(
     false
 }
 
-/// Computes every node's tree assignments from a plan.
-fn assignments_of(
+/// Computes every node's tree assignments from a plan. This is the
+/// single source of truth the deployment configures agents from; the
+/// `remo-audit` crate re-derives it to cross-check live assignments
+/// against the plan they claim to implement.
+pub fn plan_assignments(
     plan: &MonitoringPlan,
     pairs: &PairSet,
     catalog: &AttrCatalog,
@@ -524,7 +546,13 @@ fn assignments_of(
             .map(|&a| (a, catalog.get_or_default(a).aggregation()))
             .collect();
         for node in tree.nodes() {
-            let parent = match tree.parent(node).expect("member has parent") {
+            // `is_valid` guarantees members have parents, but this path
+            // must not panic on a corrupted plan: skip the orphan and
+            // let the audit's tree-acyclic rule report it.
+            let Some(raw_parent) = tree.parent(node) else {
+                continue;
+            };
+            let parent = match raw_parent {
                 Parent::Collector => Route::Collector,
                 Parent::Node(p) => Route::Node(p),
             };
@@ -557,6 +585,8 @@ fn assignments_of(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use remo_core::planner::Planner;
 

@@ -250,6 +250,8 @@ impl HealthMonitor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn all(n: u32) -> BTreeSet<NodeId> {

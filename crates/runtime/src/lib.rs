@@ -48,8 +48,8 @@ pub mod proto;
 pub mod samplers;
 pub mod throttle;
 
-pub use agent::{AgentMsg, Route, Sampler, TickReport, TreeAssignment};
-pub use deployment::{Deployment, EpochReport, Observed, Snapshot};
+pub use agent::{AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment};
+pub use deployment::{plan_assignments, Deployment, EpochReport, Observed, Snapshot};
 pub use health::{
     HealthConfig, HealthEvents, HealthMonitor, HealthReport, HealthState, NodeHealthStats,
 };

@@ -162,6 +162,8 @@ impl WireMessage {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn sample_msg(n: usize) -> WireMessage {

@@ -57,6 +57,8 @@ pub fn table(values: HashMap<(NodeId, AttrId), f64>, default: f64) -> Sampler {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -1,0 +1,178 @@
+//! Model-checked concurrency tests for the PR-1 failure-detection
+//! state machine: the epoch-deadline health detector and the
+//! token-bucket throttle, explored under many interleavings via
+//! `loom::model`.
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p remo-runtime --test loom`
+//! (scripts/check.sh does this, with a separate target dir so the
+//! normal build cache survives).
+#![cfg(loom)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use remo_core::NodeId;
+use remo_runtime::{HealthMonitor, HealthState, TokenBucket};
+use std::collections::BTreeSet;
+
+fn rank(s: HealthState) -> u8 {
+    match s {
+        HealthState::Healthy => 0,
+        HealthState::Suspected => 1,
+        HealthState::Dead => 2,
+    }
+}
+
+/// A silent node's state must progress Healthy → Suspected → Dead
+/// monotonically: no interleaving of the coordinator's observe loop
+/// with a concurrent reader may ever show the detector moving
+/// backwards, and after `confirm_after` misses the verdict is Dead.
+#[test]
+fn detector_confirms_silent_node_monotonically() {
+    loom::model(|| {
+        let monitor = Arc::new(Mutex::new(HealthMonitor::new(
+            [NodeId(0), NodeId(1)],
+            2, // confirm_after
+        )));
+
+        let writer = {
+            let monitor = Arc::clone(&monitor);
+            thread::spawn(move || {
+                let reporters: BTreeSet<NodeId> = [NodeId(0)].into_iter().collect();
+                for epoch in 1..=3 {
+                    monitor.lock().unwrap().observe(epoch, &reporters);
+                }
+            })
+        };
+        let reader = {
+            let monitor = Arc::clone(&monitor);
+            thread::spawn(move || {
+                let mut last = 0;
+                for _ in 0..4 {
+                    let seen = rank(monitor.lock().unwrap().state(NodeId(1)));
+                    assert!(seen >= last, "detector regressed: {last} -> {seen}");
+                    // The healthy reporter never degrades at all.
+                    assert_eq!(
+                        monitor.lock().unwrap().state(NodeId(0)),
+                        HealthState::Healthy
+                    );
+                    last = seen;
+                    thread::yield_now();
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+
+        let m = monitor.lock().unwrap();
+        assert_eq!(m.state(NodeId(1)), HealthState::Dead);
+        let report = m.report(3);
+        assert_eq!(report.dead_nodes(), vec![NodeId(1)]);
+        assert_eq!(report.total_confirmed(), 1);
+        // First miss at epoch 1, confirmed at epoch 2.
+        assert_eq!(report.stats[&NodeId(1)].time_to_detect, 1);
+    });
+}
+
+/// A dead node that reports again is recovered exactly once, and a
+/// concurrent reader only ever sees Dead-then-Healthy, never a
+/// half-updated state.
+#[test]
+fn detector_recovers_reporting_node() {
+    loom::model(|| {
+        let monitor = Arc::new(Mutex::new(HealthMonitor::new([NodeId(0)], 1)));
+        // Kill the node deterministically before the race.
+        let nobody: BTreeSet<NodeId> = BTreeSet::new();
+        monitor.lock().unwrap().observe(1, &nobody);
+        monitor.lock().unwrap().observe(2, &nobody);
+        assert_eq!(monitor.lock().unwrap().state(NodeId(0)), HealthState::Dead);
+
+        let writer = {
+            let monitor = Arc::clone(&monitor);
+            thread::spawn(move || {
+                let back: BTreeSet<NodeId> = [NodeId(0)].into_iter().collect();
+                let events = monitor.lock().unwrap().observe(3, &back);
+                assert_eq!(events.recovered, vec![NodeId(0)]);
+            })
+        };
+        let reader = {
+            let monitor = Arc::clone(&monitor);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    let s = monitor.lock().unwrap().state(NodeId(0));
+                    assert!(
+                        s == HealthState::Dead || s == HealthState::Healthy,
+                        "recovery passed through {s:?}"
+                    );
+                    thread::yield_now();
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+
+        let m = monitor.lock().unwrap();
+        assert_eq!(m.state(NodeId(0)), HealthState::Healthy);
+        assert_eq!(m.report(3).stats[&NodeId(0)].recovered, 1);
+    });
+}
+
+/// Two racing consumers on one bucket: capacity admits at most one of
+/// them, the loser is cleanly rejected, and refill never overshoots
+/// the configured capacity.
+#[test]
+fn throttle_admits_at_most_one_racing_consumer() {
+    loom::model(|| {
+        let bucket = Arc::new(Mutex::new(TokenBucket::new(1.0)));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let bucket = Arc::clone(&bucket);
+                thread::spawn(move || bucket.lock().unwrap().try_consume(0.6))
+            })
+            .collect();
+        let admitted = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(admitted, 1, "exactly one 0.6 consume fits in 1.0");
+
+        let mut b = bucket.lock().unwrap();
+        assert!(b.available() >= -1e-9, "try_consume overdrew the bucket");
+        b.refill();
+        assert!(
+            b.available() <= b.capacity() + 1e-9,
+            "refill overshot capacity"
+        );
+    });
+}
+
+/// A forced `charge` overdraft (the coordinator debits traffic that
+/// already happened) must carry its debt through `refill` rather than
+/// being forgiven, under any interleaving with a competing consumer.
+#[test]
+fn throttle_overdraft_survives_refill() {
+    loom::model(|| {
+        let bucket = Arc::new(Mutex::new(TokenBucket::new(1.0)));
+        let charger = {
+            let bucket = Arc::clone(&bucket);
+            thread::spawn(move || bucket.lock().unwrap().charge(2.5))
+        };
+        let consumer = {
+            let bucket = Arc::clone(&bucket);
+            thread::spawn(move || bucket.lock().unwrap().try_consume(0.4))
+        };
+        charger.join().unwrap();
+        let consumed = consumer.join().unwrap();
+
+        let mut b = bucket.lock().unwrap();
+        b.refill();
+        // Debt: -1.5 (-1.9 if the consume won first) + 1.0 capacity.
+        let expected = if consumed { -0.9 } else { -0.5 };
+        assert!(
+            (b.available() - expected).abs() < 1e-9,
+            "refill forgave overdraft: available {} expected {expected}",
+            b.available()
+        );
+    });
+}

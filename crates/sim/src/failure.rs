@@ -83,6 +83,11 @@ impl FailureSchedule {
         self
     }
 
+    /// The scripted outages, in insertion order.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
     /// Number of scripted outages.
     pub fn len(&self) -> usize {
         self.outages.len()

@@ -14,7 +14,7 @@
 
 use remo::prelude::*;
 use remo_core::planner::PartitionScheme;
-use remo_core::validate::audit_plan;
+use remo_core::validate::{Audit, AuditInput};
 
 const TARGET: f64 = 0.95;
 
@@ -99,8 +99,8 @@ fn main() -> Result<(), PlanError> {
         let caps = CapacityMap::uniform(s.caps.len(), remo, s.caps.collector())?;
         let catalog = AttrCatalog::new();
         let plan = Planner::default().plan_with_catalog(&s.pairs, &caps, s.cost, &catalog);
-        let report = audit_plan(&plan, &s.pairs, &caps, s.cost, &catalog);
-        assert!(report.is_clean(), "audit: {:?}", report.violations);
+        let outcome = Audit::new().run(&AuditInput::new(&plan, &s.pairs, &caps, s.cost, &catalog));
+        assert!(outcome.is_clean(), "audit:\n{}", outcome.render());
         println!(
             "audit clean at {remo:.0} units: {:.1}% coverage, {} trees",
             plan.coverage() * 100.0,

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the full test suite.
+# Repo gate: formatting, lints, the full test suite, the loom-style
+# concurrency suite, and (when the toolchain provides it) miri.
 # Run from anywhere; everything executes at the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,5 +13,21 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
+
+# Interleaving tests for the epoch-deadline health detector and the
+# token-bucket throttle. The loom cfg swaps in schedule-perturbing
+# sync primitives; a separate target dir keeps the main cache warm.
+echo "==> loom concurrency suite"
+CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+  cargo test -p remo-runtime --test loom
+
+# Miri is optional: nightly-only component, not present in every
+# toolchain. Run it when available, skip loudly when not.
+if cargo miri --version >/dev/null 2>&1; then
+  echo "==> cargo miri test -p remo-core"
+  cargo miri test -p remo-core
+else
+  echo "==> skipping miri (component not installed)"
+fi
 
 echo "All checks passed."

@@ -5,6 +5,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo::prelude::*;
+use remo_audit::{Audit, AuditInput};
 use remo_core::alloc::AllocationScheme;
 use remo_core::build::{AdjustConfig, BuilderKind};
 use remo_core::planner::{PartitionScheme, PlannerConfig};
@@ -36,6 +37,18 @@ fn all_schemes_respect_capacity_invariants() {
         PartitionScheme::Remo,
     ] {
         let plan = scheme.plan(&planner, &s.pairs, &s.caps, s.cost, &catalog);
+        // The audit engine re-proves every paper invariant from the
+        // plan alone: budgets, disjointness, coverage accounting, tree
+        // structure, allocation conservation, and the cost model.
+        let outcome =
+            Audit::new().run(&AuditInput::new(&plan, &s.pairs, &s.caps, s.cost, &catalog));
+        assert!(
+            outcome.is_clean(),
+            "{scheme:?} failed its audit:\n{}",
+            outcome.render()
+        );
+        // Spot-check a few invariants directly so this test does not
+        // depend solely on the audit engine agreeing with itself.
         for (n, u) in plan.node_usage() {
             assert!(
                 u <= s.caps.node(n).unwrap() + 1e-6,
@@ -45,11 +58,6 @@ fn all_schemes_respect_capacity_invariants() {
         assert!(plan.collector_usage() <= s.caps.collector() + 1e-6);
         assert!(plan.partition().is_valid());
         assert_eq!(plan.demanded_pairs(), s.pairs.len());
-        for t in plan.trees() {
-            if let Some(tree) = &t.tree {
-                assert!(tree.is_valid(), "{scheme:?} produced an invalid tree");
-            }
-        }
     }
 }
 

@@ -89,6 +89,65 @@ proptest! {
         }
     }
 
+    /// Every (partition scheme × tree builder) combination produces a
+    /// plan that passes the full audit rule registry with no
+    /// error-severity finding, regardless of workload shape. This is
+    /// the audit engine's soundness property: it never cries wolf on a
+    /// planner-constructed plan.
+    #[test]
+    fn every_scheme_and_builder_audits_clean(
+        nodes in 3usize..14,
+        attrs in 1u32..6,
+        budget in 5.0f64..45.0,
+        density in 0.3f64..1.0,
+        seed in 0u64..500,
+        scheme_ix in 0usize..3,
+        builder_ix in 0usize..4,
+    ) {
+        use rand::{Rng, SeedableRng, rngs::SmallRng};
+        use remo_audit::{Audit, AuditInput};
+        use remo_core::build::AdjustConfig;
+        use remo_core::planner::{PartitionScheme, PlannerConfig};
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pairs = PairSet::new();
+        for n in 0..nodes {
+            for a in 0..attrs {
+                if rng.gen_bool(density) {
+                    pairs.insert(NodeId(n as u32), AttrId(a));
+                }
+            }
+        }
+        pairs.insert(NodeId(0), AttrId(0)); // never empty
+        let schemes = [
+            PartitionScheme::SingletonSet,
+            PartitionScheme::OneSet,
+            PartitionScheme::Remo,
+        ];
+        let builders = [
+            BuilderKind::Star,
+            BuilderKind::Chain,
+            BuilderKind::MaxAvb,
+            BuilderKind::Adaptive(AdjustConfig::default()),
+        ];
+        let caps = CapacityMap::uniform(nodes, budget, budget * nodes as f64).unwrap();
+        let cost = CostModel::default();
+        let catalog = AttrCatalog::new();
+        let planner = Planner::new(PlannerConfig {
+            builder: builders[builder_ix],
+            ..PlannerConfig::default()
+        });
+        let plan = schemes[scheme_ix].plan(&planner, &pairs, &caps, cost, &catalog);
+        let outcome = Audit::new().run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog));
+        prop_assert!(
+            outcome.is_clean(),
+            "{:?} × {:?} failed its audit:\n{}",
+            schemes[scheme_ix],
+            builders[builder_ix],
+            outcome.render()
+        );
+    }
+
     /// The planner never violates capacity and never collects more
     /// than demanded, regardless of workload shape.
     #[test]

@@ -1,0 +1,235 @@
+//! Offline stand-in for `loom`: the same API surface
+//! (`loom::model`, `loom::thread`, `loom::sync`), model-checked not by
+//! exhaustive DPOR exploration but by re-running the model body many
+//! times under randomized schedule perturbation.
+//!
+//! Real loom enumerates every interleaving of its instrumented
+//! primitives; this stub approximates that by injecting
+//! deterministic-per-iteration `yield_now` calls at every instrumented
+//! operation (lock, atomic access) and varying the injection pattern
+//! across iterations with an xorshift PRNG. Assertions inside the
+//! model body therefore get exercised against many distinct
+//! interleavings, which is the strongest check available offline.
+//! Swap the path dependency back to registry `loom` for true
+//! exhaustive exploration.
+//!
+//! Iteration count defaults to 64 and can be raised with the
+//! `LOOM_MAX_ITER` environment variable (matching real loom's knob
+//! names loosely).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
+
+thread_local! {
+    static LOCAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn iterations() -> usize {
+    std::env::var("LOOM_MAX_ITER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Called by every instrumented primitive: with probability ~1/4
+/// (varying per thread and per model iteration) yields the OS
+/// scheduler so another thread can interleave here.
+pub(crate) fn maybe_yield() {
+    LOCAL_RNG.with(|rng| {
+        let mut x = rng.get();
+        if x == 0 {
+            // Lazily seed each participating thread differently.
+            x = SCHEDULE_SEED.fetch_add(0x2545f4914f6cdd1d, StdOrdering::Relaxed) | 1;
+        }
+        // xorshift64
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rng.set(x);
+        if x & 3 == 0 {
+            std::thread::yield_now();
+        }
+    });
+}
+
+/// Runs `f` under the model checker: many iterations, each with a
+/// different schedule-perturbation pattern. Panics (assertion
+/// failures) inside `f` propagate and fail the test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for i in 0..iterations() {
+        SCHEDULE_SEED.store(
+            (i as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            StdOrdering::Relaxed,
+        );
+        LOCAL_RNG.with(|rng| rng.set((i as u64) << 1 | 1));
+        f();
+    }
+}
+
+/// Instrumented `std::thread` subset.
+pub mod thread {
+    /// Re-export: joining works the same as std.
+    pub use std::thread::JoinHandle;
+
+    /// Spawns an instrumented thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::maybe_yield();
+            f()
+        })
+    }
+
+    /// Yields to the scheduler (an explicit interleaving point).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented `std::sync` subset.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// A mutex that injects an interleaving point before every lock
+    /// acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Locks, yielding first so contenders can race here.
+        pub fn lock(
+            &self,
+        ) -> Result<
+            std::sync::MutexGuard<'_, T>,
+            std::sync::PoisonError<std::sync::MutexGuard<'_, T>>,
+        > {
+            super::maybe_yield();
+            self.0.lock()
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> Result<T, std::sync::PoisonError<T>> {
+            self.0.into_inner()
+        }
+    }
+
+    /// Instrumented atomics: every access is an interleaving point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_stub {
+            ($name:ident, $inner:ty, $prim:ty) => {
+                /// Instrumented atomic wrapper.
+                #[derive(Debug, Default)]
+                pub struct $name($inner);
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub fn new(v: $prim) -> Self {
+                        Self(<$inner>::new(v))
+                    }
+
+                    /// Instrumented load.
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        crate::maybe_yield();
+                        self.0.load(order)
+                    }
+
+                    /// Instrumented store.
+                    pub fn store(&self, v: $prim, order: Ordering) {
+                        crate::maybe_yield();
+                        self.0.store(v, order)
+                    }
+
+                    /// Instrumented swap.
+                    pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                        crate::maybe_yield();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Instrumented compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::maybe_yield();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic_stub!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_stub!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_stub!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Instrumented fetch-add.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::maybe_yield();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        impl AtomicU64 {
+            /// Instrumented fetch-add.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                crate::maybe_yield();
+                self.0.fetch_add(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_many_schedules() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(runs.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn mutex_counter_is_race_free() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    super::thread::spawn(move || {
+                        for _ in 0..10 {
+                            *m.lock().unwrap() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 20);
+        });
+    }
+}
