@@ -1,0 +1,305 @@
+//! Planner latency/throughput harness (Fig. 9a planning cost) — serial
+//! vs parallel vs parallel+cache engines over growing system sizes.
+//!
+//! For each size the same workload is planned by three configurations:
+//!
+//! - `serial` — `parallelism: 1, cache: false`: the legacy
+//!   clone-per-candidate search loop, kept as the baseline engine.
+//! - `parallel` — `parallelism: 0, cache: false`: the batch engine
+//!   (rayon candidate window, copy-on-write budget overlays).
+//! - `parallel_cached` — `parallelism: 0, cache: true`: the batch
+//!   engine plus the memoized [`TreeCache`](remo_core::TreeCache). The
+//!   cache persists across the mode's iterations, so `mean_ms` blends
+//!   one cold plan with warm re-plans — the epoch-to-epoch reuse the
+//!   adaptive planner gets in production, and what Fig. 9a's repeated
+//!   re-planning actually pays.
+//!
+//! All three must produce **byte-identical plans** (asserted via JSON
+//! serialization) — the engines differ in evaluation mechanics only,
+//! never in search decisions. The trajectory is written to
+//! `BENCH_planner.json` at the repo root.
+//!
+//! `--smoke` re-times only the small sizes (one iteration each) and
+//! warns when a mode regresses more than 20% against the committed
+//! `BENCH_planner.json` baseline; it never rewrites the file.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use remo_core::planner::{EvalBreakdown, Planner, PlannerConfig};
+use remo_core::{AttrCatalog, CapacityMap, MonitoringTask, PairSet, TaskId};
+use remo_workloads::TaskGenConfig;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Sizes exercised by the full run; the first two double as the smoke
+/// set. Iteration counts shrink as plans get expensive.
+const SIZES: [(usize, usize); 5] = [(32, 5), (64, 5), (100, 5), (1000, 3), (10000, 2)];
+const SMOKE_SIZES: [usize; 2] = [32, 64];
+/// The tentpole target: parallel+cache at the largest size must plan at
+/// least this many times faster than the serial baseline.
+const TARGET_SPEEDUP: f64 = 4.0;
+const REGRESSION_TOLERANCE: f64 = 1.20;
+
+const MODES: [(&str, usize, bool); 3] = [
+    ("serial", 1, false),
+    ("parallel", 0, false),
+    ("parallel_cached", 0, true),
+];
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ModeResult {
+    mode: String,
+    iters: usize,
+    mean_ms: f64,
+    min_ms: f64,
+    plans_per_sec: f64,
+    collected_pairs: usize,
+    message_volume: f64,
+    uncovered_pairs: usize,
+    adjusted_cost: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    rounds: usize,
+    local_evals: usize,
+    seed_ms: f64,
+    rank_ms: f64,
+    local_ms: f64,
+    global_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SizeResult {
+    nodes: usize,
+    attrs: usize,
+    tasks: usize,
+    pairs: usize,
+    plans_identical: bool,
+    speedup_parallel: f64,
+    speedup_parallel_cached: f64,
+    modes: Vec<ModeResult>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    target_speedup: f64,
+    largest_size_speedup: f64,
+    target_met: bool,
+    sizes: Vec<SizeResult>,
+}
+
+/// A workload scaled to `nodes`: the attribute universe and task count
+/// grow with the system, the per-task shape stays small-scale.
+fn workload(nodes: usize) -> (PairSet, usize, usize) {
+    let attrs = (nodes / 10).clamp(12, 100);
+    let tasks = (nodes / 2).clamp(10, 2_000);
+    let gen = TaskGenConfig::small_scale(nodes, attrs);
+    let mut rng = SmallRng::seed_from_u64(42 + nodes as u64);
+    let generated = gen.generate(tasks, TaskId(0), &mut rng);
+    let pairs: PairSet = generated.iter().flat_map(MonitoringTask::pairs).collect();
+    (pairs, attrs, tasks)
+}
+
+fn planner_for(parallelism: usize, cache: bool) -> Planner {
+    Planner::new(PlannerConfig {
+        parallelism,
+        cache,
+        ..PlannerConfig::default()
+    })
+}
+
+fn bench_size(nodes: usize, iters: usize) -> SizeResult {
+    let (pairs, attrs, tasks) = workload(nodes);
+    // Per-node capacity scales with pair density so roots can carry a
+    // meaningful share of their set's payload at every size (a flat
+    // budget starves the 10k workload down to ~2% coverage, which is
+    // not a deployment anyone would plan for).
+    let per_node = (0.35 * pairs.len() as f64 / attrs as f64).max(60.0);
+    let caps = CapacityMap::uniform(nodes, per_node, 40.0 * nodes as f64).expect("caps");
+    let cost = remo_bench::default_cost();
+    let catalog = AttrCatalog::new();
+
+    let mut modes = Vec::new();
+    let mut plan_jsons: Vec<String> = Vec::new();
+    for (name, parallelism, cache) in MODES {
+        let planner = planner_for(parallelism, cache);
+        let mut times = Vec::with_capacity(iters);
+        let mut last = None;
+        let mut stats = remo_core::CacheStats::default();
+        let mut report = remo_core::planner::PlanReport::default();
+        // The cached mode keeps one cache across iterations: the first
+        // plan is cold, later ones warm-start from it — the same reuse
+        // `AdaptivePlanner` and `Deployment` repair get across epochs.
+        let shared = cache.then(remo_core::TreeCache::new);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let (plan, rep) =
+                planner.plan_with_report_cached(&pairs, &caps, cost, &catalog, shared.as_ref());
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            if let Some(c) = &shared {
+                stats = c.stats();
+            }
+            report = rep;
+            last = Some(plan);
+        }
+        let plan = last.expect("at least one iteration");
+        remo_audit::assert_plan_clean(&plan, &pairs, &caps, cost, &catalog);
+        let breakdown = EvalBreakdown::from_plan(plan, Default::default());
+        plan_jsons.push(serde_json::to_string(&breakdown.plan).expect("plan serializes"));
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        modes.push(ModeResult {
+            mode: name.to_string(),
+            iters,
+            mean_ms: mean,
+            min_ms: min,
+            plans_per_sec: if mean > 0.0 { 1e3 / mean } else { 0.0 },
+            collected_pairs: breakdown.plan.collected_pairs(),
+            message_volume: breakdown.plan.message_volume(),
+            uncovered_pairs: breakdown.uncovered_pairs,
+            adjusted_cost: breakdown.adjusted_cost(cost),
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+            rounds: report.rounds,
+            local_evals: report.local_evals,
+            seed_ms: report.seed_ms,
+            rank_ms: report.rank_ms,
+            local_ms: report.local_ms,
+            global_ms: report.global_ms,
+        });
+    }
+
+    let plans_identical = plan_jsons.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        plans_identical,
+        "n={nodes}: engines disagreed on the plan — serial/parallel/cached must be byte-identical"
+    );
+    let serial_ms = modes[0].mean_ms;
+    let result = SizeResult {
+        nodes,
+        attrs,
+        tasks,
+        pairs: pairs.len(),
+        plans_identical,
+        speedup_parallel: serial_ms / modes[1].mean_ms.max(1e-9),
+        speedup_parallel_cached: serial_ms / modes[2].mean_ms.max(1e-9),
+        modes,
+    };
+    println!(
+        "n={:>6} pairs={:>7}  serial {:>10.1}ms  parallel {:>10.1}ms ({:>5.2}x)  +cache {:>10.1}ms ({:>5.2}x)  identical={}",
+        result.nodes,
+        result.pairs,
+        result.modes[0].mean_ms,
+        result.modes[1].mean_ms,
+        result.speedup_parallel,
+        result.modes[2].mean_ms,
+        result.speedup_parallel_cached,
+        result.plans_identical,
+    );
+    result
+}
+
+fn repo_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn run_full(only: Option<Vec<usize>>) {
+    let sizes: Vec<SizeResult> = SIZES
+        .into_iter()
+        .filter(|(n, _)| only.as_ref().is_none_or(|list| list.contains(n)))
+        .map(|(n, iters)| bench_size(n, iters))
+        .collect();
+    let largest = sizes.last().expect("non-empty size list");
+    let largest_nodes = largest.nodes;
+    let largest_speedup = largest.speedup_parallel_cached;
+    let target_met = largest_speedup >= TARGET_SPEEDUP;
+    let report = BenchReport {
+        schema: "bench_planner/v1".to_string(),
+        target_speedup: TARGET_SPEEDUP,
+        largest_size_speedup: largest_speedup,
+        target_met,
+        sizes,
+    };
+    if only.is_some() {
+        // Partial run: print the report instead of clobbering the trajectory.
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return;
+    }
+    let path = repo_root().join("BENCH_planner.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_planner.json");
+    println!("wrote {}", path.display());
+    if target_met {
+        println!(
+            "target met: parallel+cache {largest_speedup:.2}x >= {TARGET_SPEEDUP}x at n={largest_nodes}"
+        );
+    } else {
+        eprintln!(
+            "TARGET MISSED: parallel+cache {largest_speedup:.2}x < {TARGET_SPEEDUP}x at n={largest_nodes}"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run_smoke() {
+    let baseline: Option<BenchReport> =
+        std::fs::read_to_string(repo_root().join("BENCH_planner.json"))
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok());
+    let mut regressed = false;
+    for n in SMOKE_SIZES {
+        let fresh = bench_size(n, 1);
+        let Some(base) = baseline
+            .as_ref()
+            .and_then(|b| b.sizes.iter().find(|s| s.nodes == n))
+        else {
+            continue;
+        };
+        for (new_mode, old_mode) in fresh.modes.iter().zip(&base.modes) {
+            if new_mode.mean_ms > old_mode.mean_ms * REGRESSION_TOLERANCE {
+                eprintln!(
+                    "WARNING: n={} {} regressed {:.1}ms -> {:.1}ms (>{:.0}% over baseline)",
+                    n,
+                    new_mode.mode,
+                    old_mode.mean_ms,
+                    new_mode.mean_ms,
+                    (REGRESSION_TOLERANCE - 1.0) * 100.0,
+                );
+                regressed = true;
+            }
+        }
+    }
+    if baseline.is_none() {
+        println!("no committed BENCH_planner.json baseline; smoke timings reported only");
+    } else if !regressed {
+        println!(
+            "smoke: within {:.0}% of baseline",
+            (REGRESSION_TOLERANCE - 1.0) * 100.0
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+    let only = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        });
+    run_full(only);
+}

@@ -40,15 +40,15 @@ fn coverage(alloc: AllocationScheme, pairs: &PairSet, caps: &CapacityMap, cost: 
         ..PlannerConfig::default()
     });
     // Fixed singleton partition isolates allocation effects.
-    let plan = planner.evaluate_partition(
+    let ev = planner.evaluate_partition(
         &Partition::singleton(pairs.attr_universe()),
         pairs,
         caps,
         cost,
         &catalog,
     );
-    remo_audit::assert_plan_clean(&plan, pairs, caps, cost, &catalog);
-    plan.coverage() * 100.0
+    remo_audit::assert_plan_clean(&ev.plan, pairs, caps, cost, &catalog);
+    ev.coverage() * 100.0
 }
 
 fn main() {

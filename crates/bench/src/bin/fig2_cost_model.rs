@@ -39,7 +39,9 @@ fn main() {
             builder: remo_core::build::BuilderKind::Star,
             ..Default::default()
         });
-        let plan = planner.evaluate_partition(&partition, &pairs, &caps, cost, &catalog);
+        let plan = planner
+            .evaluate_partition(&partition, &pairs, &caps, cost, &catalog)
+            .into_plan();
         let sampler: Sampler = Arc::new(|_, _, _| 1.0);
         let mut dep = Deployment::launch(&plan, &pairs, &caps, cost, &catalog, sampler);
         dep.run(3);

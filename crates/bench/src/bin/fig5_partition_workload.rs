@@ -17,7 +17,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use remo_bench::{f3, plan_scheme, Reporter, SCHEMES};
+use remo_bench::{eval_scheme, f3, Reporter, SCHEMES};
 use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
 use remo_workloads::TaskGenConfig;
 
@@ -39,8 +39,8 @@ fn run_point(
     let caps = CapacityMap::uniform(NODES, node_budget, collector).expect("caps");
     let catalog = AttrCatalog::new();
     for (name, scheme) in SCHEMES {
-        let plan = plan_scheme(scheme, pairs, &caps, cost, &catalog);
-        rep.row(&[&x, &name, &f3(plan.coverage() * 100.0)]);
+        let ev = eval_scheme(scheme, pairs, &caps, cost, &catalog);
+        rep.row(&[&x, &name, &f3(ev.coverage() * 100.0)]);
     }
 }
 
@@ -79,13 +79,8 @@ fn main() {
         let caps = CapacityMap::uniform(NODES, 800.0, 20_000.0).expect("caps");
         let catalog = AttrCatalog::new();
         for (name, scheme) in SCHEMES {
-            let plan = plan_scheme(scheme, &pairs, &caps, balance_regime, &catalog);
-            rep.row(&[
-                &nt,
-                &name,
-                &f3(plan.coverage() * 100.0),
-                &plan.trees().len(),
-            ]);
+            let ev = eval_scheme(scheme, &pairs, &caps, balance_regime, &catalog);
+            rep.row(&[&nt, &name, &f3(ev.coverage() * 100.0), &ev.per_tree.len()]);
         }
     }
 

@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use remo_bench::{f3, plan_scheme, Reporter, SCHEMES};
+use remo_bench::{eval_scheme, f3, Reporter, SCHEMES};
 use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringTask, PairSet, TaskId};
 use remo_workloads::TaskGenConfig;
 
@@ -43,8 +43,8 @@ fn main() {
             let caps = CapacityMap::uniform(nodes, 1_000.0, 400.0 * nodes as f64).expect("caps");
             let catalog = AttrCatalog::new();
             for (name, scheme) in SCHEMES {
-                let plan = plan_scheme(scheme, &pairs, &caps, cost, &catalog);
-                rep.row(&[&nodes, &name, &f3(plan.coverage() * 100.0)]);
+                let ev = eval_scheme(scheme, &pairs, &caps, cost, &catalog);
+                rep.row(&[&nodes, &name, &f3(ev.coverage() * 100.0)]);
             }
         }
     }
@@ -73,15 +73,15 @@ fn main() {
             let cost = CostModel::new(ca, 1.0).expect("cost");
             let mut remo_trees = 0usize;
             for (name, scheme) in SCHEMES {
-                let plan = plan_scheme(scheme, &pairs, &caps, cost, &catalog);
+                let ev = eval_scheme(scheme, &pairs, &caps, cost, &catalog);
                 if name == "REMO" {
-                    remo_trees = plan.trees().len();
+                    remo_trees = ev.per_tree.len();
                 }
                 rep.row(&[
                     &f3(ca),
                     &name,
-                    &f3(plan.coverage() * 100.0),
-                    &plan.trees().len(),
+                    &f3(ev.coverage() * 100.0),
+                    &ev.per_tree.len(),
                 ]);
             }
             let _ = remo_trees;

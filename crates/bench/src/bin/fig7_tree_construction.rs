@@ -48,9 +48,9 @@ fn collected(builder: BuilderKind, pairs: &PairSet, caps: &CapacityMap, cost: Co
         })
         .collect();
     let partition = Partition::from_sets(sets).expect("disjoint");
-    let plan = planner.evaluate_partition(&partition, pairs, caps, cost, &catalog);
-    remo_audit::assert_plan_clean(&plan, pairs, caps, cost, &catalog);
-    plan.coverage() * 100.0
+    let ev = planner.evaluate_partition(&partition, pairs, caps, cost, &catalog);
+    remo_audit::assert_plan_clean(&ev.plan, pairs, caps, cost, &catalog);
+    ev.coverage() * 100.0
 }
 
 fn main() {

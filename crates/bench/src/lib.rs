@@ -6,12 +6,13 @@
 //! *shape* (who wins, by what factor, where crossovers fall) is what
 //! reproduces. Each binary also writes its CSV under `results/`.
 
-use remo_core::planner::{PartitionScheme, Planner, PlannerConfig};
-use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringPlan, PairSet};
+use remo_core::planner::{EvalBreakdown, PartitionScheme, Planner, PlannerConfig};
+use remo_core::{AttrCatalog, CapacityMap, CostModel, MonitoringPlan, PairSet, Partition};
 use std::fmt::Display;
 use std::fs::{create_dir_all, File};
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Writes one figure's series to stdout and `results/<name>.csv`.
 #[derive(Debug)]
@@ -91,13 +92,47 @@ pub fn plan_scheme(
     cost: CostModel,
     catalog: &AttrCatalog,
 ) -> MonitoringPlan {
+    eval_scheme(scheme, pairs, caps, cost, catalog).into_plan()
+}
+
+/// Like [`plan_scheme`], but returns the full [`EvalBreakdown`] (plan
+/// plus per-tree cost/coverage decomposition and wall time) so figure
+/// binaries report from one structured source instead of recomputing
+/// totals by hand.
+pub fn eval_scheme(
+    scheme: PartitionScheme,
+    pairs: &PairSet,
+    caps: &CapacityMap,
+    cost: CostModel,
+    catalog: &AttrCatalog,
+) -> EvalBreakdown {
     let planner = Planner::new(PlannerConfig {
         max_rounds: 256,
         ..PlannerConfig::default()
     });
-    let plan = scheme.plan(&planner, pairs, caps, cost, catalog);
-    remo_audit::assert_plan_clean(&plan, pairs, caps, cost, catalog);
-    plan
+    let breakdown = match scheme {
+        PartitionScheme::SingletonSet => planner.evaluate_partition(
+            &Partition::singleton(pairs.attr_universe()),
+            pairs,
+            caps,
+            cost,
+            catalog,
+        ),
+        PartitionScheme::OneSet => planner.evaluate_partition(
+            &Partition::one_set(pairs.attr_universe()),
+            pairs,
+            caps,
+            cost,
+            catalog,
+        ),
+        PartitionScheme::Remo => {
+            let t0 = Instant::now();
+            let plan = planner.plan_with_catalog(pairs, caps, cost, catalog);
+            EvalBreakdown::from_plan(plan, t0.elapsed())
+        }
+    };
+    remo_audit::assert_plan_clean(&breakdown.plan, pairs, caps, cost, catalog);
+    breakdown
 }
 
 /// The default experiment cost model: a per-message overhead that

@@ -28,10 +28,11 @@
 //! throttled on the same scale as efficiency-improving ones.
 
 use crate::attribute::AttrCatalog;
+use crate::cache::{CacheStats, TreeCache};
 use crate::capacity::CapacityMap;
 use crate::cost::CostModel;
 use crate::estimate::GainEstimator;
-use crate::evaluate::build_tree_for_set;
+use crate::evaluate::build_tree_for_set_cached;
 use crate::ids::{AttrId, NodeId};
 use crate::pairs::PairSet;
 use crate::partition::{AttrSet, Partition, PartitionOp};
@@ -121,6 +122,12 @@ pub struct AdaptivePlanner {
     last_adjust: BTreeMap<Vec<AttrId>, u64>,
     /// Cap on local-search operations per adaptation round.
     max_ops: usize,
+    /// Memoized tree builds, reused across adaptation rounds (consulted
+    /// only when the planner's `cache` knob is on). Pair churn
+    /// invalidates it; capacity changes miss naturally because budgets
+    /// are part of the cache key — so a failure/recovery cycle
+    /// warm-starts from the pre-failure builds.
+    cache: TreeCache,
 }
 
 impl AdaptivePlanner {
@@ -133,7 +140,16 @@ impl AdaptivePlanner {
         cost: CostModel,
         catalog: AttrCatalog,
     ) -> Self {
-        let plan = planner.plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let cache = TreeCache::new();
+        let plan = planner
+            .plan_with_report_cached(
+                &pairs,
+                &caps,
+                cost,
+                &catalog,
+                planner.config().cache.then_some(&cache),
+            )
+            .0;
         AdaptivePlanner {
             planner,
             scheme,
@@ -144,7 +160,18 @@ impl AdaptivePlanner {
             plan,
             last_adjust: BTreeMap::new(),
             max_ops: 32,
+            cache,
         }
+    }
+
+    /// The tree cache to consult, honoring the planner's `cache` knob.
+    fn cache_ref(&self) -> Option<&TreeCache> {
+        self.planner.config().cache.then_some(&self.cache)
+    }
+
+    /// Hit/miss counters of the cross-round tree-build cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// The current monitoring plan.
@@ -183,15 +210,22 @@ impl AdaptivePlanner {
     pub fn update(&mut self, new_pairs: PairSet, now: u64) -> AdaptationReport {
         let t0 = Instant::now();
         let old_plan = self.plan.clone();
+        // Cached trees embed participant sets derived from the old pair
+        // universe; churn makes them unsound, not merely suboptimal.
+        self.cache.invalidate();
 
         let report = match self.scheme {
             AdaptScheme::Rebuild => {
-                let plan = self.planner.plan_with_catalog(
-                    &new_pairs,
-                    &self.caps,
-                    self.cost,
-                    &self.catalog,
-                );
+                let plan = self
+                    .planner
+                    .plan_with_report_cached(
+                        &new_pairs,
+                        &self.caps,
+                        self.cost,
+                        &self.catalog,
+                        self.cache_ref(),
+                    )
+                    .0;
                 self.plan = plan;
                 AdaptationReport {
                     adaptation_messages: 0,
@@ -371,7 +405,13 @@ impl AdaptivePlanner {
         let mut order: Vec<usize> = affected.iter().copied().collect();
         order.sort_by_key(|&i| pairs.participants(&partition.sets()[i]).len());
         for i in order {
-            let t = build_tree_for_set(&partition.sets()[i], &ctx, &avail, collector_avail);
+            let t = build_tree_for_set_cached(
+                &partition.sets()[i],
+                &ctx,
+                &avail,
+                collector_avail,
+                self.cache_ref(),
+            );
             for (&n, &u) in &t.usage {
                 if let Some(r) = avail.get_mut(&n) {
                     *r -= u;
@@ -479,7 +519,13 @@ impl AdaptivePlanner {
         let mut order: Vec<usize> = affected.iter().copied().collect();
         order.sort_by_key(|&i| new_pairs.participants(&partition.sets()[i]).len());
         for i in order {
-            let t = build_tree_for_set(&partition.sets()[i], &ctx, &avail, collector_avail);
+            let t = build_tree_for_set_cached(
+                &partition.sets()[i],
+                &ctx,
+                &avail,
+                collector_avail,
+                self.cache_ref(),
+            );
             for (&n, &u) in &t.usage {
                 if let Some(r) = avail.get_mut(&n) {
                     *r -= u;
@@ -543,8 +589,7 @@ impl AdaptivePlanner {
         let mut ops_throttled = 0usize;
 
         while ops_applied + ops_throttled < self.max_ops {
-            let current = MonitoringPlan::new(partition.clone(), trees.clone());
-            let ranked = estimator.rank_ops(&partition, &current);
+            let ranked = estimator.rank_ops_trees(&partition, &trees);
 
             // Candidates restricted to trees in `touched`, ranked by
             // estimated cost-effectiveness (gain / cost lower bound).
@@ -554,7 +599,7 @@ impl AdaptivePlanner {
                 match op {
                     PartitionOp::Merge(i, j) => {
                         if touched.contains(&i) || touched.contains(&j) {
-                            let lb = estimator.merge_cost_lb(&current, i, j) as f64;
+                            let lb = estimator.merge_cost_lb_trees(&trees, i, j) as f64;
                             merges.push((op, gain / lb.max(1.0)));
                         }
                     }
@@ -577,7 +622,15 @@ impl AdaptivePlanner {
             let eval_first = |ops: &[(PartitionOp, f64)]| {
                 ops.iter().take(window).find_map(|&(op, _)| {
                     self.planner
-                        .try_op(op, &partition, &trees, &avail, collector_avail, &ctx)
+                        .try_op(
+                            op,
+                            &partition,
+                            &trees,
+                            &avail,
+                            collector_avail,
+                            &ctx,
+                            self.cache_ref(),
+                        )
                         .filter(|state| state.4.better_than(&score))
                         .map(|state| (op, state))
                 })

@@ -1,0 +1,397 @@
+//! Memoized tree construction — the incremental-search optimization of
+//! the journal version's §5 ("efficient adaptive" planning).
+//!
+//! The guided local search evaluates each merge/split candidate by
+//! building the affected trees from scratch. Across a round, and across
+//! the epochs of a self-healing deployment, the same (attribute set,
+//! residual budgets) construction problem recurs constantly: a rejected
+//! candidate is re-ranked next round against unchanged budgets, a
+//! recovered node restores exactly the capacity snapshot a tree was
+//! last built under. [`TreeCache`] memoizes finished [`PlannedTree`]s
+//! under a *structural* key — the attribute set, every participant's
+//! budget (bit pattern), the collector budget, and a construction-config
+//! fingerprint — so any such recurrence is a map lookup instead of an
+//! `O(n log n)` build.
+//!
+//! Tree construction is a pure, deterministic function of the key plus
+//! the pair set and attribute catalog. The latter two are *not* part of
+//! the key; they are pinned by the cache **generation**. Callers that
+//! mutate demand (task churn) or attribute metadata must call
+//! [`TreeCache::invalidate`], which bumps the generation and drops all
+//! entries. Capacity changes need no invalidation: budgets are in the
+//! key, so a changed budget simply misses.
+//!
+//! The cache is `Sync` (a mutexed map) so the planner's parallel
+//! candidate evaluation can share one instance across worker threads.
+
+use crate::alloc::AllocationScheme;
+use crate::build::BuilderKind;
+use crate::evaluate::{build_tree_with_participants, BudgetView, EvalContext};
+use crate::ids::NodeId;
+use crate::partition::AttrSet;
+use crate::plan::PlannedTree;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+
+/// Entry cap; reaching it deterministically drops every entry (a full
+/// clear beats LRU bookkeeping here: keys recur in bursts within a
+/// search, and a cleared cache refills within one round).
+const MAX_ENTRIES: usize = 8192;
+
+/// Construction-configuration fingerprint: every knob outside the
+/// budgets that changes what `build_tree_for_set` would produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CfgKey {
+    builder: u8,
+    branch_based: bool,
+    subtree_only: bool,
+    allocation: u8,
+    aggregation_aware: bool,
+    frequency_aware: bool,
+    per_message: u64,
+    per_value: u64,
+}
+
+impl CfgKey {
+    fn of(ctx: &EvalContext<'_>) -> Self {
+        let (builder, branch_based, subtree_only) = match ctx.builder {
+            BuilderKind::Star => (0, false, false),
+            BuilderKind::Chain => (1, false, false),
+            BuilderKind::MaxAvb => (2, false, false),
+            BuilderKind::Adaptive(adj) => (3, adj.branch_based, adj.subtree_only),
+        };
+        let allocation = match ctx.allocation {
+            AllocationScheme::Uniform => 0,
+            AllocationScheme::Proportional => 1,
+            AllocationScheme::OnDemand => 2,
+            AllocationScheme::Ordered => 3,
+        };
+        CfgKey {
+            builder,
+            branch_based,
+            subtree_only,
+            allocation,
+            aggregation_aware: ctx.aggregation_aware,
+            frequency_aware: ctx.frequency_aware,
+            per_message: ctx.cost.per_message().to_bits(),
+            per_value: ctx.cost.per_value().to_bits(),
+        }
+    }
+}
+
+/// One memoized construction problem. Budgets are stored as bit
+/// patterns: bit-equality is exactly the guarantee under which a replay
+/// of the deterministic builder yields the identical tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    generation: u64,
+    cfg: CfgKey,
+    attrs: Vec<u32>,
+    budgets: Vec<(u32, u64)>,
+    collector: u64,
+}
+
+impl CacheKey {
+    fn new<B: BudgetView + ?Sized>(
+        generation: u64,
+        ctx: &EvalContext<'_>,
+        set: &AttrSet,
+        participants: &BTreeSet<NodeId>,
+        avail: &B,
+        collector_avail: f64,
+    ) -> Self {
+        CacheKey {
+            generation,
+            cfg: CfgKey::of(ctx),
+            attrs: set.iter().map(|a| a.0).collect(),
+            budgets: participants
+                .iter()
+                .map(|&n| (n.0, avail.budget(n).to_bits()))
+                .collect(),
+            collector: collector_avail.to_bits(),
+        }
+    }
+}
+
+/// Cache counters (monotone across [`TreeCache::invalidate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh build.
+    pub misses: u64,
+    /// Generation bumps (demand/catalog churn).
+    pub invalidations: u64,
+    /// Full clears forced by the entry cap.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0.0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, PlannedTree>,
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+/// A thread-safe memo table of built trees (see module docs).
+#[derive(Debug, Default)]
+pub struct TreeCache {
+    inner: Mutex<Inner>,
+}
+
+impl TreeCache {
+    /// An empty cache at generation zero.
+    pub fn new() -> Self {
+        TreeCache::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking worker thread poisons the mutex; the map itself
+        // is never left mid-update, so recover the guard.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns the cached tree for this exact construction problem, or
+    /// builds, stores, and returns it.
+    pub fn get_or_build<B: BudgetView + ?Sized>(
+        &self,
+        set: &AttrSet,
+        ctx: &EvalContext<'_>,
+        avail: &B,
+        collector_avail: f64,
+    ) -> PlannedTree {
+        let participants = ctx.pairs.participants(set);
+        let (key, cached) = {
+            let mut inner = self.lock();
+            let key = CacheKey::new(
+                inner.generation,
+                ctx,
+                set,
+                &participants,
+                avail,
+                collector_avail,
+            );
+            match inner.map.get(&key).cloned() {
+                Some(tree) => {
+                    inner.hits += 1;
+                    (key, Some(tree))
+                }
+                None => {
+                    inner.misses += 1;
+                    (key, None)
+                }
+            }
+        };
+        if let Some(tree) = cached {
+            return tree;
+        }
+        let tree = build_tree_with_participants(set, ctx, &participants, avail, collector_avail);
+        let mut inner = self.lock();
+        if key.generation == inner.generation {
+            if inner.map.len() >= MAX_ENTRIES {
+                inner.map.clear();
+                inner.evictions += 1;
+            }
+            inner.map.insert(key, tree.clone());
+        }
+        tree
+    }
+
+    /// Drops every entry and bumps the generation. Must be called when
+    /// the pair set or the attribute catalog changes — both feed tree
+    /// construction without appearing in the key.
+    pub fn invalidate(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.generation += 1;
+        inner.invalidations += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            invalidations: inner.invalidations,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+impl Clone for TreeCache {
+    /// Clones contents and counters (the clone starts un-poisoned and
+    /// unshared).
+    fn clone(&self) -> Self {
+        let inner = self.lock();
+        TreeCache {
+            inner: Mutex::new(Inner {
+                map: inner.map.clone(),
+                generation: inner.generation,
+                hits: inner.hits,
+                misses: inner.misses,
+                invalidations: inner.invalidations,
+                evictions: inner.evictions,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttrCatalog;
+    use crate::capacity::CapacityMap;
+    use crate::cost::CostModel;
+    use crate::ids::AttrId;
+    use crate::pairs::PairSet;
+    use std::collections::BTreeMap;
+
+    fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+        (0..nodes)
+            .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+            .collect()
+    }
+
+    fn set_of(attrs: &[u32]) -> AttrSet {
+        attrs.iter().map(|&a| AttrId(a)).collect()
+    }
+
+    #[test]
+    fn identical_problem_hits() {
+        let pairs = dense_pairs(8, 3);
+        let caps = CapacityMap::uniform(8, 20.0, 200.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let avail: BTreeMap<NodeId, f64> = caps.iter().collect();
+        let cache = TreeCache::new();
+
+        let a = cache.get_or_build(&set_of(&[0, 1]), &ctx, &avail, caps.collector());
+        let b = cache.get_or_build(&set_of(&[0, 1]), &ctx, &avail, caps.collector());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        // A hit is bit-identical to the fresh build.
+        assert_eq!(a.usage, b.usage);
+        assert_eq!(a.collected_pairs, b.collected_pairs);
+        assert_eq!(a.message_volume.to_bits(), b.message_volume.to_bits());
+    }
+
+    #[test]
+    fn merged_and_split_sets_are_distinct_problems() {
+        let pairs = dense_pairs(8, 3);
+        let caps = CapacityMap::uniform(8, 20.0, 200.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let avail: BTreeMap<NodeId, f64> = caps.iter().collect();
+        let cache = TreeCache::new();
+
+        cache.get_or_build(&set_of(&[0]), &ctx, &avail, caps.collector());
+        cache.get_or_build(&set_of(&[1]), &ctx, &avail, caps.collector());
+        // The merged set misses: it is a different construction problem.
+        cache.get_or_build(&set_of(&[0, 1]), &ctx, &avail, caps.collector());
+        // Splitting back re-hits the singleton entries.
+        cache.get_or_build(&set_of(&[0]), &ctx, &avail, caps.collector());
+        cache.get_or_build(&set_of(&[1]), &ctx, &avail, caps.collector());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn capacity_change_misses_and_restore_hits() {
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 20.0, 100.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let cache = TreeCache::new();
+        let set = set_of(&[0, 1]);
+
+        let full: BTreeMap<NodeId, f64> = caps.iter().collect();
+        cache.get_or_build(&set, &ctx, &full, caps.collector());
+
+        // One node loses capacity (failure): key differs, so a miss —
+        // no explicit invalidation needed.
+        let mut failed = full.clone();
+        failed.insert(NodeId(2), 0.0);
+        cache.get_or_build(&set, &ctx, &failed, caps.collector());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+
+        // Recovery restores the exact snapshot: warm-start hit.
+        cache.get_or_build(&set, &ctx, &full, caps.collector());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_bumps_generation_and_clears() {
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 20.0, 100.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let avail: BTreeMap<NodeId, f64> = caps.iter().collect();
+        let cache = TreeCache::new();
+        let set = set_of(&[0]);
+
+        cache.get_or_build(&set, &ctx, &avail, caps.collector());
+        cache.invalidate();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Same arguments, new generation: a miss, not a stale hit.
+        cache.get_or_build(&set, &ctx, &avail, caps.collector());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn different_config_is_a_different_key() {
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 20.0, 100.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog);
+        let star = EvalContext {
+            builder: BuilderKind::Star,
+            ..ctx
+        };
+        let avail: BTreeMap<NodeId, f64> = caps.iter().collect();
+        let cache = TreeCache::new();
+        let set = set_of(&[0, 1]);
+        cache.get_or_build(&set, &ctx, &avail, caps.collector());
+        cache.get_or_build(&set, &star, &avail, caps.collector());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn hit_rate_reports_fraction() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

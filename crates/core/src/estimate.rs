@@ -10,7 +10,7 @@ use crate::cost::CostModel;
 use crate::ids::{AttrId, NodeId};
 use crate::pairs::PairSet;
 use crate::partition::{Partition, PartitionOp};
-use crate::plan::MonitoringPlan;
+use crate::plan::{MonitoringPlan, PlannedTree};
 use std::collections::BTreeSet;
 
 /// Cheap gain/cost estimates over a fixed pair set and cost model.
@@ -82,7 +82,13 @@ impl<'a> GainEstimator<'a> {
     /// Lower bound on the number of topology edges a merge must change:
     /// at minimum every node of the smaller tree is re-parented.
     pub fn merge_cost_lb(&self, plan: &MonitoringPlan, i: usize, j: usize) -> usize {
-        let size = |k: usize| plan.trees().get(k).map_or(0, |t| t.len());
+        self.merge_cost_lb_trees(plan.trees(), i, j)
+    }
+
+    /// [`merge_cost_lb`](Self::merge_cost_lb) over a bare tree slice,
+    /// for callers that track trees without wrapping them in a plan.
+    pub fn merge_cost_lb_trees(&self, trees: &[PlannedTree], i: usize, j: usize) -> usize {
+        let size = |k: usize| trees.get(k).map_or(0, |t| t.len());
         size(i).min(size(j)).max(1)
     }
 
@@ -107,11 +113,21 @@ impl<'a> GainEstimator<'a> {
         partition: &Partition,
         plan: &MonitoringPlan,
     ) -> Vec<(PartitionOp, f64)> {
+        self.rank_ops_trees(partition, plan.trees())
+    }
+
+    /// [`rank_ops`](Self::rank_ops) over a bare tree slice, so callers
+    /// holding `(Partition, Vec<PlannedTree>)` state need not assemble
+    /// a throwaway [`MonitoringPlan`] every round.
+    pub fn rank_ops_trees(
+        &self,
+        partition: &Partition,
+        trees: &[PlannedTree],
+    ) -> Vec<(PartitionOp, f64)> {
         use std::collections::BTreeMap;
 
         let sets = partition.sets();
-        let uncollected: Vec<usize> = plan
-            .trees()
+        let uncollected: Vec<usize> = trees
             .iter()
             .map(|t| t.demanded_pairs.saturating_sub(t.collected_pairs))
             .collect();
@@ -121,7 +137,7 @@ impl<'a> GainEstimator<'a> {
         // so only their overlap is freed by a merge (a saturated-out
         // demand overlap frees nothing).
         let mut member_sets: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
-        for (i, planned) in plan.trees().iter().enumerate() {
+        for (i, planned) in trees.iter().enumerate() {
             if let Some(tree) = planned.tree.as_ref() {
                 for n in tree.nodes() {
                     member_sets.entry(n).or_default().push(i);
@@ -157,8 +173,7 @@ impl<'a> GainEstimator<'a> {
             // Root-feasibility penalty: the merged tree's root must
             // carry both trees' payloads in one message.
             if let Some(cap) = self.root_capacity {
-                let payload =
-                    (plan.trees()[i].collected_pairs + plan.trees()[j].collected_pairs) as f64;
+                let payload = (trees[i].collected_pairs + trees[j].collected_pairs) as f64;
                 let feasible = ((cap - self.cost.per_message()) / self.cost.per_value()).max(0.0);
                 let excess = payload - feasible;
                 if excess > 0.0 {
@@ -171,7 +186,7 @@ impl<'a> GainEstimator<'a> {
             // Fallback: merge the two smallest trees (saves one
             // collector message).
             let mut by_size: Vec<usize> = (0..sets.len()).collect();
-            by_size.sort_by_key(|&i| plan.trees().get(i).map_or(0, |t| t.len()));
+            by_size.sort_by_key(|&i| trees.get(i).map_or(0, |t| t.len()));
             ranked.push((
                 PartitionOp::Merge(by_size[0].min(by_size[1]), by_size[0].max(by_size[1])),
                 self.cost.per_message(),
@@ -179,25 +194,31 @@ impl<'a> GainEstimator<'a> {
         }
         // Stranded sets (no tree built at all) can only be collected by
         // riding along a built tree: offer each one's best
-        // demand-overlap partner as a low-ranked candidate.
-        for (i, planned) in plan.trees().iter().enumerate() {
-            if planned.tree.is_some() || i >= sets.len() {
-                continue;
-            }
-            let mine = self.pairs.participants(&sets[i]);
-            let best = (0..sets.len())
-                .filter(|&j| j != i && plan.trees()[j].tree.is_some())
-                .max_by_key(|&j| {
-                    self.pairs
-                        .participants(&sets[j])
-                        .intersection(&mine)
-                        .count()
-                });
-            if let Some(j) = best {
-                ranked.push((
-                    PartitionOp::Merge(i.min(j), i.max(j)),
-                    self.cost.per_message(),
-                ));
+        // demand-overlap partner as a low-ranked candidate. Overlaps
+        // come from participant bitsets built once for the whole round
+        // (AND-popcount per pair) rather than a participant-set
+        // materialization per (stranded, partner) pair, which made this
+        // loop O(sets²·attrs) on large singleton partitions.
+        let stranded: Vec<usize> = trees
+            .iter()
+            .enumerate()
+            .filter(|&(i, planned)| planned.tree.is_none() && i < sets.len())
+            .map(|(i, _)| i)
+            .collect();
+        if !stranded.is_empty() {
+            let bitsets = self.pairs.participant_bitsets(sets);
+            for i in stranded {
+                // Exact counts keep `max_by_key` picking the same
+                // (last-maximal) partner the set-intersection scan did.
+                let best = (0..sets.len())
+                    .filter(|&j| j != i && trees[j].tree.is_some())
+                    .max_by_key(|&j| bitsets.overlap(i, j));
+                if let Some(j) = best {
+                    ranked.push((
+                        PartitionOp::Merge(i.min(j), i.max(j)),
+                        self.cost.per_message(),
+                    ));
+                }
             }
         }
         for (i, s) in sets.iter().enumerate() {

@@ -9,13 +9,14 @@
 use crate::alloc::AllocationScheme;
 use crate::attribute::AttrCatalog;
 use crate::build::{build_tree, BuildRequest, BuilderKind, LocalLoad, NodeDemand};
+use crate::cache::TreeCache;
 use crate::capacity::CapacityMap;
 use crate::cost::{Aggregation, CostModel};
 use crate::ids::NodeId;
 use crate::pairs::PairSet;
 use crate::partition::{AttrSet, Partition};
 use crate::plan::{MonitoringPlan, PlannedTree};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything the evaluator needs besides the partition itself.
 #[derive(Debug, Clone, Copy)]
@@ -65,12 +66,91 @@ impl<'a> EvalContext<'a> {
     }
 }
 
+/// A read-only view of per-node residual budgets.
+///
+/// Tree construction only ever *reads* budgets; abstracting the source
+/// lets candidate evaluation substitute a copy-on-write overlay (base
+/// map + touched deltas) for the full `BTreeMap` clones the search
+/// used to make per candidate.
+pub trait BudgetView {
+    /// The budget available on `node` (0.0 when unknown).
+    fn budget(&self, node: NodeId) -> f64;
+}
+
+impl BudgetView for BTreeMap<NodeId, f64> {
+    fn budget(&self, node: NodeId) -> f64 {
+        self.get(&node).copied().unwrap_or(0.0)
+    }
+}
+
+/// Copy-on-write budget overlay: a borrowed base map plus the final
+/// values of the few nodes a candidate op has freed or charged.
+///
+/// Mutations replay the same `+=` / `-=` sequence the eager-clone path
+/// performed on a full copy, so reads are bit-identical to it (IEEE 754
+/// subtraction is addition of the negation, and each node's op sequence
+/// is preserved; only untouched nodes skip the copy).
+#[derive(Debug)]
+pub struct BudgetOverlay<'a> {
+    base: &'a BTreeMap<NodeId, f64>,
+    touched: BTreeMap<NodeId, f64>,
+}
+
+impl<'a> BudgetOverlay<'a> {
+    /// An overlay with no changes yet.
+    pub fn new(base: &'a BTreeMap<NodeId, f64>) -> Self {
+        BudgetOverlay {
+            base,
+            touched: BTreeMap::new(),
+        }
+    }
+
+    /// Applies `delta` (free > 0, charge < 0) to `node`'s budget.
+    ///
+    /// Panics if `node` is not in the base map, matching the eager
+    /// path's `expect("known node")`.
+    pub fn add(&mut self, node: NodeId, delta: f64) {
+        let v = self
+            .touched
+            .entry(node)
+            .or_insert_with(|| *self.base.get(&node).expect("known node"));
+        *v += delta;
+    }
+
+    /// The final values of every touched node.
+    pub fn into_touched(self) -> BTreeMap<NodeId, f64> {
+        self.touched
+    }
+}
+
+impl BudgetView for BudgetOverlay<'_> {
+    fn budget(&self, node: NodeId) -> f64 {
+        match self.touched.get(&node) {
+            Some(&v) => v,
+            None => self.base.get(&node).copied().unwrap_or(0.0),
+        }
+    }
+}
+
 /// Builds the [`BuildRequest`] for one attribute set, with per-node
 /// budgets drawn from `avail` and the given collector budget.
-pub fn make_request(
+pub fn make_request<B: BudgetView + ?Sized>(
     set: &AttrSet,
     ctx: &EvalContext<'_>,
-    avail: &BTreeMap<NodeId, f64>,
+    avail: &B,
+    collector_budget: f64,
+) -> BuildRequest {
+    let participants = ctx.pairs.participants(set);
+    make_request_with_participants(set, ctx, &participants, avail, collector_budget)
+}
+
+/// [`make_request`] with the participant set precomputed (the cache
+/// computes it once for its key and reuses it on a miss).
+pub(crate) fn make_request_with_participants<B: BudgetView + ?Sized>(
+    set: &AttrSet,
+    ctx: &EvalContext<'_>,
+    participants: &BTreeSet<NodeId>,
+    avail: &B,
     collector_budget: f64,
 ) -> BuildRequest {
     // Funnel table: non-identity aggregations present in this set, in
@@ -87,9 +167,8 @@ pub fn make_request(
         }
     }
 
-    let participants = ctx.pairs.participants(set);
     let mut demand = Vec::with_capacity(participants.len());
-    for node in participants {
+    for &node in participants {
         let owned = ctx
             .pairs
             .attrs_of(node)
@@ -115,7 +194,7 @@ pub fn make_request(
         demand.push(NodeDemand {
             node,
             load,
-            budget: avail.get(&node).copied().unwrap_or(0.0),
+            budget: avail.budget(node),
             pairs: raw_pairs,
         });
     }
@@ -132,13 +211,41 @@ pub fn make_request(
 /// Builds one tree for `set` against residual capacities, returning
 /// the planned tree. `avail` and `collector_avail` are *not* mutated;
 /// callers subtract the returned usage themselves.
-pub fn build_tree_for_set(
+pub fn build_tree_for_set<B: BudgetView + ?Sized>(
     set: &AttrSet,
     ctx: &EvalContext<'_>,
-    avail: &BTreeMap<NodeId, f64>,
+    avail: &B,
     collector_avail: f64,
 ) -> PlannedTree {
-    let req = make_request(set, ctx, avail, collector_avail);
+    let participants = ctx.pairs.participants(set);
+    build_tree_with_participants(set, ctx, &participants, avail, collector_avail)
+}
+
+/// Like [`build_tree_for_set`], but consulting (and populating) a
+/// [`TreeCache`] when one is supplied. Construction is deterministic,
+/// so a cache hit is bit-identical to a fresh build.
+pub fn build_tree_for_set_cached<B: BudgetView + ?Sized>(
+    set: &AttrSet,
+    ctx: &EvalContext<'_>,
+    avail: &B,
+    collector_avail: f64,
+    cache: Option<&TreeCache>,
+) -> PlannedTree {
+    match cache {
+        Some(cache) => cache.get_or_build(set, ctx, avail, collector_avail),
+        None => build_tree_for_set(set, ctx, avail, collector_avail),
+    }
+}
+
+/// Tree construction from a precomputed participant set.
+pub(crate) fn build_tree_with_participants<B: BudgetView + ?Sized>(
+    set: &AttrSet,
+    ctx: &EvalContext<'_>,
+    participants: &BTreeSet<NodeId>,
+    avail: &B,
+    collector_avail: f64,
+) -> PlannedTree {
+    let req = make_request_with_participants(set, ctx, participants, avail, collector_avail);
     let out = build_tree(ctx.builder, &req);
     PlannedTree {
         tree: out.tree,
@@ -174,6 +281,17 @@ pub fn build_tree_for_set(
 /// # }
 /// ```
 pub fn build_forest(partition: &Partition, ctx: &EvalContext<'_>) -> MonitoringPlan {
+    build_forest_cached(partition, ctx, None)
+}
+
+/// [`build_forest`] with an optional [`TreeCache`]; whole-forest
+/// rebuilds in the planner's global phase and warm-started repairs
+/// reuse trees built in earlier rounds or epochs.
+pub fn build_forest_cached(
+    partition: &Partition,
+    ctx: &EvalContext<'_>,
+    cache: Option<&TreeCache>,
+) -> MonitoringPlan {
     let sets = partition.sets();
     let participants: Vec<_> = sets.iter().map(|s| ctx.pairs.participants(s)).collect();
     let sizes: Vec<usize> = participants.iter().map(|p| p.len()).collect();
@@ -196,21 +314,19 @@ pub fn build_forest(partition: &Partition, ctx: &EvalContext<'_>) -> MonitoringP
     let mut planned: Vec<Option<PlannedTree>> = (0..sets.len()).map(|_| None).collect();
     for k in order {
         let set = &sets[k];
-        // Budgets visible to this tree.
-        let budgets: BTreeMap<NodeId, f64> = if ctx.allocation.is_static() {
-            participants[k]
+        // Budgets visible to this tree. Static schemes compute each
+        // tree's share; dynamic schemes read the running residual map
+        // directly (no per-tree clone).
+        let tree = if ctx.allocation.is_static() {
+            let budgets: BTreeMap<NodeId, f64> = participants[k]
                 .iter()
                 .map(|&n| {
                     let b = ctx.caps.node(n).unwrap_or(0.0);
                     let all = my_tree_sizes.get(&n).map_or(&[][..], Vec::as_slice);
                     (n, ctx.allocation.node_share(b, sizes[k], all))
                 })
-                .collect()
-        } else {
-            remaining.clone()
-        };
-        let collector_budget = if ctx.allocation.is_static() {
-            match ctx.allocation {
+                .collect();
+            let collector_budget = match ctx.allocation {
                 AllocationScheme::Uniform => ctx.caps.collector() / tree_count as f64,
                 AllocationScheme::Proportional => {
                     let total: usize = sizes.iter().sum();
@@ -221,12 +337,11 @@ pub fn build_forest(partition: &Partition, ctx: &EvalContext<'_>) -> MonitoringP
                     }
                 }
                 _ => unreachable!("static schemes only"),
-            }
+            };
+            build_tree_for_set_cached(set, ctx, &budgets, collector_budget, cache)
         } else {
-            collector_remaining
+            build_tree_for_set_cached(set, ctx, &remaining, collector_remaining, cache)
         };
-
-        let tree = build_tree_for_set(set, ctx, &budgets, collector_budget);
         if !ctx.allocation.is_static() {
             for (&n, &u) in &tree.usage {
                 if let Some(r) = remaining.get_mut(&n) {

@@ -59,6 +59,7 @@ pub mod adapt;
 pub mod alloc;
 mod attribute;
 pub mod build;
+pub mod cache;
 mod capacity;
 mod cost;
 mod error;
@@ -78,11 +79,12 @@ mod tree;
 pub mod validate;
 
 pub use attribute::{AttrCatalog, AttrInfo};
+pub use cache::{CacheStats, TreeCache};
 pub use capacity::CapacityMap;
 pub use cost::{Aggregation, CostModel};
 pub use error::PlanError;
 pub use ids::{AttrId, NodeId, TaskId};
-pub use pairs::PairSet;
+pub use pairs::{PairSet, ParticipantBitsets};
 pub use partition::{AttrSet, Partition, PartitionOp};
 pub use plan::MonitoringPlan;
 pub use task::{MonitoringTask, TaskChange};

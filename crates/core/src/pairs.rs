@@ -142,6 +142,35 @@ impl PairSet {
         out
     }
 
+    /// Precomputes dense participant bitsets for a list of attribute
+    /// sets in one pass over the reverse index, so pairwise overlap
+    /// queries become AND-popcount over `u64` words instead of
+    /// materializing [`participants`](Self::participants) sets per
+    /// query. Overlap counts are exact, so callers that pick partners
+    /// by maximum overlap make the same choices either way.
+    pub fn participant_bitsets(&self, sets: &[BTreeSet<AttrId>]) -> ParticipantBitsets {
+        let node_index: BTreeMap<NodeId, usize> = self
+            .by_node
+            .keys()
+            .enumerate()
+            .map(|(x, &n)| (n, x))
+            .collect();
+        let words = node_index.len().div_ceil(64).max(1);
+        let mut bits = vec![0u64; sets.len() * words];
+        for (s, set) in sets.iter().enumerate() {
+            let row = &mut bits[s * words..(s + 1) * words];
+            for attr in set {
+                if let Some(nodes) = self.by_attr.get(attr) {
+                    for n in nodes {
+                        let x = node_index[n];
+                        row[x / 64] |= 1u64 << (x % 64);
+                    }
+                }
+            }
+        }
+        ParticipantBitsets { words, bits }
+    }
+
     /// Computes the symmetric difference with `other` as
     /// `(added, removed)` pair lists: pairs in `other` but not `self`,
     /// and pairs in `self` but not `other`. Used to find trees affected
@@ -156,6 +185,34 @@ impl PairSet {
             .filter(|&(n, a)| !other.contains(n, a))
             .collect();
         (added, removed)
+    }
+}
+
+/// Dense per-set participant bitsets over a fixed node universe; see
+/// [`PairSet::participant_bitsets`].
+#[derive(Debug, Clone)]
+pub struct ParticipantBitsets {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl ParticipantBitsets {
+    /// Number of participants the two sets share.
+    pub fn overlap(&self, i: usize, j: usize) -> usize {
+        let a = &self.bits[i * self.words..(i + 1) * self.words];
+        let b = &self.bits[j * self.words..(j + 1) * self.words];
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of participants in set `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.bits[i * self.words..(i + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 }
 

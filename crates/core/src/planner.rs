@@ -13,16 +13,21 @@
 use crate::alloc::AllocationScheme;
 use crate::attribute::AttrCatalog;
 use crate::build::BuilderKind;
+use crate::cache::TreeCache;
 use crate::capacity::CapacityMap;
 use crate::cost::CostModel;
 use crate::estimate::GainEstimator;
-use crate::evaluate::{build_forest, build_tree_for_set, EvalContext};
+use crate::evaluate::{
+    build_forest, build_forest_cached, build_tree_for_set_cached, BudgetOverlay, EvalContext,
+};
 use crate::ids::{AttrId, NodeId};
 use crate::pairs::PairSet;
 use crate::partition::{AttrSet, Partition, PartitionOp};
 use crate::plan::{MonitoringPlan, PlannedTree};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// Where the local search starts from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -77,6 +82,20 @@ pub struct PlannerConfig {
     /// Attribute pairs that must never share a set — the SSDP/DSDP
     /// reliability constraint (paper §6.2).
     pub forbidden_pairs: Vec<(AttrId, AttrId)>,
+    /// Worker threads for the candidate-evaluation window
+    /// (0 = one per available core, the default).
+    ///
+    /// `parallelism == 1` together with `cache == false` selects the
+    /// serial reference engine — the original one-candidate-at-a-time
+    /// incremental loop — which the batch engine is proven (by test)
+    /// to match byte-for-byte.
+    #[serde(default)]
+    pub parallelism: usize,
+    /// Memoize tree construction in a [`TreeCache`] during the search
+    /// (default on). Off, every candidate rebuilds its trees from
+    /// scratch. Plans are identical either way; only latency differs.
+    #[serde(default)]
+    pub cache: bool,
 }
 
 impl Default for PlannerConfig {
@@ -92,6 +111,8 @@ impl Default for PlannerConfig {
             aggregation_aware: false,
             frequency_aware: false,
             forbidden_pairs: Vec::new(),
+            parallelism: 0,
+            cache: true,
         }
     }
 }
@@ -114,7 +135,7 @@ impl Score {
 ///
 /// Returned by [`Planner::plan_with_report`]; useful for tuning the
 /// search knobs and for the planning-cost experiments (Fig. 9a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PlanReport {
     /// Seed partitions evaluated before refinement.
     pub seeds_evaluated: usize,
@@ -132,6 +153,18 @@ pub struct PlanReport {
     pub local_evals: usize,
     /// Whole-forest reconstructions performed.
     pub global_evals: usize,
+    /// Wall milliseconds spent evaluating seed partitions.
+    #[serde(default)]
+    pub seed_ms: f64,
+    /// Wall milliseconds spent ranking candidate operations.
+    #[serde(default)]
+    pub rank_ms: f64,
+    /// Wall milliseconds spent evaluating local candidates.
+    #[serde(default)]
+    pub local_ms: f64,
+    /// Wall milliseconds spent in global-phase forest rebuilds.
+    #[serde(default)]
+    pub global_ms: f64,
 }
 
 /// The basic REMO planner.
@@ -186,6 +219,25 @@ impl Planner {
         cost: CostModel,
         catalog: &AttrCatalog,
     ) -> (MonitoringPlan, PlanReport) {
+        let local = self.config.cache.then(TreeCache::new);
+        self.plan_with_report_cached(pairs, caps, cost, catalog, local.as_ref())
+    }
+
+    /// Like [`plan_with_report`](Self::plan_with_report), with a
+    /// caller-owned [`TreeCache`] so repeated plans (epochs of an
+    /// adaptive deployment) warm-start from each other's tree builds.
+    ///
+    /// The caller is responsible for [`TreeCache::invalidate`] whenever
+    /// `pairs` or `catalog` differ from the cache's previous use. Pass
+    /// `None` to disable memoization regardless of the `cache` knob.
+    pub fn plan_with_report_cached(
+        &self,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+        cache: Option<&TreeCache>,
+    ) -> (MonitoringPlan, PlanReport) {
         let ctx = self.eval_context(pairs, caps, cost, catalog);
         let mut report = PlanReport::default();
         let mut seeds = vec![self.initial_partition(pairs)];
@@ -193,9 +245,10 @@ impl Planner {
             seeds.extend(self.balanced_seeds(pairs, caps, cost));
         }
         let mut best: Option<MonitoringPlan> = None;
+        let t_seed = Instant::now();
         for seed in seeds {
             report.seeds_evaluated += 1;
-            let plan = build_forest(&seed, &ctx);
+            let plan = build_forest_cached(&seed, &ctx, cache);
             let better = match &best {
                 None => true,
                 Some(b) => {
@@ -209,7 +262,8 @@ impl Planner {
             }
         }
         let plan = best.expect("at least one seed");
-        let refined = self.refine_with_report(plan, &ctx, &mut report);
+        report.seed_ms = t_seed.elapsed().as_secs_f64() * 1e3;
+        let refined = self.refine_with_report(plan, &ctx, &mut report, cache);
         #[cfg(debug_assertions)]
         {
             // Post-condition: re-prove every error-severity paper
@@ -283,7 +337,8 @@ impl Planner {
     }
 
     /// Evaluates a *fixed* partition (no search) — used for the
-    /// SINGLETON-SET and ONE-SET baselines of §7.
+    /// SINGLETON-SET and ONE-SET baselines of §7 — returning the plan
+    /// with its per-tree cost breakdown and wall time.
     pub fn evaluate_partition(
         &self,
         partition: &Partition,
@@ -291,9 +346,11 @@ impl Planner {
         caps: &CapacityMap,
         cost: CostModel,
         catalog: &AttrCatalog,
-    ) -> MonitoringPlan {
+    ) -> EvalBreakdown {
+        let t0 = Instant::now();
         let ctx = self.eval_context(pairs, caps, cost, catalog);
-        build_forest(partition, &ctx)
+        let plan = build_forest(partition, &ctx);
+        EvalBreakdown::from_plan(plan, t0.elapsed())
     }
 
     /// Resumes the local search from an existing plan (used by the
@@ -308,7 +365,8 @@ impl Planner {
         catalog: &AttrCatalog,
     ) -> MonitoringPlan {
         let ctx = self.eval_context(pairs, caps, cost, catalog);
-        self.refine(plan, &ctx)
+        let local = self.config.cache.then(TreeCache::new);
+        self.refine(plan, &ctx, local.as_ref())
     }
 
     fn eval_context<'a>(
@@ -352,9 +410,14 @@ impl Planner {
 
     /// The guided local search proper: iteratively apply the first
     /// improving candidate among the top-ranked augmentations.
-    fn refine(&self, plan: MonitoringPlan, ctx: &EvalContext<'_>) -> MonitoringPlan {
+    fn refine(
+        &self,
+        plan: MonitoringPlan,
+        ctx: &EvalContext<'_>,
+        cache: Option<&TreeCache>,
+    ) -> MonitoringPlan {
         let mut report = PlanReport::default();
-        self.refine_with_report(plan, ctx, &mut report)
+        self.refine_with_report(plan, ctx, &mut report, cache)
     }
 
     fn refine_with_report(
@@ -362,6 +425,7 @@ impl Planner {
         plan: MonitoringPlan,
         ctx: &EvalContext<'_>,
         report: &mut PlanReport,
+        cache: Option<&TreeCache>,
     ) -> MonitoringPlan {
         let mut partition = plan.partition().clone();
         let mut trees: Vec<PlannedTree> = plan.trees().to_vec();
@@ -393,6 +457,21 @@ impl Planner {
         let debug = std::env::var("REMO_PLANNER_DEBUG").is_ok();
         let mut global_budget = self.config.global_evals;
 
+        // Engine selection. `parallelism == 1` with no cache is the
+        // serial reference engine: the original early-exit loop that
+        // evaluates one candidate at a time with full state clones.
+        // Otherwise the batch engine evaluates the whole candidate
+        // window (in parallel, against copy-on-write budget overlays
+        // and the tree cache) and accepts the first passing candidate
+        // in rank order — the same candidate the serial loop would
+        // accept, since every evaluation depends only on round-start
+        // state. Plans are byte-identical across engines.
+        let batch = self.config.parallelism != 1 || cache.is_some();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.parallelism)
+            .build()
+            .expect("thread pool");
+
         let recompute_residual = |trees: &[PlannedTree]| {
             let mut avail: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
             let mut collector_avail = ctx.caps.collector();
@@ -418,50 +497,122 @@ impl Planner {
         let drift_cap = (demanded / 50).max(8);
 
         for round in 0..self.config.max_rounds {
-            let current = MonitoringPlan::new(partition.clone(), trees.clone());
-            let ranked = estimator.rank_ops(&partition, &current);
+            let t_rank = Instant::now();
+            let ranked = estimator.rank_ops_trees(&partition, &trees);
+            report.rank_ms += t_rank.elapsed().as_secs_f64() * 1e3;
             let mut applied = false;
+            let t_local = Instant::now();
 
             // ---- local phase: incremental first improvement, with a
             // small pair tolerance for strong volume reductions ----
-            for (op, _gain) in ranked
-                .iter()
-                .take(self.config.candidates_per_round)
-                .copied()
-            {
-                if self.op_violates_constraints(op, &partition) {
-                    continue;
-                }
-                if let Some((new_partition, new_trees, new_avail, new_collector, new_score)) = {
-                    report.local_evals += 1;
-                    self.try_op(op, &partition, &trees, &avail, collector_avail, ctx)
-                } {
-                    let strict = new_score.better_than(&score);
-                    let tolerant = new_score.volume < score.volume - 1e-9
-                        && new_score.pairs + pair_tol >= score.pairs
-                        && new_score.pairs + drift_cap >= best.2.pairs;
-                    if strict || tolerant {
-                        report.local_accepts += 1;
-                        if !strict {
-                            report.tolerant_accepts += 1;
+            let accepts = |new_score: &Score, best_pairs: usize, score: &Score| {
+                let strict = new_score.better_than(score);
+                let tolerant = new_score.volume < score.volume - 1e-9
+                    && new_score.pairs + pair_tol >= score.pairs
+                    && new_score.pairs + drift_cap >= best_pairs;
+                (strict, strict || tolerant)
+            };
+            if batch {
+                // Chunked window evaluation: each chunk (sized to the
+                // effective thread count) is evaluated in parallel, then
+                // scanned in rank order for the first passing candidate.
+                // Evaluations only read round-start state, so acceptance
+                // matches the serial loop exactly, and short-circuiting
+                // after an accepting chunk keeps the evaluation count at
+                // parity with the serial early-exit loop (one thread =>
+                // identical counts; more threads => at most one chunk of
+                // extra speculative evaluations).
+                let window: Vec<PartitionOp> = ranked
+                    .iter()
+                    .take(self.config.candidates_per_round)
+                    .map(|&(op, _)| op)
+                    .filter(|&op| !self.op_violates_constraints(op, &partition))
+                    .collect();
+                let chunk_len = pool.install(rayon::current_num_threads).max(1);
+                'chunks: for chunk in window.chunks(chunk_len) {
+                    report.local_evals += chunk.len();
+                    let evals: Vec<Option<CandidateEval>> = pool.install(|| {
+                        chunk
+                            .par_iter()
+                            .map(|&op| {
+                                self.eval_op(
+                                    op,
+                                    &partition,
+                                    &trees,
+                                    &avail,
+                                    collector_avail,
+                                    ctx,
+                                    cache,
+                                )
+                            })
+                            .collect()
+                    });
+                    for ev in evals.into_iter().flatten() {
+                        let (strict, ok) = accepts(&ev.score, best.2.pairs, &score);
+                        if ok {
+                            report.local_accepts += 1;
+                            if !strict {
+                                report.tolerant_accepts += 1;
+                            }
+                            let CandidateEval {
+                                op,
+                                built,
+                                touched,
+                                collector_after,
+                                score: new_score,
+                            } = ev;
+                            partition.apply(op).expect("op validated by eval_op");
+                            trees = assemble_trees(op, &trees, built, partition.len());
+                            for (n, v) in touched {
+                                avail.insert(n, v);
+                            }
+                            collector_avail = collector_after;
+                            score = new_score;
+                            applied = true;
+                            break 'chunks;
                         }
-                        partition = new_partition;
-                        trees = new_trees;
-                        avail = new_avail;
-                        collector_avail = new_collector;
-                        score = new_score;
-                        applied = true;
-                        break;
+                    }
+                }
+            } else {
+                for (op, _gain) in ranked
+                    .iter()
+                    .take(self.config.candidates_per_round)
+                    .copied()
+                {
+                    if self.op_violates_constraints(op, &partition) {
+                        continue;
+                    }
+                    if let Some((new_partition, new_trees, new_avail, new_collector, new_score)) = {
+                        report.local_evals += 1;
+                        self.try_op(op, &partition, &trees, &avail, collector_avail, ctx, None)
+                    } {
+                        let (strict, ok) = accepts(&new_score, best.2.pairs, &score);
+                        if ok {
+                            report.local_accepts += 1;
+                            if !strict {
+                                report.tolerant_accepts += 1;
+                            }
+                            partition = new_partition;
+                            trees = new_trees;
+                            avail = new_avail;
+                            collector_avail = new_collector;
+                            score = new_score;
+                            applied = true;
+                            break;
+                        }
                     }
                 }
             }
 
+            report.local_ms += t_local.elapsed().as_secs_f64() * 1e3;
+
             // ---- global phase: full reconstruction fallback ----
+            let t_global = Instant::now();
             if !applied && global_budget > 0 {
                 // First, pure redistribution under the same partition.
                 global_budget -= 1;
                 report.global_evals += 1;
-                let rebuilt = build_forest(&partition, ctx);
+                let rebuilt = build_forest_cached(&partition, ctx, cache);
                 let rebuilt_score = score_of(rebuilt.trees());
                 if rebuilt_score.better_than(&score) {
                     trees = rebuilt.trees().to_vec();
@@ -490,7 +641,7 @@ impl Planner {
                         }
                         global_budget -= 1;
                         report.global_evals += 1;
-                        let plan = build_forest(&cand, ctx);
+                        let plan = build_forest_cached(&cand, ctx, cache);
                         let cand_score = score_of(plan.trees());
                         if cand_score.better_than(&score) {
                             report.global_accepts += 1;
@@ -510,6 +661,8 @@ impl Planner {
                     }
                 }
             }
+
+            report.global_ms += t_global.elapsed().as_secs_f64() * 1e3;
 
             report.rounds = round + 1;
             if score.better_than(&best.2) {
@@ -554,9 +707,135 @@ impl Planner {
         }
     }
 
-    /// Evaluates one candidate op by rebuilding only the affected
-    /// trees against freed residual capacity; returns the would-be
-    /// state and its score (acceptance is the caller's policy).
+    /// Evaluates one candidate op *without materializing* the resulting
+    /// state: only the op's new trees are built (smaller-first, against
+    /// a copy-on-write budget overlay), unaffected trees are referenced
+    /// in place, and the score is folded in the same order the eager
+    /// path folds its assembled tree vector — so scores, budgets, and
+    /// trees are bit-identical to a full clone-and-rebuild evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_op(
+        &self,
+        op: PartitionOp,
+        partition: &Partition,
+        trees: &[PlannedTree],
+        avail: &BTreeMap<NodeId, f64>,
+        collector_avail: f64,
+        ctx: &EvalContext<'_>,
+        cache: Option<&TreeCache>,
+    ) -> Option<CandidateEval> {
+        // Applicability, mirroring `Partition::apply`'s error cases
+        // without cloning the partition.
+        let len = partition.len();
+        let (affected_old, new_len) = match op {
+            PartitionOp::Merge(i, j) => {
+                if i == j || i >= len || j >= len {
+                    return None;
+                }
+                (vec![i, j], len - 1)
+            }
+            PartitionOp::Split(i, attr) => {
+                let set = partition.sets().get(i)?;
+                if set.len() <= 1 || !set.contains(&attr) {
+                    return None;
+                }
+                (vec![i], len + 1)
+            }
+        };
+
+        // Free the affected trees' capacity onto the overlay.
+        let mut view = BudgetOverlay::new(avail);
+        let mut collector = collector_avail;
+        for &k in &affected_old {
+            for (&n, &u) in &trees[k].usage {
+                view.add(n, u);
+            }
+            collector += trees[k].collector_usage;
+        }
+
+        // The op's result sets, keyed by their new-partition index.
+        let new_sets: Vec<(usize, AttrSet)> = match op {
+            PartitionOp::Merge(i, j) => {
+                let (lo, hi) = (i.min(j), i.max(j));
+                let mut merged = partition.sets()[lo].clone();
+                merged.extend(partition.sets()[hi].iter().copied());
+                vec![(lo, merged)]
+            }
+            PartitionOp::Split(i, attr) => {
+                let mut shrunk = partition.sets()[i].clone();
+                shrunk.remove(&attr);
+                let mut extracted = AttrSet::new();
+                extracted.insert(attr);
+                vec![(i, shrunk), (new_len - 1, extracted)]
+            }
+        };
+
+        // Build smaller-first (ordered on-demand within the candidate),
+        // drawing down the freed residual.
+        let mut order: Vec<usize> = (0..new_sets.len()).collect();
+        order.sort_by_key(|&x| ctx.pairs.participants(&new_sets[x].1).len());
+        let mut built: BTreeMap<usize, PlannedTree> = BTreeMap::new();
+        for x in order {
+            let (k, set) = &new_sets[x];
+            let t = build_tree_for_set_cached(set, ctx, &view, collector, cache);
+            for (&n, &u) in &t.usage {
+                view.add(n, -u);
+            }
+            collector -= t.collector_usage;
+            built.insert(*k, t);
+        }
+
+        // Score over the logical new tree list, folding in the exact
+        // order `assemble_trees` lays the vector out.
+        let mut pairs_total = 0usize;
+        let mut volume = 0.0f64;
+        {
+            let mut fold = |t: &PlannedTree| {
+                pairs_total += t.collected_pairs;
+                volume += t.message_volume;
+            };
+            match op {
+                PartitionOp::Merge(i, j) => {
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    for (k, t) in trees.iter().enumerate() {
+                        if k == hi {
+                            continue;
+                        }
+                        fold(if k == lo {
+                            built.get(&lo).expect("merged tree built")
+                        } else {
+                            t
+                        });
+                    }
+                }
+                PartitionOp::Split(i, _) => {
+                    for (k, t) in trees.iter().enumerate() {
+                        fold(if k == i {
+                            built.get(&i).expect("shrunk tree built")
+                        } else {
+                            t
+                        });
+                    }
+                    fold(built.get(&(new_len - 1)).expect("extracted tree built"));
+                }
+            }
+        }
+
+        Some(CandidateEval {
+            op,
+            built,
+            touched: view.into_touched(),
+            collector_after: collector,
+            score: Score {
+                pairs: pairs_total,
+                volume,
+            },
+        })
+    }
+
+    /// Evaluates one candidate op and materializes the full would-be
+    /// state (partition, tree vector, residual budgets, score);
+    /// acceptance is the caller's policy.
     #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     pub(crate) fn try_op(
         &self,
@@ -566,6 +845,7 @@ impl Planner {
         avail: &BTreeMap<NodeId, f64>,
         collector_avail: f64,
         ctx: &EvalContext<'_>,
+        cache: Option<&TreeCache>,
     ) -> Option<(
         Partition,
         Vec<PlannedTree>,
@@ -573,89 +853,150 @@ impl Planner {
         f64,
         Score,
     )> {
+        let ev = self.eval_op(op, partition, trees, avail, collector_avail, ctx, cache)?;
         let mut new_partition = partition.clone();
-        let affected_old: Vec<usize> = match op {
-            PartitionOp::Merge(i, j) => vec![i, j],
-            PartitionOp::Split(i, _) => vec![i],
-        };
         new_partition.apply(op).ok()?;
-
-        // Free the affected trees' capacity.
-        let mut freed = avail.clone();
-        let mut freed_collector = collector_avail;
-        for &k in &affected_old {
-            for (&n, &u) in &trees[k].usage {
-                *freed.get_mut(&n).expect("known node") += u;
-            }
-            freed_collector += trees[k].collector_usage;
+        let CandidateEval {
+            built,
+            touched,
+            collector_after,
+            score,
+            ..
+        } = ev;
+        let new_trees = assemble_trees(op, trees, built, new_partition.len());
+        let mut residual = avail.clone();
+        for (n, v) in touched {
+            residual.insert(n, v);
         }
+        Some((new_partition, new_trees, residual, collector_after, score))
+    }
+}
 
-        // Which new sets must be (re)built?
-        let new_set_idx: Vec<usize> = match op {
-            PartitionOp::Merge(i, j) => vec![i.min(j)],
-            PartitionOp::Split(i, _) => vec![i, new_partition.len() - 1],
-        };
+/// One evaluated candidate: just the op's newly built trees plus the
+/// final budget values of the nodes it touched — everything needed to
+/// apply it in place, nothing cloned from the unaffected state.
+#[derive(Debug)]
+struct CandidateEval {
+    op: PartitionOp,
+    built: BTreeMap<usize, PlannedTree>,
+    touched: BTreeMap<NodeId, f64>,
+    collector_after: f64,
+    score: Score,
+}
 
-        // Build them smaller-first (ordered on-demand within the
-        // candidate), drawing down the freed residual.
-        let mut build_order = new_set_idx.clone();
-        build_order.sort_by_key(|&k| ctx.pairs.participants(&new_partition.sets()[k]).len());
-        let mut built: BTreeMap<usize, PlannedTree> = BTreeMap::new();
-        let mut residual = freed.clone();
-        let mut residual_collector = freed_collector;
-        for k in build_order {
-            let t =
-                build_tree_for_set(&new_partition.sets()[k], ctx, &residual, residual_collector);
-            for (&n, &u) in &t.usage {
-                *residual.get_mut(&n).expect("known node") -= u;
-            }
-            residual_collector -= t.collector_usage;
-            built.insert(k, t);
-        }
-
-        // Assemble the new tree vector parallel to the new partition.
-        let mut new_trees: Vec<PlannedTree> = Vec::with_capacity(new_partition.len());
-        match op {
-            PartitionOp::Merge(i, j) => {
-                let (lo, hi) = (i.min(j), i.max(j));
-                for (k, t) in trees.iter().enumerate() {
-                    if k == hi {
-                        continue;
-                    }
-                    if k == lo {
-                        new_trees.push(built.remove(&lo).expect("merged tree built"));
-                    } else {
-                        new_trees.push(t.clone());
-                    }
+/// Lays out the post-op tree vector parallel to the post-op partition:
+/// merge collapses `hi` into `lo`; split rebuilds `i` and appends the
+/// extracted singleton.
+fn assemble_trees(
+    op: PartitionOp,
+    trees: &[PlannedTree],
+    mut built: BTreeMap<usize, PlannedTree>,
+    new_len: usize,
+) -> Vec<PlannedTree> {
+    let mut new_trees: Vec<PlannedTree> = Vec::with_capacity(new_len);
+    match op {
+        PartitionOp::Merge(i, j) => {
+            let (lo, hi) = (i.min(j), i.max(j));
+            for (k, t) in trees.iter().enumerate() {
+                if k == hi {
+                    continue;
+                }
+                if k == lo {
+                    new_trees.push(built.remove(&lo).expect("merged tree built"));
+                } else {
+                    new_trees.push(t.clone());
                 }
             }
-            PartitionOp::Split(i, _) => {
-                for (k, t) in trees.iter().enumerate() {
-                    if k == i {
-                        new_trees.push(built.remove(&i).expect("shrunk tree built"));
-                    } else {
-                        new_trees.push(t.clone());
-                    }
-                }
-                new_trees.push(
-                    built
-                        .remove(&(new_partition.len() - 1))
-                        .expect("extracted tree built"),
-                );
-            }
         }
+        PartitionOp::Split(i, _) => {
+            for (k, t) in trees.iter().enumerate() {
+                if k == i {
+                    new_trees.push(built.remove(&i).expect("shrunk tree built"));
+                } else {
+                    new_trees.push(t.clone());
+                }
+            }
+            new_trees.push(built.remove(&(new_len - 1)).expect("extracted tree built"));
+        }
+    }
+    new_trees
+}
 
-        let new_score = Score {
-            pairs: new_trees.iter().map(|t| t.collected_pairs).sum(),
-            volume: new_trees.iter().map(|t| t.message_volume).sum(),
-        };
-        Some((
-            new_partition,
-            new_trees,
-            residual,
-            residual_collector,
-            new_score,
-        ))
+/// Per-tree slice of an [`EvalBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeEval {
+    /// Attributes in the tree's set.
+    pub attrs: usize,
+    /// Nodes actually placed in the tree.
+    pub nodes: usize,
+    /// Pairs the tree delivers.
+    pub collected_pairs: usize,
+    /// Pairs the tree's set demands.
+    pub demanded_pairs: usize,
+    /// Demanded pairs the tree failed to place.
+    pub uncovered_pairs: usize,
+    /// Per-epoch message volume.
+    pub message_volume: f64,
+    /// Collector budget consumed by the root message.
+    pub collector_usage: f64,
+}
+
+/// Structured result of [`Planner::evaluate_partition`]: the plan plus
+/// the per-tree cost/coverage decomposition callers used to re-derive
+/// by hand, and the evaluation wall time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalBreakdown {
+    /// The constructed plan.
+    pub plan: MonitoringPlan,
+    /// One entry per tree, parallel to `plan.trees()`.
+    pub per_tree: Vec<TreeEval>,
+    /// Total demanded pairs the plan fails to deliver.
+    pub uncovered_pairs: usize,
+    /// Wall-clock time of the forest construction.
+    pub wall: Duration,
+}
+
+impl EvalBreakdown {
+    /// Derives the breakdown from a finished plan.
+    pub fn from_plan(plan: MonitoringPlan, wall: Duration) -> Self {
+        let per_tree: Vec<TreeEval> = plan
+            .partition()
+            .sets()
+            .iter()
+            .zip(plan.trees())
+            .map(|(set, t)| TreeEval {
+                attrs: set.len(),
+                nodes: t.len(),
+                collected_pairs: t.collected_pairs,
+                demanded_pairs: t.demanded_pairs,
+                uncovered_pairs: t.demanded_pairs.saturating_sub(t.collected_pairs),
+                message_volume: t.message_volume,
+                collector_usage: t.collector_usage,
+            })
+            .collect();
+        let uncovered_pairs = per_tree.iter().map(|t| t.uncovered_pairs).sum();
+        EvalBreakdown {
+            plan,
+            per_tree,
+            uncovered_pairs,
+            wall,
+        }
+    }
+
+    /// Fraction of demanded pairs delivered.
+    pub fn coverage(&self) -> f64 {
+        self.plan.coverage()
+    }
+
+    /// The §7 adjusted cost: message volume plus a value's worth of
+    /// penalty per uncovered pair.
+    pub fn adjusted_cost(&self, cost: CostModel) -> f64 {
+        self.plan.message_volume() + cost.per_value() * self.uncovered_pairs as f64
+    }
+
+    /// Consumes the breakdown, yielding the plan.
+    pub fn into_plan(self) -> MonitoringPlan {
+        self.plan
     }
 }
 
@@ -681,20 +1022,24 @@ impl PartitionScheme {
         catalog: &AttrCatalog,
     ) -> MonitoringPlan {
         match self {
-            PartitionScheme::SingletonSet => planner.evaluate_partition(
-                &Partition::singleton(pairs.attr_universe()),
-                pairs,
-                caps,
-                cost,
-                catalog,
-            ),
-            PartitionScheme::OneSet => planner.evaluate_partition(
-                &Partition::one_set(pairs.attr_universe()),
-                pairs,
-                caps,
-                cost,
-                catalog,
-            ),
+            PartitionScheme::SingletonSet => planner
+                .evaluate_partition(
+                    &Partition::singleton(pairs.attr_universe()),
+                    pairs,
+                    caps,
+                    cost,
+                    catalog,
+                )
+                .into_plan(),
+            PartitionScheme::OneSet => planner
+                .evaluate_partition(
+                    &Partition::one_set(pairs.attr_universe()),
+                    pairs,
+                    caps,
+                    cost,
+                    catalog,
+                )
+                .into_plan(),
             PartitionScheme::Remo => planner.plan_with_catalog(pairs, caps, cost, catalog),
         }
     }
@@ -805,6 +1150,7 @@ mod tests {
                 cost,
                 &catalog,
             )
+            .into_plan()
             .collected_pairs();
         assert!(
             from_one.collected_pairs() >= baseline,

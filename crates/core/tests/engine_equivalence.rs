@@ -1,0 +1,232 @@
+//! Cross-engine determinism and cache-soundness tests.
+//!
+//! The planner has one search policy and three execution engines:
+//! the serial reference loop (`parallelism: 1`, no cache), the batch
+//! engine (chunked parallel candidate evaluation over copy-on-write
+//! budget overlays), and the batch engine backed by a [`TreeCache`].
+//! Engines may only differ in evaluation mechanics — every test here
+//! asserts they agree on the *plan*, byte for byte.
+
+use proptest::prelude::*;
+use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
+use remo_core::alloc::AllocationScheme;
+use remo_core::build::BuilderKind;
+use remo_core::planner::{InitialPartition, Planner, PlannerConfig};
+use remo_core::validate::{Audit, AuditInput};
+use remo_core::{
+    AttrCatalog, AttrId, CapacityMap, CostModel, MonitoringPlan, NodeId, PairSet, TreeCache,
+};
+
+const NODES: usize = 7;
+const ATTRS: u32 = 18;
+
+fn pair_set(raw: &[(u32, u32)]) -> PairSet {
+    raw.iter()
+        .map(|&(n, a)| (NodeId(n % NODES as u32), AttrId(a % ATTRS)))
+        .collect()
+}
+
+fn config(
+    builder: BuilderKind,
+    allocation: AllocationScheme,
+    initial: InitialPartition,
+) -> PlannerConfig {
+    PlannerConfig {
+        builder,
+        allocation,
+        initial,
+        ..PlannerConfig::default()
+    }
+}
+
+/// Plans `pairs` with all three engines under `base` and returns the
+/// serialized plans (serial, batch, cached).
+fn plan_three_ways(
+    base: &PlannerConfig,
+    pairs: &PairSet,
+    caps: &CapacityMap,
+    cost: CostModel,
+    catalog: &AttrCatalog,
+) -> (String, String, String) {
+    let mut serial_cfg = base.clone();
+    serial_cfg.parallelism = 1;
+    serial_cfg.cache = false;
+    let mut batch_cfg = base.clone();
+    batch_cfg.parallelism = 0;
+    batch_cfg.cache = false;
+    let cached_cfg = PlannerConfig {
+        cache: true,
+        ..batch_cfg.clone()
+    };
+
+    let serial = Planner::new(serial_cfg)
+        .plan_with_report_cached(pairs, caps, cost, catalog, None)
+        .0;
+    // `cache: false` but `parallelism: 0` still selects the batch engine.
+    let batch = Planner::new(batch_cfg)
+        .plan_with_report_cached(pairs, caps, cost, catalog, None)
+        .0;
+    let cache = TreeCache::new();
+    let cached = Planner::new(cached_cfg)
+        .plan_with_report_cached(pairs, caps, cost, catalog, Some(&cache))
+        .0;
+    (
+        serde_json::to_string(&serial).expect("serial plan serializes"),
+        serde_json::to_string(&batch).expect("batch plan serializes"),
+        serde_json::to_string(&cached).expect("cached plan serializes"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant: across every builder × allocation ×
+    /// initial-partition combination, the serial, batch, and cached
+    /// engines produce byte-identical `MonitoringPlan`s.
+    #[test]
+    fn serial_batch_and_cached_plans_are_identical(
+        raw in prop::collection::vec((0u32..NODES as u32, 0u32..ATTRS), 1..80),
+        per_node in 6.0f64..40.0,
+        collector in 60.0f64..400.0,
+    ) {
+        let pairs = pair_set(&raw);
+        let caps = CapacityMap::uniform(NODES, per_node, collector).expect("caps");
+        let cost = CostModel::default();
+        let catalog = AttrCatalog::new();
+
+        let builders = [
+            BuilderKind::Star,
+            BuilderKind::Chain,
+            BuilderKind::MaxAvb,
+            BuilderKind::default(),
+        ];
+        let allocations = [
+            AllocationScheme::Uniform,
+            AllocationScheme::Proportional,
+            AllocationScheme::OnDemand,
+            AllocationScheme::Ordered,
+        ];
+        let initials = [InitialPartition::Singleton, InitialPartition::OneSet];
+        for builder in builders {
+            for allocation in allocations {
+                for initial in initials {
+                    let base = config(builder, allocation, initial);
+                    let (serial, batch, cached) =
+                        plan_three_ways(&base, &pairs, &caps, cost, &catalog);
+                    prop_assert_eq!(
+                        &serial, &batch,
+                        "batch engine diverged ({:?}/{:?}/{:?})",
+                        builder, allocation, initial
+                    );
+                    prop_assert_eq!(
+                        &serial, &cached,
+                        "cached engine diverged ({:?}/{:?}/{:?})",
+                        builder, allocation, initial
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A cache warmed by one planning run serves the next identical run —
+/// and the plan assembled from cache-served trees is byte-identical to
+/// the cold plan and passes the full audit rule set.
+#[test]
+fn cache_served_plans_are_identical_and_audit_clean() {
+    let raw: Vec<(u32, u32)> = (0..60).map(|i| (i % 7, (i * 5) % 17)).collect();
+    let pairs = pair_set(&raw);
+    let caps = CapacityMap::uniform(NODES, 25.0, 300.0).expect("caps");
+    let cost = CostModel::default();
+    let catalog = AttrCatalog::new();
+    let planner = Planner::new(PlannerConfig {
+        parallelism: 0,
+        cache: true,
+        ..PlannerConfig::default()
+    });
+
+    let cache = TreeCache::new();
+    let cold = planner
+        .plan_with_report_cached(&pairs, &caps, cost, &catalog, Some(&cache))
+        .0;
+    let after_cold = cache.stats();
+    assert!(after_cold.misses > 0, "cold run must populate the cache");
+
+    let warm = planner
+        .plan_with_report_cached(&pairs, &caps, cost, &catalog, Some(&cache))
+        .0;
+    let after_warm = cache.stats();
+    assert!(
+        after_warm.hits > after_cold.hits,
+        "warm run must be served from the cache (hits {} -> {})",
+        after_cold.hits,
+        after_warm.hits
+    );
+
+    let cold_json = serde_json::to_string(&cold).expect("plan serializes");
+    let warm_json = serde_json::to_string(&warm).expect("plan serializes");
+    assert_eq!(cold_json, warm_json, "cache-served plan diverged");
+
+    let audit = |plan: &MonitoringPlan| {
+        let input = AuditInput::new(plan, &pairs, &caps, cost, &catalog)
+            .aggregation_aware(planner.config().aggregation_aware)
+            .frequency_aware(planner.config().frequency_aware);
+        Audit::default().run(&input)
+    };
+    let outcome = audit(&warm);
+    assert!(
+        outcome.is_clean(),
+        "cache-served plan failed the audit:\n{}",
+        outcome.render()
+    );
+}
+
+/// Epoch-to-epoch warm start: the adaptive planner's cache carries
+/// across failure/recovery repairs, and the repaired plans stay
+/// audit-clean.
+#[test]
+fn adaptive_planner_warm_starts_across_repairs() {
+    let raw: Vec<(u32, u32)> = (0..70).map(|i| (i % 7, (i * 3) % 15)).collect();
+    let pairs = pair_set(&raw);
+    let caps = CapacityMap::uniform(NODES, 30.0, 300.0).expect("caps");
+    let cost = CostModel::default();
+    let catalog = AttrCatalog::new();
+    let planner = Planner::new(PlannerConfig {
+        parallelism: 0,
+        cache: true,
+        ..PlannerConfig::default()
+    });
+
+    let mut adaptive = AdaptivePlanner::new(
+        planner,
+        AdaptScheme::Adaptive,
+        pairs.clone(),
+        caps.clone(),
+        cost,
+        catalog.clone(),
+    );
+    let initial = adaptive.cache_stats();
+
+    adaptive.handle_node_failure(NodeId(3), 1);
+    let after_failure = adaptive.cache_stats();
+    assert!(
+        after_failure.hits + after_failure.misses > initial.hits + initial.misses,
+        "repair must consult the shared cache"
+    );
+
+    adaptive.handle_node_recovery(NodeId(3), 30.0, 2);
+    let after_recovery = adaptive.cache_stats();
+    assert!(
+        after_recovery.hits > initial.hits,
+        "failure/recovery cycle must warm-start from cached trees (hits {} -> {})",
+        initial.hits,
+        after_recovery.hits
+    );
+
+    let outcome = adaptive.audit();
+    assert!(
+        outcome.is_clean(),
+        "repaired plan failed the audit:\n{}",
+        outcome.render()
+    );
+}

@@ -68,6 +68,10 @@ pub struct EpochReport {
     pub values_lost: u64,
     /// Targeted reconfiguration messages sent by plan repair.
     pub reconfigure_messages: u64,
+    /// Cumulative tree-cache counters of the self-healing planner, if
+    /// one is attached: repairs that warm-start from memoized builds
+    /// show up as hits here.
+    pub planner_cache: Option<remo_core::CacheStats>,
 }
 
 /// Result of [`Deployment::snapshot`]: the observed values for the
@@ -337,6 +341,7 @@ impl Deployment {
         if !events.confirmed.is_empty() || !events.recovered.is_empty() {
             self.repair(&events.confirmed, &events.recovered, epoch, &mut report);
         }
+        report.planner_cache = self.healer.as_ref().map(AdaptivePlanner::cache_stats);
 
         // Collector intake: frames roots sent this epoch.
         self.collector_bucket.refill();
@@ -442,6 +447,8 @@ impl Deployment {
             total.recovered += r.recovered;
             total.values_lost += r.values_lost;
             total.reconfigure_messages += r.reconfigure_messages;
+            // Counters are already cumulative; keep the latest snapshot.
+            total.planner_cache = r.planner_cache.or(total.planner_cache);
         }
         total
     }

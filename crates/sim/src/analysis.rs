@@ -161,7 +161,8 @@ mod tests {
             &caps,
             cost,
             &catalog,
-        );
+        )
+        .into_plan();
         let mut sim = Simulator::new(SimSetup {
             plan: &plan,
             planned_pairs: &pairs,

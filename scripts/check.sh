@@ -5,6 +5,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --bench-smoke: quick planner-benchmark regression check against the
+# committed BENCH_planner.json baseline (warns on >20% slowdowns),
+# then exit. Not part of the default gate — timings need a quiet box.
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  echo "==> bench_planner --smoke"
+  cargo run --release -p remo-bench --bin bench_planner -- --smoke
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

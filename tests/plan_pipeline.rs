@@ -112,13 +112,15 @@ fn builders_form_expected_shapes_at_scale() {
             builder: kind,
             ..PlannerConfig::default()
         };
-        let plan = Planner::new(cfg).evaluate_partition(
-            &remo_core::Partition::one_set(s.pairs.attr_universe()),
-            &s.pairs,
-            &s.caps,
-            s.cost,
-            &catalog,
-        );
+        let plan = Planner::new(cfg)
+            .evaluate_partition(
+                &remo_core::Partition::one_set(s.pairs.attr_universe()),
+                &s.pairs,
+                &s.caps,
+                s.cost,
+                &catalog,
+            )
+            .into_plan();
         plan.trees()[0]
             .tree
             .as_ref()
@@ -150,6 +152,7 @@ fn adaptive_builder_beats_simple_builders_under_pressure() {
                 s.cost,
                 &catalog,
             )
+            .into_plan()
             .collected_pairs()
     };
     let adaptive = collect(BuilderKind::Adaptive(AdjustConfig::default()));
@@ -186,6 +189,7 @@ fn allocation_schemes_ranked_as_paper_reports() {
                 cost,
                 &catalog,
             )
+            .into_plan()
             .collected_pairs()
     };
     let ordered = collect(AllocationScheme::Ordered);

@@ -100,7 +100,8 @@ fn deeper_trees_are_staler() {
             &caps,
             cost,
             &catalog,
-        );
+        )
+        .into_plan();
         simulate(&plan, &pairs, &caps, cost)
     };
     let star = err_of(BuilderKind::Star);

@@ -1,0 +1,306 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements exactly the surface this workspace uses — `par_iter()`
+//! over slices and `Vec`s, `.map(..).collect::<Vec<_>>()`,
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`], [`join`], and
+//! [`current_num_threads`] — on top of `std::thread::scope`. Unlike a
+//! pure-serial shim, work really fans out across OS threads: the input
+//! is split into one contiguous chunk per worker and the per-chunk
+//! results are reassembled *in input order*, so `collect` is
+//! order-preserving exactly as rayon guarantees for indexed parallel
+//! iterators.
+//!
+//! Swap the workspace path back to the registry crate to build against
+//! real rayon; no call site changes.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "use hardware parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of worker threads the current scope would fan out to.
+pub fn current_num_threads() -> usize {
+    let configured = POOL_THREADS.with(Cell::get);
+    if configured == 0 {
+        hardware_threads()
+    } else {
+        configured
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with automatic thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; 0 means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` mirrors rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count configuration. Workers are spawned per
+/// operation (scoped threads), not kept resident; `install` only pins
+/// how wide parallel iterators fan out while the closure runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in effect.
+    pub fn install<R, F>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = op();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The configured worker count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+/// Parallel iterator machinery (the slice/`Vec` subset).
+pub mod iter {
+    use super::{current_num_threads, POOL_THREADS};
+
+    /// Order-preserving chunked map: each worker maps one contiguous
+    /// chunk; chunks are re-joined in input order.
+    fn run_map<'data, T, O, F>(items: &'data [T], f: &F) -> Vec<O>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&'data T) -> O + Sync,
+    {
+        let threads = current_num_threads().clamp(1, items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        // Workers inherit the pool override so nested par_iter calls
+        // see the same configuration.
+        let inherited = POOL_THREADS.with(std::cell::Cell::get);
+        let mut out: Vec<O> = Vec::with_capacity(items.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        POOL_THREADS.with(|t| t.set(inherited));
+                        part.iter().map(f).collect::<Vec<O>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => out.extend(part),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        out
+    }
+
+    /// Types collectible from a parallel iterator.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from already-ordered items.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// Borrowing conversion into a parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter;
+        /// Creates the parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParIter<'data, T>;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Parallel iterator over a shared slice.
+    #[derive(Debug)]
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Maps every item through `f` in parallel.
+        pub fn map<O, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            O: Send,
+            F: Fn(&'data T) -> O + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Chunk-granularity hint; a no-op here (chunking is always
+        /// one contiguous block per worker).
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    /// A mapped parallel iterator.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<T, F> std::fmt::Debug for ParMap<'_, T, F> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ParMap").finish_non_exhaustive()
+        }
+    }
+
+    impl<'data, T, O, F> ParMap<'data, T, F>
+    where
+        T: Sync,
+        O: Send,
+        F: Fn(&'data T) -> O + Sync,
+    {
+        /// Collects mapped items in input order.
+        pub fn collect<C: FromParallelIterator<O>>(self) -> C {
+            C::from_ordered_vec(run_map(self.items, &self.f))
+        }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool");
+        pool.install(|| assert_eq!(super::current_num_threads(), 3));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn parallel_collect_matches_serial() {
+        let xs: Vec<u64> = (0..257).collect();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let par: Vec<u64> = pool.install(|| xs.par_iter().map(|&x| x * x).collect());
+        let ser: Vec<u64> = xs.iter().map(|&x| x * x).collect();
+        assert_eq!(par, ser);
+    }
+}
