@@ -22,6 +22,13 @@
 //! `--smoke` re-times only the small sizes (one iteration each) and
 //! warns when a mode regresses more than 20% against the committed
 //! `BENCH_planner.json` baseline; it never rewrites the file.
+//!
+//! `--trace <file.jsonl>` / `--metrics <file.prom>` turn observability
+//! collection on for the run and export the planner's span trace and
+//! metric registry when it finishes. Collection adds overhead (every
+//! candidate accept/reject records an event), so timings from an
+//! instrumented run are not comparable to the committed baseline —
+//! the smoke regression gate is skipped when either flag is given.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -286,10 +293,49 @@ fn run_smoke() {
     }
 }
 
+/// Value of `name <value>` in `args`, if present.
+fn value_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+}
+
+/// Exports the collected trace and/or metrics to the requested files.
+fn write_obs_outputs(trace: Option<&str>, metrics: Option<&str>) {
+    if let Some(path) = trace {
+        let records = remo_obs::drain_trace();
+        std::fs::write(path, remo_obs::trace::to_jsonl(&records)).expect("write trace file");
+        println!("wrote trace to {path}");
+    }
+    if let Some(path) = metrics {
+        let text = remo_obs::registry::registry().render_prometheus();
+        std::fs::write(path, text).expect("write metrics file");
+        println!("wrote metrics to {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let trace = value_flag(&args, "--trace");
+    let metrics = value_flag(&args, "--metrics");
+    let instrumented = trace.is_some() || metrics.is_some();
+    if instrumented {
+        remo_obs::enable();
+    }
     if args.iter().any(|a| a == "--smoke") {
-        run_smoke();
+        if instrumented {
+            // Instrumented timings are not baseline-comparable; time
+            // the smoke sizes but skip the regression gate.
+            println!("observability on: timing only, regression gate skipped");
+            for n in SMOKE_SIZES {
+                bench_size(n, 1);
+            }
+        } else {
+            run_smoke();
+        }
+        write_obs_outputs(trace.as_deref(), metrics.as_deref());
         return;
     }
     let only = args
@@ -302,4 +348,5 @@ fn main() {
                 .collect()
         });
     run_full(only);
+    write_obs_outputs(trace.as_deref(), metrics.as_deref());
 }

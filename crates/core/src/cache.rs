@@ -140,6 +140,19 @@ impl CacheStats {
     }
 }
 
+/// Registry handles, resolved once: `get_or_build` sits on the
+/// planner's hot path, and a name lookup per call would serialize the
+/// parallel candidate evaluation on the registry mutex.
+fn hit_counter() -> &'static remo_obs::Counter {
+    static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| remo_obs::counter("remo_planner_cache_hits_total"))
+}
+
+fn miss_counter() -> &'static remo_obs::Counter {
+    static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| remo_obs::counter("remo_planner_cache_misses_total"))
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<CacheKey, PlannedTree>,
@@ -194,10 +207,16 @@ impl TreeCache {
             match inner.map.get(&key).cloned() {
                 Some(tree) => {
                     inner.hits += 1;
+                    if remo_obs::enabled() {
+                        hit_counter().inc();
+                    }
                     (key, Some(tree))
                 }
                 None => {
                     inner.misses += 1;
+                    if remo_obs::enabled() {
+                        miss_counter().inc();
+                    }
                     (key, None)
                 }
             }

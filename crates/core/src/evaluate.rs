@@ -309,7 +309,10 @@ pub fn build_forest_cached(
 
     let mut remaining: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
     let mut collector_remaining = ctx.caps.collector();
-    let tree_count = sets.len().max(1);
+    // Uniform splits the collector over trees that can actually send
+    // to it: a participant-less set builds an empty tree, and counting
+    // it would strand a share of the collector budget.
+    let populated_count = sizes.iter().filter(|&&s| s > 0).count().max(1);
 
     let mut planned: Vec<Option<PlannedTree>> = (0..sets.len()).map(|_| None).collect();
     for k in order {
@@ -327,8 +330,12 @@ pub fn build_forest_cached(
                 })
                 .collect();
             let collector_budget = match ctx.allocation {
-                AllocationScheme::Uniform => ctx.caps.collector() / tree_count as f64,
+                AllocationScheme::Uniform => ctx.caps.collector() / populated_count as f64,
                 AllocationScheme::Proportional => {
+                    // A zero-size set gets weight 0 and the degenerate
+                    // all-zero partition hands each (empty) tree the
+                    // full collector; empty trees send nothing, so
+                    // neither case can oversubscribe it.
                     let total: usize = sizes.iter().sum();
                     if total == 0 {
                         ctx.caps.collector()
@@ -464,6 +471,75 @@ mod tests {
             build_forest(&Partition::singleton(pairs.attr_universe()), &ctx).collected_pairs()
         };
         assert!(score(AllocationScheme::Ordered) >= score(AllocationScheme::Uniform));
+    }
+
+    #[test]
+    fn uniform_collector_split_skips_participant_less_sets() {
+        // Attrs 0 and 1 are demanded on every node; attr 9 by nobody,
+        // so its tree is empty and consumes no collector intake. The
+        // collector budget admits each populated root's full payload
+        // at a half share but not at a third: dividing by *all* sets
+        // (the pre-fix behavior) strands a third of the collector on
+        // the empty tree and drops pairs from the populated ones.
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 30.0, 17.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext {
+            allocation: AllocationScheme::Uniform,
+            ..EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog)
+        };
+        let set = |a: u32| -> AttrSet { [AttrId(a)].into_iter().collect() };
+        let with_stray = Partition::from_sets(vec![set(0), set(1), set(9)]).unwrap();
+        let without = Partition::from_sets(vec![set(0), set(1)]).unwrap();
+        let with_stray = build_forest(&with_stray, &ctx);
+        let without = build_forest(&without, &ctx);
+        assert_eq!(
+            with_stray.collected_pairs(),
+            without.collected_pairs(),
+            "a participant-less set must not dilute the uniform collector split"
+        );
+        assert!(with_stray.collector_usage() <= caps.collector() + 1e-6);
+    }
+
+    #[test]
+    fn proportional_collector_split_with_degenerate_partitions() {
+        // A zero-size set has zero weight: it neither receives a share
+        // nor dilutes the populated trees'.
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 30.0, 17.0).unwrap();
+        let catalog = AttrCatalog::new();
+        let ctx = EvalContext {
+            allocation: AllocationScheme::Proportional,
+            ..EvalContext::basic(&pairs, &caps, CostModel::default(), &catalog)
+        };
+        let set = |a: u32| -> AttrSet { [AttrId(a)].into_iter().collect() };
+        let with_stray = Partition::from_sets(vec![set(0), set(1), set(9)]).unwrap();
+        let without = Partition::from_sets(vec![set(0), set(1)]).unwrap();
+        assert_eq!(
+            build_forest(&with_stray, &ctx).collected_pairs(),
+            build_forest(&without, &ctx).collected_pairs()
+        );
+
+        // All-zero partition (nothing demanded at all): total size 0.
+        // Pinned behavior: no division by zero, an empty plan, and no
+        // collector usage — the nominal full-collector share is
+        // irrelevant because the trees are empty.
+        let empty_pairs = PairSet::new();
+        let ctx0 = EvalContext {
+            allocation: AllocationScheme::Proportional,
+            ..EvalContext::basic(&empty_pairs, &caps, CostModel::default(), &catalog)
+        };
+        let all_zero = Partition::from_sets(vec![set(3), set(4)]).unwrap();
+        let plan = build_forest(&all_zero, &ctx0);
+        assert_eq!(plan.collected_pairs(), 0);
+        assert_eq!(plan.collector_usage(), 0.0);
+        // Same degenerate case under Uniform: divisor clamps, no panic.
+        let ctx0 = EvalContext {
+            allocation: AllocationScheme::Uniform,
+            ..ctx0
+        };
+        let plan = build_forest(&all_zero, &ctx0);
+        assert_eq!(plan.collected_pairs(), 0);
     }
 
     #[test]

@@ -167,6 +167,43 @@ pub struct PlanReport {
     pub global_ms: f64,
 }
 
+impl PlanReport {
+    /// Publishes this report into the process-wide metrics registry
+    /// (no-op while observability is disabled): per-phase duration
+    /// histograms plus plan/round/eval/accept counters, so exported
+    /// Prometheus text carries the planner-phase breakdown of Fig. 9a.
+    pub fn export_metrics(&self) {
+        if !remo_obs::enabled() {
+            return;
+        }
+        remo_obs::counter("remo_planner_plans_total").inc();
+        remo_obs::counter("remo_planner_rounds_total").inc_by(self.rounds as f64);
+        remo_obs::counter("remo_planner_local_evals_total").inc_by(self.local_evals as f64);
+        remo_obs::counter("remo_planner_local_accepts_total").inc_by(self.local_accepts as f64);
+        remo_obs::counter("remo_planner_tolerant_accepts_total")
+            .inc_by(self.tolerant_accepts as f64);
+        remo_obs::counter("remo_planner_global_evals_total").inc_by(self.global_evals as f64);
+        remo_obs::counter("remo_planner_global_accepts_total").inc_by(self.global_accepts as f64);
+        remo_obs::histogram("remo_planner_seed_duration_ms").observe(self.seed_ms);
+        remo_obs::histogram("remo_planner_rank_duration_ms").observe(self.rank_ms);
+        remo_obs::histogram("remo_planner_local_duration_ms").observe(self.local_ms);
+        remo_obs::histogram("remo_planner_global_duration_ms").observe(self.global_ms);
+    }
+}
+
+/// Registry handles, resolved once: accept/reject fire per candidate
+/// in the local-search loop, and a name lookup per call would pay a
+/// registry-mutex round trip even with observability disabled.
+fn accepted_counter() -> &'static remo_obs::Counter {
+    static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| remo_obs::counter("remo_planner_candidates_accepted_total"))
+}
+
+fn rejected_counter() -> &'static remo_obs::Counter {
+    static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| remo_obs::counter("remo_planner_candidates_rejected_total"))
+}
+
 /// The basic REMO planner.
 #[derive(Debug, Clone, Default)]
 pub struct Planner {
@@ -246,24 +283,28 @@ impl Planner {
         }
         let mut best: Option<MonitoringPlan> = None;
         let t_seed = Instant::now();
-        for seed in seeds {
-            report.seeds_evaluated += 1;
-            let plan = build_forest_cached(&seed, &ctx, cache);
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    plan.collected_pairs() > b.collected_pairs()
-                        || (plan.collected_pairs() == b.collected_pairs()
-                            && plan.message_volume() < b.message_volume())
+        {
+            let _seed_span = remo_obs::span!("planner.seed");
+            for seed in seeds {
+                report.seeds_evaluated += 1;
+                let plan = build_forest_cached(&seed, &ctx, cache);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        plan.collected_pairs() > b.collected_pairs()
+                            || (plan.collected_pairs() == b.collected_pairs()
+                                && plan.message_volume() < b.message_volume())
+                    }
+                };
+                if better {
+                    best = Some(plan);
                 }
-            };
-            if better {
-                best = Some(plan);
             }
         }
         let plan = best.expect("at least one seed");
         report.seed_ms = t_seed.elapsed().as_secs_f64() * 1e3;
         let refined = self.refine_with_report(plan, &ctx, &mut report, cache);
+        report.export_metrics();
         #[cfg(debug_assertions)]
         {
             // Post-condition: re-prove every error-severity paper
@@ -454,7 +495,9 @@ impl Planner {
         // and evaluates the top candidates against the full
         // reconstruction. Global rebuilds are budgeted because each
         // one costs a complete forest construction.
-        let debug = std::env::var("REMO_PLANNER_DEBUG").is_ok();
+        // `env_flag` (not `var(..).is_ok()`): `REMO_PLANNER_DEBUG=0`,
+        // empty, `false`, `off`, and `no` all leave the echo off.
+        let debug = remo_obs::env_flag("REMO_PLANNER_DEBUG");
         let mut global_budget = self.config.global_evals;
 
         // Engine selection. `parallelism == 1` with no cache is the
@@ -498,10 +541,14 @@ impl Planner {
 
         for round in 0..self.config.max_rounds {
             let t_rank = Instant::now();
-            let ranked = estimator.rank_ops_trees(&partition, &trees);
+            let ranked = {
+                let _rank_span = remo_obs::span!("planner.rank");
+                estimator.rank_ops_trees(&partition, &trees)
+            };
             report.rank_ms += t_rank.elapsed().as_secs_f64() * 1e3;
             let mut applied = false;
             let t_local = Instant::now();
+            let local_span = remo_obs::span!("planner.local");
 
             // ---- local phase: incremental first improvement, with a
             // small pair tolerance for strong volume reductions ----
@@ -569,8 +616,20 @@ impl Planner {
                             collector_avail = collector_after;
                             score = new_score;
                             applied = true;
+                            if remo_obs::enabled() {
+                                accepted_counter().inc();
+                            }
+                            remo_obs::event!("planner.local.accept",
+                                "round" => round,
+                                "strict" => strict,
+                                "pairs" => score.pairs,
+                                "volume" => score.volume);
                             break 'chunks;
                         }
+                        if remo_obs::enabled() {
+                            rejected_counter().inc();
+                        }
+                        remo_obs::event!("planner.local.reject", "round" => round);
                     }
                 }
             } else {
@@ -598,16 +657,30 @@ impl Planner {
                             collector_avail = new_collector;
                             score = new_score;
                             applied = true;
+                            if remo_obs::enabled() {
+                                accepted_counter().inc();
+                            }
+                            remo_obs::event!("planner.local.accept",
+                                "round" => round,
+                                "strict" => strict,
+                                "pairs" => score.pairs,
+                                "volume" => score.volume);
                             break;
                         }
+                        if remo_obs::enabled() {
+                            rejected_counter().inc();
+                        }
+                        remo_obs::event!("planner.local.reject", "round" => round);
                     }
                 }
             }
 
+            drop(local_span);
             report.local_ms += t_local.elapsed().as_secs_f64() * 1e3;
 
             // ---- global phase: full reconstruction fallback ----
             let t_global = Instant::now();
+            let global_span = remo_obs::span!("planner.global");
             if !applied && global_budget > 0 {
                 // First, pure redistribution under the same partition.
                 global_budget -= 1;
@@ -620,11 +693,15 @@ impl Planner {
                     score = rebuilt_score;
                     applied = true;
                     report.global_accepts += 1;
+                    remo_obs::event!("planner.global.redistribution",
+                        "round" => round,
+                        "pairs" => score.pairs,
+                        "volume" => score.volume);
                     if debug {
-                        eprintln!(
+                        remo_obs::debug_echo(&format!(
                             "round {round}: redistribution, score {} / vol {:.0}",
                             score.pairs, score.volume
-                        );
+                        ));
                     }
                 } else {
                     // Then, the top candidates evaluated globally.
@@ -650,11 +727,16 @@ impl Planner {
                             (avail, collector_avail) = recompute_residual(&trees);
                             score = cand_score;
                             applied = true;
+                            remo_obs::event!("planner.global.accept",
+                                "round" => round,
+                                "op" => format!("{op:?}"),
+                                "pairs" => score.pairs,
+                                "volume" => score.volume);
                             if debug {
-                                eprintln!(
+                                remo_obs::debug_echo(&format!(
                                     "round {round}: global {op:?}, score {} / vol {:.0}",
                                     score.pairs, score.volume
-                                );
+                                ));
                             }
                             break;
                         }
@@ -662,6 +744,7 @@ impl Planner {
                 }
             }
 
+            drop(global_span);
             report.global_ms += t_global.elapsed().as_secs_f64() * 1e3;
 
             report.rounds = round + 1;
@@ -669,20 +752,31 @@ impl Planner {
                 best = (partition.clone(), trees.clone(), score);
             }
             if !applied {
+                remo_obs::event!("planner.converged",
+                    "round" => round,
+                    "pairs" => score.pairs,
+                    "volume" => score.volume);
                 if debug {
-                    eprintln!(
+                    remo_obs::debug_echo(&format!(
                         "round {round}: converged, score {} / vol {:.0}",
                         score.pairs, score.volume
-                    );
+                    ));
                 }
                 break;
-            } else if debug {
-                eprintln!(
-                    "round {round}: score {} / vol {:.0}, {} trees",
-                    score.pairs,
-                    score.volume,
-                    partition.len()
-                );
+            } else {
+                remo_obs::event!("planner.round",
+                    "round" => round,
+                    "pairs" => score.pairs,
+                    "volume" => score.volume,
+                    "trees" => partition.len());
+                if debug {
+                    remo_obs::debug_echo(&format!(
+                        "round {round}: score {} / vol {:.0}, {} trees",
+                        score.pairs,
+                        score.volume,
+                        partition.len()
+                    ));
+                }
             }
         }
 

@@ -1,0 +1,110 @@
+//! `remo-obs` — summarize observability exports.
+//!
+//! ```text
+//! remo-obs dump [--trace <file.jsonl>] [--metrics <file.prom>]
+//! ```
+//!
+//! Reads the JSON-lines trace and/or Prometheus text files written by
+//! `remo-plan --trace/--metrics` (and the bench binaries) and prints
+//! per-name span/event aggregates and metric samples.
+//!
+//! Exit status: 0 on success, 1 when a file is malformed, 2 on usage
+//! or I/O problems.
+
+use remo_obs::summary::{
+    parse_prometheus, parse_trace, render_metrics_summary, render_trace_summary,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: remo-obs dump [--trace <file.jsonl>] [--metrics <file.prom>]
+
+reads exports produced by `remo-plan --trace/--metrics` and the bench
+binaries, and prints per-name span/event aggregates and metric samples;
+at least one of --trace/--metrics is required
+";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("remo-obs: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut saw_dump = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "dump" => saw_dump = true,
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(path),
+                None => return usage_error("--trace needs a path"),
+            },
+            "--metrics" => match it.next() {
+                Some(path) => metrics_path = Some(path),
+                None => return usage_error("--metrics needs a path"),
+            },
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !saw_dump {
+        return usage_error("expected the `dump` subcommand");
+    }
+    if trace_path.is_none() && metrics_path.is_none() {
+        return usage_error("give at least one of --trace/--metrics");
+    }
+
+    let mut malformed = false;
+    if let Some(path) = trace_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("remo-obs: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_trace(&text) {
+            Ok(summary) => {
+                println!("trace {path}:");
+                print!("{}", render_trace_summary(&summary));
+            }
+            Err(e) => {
+                eprintln!("remo-obs: {path}: {e}");
+                malformed = true;
+            }
+        }
+    }
+    if let Some(path) = metrics_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("remo-obs: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_prometheus(&text) {
+            Ok(samples) => {
+                println!("metrics {path}: {} sample(s)", samples.len());
+                print!("{}", render_metrics_summary(&samples));
+            }
+            Err(e) => {
+                eprintln!("remo-obs: {path}: {e}");
+                malformed = true;
+            }
+        }
+    }
+
+    if malformed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

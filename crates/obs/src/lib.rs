@@ -1,0 +1,170 @@
+//! # remo-obs
+//!
+//! Unified observability for the REMO workspace: structured tracing
+//! (spans and events) plus a metrics registry (counters, gauges,
+//! histograms), with two exporters — JSON-lines trace files and
+//! Prometheus text format.
+//!
+//! The evaluation of a monitoring system is itself a monitoring
+//! problem (cf. the self-monitoring arguments of layered-gossip and
+//! hierarchical pub-sub monitoring systems): per-phase planner cost,
+//! collection latency, and adaptation traffic must come out of one
+//! pipeline or they cannot be compared. Every crate in this workspace
+//! reports through the process-wide [`Registry`] and trace sink
+//! defined here; `remo-plan --trace/--metrics` and the bench binaries
+//! export them, and `remo-obs dump` summarizes the files.
+//!
+//! ## Zero cost when disabled
+//!
+//! Observability is **off by default**. A disabled [`span!`] or
+//! [`event!`] callsite performs a single relaxed atomic load and no
+//! allocation; metric handles skip their atomic update. Enable
+//! collection explicitly:
+//!
+//! ```
+//! let _g = remo_obs::test_guard(); // serialize access in doctests
+//! remo_obs::enable();
+//! {
+//!     let _span = remo_obs::span!("doc.example");
+//!     remo_obs::event!("doc.tick", "n" => 3u64);
+//! }
+//! remo_obs::counter("doc_ticks_total").inc();
+//! let trace = remo_obs::drain_trace();
+//! assert!(trace.iter().any(|r| r.name == "doc.example"));
+//! remo_obs::disable();
+//! ```
+//!
+//! ## Callsites
+//!
+//! Each `span!`/`event!` expansion declares a `static` [`Callsite`]
+//! holding its name, file, and line. The callsite registers itself in
+//! the process-wide callsite table on first hit and caches its id in
+//! an atomic, so steady-state recording never re-hashes name strings.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod registry;
+pub mod summary;
+pub mod trace;
+
+pub use registry::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
+pub use trace::{
+    drain_trace, record_event, span_enter, Callsite, FieldValue, SpanGuard, TraceRecord,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether observability collection is currently on.
+///
+/// This is the only check on the disabled fast path: a relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on (spans, events, and metric updates record).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns collection off. Already-recorded data stays until drained.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Serializes tests that flip the global enabled flag or read the
+/// global registry/trace: hold the returned guard for the duration.
+///
+/// The global state is process-wide; concurrent tests would otherwise
+/// observe each other's spans and counter increments.
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Reads an environment variable as a boolean feature flag.
+///
+/// A flag is **on** only when the variable is set to something other
+/// than the conventional "off" spellings: unset, empty, `0`, `false`,
+/// `off`, and `no` (case-insensitive) all read as off. This is the
+/// predicate `REMO_PLANNER_DEBUG` should always have used —
+/// `std::env::var(..).is_ok()` treated `REMO_PLANNER_DEBUG=0` as
+/// enabled.
+///
+/// # Examples
+///
+/// ```
+/// std::env::set_var("REMO_OBS_DOCTEST_FLAG", "0");
+/// assert!(!remo_obs::env_flag("REMO_OBS_DOCTEST_FLAG"));
+/// std::env::set_var("REMO_OBS_DOCTEST_FLAG", "1");
+/// assert!(remo_obs::env_flag("REMO_OBS_DOCTEST_FLAG"));
+/// ```
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty()
+                || v == "0"
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("no"))
+        }
+        Err(_) => false,
+    }
+}
+
+/// Mirrors a debug line to stderr on behalf of crates whose lint
+/// configuration denies direct printing (e.g. `remo-core`, where
+/// `clippy::print_stderr` is a build error). Used by the planner's
+/// `REMO_PLANNER_DEBUG` path alongside the structured event.
+#[allow(clippy::print_stderr)]
+pub fn debug_echo(line: &str) {
+    eprintln!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_flag_off_spellings() {
+        let var = "REMO_OBS_TEST_FLAG_OFF";
+        for off in ["", "0", "false", "FALSE", "off", "Off", "no", "  "] {
+            std::env::set_var(var, off);
+            assert!(!env_flag(var), "{off:?} must read as off");
+        }
+        std::env::remove_var(var);
+        assert!(!env_flag(var), "unset must read as off");
+    }
+
+    #[test]
+    fn env_flag_on_spellings() {
+        let var = "REMO_OBS_TEST_FLAG_ON";
+        for on in ["1", "true", "yes", "debug", "anything-else"] {
+            std::env::set_var(var, on);
+            assert!(env_flag(var), "{on:?} must read as on");
+        }
+        std::env::remove_var(var);
+    }
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let _g = test_guard();
+        let was = enabled();
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+        if was {
+            enable();
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The metrics registry: named counters, gauges, and histograms with a
+//! Prometheus text-format exporter.
+//!
+//! Handles are cheap to clone (`Arc` over atomics) and safe to update
+//! from any thread. Updates respect the global enabled flag: a
+//! disabled [`Counter::inc`] is one relaxed load. Values survive
+//! enable/disable cycles; [`Registry::reset`] zeroes everything.
+//!
+//! Metric names follow Prometheus conventions
+//! (`remo_<crate>_<what>_<unit>`), with `_total` suffixes on
+//! monotonically increasing series. Counters are f64 (Prometheus
+//! counters are floats; traffic volumes are fractional cost units).
+
+use crate::enabled;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default histogram bucket upper bounds, in milliseconds — tuned for
+/// planner-phase and epoch-tick durations (sub-millisecond to minutes).
+pub const DEFAULT_BUCKETS_MS: [f64; 11] = [
+    0.25, 1.0, 4.0, 16.0, 64.0, 250.0, 1_000.0, 4_000.0, 16_000.0, 60_000.0, 240_000.0,
+];
+
+/// An atomic f64 cell (bit-cast over `AtomicU64`).
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A monotonically increasing metric.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicF64>,
+}
+
+impl Counter {
+    /// Adds 1 (no-op while observability is disabled).
+    pub fn inc(&self) {
+        self.inc_by(1.0);
+    }
+
+    /// Adds `delta` (no-op while observability is disabled; negative
+    /// deltas are ignored — counters only go up).
+    pub fn inc_by(&self, delta: f64) {
+        if enabled() && delta > 0.0 {
+            self.value.add(delta);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value.get()
+    }
+}
+
+/// A metric that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicF64>,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while observability is disabled).
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.value.set(v);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value.get()
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicF64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of f64 observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicF64::default(),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation (no-op while observability is disabled).
+    pub fn observe(&self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        for (bound, count) in self.inner.bounds.iter().zip(&self.inner.counts) {
+            if v <= *bound {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inner.sum.add(v);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.inner.sum.get()
+    }
+
+    /// Cumulative count at or below each bucket bound.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.inner
+            .bounds
+            .iter()
+            .zip(&self.inner.counts)
+            .map(|(b, c)| (*b, c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one metric, as returned by
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(f64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram `(count, sum)`.
+    Histogram(u64, f64),
+}
+
+/// A named collection of metrics.
+///
+/// Most callers use the process-wide registry through the free
+/// functions [`counter`], [`gauge`], and [`histogram`]; a private
+/// `Registry` is useful in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Panics avoided: all lock sites recover from poisoning, because the
+/// registry's maps are never left mid-update.
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// A name previously registered as a different metric kind yields
+    /// a fresh unregistered handle (the exporter keeps the original).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = lock(&self.metrics);
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = lock(&self.metrics);
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// The histogram named `name` (default duration buckets),
+    /// registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, &DEFAULT_BUCKETS_MS)
+    }
+
+    /// The histogram named `name` with explicit bucket bounds (applied
+    /// only on first registration).
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut metrics = lock(&self.metrics);
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::new(bounds),
+        }
+    }
+
+    /// Current values of every registered metric, by name.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        let metrics = lock(&self.metrics);
+        metrics
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.count(), h.sum()),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`# TYPE` comments, histogram `_bucket`/`_sum`/`_count` series
+    /// with `le` labels and the `+Inf` bucket).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let metrics = lock(&self.metrics);
+        let mut out = String::new();
+        for (name, m) in metrics.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", fmt_f64(c.get()));
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", fmt_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    for (bound, count) in h.buckets() {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {count}", fmt_f64(bound));
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Zeroes every registered metric **in place**. Handles cached by
+    /// callers (e.g. the planner's hot-path cache counters behind
+    /// `OnceLock`s) stay attached to their cells and keep reporting
+    /// through the exporter — clearing the map instead would orphan
+    /// them silently. Intended for tests and between bench runs.
+    pub fn reset(&self) {
+        let metrics = lock(&self.metrics);
+        for m in metrics.values() {
+            match m {
+                Metric::Counter(c) => c.value.set(0.0),
+                Metric::Gauge(g) => g.value.set(0.0),
+                Metric::Histogram(h) => {
+                    for c in &h.inner.counts {
+                        c.store(0, Ordering::Relaxed);
+                    }
+                    h.inner.sum.set(0.0);
+                    h.inner.count.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Formats a value the way Prometheus expects: integral values without
+/// a fractional part, everything else with full precision.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn global_registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The process-wide registry (what the exporters export).
+pub fn registry() -> &'static Registry {
+    global_registry()
+}
+
+/// A counter in the process-wide registry.
+pub fn counter(name: &str) -> Counter {
+    global_registry().counter(name)
+}
+
+/// A gauge in the process-wide registry.
+pub fn gauge(name: &str) -> Gauge {
+    global_registry().gauge(name)
+}
+
+/// A histogram in the process-wide registry (default buckets).
+pub fn histogram(name: &str) -> Histogram {
+    global_registry().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_guard;
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        let _g = test_guard();
+        crate::disable();
+        let r = Registry::new();
+        let c = r.counter("x_total");
+        c.inc();
+        assert_eq!(c.get(), 0.0);
+        let g = r.gauge("g");
+        g.set(5.0);
+        assert_eq!(g.get(), 0.0);
+        let h = r.histogram("h_ms");
+        h.observe(3.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_record_when_enabled() {
+        let _g = test_guard();
+        crate::enable();
+        let r = Registry::new();
+        let c = r.counter("x_total");
+        c.inc();
+        c.inc_by(2.5);
+        c.inc_by(-1.0); // ignored: counters only go up
+        assert_eq!(c.get(), 3.5);
+
+        let g = r.gauge("depth");
+        g.set(2.0);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+
+        let h = r.histogram_with_buckets("lat_ms", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 105.5);
+        assert_eq!(h.buckets(), vec![(1.0, 1), (10.0, 2)]);
+        crate::disable();
+    }
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let _g = test_guard();
+        crate::enable();
+        let r = Registry::new();
+        r.counter("shared_total").inc();
+        r.counter("shared_total").inc();
+        assert_eq!(r.counter("shared_total").get(), 2.0);
+        crate::disable();
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let _g = test_guard();
+        crate::enable();
+        let r = Registry::new();
+        r.counter("a_total").inc_by(2.0);
+        r.gauge("b").set(0.25);
+        let h = r.histogram_with_buckets("c_ms", &[1.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE a_total counter\na_total 2\n"));
+        assert!(text.contains("# TYPE b gauge\nb 0.25\n"));
+        assert!(text.contains("c_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("c_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("c_ms_sum 2.5"));
+        assert!(text.contains("c_ms_count 2"));
+        crate::disable();
+    }
+
+    #[test]
+    fn snapshot_reports_each_kind() {
+        let _g = test_guard();
+        crate::enable();
+        let r = Registry::new();
+        r.counter("c_total").inc();
+        r.gauge("g").set(7.0);
+        r.histogram("h_ms").observe(1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap["c_total"], MetricValue::Counter(1.0));
+        assert_eq!(snap["g"], MetricValue::Gauge(7.0));
+        assert_eq!(snap["h_ms"], MetricValue::Histogram(1, 1.0));
+        crate::disable();
+    }
+}

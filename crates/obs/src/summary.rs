@@ -1,0 +1,207 @@
+//! Readers for the two export formats: a JSON-lines trace summarizer
+//! and a Prometheus text-format parser, shared by `remo-obs dump` and
+//! the round-trip tests.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Per-name aggregate over the span records of one trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAgg {
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Sum of their durations, µs.
+    pub total_us: u64,
+    /// Longest single span, µs.
+    pub max_us: u64,
+}
+
+/// Aggregates of one parsed JSON-lines trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Event counts by name.
+    pub events: BTreeMap<String, u64>,
+}
+
+/// Parses a JSON-lines trace export and aggregates it by name.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let name = match v.get("name") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("line {}: missing `name`", i + 1)),
+        };
+        let kind = match v.get("kind") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("line {}: missing `kind`", i + 1)),
+        };
+        match kind.as_str() {
+            "span" => {
+                let duration = match v.get("duration_us") {
+                    Some(Value::U64(n)) => *n,
+                    Some(Value::I64(n)) if *n >= 0 => *n as u64,
+                    _ => return Err(format!("line {}: missing `duration_us`", i + 1)),
+                };
+                let agg = summary.spans.entry(name).or_insert(SpanAgg {
+                    count: 0,
+                    total_us: 0,
+                    max_us: 0,
+                });
+                agg.count += 1;
+                agg.total_us += duration;
+                agg.max_us = agg.max_us.max(duration);
+            }
+            "event" => {
+                *summary.events.entry(name).or_insert(0) += 1;
+            }
+            other => return Err(format!("line {}: unknown kind `{other}`", i + 1)),
+        }
+    }
+    Ok(summary)
+}
+
+/// Renders a [`TraceSummary`] as an aligned plain-text table.
+pub fn render_trace_summary(summary: &TraceSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if !summary.spans.is_empty() {
+        let _ = writeln!(out, "spans:");
+        let width = summary.spans.keys().map(String::len).max().unwrap_or(0);
+        for (name, agg) in &summary.spans {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  count {:>6}  total {:>10.3} ms  max {:>10.3} ms",
+                agg.count,
+                agg.total_us as f64 / 1_000.0,
+                agg.max_us as f64 / 1_000.0,
+            );
+        }
+    }
+    if !summary.events.is_empty() {
+        let _ = writeln!(out, "events:");
+        let width = summary.events.keys().map(String::len).max().unwrap_or(0);
+        for (name, count) in &summary.events {
+            let _ = writeln!(out, "  {name:<width$}  count {count:>6}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("trace is empty\n");
+    }
+    out
+}
+
+/// Parses Prometheus text exposition format into `sample name → value`.
+///
+/// Histogram series keep their label block in the key
+/// (`lat_ms_bucket{le="1"}`), matching what [`crate::Registry`] emits.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: expected `name value`", i + 1))?;
+        let key = key.trim();
+        if key.is_empty() {
+            return Err(format!("line {}: empty sample name", i + 1));
+        }
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: invalid value `{value}`", i + 1))?;
+        samples.insert(key.to_string(), value);
+    }
+    Ok(samples)
+}
+
+/// Renders parsed Prometheus samples as an aligned plain-text table.
+pub fn render_metrics_summary(samples: &BTreeMap<String, f64>) -> String {
+    use std::fmt::Write as _;
+    if samples.is_empty() {
+        return "no samples\n".to_string();
+    }
+    let width = samples.keys().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in samples {
+        let _ = writeln!(out, "  {name:<width$}  {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_guard;
+
+    #[test]
+    fn trace_summary_aggregates_by_name() {
+        let _g = test_guard();
+        crate::enable();
+        crate::drain_trace();
+        for _ in 0..3 {
+            let _s = crate::span!("sum.phase");
+        }
+        crate::event!("sum.tick");
+        crate::event!("sum.tick");
+        crate::disable();
+        let text = crate::trace::to_jsonl(&crate::drain_trace());
+        let summary = parse_trace(&text).expect("well-formed trace");
+        assert_eq!(summary.spans["sum.phase"].count, 3);
+        assert_eq!(summary.events["sum.tick"], 2);
+        let rendered = render_trace_summary(&summary);
+        assert!(rendered.contains("sum.phase"));
+        assert!(rendered.contains("count      3"));
+    }
+
+    #[test]
+    fn trace_parser_rejects_malformed_lines() {
+        assert!(parse_trace("{not json").is_err());
+        assert!(parse_trace(r#"{"kind":"span"}"#).is_err());
+        assert!(parse_trace(r#"{"kind":"wat","name":"x"}"#).is_err());
+        assert!(parse_trace("").expect("empty ok").spans.is_empty());
+    }
+
+    #[test]
+    fn prometheus_parser_reads_registry_output() {
+        let _g = test_guard();
+        crate::enable();
+        let r = crate::Registry::new();
+        r.counter("hits_total").inc_by(4.0);
+        r.gauge("depth").set(2.5);
+        let h = r.histogram_with_buckets("lat_ms", &[1.0]);
+        h.observe(0.5);
+        crate::disable();
+        let samples = parse_prometheus(&r.render_prometheus()).expect("parseable");
+        assert_eq!(samples["hits_total"], 4.0);
+        assert_eq!(samples["depth"], 2.5);
+        assert_eq!(samples["lat_ms_bucket{le=\"1\"}"], 1.0);
+        assert_eq!(samples["lat_ms_count"], 1.0);
+        let rendered = render_metrics_summary(&samples);
+        assert!(rendered.contains("hits_total"));
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("lonely_name").is_err());
+        assert!(parse_prometheus("name not_a_number").is_err());
+        assert!(parse_prometheus("# just a comment\n")
+            .expect("ok")
+            .is_empty());
+    }
+}

@@ -7,6 +7,11 @@
 //! remo-plan spec.json --bundle     # emit a bundle for remo-audit
 //! remo-plan --example              # print a starter spec
 //! ```
+//!
+//! Observability: `--trace <file.jsonl>` writes the planner's span and
+//! event trace as JSON lines; `--metrics <file.prom>` writes the
+//! metrics registry in Prometheus text format. Either flag enables
+//! collection for the run; summarize the files with `remo-obs dump`.
 
 use remo::spec::{AttrSpec, DeploymentSpec, TaskSpec};
 use remo_audit::{Audit, AuditBundle};
@@ -51,14 +56,61 @@ fn example_spec() -> DeploymentSpec {
     }
 }
 
+/// Removes `name <value>` from `args` and returns the value, if the
+/// flag is present.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+        return Err(format!("{name} requires a file path"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Writes the drained trace and/or the metrics registry to the
+/// requested files.
+fn write_obs_outputs(trace: Option<&str>, metrics: Option<&str>) -> Result<(), String> {
+    if let Some(path) = trace {
+        let records = remo_obs::drain_trace();
+        std::fs::write(path, remo_obs::trace::to_jsonl(&records))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = metrics {
+        let text = remo_obs::registry::registry().render_prometheus();
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--example") {
         println!("{}", example_spec().to_json());
         return ExitCode::SUCCESS;
     }
+    let (trace_path, metrics_path) = match (|| -> Result<_, String> {
+        Ok((
+            take_value_flag(&mut args, "--trace")?,
+            take_value_flag(&mut args, "--metrics")?,
+        ))
+    })() {
+        Ok(paths) => paths,
+        Err(e) => {
+            eprintln!("remo-plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if trace_path.is_some() || metrics_path.is_some() {
+        remo_obs::enable();
+    }
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: remo-plan <spec.json> [--dot|--audit] | remo-plan --example");
+        eprintln!(
+            "usage: remo-plan <spec.json> [--dot|--audit|--bundle] \
+             [--trace <file.jsonl>] [--metrics <file.prom>] | remo-plan --example"
+        );
         return ExitCode::FAILURE;
     };
     let json = match std::fs::read_to_string(path) {
@@ -82,6 +134,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Planner activity is over: export collected observability now so
+    // the files exist whichever output mode (and exit path) follows.
+    if let Err(e) = write_obs_outputs(trace_path.as_deref(), metrics_path.as_deref()) {
+        eprintln!("remo-plan: {e}");
+        return ExitCode::FAILURE;
+    }
 
     if args.iter().any(|a| a == "--dot") {
         print!("{}", to_dot(&plan));

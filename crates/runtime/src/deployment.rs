@@ -268,6 +268,7 @@ impl Deployment {
     /// failure detector, and (in self-healing deployments) confirmed
     /// failures trigger plan repair before the epoch completes.
     pub fn tick(&mut self) -> EpochReport {
+        let _tick_span = remo_obs::span!("runtime.tick");
         self.epoch += 1;
         let epoch = self.epoch;
         let mut report = EpochReport {
@@ -376,6 +377,7 @@ impl Deployment {
                 }
             }
         }
+        export_epoch_metrics(&report);
         report
     }
 
@@ -509,6 +511,24 @@ impl Drop for Deployment {
     }
 }
 
+/// Publishes one epoch's aggregate report into the process-wide
+/// metrics registry (no-op while observability is disabled). The
+/// suspected/confirmed/recovered transitions are counted at their
+/// source in [`HealthMonitor::observe`], not re-counted here.
+fn export_epoch_metrics(report: &EpochReport) {
+    if !remo_obs::enabled() {
+        return;
+    }
+    remo_obs::counter("remo_runtime_epochs_total").inc();
+    remo_obs::counter("remo_runtime_delivered_values_total").inc_by(report.delivered_values as f64);
+    remo_obs::counter("remo_runtime_dropped_messages_total").inc_by(report.dropped_messages as f64);
+    remo_obs::counter("remo_runtime_dropped_readings_total").inc_by(report.dropped_readings as f64);
+    remo_obs::counter("remo_runtime_volume_cost_units_total").inc_by(report.volume);
+    remo_obs::counter("remo_runtime_values_lost_total").inc_by(report.values_lost as f64);
+    remo_obs::counter("remo_runtime_reconfigure_messages_total")
+        .inc_by(report.reconfigure_messages as f64);
+}
+
 /// Sends a targeted `Reconfigure` with bounded retry and exponential
 /// backoff; returns whether the send eventually succeeded.
 fn send_reconfigure(
@@ -524,6 +544,12 @@ fn send_reconfigure(
             Ok(()) => return true,
             Err(err) => {
                 msg = err.0;
+                if remo_obs::enabled() {
+                    remo_obs::counter("remo_runtime_reconfigure_retries_total").inc();
+                }
+                remo_obs::event!("runtime.reconfigure.retry",
+                    "attempt" => attempt + 1,
+                    "backoff_ms" => backoff.as_millis() as u64);
                 if attempt + 1 < attempts {
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
@@ -531,6 +557,7 @@ fn send_reconfigure(
             }
         }
     }
+    remo_obs::event!("runtime.reconfigure.failed", "attempts" => attempts);
     false
 }
 

@@ -200,6 +200,10 @@ impl HealthMonitor {
                 if h.state == HealthState::Dead {
                     h.stats.recovered += 1;
                     events.recovered.push(node);
+                    if remo_obs::enabled() {
+                        remo_obs::counter("remo_runtime_recovered_total").inc();
+                    }
+                    remo_obs::event!("health.recovered", "node" => node.0, "epoch" => epoch);
                 }
                 h.state = HealthState::Healthy;
                 h.misses = 0;
@@ -210,12 +214,27 @@ impl HealthMonitor {
                     h.first_miss = epoch;
                     h.stats.suspected += 1;
                     events.suspected.push(node);
+                    if remo_obs::enabled() {
+                        remo_obs::counter("remo_runtime_suspected_total").inc();
+                    }
+                    remo_obs::event!("health.suspected", "node" => node.0, "epoch" => epoch);
                 }
                 if h.state == HealthState::Suspected && h.misses >= self.confirm_after {
                     h.state = HealthState::Dead;
                     h.stats.confirmed += 1;
                     h.stats.time_to_detect = epoch.saturating_sub(h.first_miss);
                     events.confirmed.push(node);
+                    if remo_obs::enabled() {
+                        remo_obs::counter("remo_runtime_confirmed_dead_total").inc();
+                        // Detection latency in epochs, the Fig. 12-style
+                        // failure-detection metric.
+                        remo_obs::histogram("remo_runtime_time_to_detect_epochs")
+                            .observe(h.stats.time_to_detect as f64);
+                    }
+                    remo_obs::event!("health.confirmed",
+                        "node" => node.0,
+                        "epoch" => epoch,
+                        "time_to_detect" => h.stats.time_to_detect);
                 }
             }
         }
@@ -228,6 +247,14 @@ impl HealthMonitor {
         if let Some(h) = self.nodes.get_mut(&node) {
             h.stats.repaired += 1;
             h.stats.mttr_epochs = epoch.saturating_sub(h.first_miss);
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_runtime_repairs_total").inc();
+                remo_obs::histogram("remo_runtime_mttr_epochs").observe(h.stats.mttr_epochs as f64);
+            }
+            remo_obs::event!("health.repaired",
+                "node" => node.0,
+                "epoch" => epoch,
+                "mttr_epochs" => h.stats.mttr_epochs);
         }
     }
 

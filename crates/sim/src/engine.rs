@@ -467,7 +467,9 @@ impl Simulator {
             .map(|(n, a)| ((n, a), self.values[&(n, self.resolve(a))].value()))
             .collect();
         stats.avg_error = self.collector.mean_error(&truth, self.config.error_cap);
+        stats.error_cap = self.config.error_cap;
 
+        stats.export_metrics();
         self.metrics.push(stats);
         stats
     }

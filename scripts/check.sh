@@ -14,6 +14,23 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   exit 0
 fi
 
+# --obs-smoke: end-to-end observability pipeline check — plan the
+# example spec with --trace/--metrics, then make `remo-obs dump`
+# summarize both files. Fails if either export is missing or
+# malformed. Cheap enough for any box; exits without running the gate.
+if [[ "${1:-}" == "--obs-smoke" ]]; then
+  echo "==> remo-plan --trace/--metrics + remo-obs dump"
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "$obs_dir"' EXIT
+  cargo run -q -p remo --bin remo-plan -- --example > "$obs_dir/spec.json"
+  cargo run -q -p remo --bin remo-plan -- "$obs_dir/spec.json" \
+    --trace "$obs_dir/out.jsonl" --metrics "$obs_dir/out.prom" > /dev/null
+  cargo run -q -p remo-obs --bin remo-obs -- dump \
+    --trace "$obs_dir/out.jsonl" --metrics "$obs_dir/out.prom"
+  echo "obs smoke passed."
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -40,6 +40,46 @@ fn example_spec_round_trips_through_planning() {
 }
 
 #[test]
+fn trace_and_metrics_flags_write_parseable_exports() {
+    let out = remo_plan().arg("--example").output().expect("run");
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join("remo-plan-test-obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("spec.json");
+    std::fs::write(&spec, &out.stdout).unwrap();
+    let trace = dir.join("out.jsonl");
+    let metrics = dir.join("out.prom");
+
+    // Flag order must not matter: values before the spec path.
+    let out = remo_plan()
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg(&spec)
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("monitoring plan:"), "summary still prints");
+
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    let summary = remo_obs::summary::parse_trace(&jsonl).expect("trace parses");
+    for phase in ["planner.seed", "planner.local"] {
+        assert!(summary.spans.contains_key(phase), "missing span {phase}");
+    }
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    let samples = remo_obs::summary::parse_prometheus(&prom).expect("metrics parse");
+    assert_eq!(samples["remo_planner_plans_total"], 1.0);
+
+    // A value-less flag is a usage error, not a mis-parsed spec path.
+    let out = remo_plan().arg(&spec).arg("--trace").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--trace requires"), "stderr: {err}");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = remo_plan()
         .arg("/nonexistent/spec.json")
