@@ -46,7 +46,19 @@ const SMOKE_SIZES: [usize; 2] = [32, 64];
 /// The tentpole target: parallel+cache at the largest size must plan at
 /// least this many times faster than the serial baseline.
 const TARGET_SPEEDUP: f64 = 4.0;
-const REGRESSION_TOLERANCE: f64 = 1.20;
+
+/// Relative mean-time tolerance for `--bench-smoke` against the
+/// committed `BENCH_planner.json`. The baseline was recorded on one
+/// machine; drift close to 2x has been observed on others at the tiny
+/// smoke sizes, so the default is loose. Tighten it with
+/// `REMO_BENCH_SMOKE_TOLERANCE=1.2` where the baseline is local.
+fn regression_tolerance() -> f64 {
+    std::env::var("REMO_BENCH_SMOKE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| *t >= 1.0)
+        .unwrap_or(2.0)
+}
 
 const MODES: [(&str, usize, bool); 3] = [
     ("serial", 1, false),
@@ -256,6 +268,7 @@ fn run_full(only: Option<Vec<usize>>) {
 }
 
 fn run_smoke() {
+    let tolerance = regression_tolerance();
     let baseline: Option<BenchReport> =
         std::fs::read_to_string(repo_root().join("BENCH_planner.json"))
             .ok()
@@ -270,14 +283,14 @@ fn run_smoke() {
             continue;
         };
         for (new_mode, old_mode) in fresh.modes.iter().zip(&base.modes) {
-            if new_mode.mean_ms > old_mode.mean_ms * REGRESSION_TOLERANCE {
+            if new_mode.mean_ms > old_mode.mean_ms * tolerance {
                 eprintln!(
                     "WARNING: n={} {} regressed {:.1}ms -> {:.1}ms (>{:.0}% over baseline)",
                     n,
                     new_mode.mode,
                     old_mode.mean_ms,
                     new_mode.mean_ms,
-                    (REGRESSION_TOLERANCE - 1.0) * 100.0,
+                    (tolerance - 1.0) * 100.0,
                 );
                 regressed = true;
             }
@@ -288,7 +301,7 @@ fn run_smoke() {
     } else if !regressed {
         println!(
             "smoke: within {:.0}% of baseline",
-            (REGRESSION_TOLERANCE - 1.0) * 100.0
+            (tolerance - 1.0) * 100.0
         );
     }
 }

@@ -9,9 +9,7 @@
 //! with a stable code, a default severity, the paper section it comes
 //! from, and a fix-hint.
 //!
-//! The entry point is [`Audit::run`] over an [`AuditInput`]; the
-//! legacy [`audit_plan`] / [`Violation`] API is kept as a deprecated
-//! shim for one release.
+//! The entry point is [`Audit::run`] over an [`AuditInput`].
 //!
 //! # Examples
 //!
@@ -108,6 +106,20 @@ pub mod rules {
     /// Failure schedules are self-consistent (checked by the
     /// `remo-audit` crate's cross-layer pass).
     pub const FAILURE_SCHEDULE_CONSISTENT: &str = "failure-schedule-consistent";
+    /// Nodes confirmed dead carry no load while their repair is in
+    /// flight (checked by the `remo-mc` model checker).
+    pub const REPAIR_CAPACITY: &str = "repair-capacity";
+    /// Re-applying a completed failure repair changes nothing
+    /// (checked by the `remo-mc` model checker).
+    pub const REPAIR_IDEMPOTENT: &str = "repair-idempotent";
+    /// After every failed node recovers, the plan converges back to a
+    /// cost-equivalent of the original (checked by the `remo-mc`
+    /// model checker).
+    pub const RECOVERY_CONVERGENCE: &str = "recovery-convergence";
+    /// Values lost to failures are accounted monotonically and agree
+    /// with the health telemetry (checked by the `remo-mc` model
+    /// checker).
+    pub const VALUE_LOSS_ACCOUNTING: &str = "value-loss-accounting";
 }
 
 /// Static description of one audit rule.
@@ -224,6 +236,38 @@ pub const RULES: &[RuleMeta] = &[
         paper_section: "§6.2",
         summary: "scripted outages have non-empty windows, real targets, and no duplicates",
         fix_hint: "fix the outage windows/targets in the failure schedule",
+    },
+    RuleMeta {
+        name: rules::REPAIR_CAPACITY,
+        code: "RA013",
+        severity: Severity::Error,
+        paper_section: "§4.2",
+        summary: "confirmed-dead nodes carry no monitoring load while repair is in flight",
+        fix_hint: "handle_node_failure must zero the node's capacity before re-planning",
+    },
+    RuleMeta {
+        name: rules::REPAIR_IDEMPOTENT,
+        code: "RA014",
+        severity: Severity::Error,
+        paper_section: "§4.2",
+        summary: "re-applying a completed failure repair leaves the plan unchanged",
+        fix_hint: "make repair a fixpoint: a second handle_node_failure must be a no-op",
+    },
+    RuleMeta {
+        name: rules::RECOVERY_CONVERGENCE,
+        code: "RA015",
+        severity: Severity::Error,
+        paper_section: "§4.2, §7.4",
+        summary: "after all failed nodes recover, coverage and cost return near the original",
+        fix_hint: "widen the restricted search after recovery, or rebuild from scratch",
+    },
+    RuleMeta {
+        name: rules::VALUE_LOSS_ACCOUNTING,
+        code: "RA016",
+        severity: Severity::Error,
+        paper_section: "§7.4",
+        summary: "lost-value accounting is monotone and agrees with health telemetry",
+        fix_hint: "charge add_values_lost exactly once per missed scheduled reading",
     },
 ];
 
@@ -1008,175 +1052,6 @@ impl Audit {
     }
 }
 
-// ------------------------------------------------------------- legacy shim
-
-/// One audit finding (legacy API).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `validate::Audit` with `AuditInput`; findings are now `validate::Finding`"
-)]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Violation {
-    /// A tree's internal structure is inconsistent (cycle, missing
-    /// parent, bad children index).
-    MalformedTree {
-        /// Index of the offending tree.
-        tree: usize,
-    },
-    /// A node appears in a tree but owns no attribute of its set and
-    /// relays nothing (wasted membership is legal but flagged).
-    IdleMember {
-        /// Tree index.
-        tree: usize,
-        /// The idle node.
-        node: NodeId,
-    },
-    /// Recomputed usage of a node exceeds its budget.
-    NodeOverBudget {
-        /// The overloaded node.
-        node: NodeId,
-        /// Recomputed usage.
-        usage: f64,
-        /// Its budget.
-        budget: f64,
-    },
-    /// Recomputed collector usage exceeds the collector budget.
-    CollectorOverBudget {
-        /// Recomputed usage.
-        usage: f64,
-        /// The collector budget.
-        budget: f64,
-    },
-    /// The plan's recorded pair figures disagree with the tree
-    /// structures.
-    PairAccounting {
-        /// Tree index.
-        tree: usize,
-        /// Pairs recorded by the plan.
-        recorded: usize,
-        /// Pairs implied by the structure.
-        recomputed: usize,
-    },
-    /// An attribute's pairs are demanded but the attribute is in no
-    /// partition set.
-    UnplannedAttr {
-        /// The orphaned attribute.
-        attr: AttrId,
-    },
-}
-
-#[allow(deprecated)]
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Violation::MalformedTree { tree } => write!(f, "tree {tree} is malformed"),
-            Violation::IdleMember { tree, node } => {
-                write!(f, "node {node} is an idle member of tree {tree}")
-            }
-            Violation::NodeOverBudget {
-                node,
-                usage,
-                budget,
-            } => write!(f, "node {node} uses {usage:.2} of budget {budget:.2}"),
-            Violation::CollectorOverBudget { usage, budget } => {
-                write!(f, "collector uses {usage:.2} of budget {budget:.2}")
-            }
-            Violation::PairAccounting {
-                tree,
-                recorded,
-                recomputed,
-            } => write!(
-                f,
-                "tree {tree} records {recorded} pairs but structure implies {recomputed}"
-            ),
-            Violation::UnplannedAttr { attr } => {
-                write!(f, "attribute {attr} is demanded but not planned")
-            }
-        }
-    }
-}
-
-/// Result of a full plan audit (legacy API).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `validate::Audit` with `AuditInput`; results are now `validate::AuditOutcome`"
-)]
-#[allow(deprecated)]
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct AuditReport {
-    /// All findings, hard violations first.
-    pub violations: Vec<Violation>,
-    /// Recomputed aggregate node usage.
-    pub node_usage: BTreeMap<NodeId, f64>,
-    /// Recomputed collector usage.
-    pub collector_usage: f64,
-}
-
-#[allow(deprecated)]
-impl AuditReport {
-    /// Returns `true` if no *hard* violation was found (idle members
-    /// are advisory).
-    pub fn is_clean(&self) -> bool {
-        self.violations
-            .iter()
-            .all(|v| matches!(v, Violation::IdleMember { .. }))
-    }
-}
-
-/// Audits `plan` against demand, budgets, and the cost model (legacy
-/// API): runs the rule engine and converts the findings the legacy
-/// rules covered back into [`Violation`]s.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `validate::Audit::run` with `validate::AuditInput`"
-)]
-#[allow(deprecated)]
-pub fn audit_plan(
-    plan: &MonitoringPlan,
-    pairs: &PairSet,
-    caps: &CapacityMap,
-    cost: CostModel,
-    catalog: &AttrCatalog,
-) -> AuditReport {
-    let outcome = Audit::new().run(&AuditInput::new(plan, pairs, caps, cost, catalog));
-    let violations = outcome
-        .findings
-        .iter()
-        .filter_map(|f| match f.rule.as_str() {
-            rules::TREE_ACYCLIC => Some(Violation::MalformedTree { tree: f.tree? }),
-            rules::IDLE_MEMBER => Some(Violation::IdleMember {
-                tree: f.tree?,
-                node: f.node?,
-            }),
-            rules::CAPACITY_BUDGET => match f.node {
-                Some(node) => Some(Violation::NodeOverBudget {
-                    node,
-                    usage: f.actual?,
-                    budget: f.limit.unwrap_or(0.0),
-                }),
-                None => Some(Violation::CollectorOverBudget {
-                    usage: f.actual?,
-                    budget: f.limit?,
-                }),
-            },
-            rules::PAIR_COVERAGE => match f.attr {
-                Some(attr) => Some(Violation::UnplannedAttr { attr }),
-                None => Some(Violation::PairAccounting {
-                    tree: f.tree?,
-                    recorded: f.actual? as usize,
-                    recomputed: f.limit? as usize,
-                }),
-            },
-            _ => None,
-        })
-        .collect();
-    AuditReport {
-        violations,
-        node_usage: outcome.node_usage,
-        collector_usage: outcome.collector_usage,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1443,25 +1318,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shim_matches_old_behavior() {
+    fn tight_budget_trips_capacity_rule() {
         let pairs = dense_pairs(8, 2);
         let roomy = CapacityMap::uniform(8, 100.0, 500.0).unwrap();
         let tight = CapacityMap::uniform(8, 5.0, 500.0).unwrap();
         let cost = CostModel::new(2.0, 1.0).unwrap();
         let catalog = AttrCatalog::new();
         let plan = Planner::default().plan_with_catalog(&pairs, &roomy, cost, &catalog);
-        assert!(audit_plan(&plan, &pairs, &roomy, cost, &catalog).is_clean());
-        let report = audit_plan(&plan, &pairs, &tight, cost, &catalog);
-        assert!(report
-            .violations
+        assert!(audit(&plan, &pairs, &roomy, cost, &catalog).is_clean());
+        let outcome = audit(&plan, &pairs, &tight, cost, &catalog);
+        assert!(outcome
+            .findings
             .iter()
-            .any(|v| matches!(v, Violation::NodeOverBudget { .. })));
-        let v = Violation::NodeOverBudget {
-            node: NodeId(3),
-            usage: 12.5,
-            budget: 10.0,
-        };
-        assert_eq!(v.to_string(), "node n3 uses 12.50 of budget 10.00");
+            .any(|f| f.rule == rules::CAPACITY_BUDGET && f.node.is_some()));
     }
 }

@@ -1,0 +1,298 @@
+//! `remo-mc` — bounded model checking of the self-healing
+//! reconfiguration protocol.
+//!
+//! ```text
+//! remo-mc explore [--depth <k>] [--spec <spec.json>] [--sarif <out.json>]
+//!                 [--replay-dir <dir>] [--pair-slack <n>] [--volume-tol <f>]
+//! remo-mc replay <trace.json> [--sarif <out.json>]
+//! ```
+//!
+//! `explore` sweeps the seeded topology set (or one explicit spec)
+//! exhaustively up to the depth bound, deduplicating states and
+//! reporting visited-vs-expanded counts. Any invariant violation is
+//! delta-debugged to a minimal trace, written as a replay file, and
+//! reported through the SARIF pipeline under its RA013+ rule code.
+//!
+//! Exit status: 0 when no invariant was violated, 1 when at least one
+//! was, 2 on usage or I/O problems.
+
+use remo_audit::{sarif, AuditOutcome, Finding};
+use remo_mc::{explore, seeded_specs, InvariantConfig, ReplayFile, ReplayOutcome, TopologySpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: remo-mc explore [options]
+       remo-mc replay <trace.json> [--sarif <out.json>]
+
+explore options:
+  --depth <k>          event-interleaving depth bound (default 4)
+  --spec <spec.json>   explore one topology spec instead of the
+                       seeded set
+  --max-nodes <n>      drop seeded topologies larger than n nodes
+                       (smoke runs bound exploration cost this way)
+  --pair-slack <n>     RA015 allowed pair loss after full recovery
+                       (default 1)
+  --volume-tol <f>     RA015 allowed volume growth factor (default 1.5)
+  --replay-dir <dir>   where minimized counterexamples are written
+                       (default current directory)
+  --sarif <out.json>   also write a SARIF-style report of violations
+";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("remo-mc: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Wraps model-checker findings in the shared SARIF envelope.
+fn write_sarif(path: &str, findings: Vec<Finding>) -> Result<(), String> {
+    let outcome = AuditOutcome {
+        findings,
+        node_usage: Default::default(),
+        collector_usage: 0.0,
+    };
+    std::fs::write(path, sarif::sarif_json(&outcome))
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+struct ExploreArgs {
+    depth: usize,
+    spec: Option<String>,
+    max_nodes: Option<u32>,
+    pair_slack: u32,
+    volume_tol: f64,
+    replay_dir: String,
+    sarif: Option<String>,
+}
+
+fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, String> {
+    let mut out = ExploreArgs {
+        depth: 4,
+        spec: None,
+        max_nodes: None,
+        pair_slack: 1,
+        volume_tol: 1.5,
+        replay_dir: ".".to_string(),
+        sarif: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or(format!("{flag} needs a value"))
+        };
+        match flag {
+            "--depth" => {
+                out.depth = value(i)?.parse().map_err(|_| "bad --depth".to_string())?;
+                i += 2;
+            }
+            "--spec" => {
+                out.spec = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--max-nodes" => {
+                out.max_nodes = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|_| "bad --max-nodes".to_string())?,
+                );
+                i += 2;
+            }
+            "--pair-slack" => {
+                out.pair_slack = value(i)?
+                    .parse()
+                    .map_err(|_| "bad --pair-slack".to_string())?;
+                i += 2;
+            }
+            "--volume-tol" => {
+                out.volume_tol = value(i)?
+                    .parse()
+                    .map_err(|_| "bad --volume-tol".to_string())?;
+                i += 2;
+            }
+            "--replay-dir" => {
+                out.replay_dir = value(i)?.clone();
+                i += 2;
+            }
+            "--sarif" => {
+                out.sarif = Some(value(i)?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn run_explore(args: &[String]) -> ExitCode {
+    let args = match parse_explore_args(args) {
+        Ok(a) => a,
+        Err(e) => return usage_error(&e),
+    };
+    let cfg = InvariantConfig {
+        pair_slack: args.pair_slack,
+        volume_tolerance: args.volume_tol,
+    };
+    let mut specs: Vec<TopologySpec> = match &args.spec {
+        None => seeded_specs(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(spec) => vec![spec],
+                Err(e) => return usage_error(&format!("cannot parse {path}: {e}")),
+            },
+            Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+        },
+    };
+    if let Some(cap) = args.max_nodes {
+        specs.retain(|s| s.nodes <= cap);
+        if specs.is_empty() {
+            return usage_error(&format!("--max-nodes {cap} leaves no topology to explore"));
+        }
+    }
+
+    let mut all_findings = Vec::new();
+    let mut counterexamples = 0usize;
+    for spec in &specs {
+        let t0 = Instant::now();
+        let result = match explore::explore(spec, &cfg, args.depth) {
+            Ok(r) => r,
+            Err(e) => return usage_error(&format!("cannot plan spec: {e:?}")),
+        };
+        println!(
+            "==> n={} attrs={} seed={} scheme={:?} depth={}",
+            spec.nodes, spec.attrs, spec.seed, spec.scheme, args.depth
+        );
+        println!(
+            "    states: {} visited, {} expanded, {} deduplicated; violations: {} ({:.2?})",
+            result.stats.states_visited,
+            result.stats.states_expanded,
+            result.stats.deduped,
+            result.violations.len(),
+            t0.elapsed()
+        );
+        for v in result.violations {
+            let file = ReplayFile::capture(spec.clone(), cfg, v.minimized.clone());
+            let path = format!(
+                "{}/remo-mc-counterexample-{counterexamples}.json",
+                args.replay_dir
+            );
+            match file.to_json().map_err(|e| e.to_string()).and_then(|text| {
+                std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))
+            }) {
+                Ok(()) => {}
+                Err(e) => {
+                    eprintln!("remo-mc: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            counterexamples += 1;
+            for f in &v.findings {
+                println!("    {}[{}] {}: {}", f.severity, f.code, f.rule, f.message);
+            }
+            println!(
+                "    minimized to {} events → {path} (replay with `remo-mc replay {path}`)",
+                v.minimized.len()
+            );
+            all_findings.extend(v.findings);
+        }
+    }
+
+    if let Some(path) = &args.sarif {
+        if let Err(e) = write_sarif(path, all_findings.clone()) {
+            eprintln!("remo-mc: {e}");
+            return ExitCode::from(2);
+        }
+        println!("SARIF report written to {path}");
+    }
+    if all_findings.is_empty() {
+        println!("model check clean: every reachable state satisfies the invariants.");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "model check FAILED: {counterexamples} counterexample(s), {} finding(s).",
+            all_findings.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn run_replay(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut sarif_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sarif" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage_error("--sarif needs a value");
+                };
+                sarif_path = Some(v.clone());
+                i += 2;
+            }
+            other if path.is_none() => {
+                path = Some(other.to_string());
+                i += 1;
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("replay needs a trace file");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&format!("cannot read {path}: {e}")),
+    };
+    let file = match ReplayFile::from_json(&text) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&format!("cannot parse {path}: {e}")),
+    };
+    match file.verify() {
+        Ok(ReplayOutcome::Clean) => {
+            println!("{path}: replayed clean, as expected.");
+            ExitCode::SUCCESS
+        }
+        Ok(ReplayOutcome::Violation { findings, at_step }) => {
+            println!("{path}: reproduced the expected violation at step {at_step}:");
+            for f in &findings {
+                println!("  {}[{}] {}: {}", f.severity, f.code, f.rule, f.message);
+            }
+            if let Some(out) = &sarif_path {
+                if let Err(e) = write_sarif(out, findings) {
+                    eprintln!("remo-mc: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("SARIF report written to {out}");
+            }
+            // Reproducing an expected violation is the replay's job:
+            // the regression is *absent* only if verify() errors.
+            ExitCode::SUCCESS
+        }
+        Ok(ReplayOutcome::Invalid { at_step }) => {
+            eprintln!("remo-mc: {path}: event at step {at_step} is not enabled");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("remo-mc: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    match args[0].as_str() {
+        "explore" => run_explore(&args[1..]),
+        "replay" => run_replay(&args[1..]),
+        other => usage_error(&format!("unknown command `{other}`")),
+    }
+}

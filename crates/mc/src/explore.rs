@@ -1,0 +1,175 @@
+//! Bounded exhaustive exploration: DFS over all event interleavings
+//! up to a depth bound, with state-fingerprint deduplication.
+//!
+//! Every transition clones the [`Harness`], applies one enabled event
+//! through the real planner/runtime code, and re-checks the
+//! invariants. A state whose fingerprint was already visited is not
+//! expanded again — permutations of commuting events (two failures in
+//! either order, say) collapse into one subtree. Violating traces are
+//! delta-debugged down to minimal counterexamples before being
+//! reported.
+
+use crate::harness::{Event, Harness, InvariantConfig};
+use crate::minimize;
+use crate::topology::TopologySpec;
+use remo_audit::{Finding, Severity};
+use std::collections::BTreeSet;
+
+/// Exploration counters: `expanded` counts transitions applied,
+/// `visited` counts unique states (by fingerprint), and `deduped`
+/// counts transitions that landed on an already-visited state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Unique states reached (including the initial state).
+    pub states_visited: u64,
+    /// Transitions applied (states expanded from).
+    pub states_expanded: u64,
+    /// Transitions that reached an already-visited state.
+    pub deduped: u64,
+}
+
+/// One invariant violation: the raw trace that found it, the
+/// delta-debugged minimal trace, and the findings at the violating
+/// step.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The full event sequence the DFS was on.
+    pub trace: Vec<Event>,
+    /// The ddmin-reduced sequence that still reproduces it.
+    pub minimized: Vec<Event>,
+    /// Error-severity findings at the violating transition.
+    pub findings: Vec<Finding>,
+}
+
+/// Result of one bounded exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Counters.
+    pub stats: ExploreStats,
+    /// Violations, each with a minimized counterexample.
+    pub violations: Vec<Violation>,
+}
+
+/// Explores `spec` exhaustively up to `depth` events, checking every
+/// invariant after every transition.
+///
+/// # Errors
+///
+/// Propagates [`remo_core::PlanError`] from initial planning.
+pub fn explore(
+    spec: &TopologySpec,
+    cfg: &InvariantConfig,
+    depth: usize,
+) -> Result<ExploreResult, remo_core::PlanError> {
+    let root = Harness::new(spec.clone(), *cfg)?;
+    let mut seen = BTreeSet::new();
+    seen.insert(root.fingerprint());
+    let mut result = ExploreResult {
+        stats: ExploreStats {
+            states_visited: 1,
+            ..ExploreStats::default()
+        },
+        violations: Vec::new(),
+    };
+    let mut trace = Vec::new();
+    dfs(&root, depth, &mut trace, &mut seen, &mut result);
+    for v in &mut result.violations {
+        v.minimized = minimize::minimize(spec, cfg, &v.trace);
+    }
+    Ok(result)
+}
+
+fn dfs(
+    state: &Harness,
+    depth_left: usize,
+    trace: &mut Vec<Event>,
+    seen: &mut BTreeSet<u64>,
+    result: &mut ExploreResult,
+) {
+    if depth_left == 0 {
+        return;
+    }
+    for event in state.enabled_events() {
+        let mut next = state.clone();
+        result.stats.states_expanded += 1;
+        let findings = next.apply(event);
+        trace.push(event);
+        let errors: Vec<Finding> = findings
+            .into_iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect();
+        if !errors.is_empty() {
+            result.violations.push(Violation {
+                trace: trace.clone(),
+                minimized: Vec::new(),
+                findings: errors,
+            });
+            // A violated state is reported, not expanded: deeper
+            // suffixes of a broken prefix add no information.
+            trace.pop();
+            continue;
+        }
+        if seen.insert(next.fingerprint()) {
+            result.stats.states_visited += 1;
+            dfs(&next, depth_left - 1, trace, seen, result);
+        } else {
+            result.stats.deduped += 1;
+        }
+        trace.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn small_exploration_is_clean_and_dedups() {
+        let spec = TopologySpec::small(1);
+        let result = explore(&spec, &InvariantConfig::default(), 4).unwrap();
+        assert!(
+            result.violations.is_empty(),
+            "seeded small topology must be violation-free: {:?}",
+            result.violations.first().map(|v| &v.findings)
+        );
+        assert!(result.stats.states_expanded > result.stats.states_visited);
+        assert!(
+            result.stats.deduped > 0,
+            "commuting interleavings must collapse: {:?}",
+            result.stats
+        );
+        assert_eq!(
+            result.stats.states_expanded,
+            result.stats.states_visited - 1 + result.stats.deduped,
+            "every transition either discovers a state or dedups"
+        );
+    }
+
+    #[test]
+    fn impossible_tolerance_produces_minimized_counterexample() {
+        // Volume tolerance below 1.0 makes the convergence invariant
+        // unsatisfiable: the recovered plan's volume always exceeds
+        // a fraction of itself. The checker must find it, and ddmin
+        // must shrink the trace to the canonical
+        // fail → confirm → recover → reintegrate skeleton.
+        let spec = TopologySpec::small(1);
+        let cfg = InvariantConfig {
+            pair_slack: 1,
+            volume_tolerance: 0.1,
+        };
+        let result = explore(&spec, &cfg, 5).unwrap();
+        assert!(!result.violations.is_empty(), "tolerance 0.1 must trip");
+        let v = &result.violations[0];
+        assert!(v
+            .findings
+            .iter()
+            .any(|f| f.rule == remo_audit::rules::RECOVERY_CONVERGENCE));
+        assert!(!v.minimized.is_empty());
+        assert!(v.minimized.len() <= v.trace.len());
+        // The minimized trace still needs a failure and a recovery.
+        assert!(v.minimized.iter().any(|e| matches!(e, Event::Fail(_))));
+        assert!(v.minimized.iter().any(|e| matches!(e, Event::Recover(_))));
+    }
+}

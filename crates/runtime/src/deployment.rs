@@ -328,11 +328,7 @@ impl Deployment {
             if self.health.state(node) == HealthState::Healthy {
                 continue;
             }
-            let due = assigns
-                .iter()
-                .flat_map(|a| a.local.iter())
-                .filter(|la| epoch.is_multiple_of(la.period.max(1)))
-                .count() as u64;
+            let due = due_readings(assigns, epoch);
             if due > 0 {
                 self.health.add_values_lost(node, due);
                 report.values_lost += due;
@@ -402,15 +398,11 @@ impl Deployment {
             healer.handle_node_recovery(node, capacity, epoch);
         }
         let fresh = plan_assignments(healer.plan(), healer.pairs(), &self.catalog);
-        for (&node, tx) in self.agents.iter() {
-            let next = fresh.get(&node).cloned().unwrap_or_default();
-            let unchanged = self
-                .assignments
-                .get(&node)
-                .map_or(next.is_empty(), |old| *old == next);
-            if unchanged {
+        for node in changed_assignments(&self.assignments, &fresh) {
+            let Some(tx) = self.agents.get(&node) else {
                 continue;
-            }
+            };
+            let next = fresh.get(&node).cloned().unwrap_or_default();
             if send_reconfigure(tx, next, &self.health_cfg) {
                 report.reconfigure_messages += 1;
             }
@@ -615,6 +607,36 @@ pub fn plan_assignments(
         }
     }
     out
+}
+
+/// Readings `assigns` schedules for production at `epoch` — the per-
+/// epoch quantum the deployment charges to `values_lost` while the
+/// owning node is unhealthy. Shared with the `remo-mc` model checker
+/// so its loss accounting audits the real deployment arithmetic.
+pub fn due_readings(assigns: &[TreeAssignment], epoch: u64) -> u64 {
+    assigns
+        .iter()
+        .flat_map(|a| a.local.iter())
+        .filter(|la| epoch.is_multiple_of(la.period.max(1)))
+        .count() as u64
+}
+
+/// Nodes whose assignments differ between `old` and `new` (a missing
+/// entry counts as empty) — exactly the agents plan repair sends a
+/// targeted `Reconfigure` to. Shared with the `remo-mc` model checker
+/// so its reconfiguration counts match the deployment's.
+pub fn changed_assignments(
+    old: &BTreeMap<NodeId, Vec<TreeAssignment>>,
+    new: &BTreeMap<NodeId, Vec<TreeAssignment>>,
+) -> Vec<NodeId> {
+    const EMPTY: &Vec<TreeAssignment> = &Vec::new();
+    old.keys()
+        .chain(new.keys())
+        .copied()
+        .collect::<BTreeSet<NodeId>>()
+        .into_iter()
+        .filter(|node| old.get(node).unwrap_or(EMPTY) != new.get(node).unwrap_or(EMPTY))
+        .collect()
 }
 
 #[cfg(test)]

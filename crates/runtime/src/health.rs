@@ -147,7 +147,7 @@ struct NodeHealth {
 }
 
 /// The per-node failure-detector state machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HealthMonitor {
     confirm_after: u32,
     nodes: BTreeMap<NodeId, NodeHealth>,
@@ -179,6 +179,14 @@ impl HealthMonitor {
     /// Current state of a node (`Dead` for untracked nodes).
     pub fn state(&self, node: NodeId) -> HealthState {
         self.nodes.get(&node).map_or(HealthState::Dead, |h| h.state)
+    }
+
+    /// Consecutive missed deadlines of a node's current incident
+    /// (zero for healthy or untracked nodes). The `remo-mc` model
+    /// checker folds this into its state fingerprint: two states with
+    /// equal miss counts are behaviorally equivalent to the detector.
+    pub fn consecutive_misses(&self, node: NodeId) -> u32 {
+        self.nodes.get(&node).map_or(0, |h| h.misses)
     }
 
     /// Nodes the tick barrier should still wait for (everything not

@@ -49,7 +49,10 @@ pub mod samplers;
 pub mod throttle;
 
 pub use agent::{AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment};
-pub use deployment::{plan_assignments, Deployment, EpochReport, Observed, Snapshot};
+pub use deployment::{
+    changed_assignments, due_readings, plan_assignments, Deployment, EpochReport, Observed,
+    Snapshot,
+};
 pub use health::{
     HealthConfig, HealthEvents, HealthMonitor, HealthReport, HealthState, NodeHealthStats,
 };

@@ -1,11 +1,11 @@
 //! Model-checked concurrency tests for the PR-1 failure-detection
 //! state machine: the epoch-deadline health detector and the
-//! token-bucket throttle, explored under many interleavings via
-//! `loom::model`.
+//! token-bucket throttle, explored exhaustively (up to the preemption
+//! and iteration bounds) by `loom::model`'s deterministic scheduler.
 //!
 //! Run with: `RUSTFLAGS="--cfg loom" cargo test -p remo-runtime --test loom`
 //! (scripts/check.sh does this, with a separate target dir so the
-//! normal build cache survives).
+//! normal build cache survives, and a bounded `LOOM_MAX_ITER`).
 #![cfg(loom)]
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -14,6 +14,17 @@ use loom::thread;
 use remo_core::NodeId;
 use remo_runtime::{HealthMonitor, HealthState, TokenBucket};
 use std::collections::BTreeSet;
+
+/// Every test in this file races at least two threads, so the
+/// scheduler must have found more than one distinct interleaving —
+/// otherwise the model checking was vacuous.
+fn assert_explored_schedules() {
+    let explored = loom::explored_iterations();
+    assert!(
+        explored > 1,
+        "loom explored only {explored} interleaving(s); the schedule search is broken"
+    );
+}
 
 fn rank(s: HealthState) -> u8 {
     match s {
@@ -72,6 +83,7 @@ fn detector_confirms_silent_node_monotonically() {
         // First miss at epoch 1, confirmed at epoch 2.
         assert_eq!(report.stats[&NodeId(1)].time_to_detect, 1);
     });
+    assert_explored_schedules();
 }
 
 /// A dead node that reports again is recovered exactly once, and a
@@ -115,6 +127,7 @@ fn detector_recovers_reporting_node() {
         assert_eq!(m.state(NodeId(0)), HealthState::Healthy);
         assert_eq!(m.report(3).stats[&NodeId(0)].recovered, 1);
     });
+    assert_explored_schedules();
 }
 
 /// Two racing consumers on one bucket: capacity admits at most one of
@@ -145,6 +158,7 @@ fn throttle_admits_at_most_one_racing_consumer() {
             "refill overshot capacity"
         );
     });
+    assert_explored_schedules();
 }
 
 /// A forced `charge` overdraft (the coordinator debits traffic that
@@ -175,4 +189,5 @@ fn throttle_overdraft_survives_refill() {
             b.available()
         );
     });
+    assert_explored_schedules();
 }

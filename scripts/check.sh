@@ -14,6 +14,24 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   exit 0
 fi
 
+# --mc-smoke: fixed-seed bounded model check of the self-healing
+# protocol — the two smallest seeded topologies to depth 4, plus a
+# replay of every committed counterexample/clean trace in the corpus.
+# Deterministic and well under 30s; exits without running the gate.
+if [[ "${1:-}" == "--mc-smoke" ]]; then
+  echo "==> remo-mc explore (n<=5, depth 4) + corpus replay"
+  mc_dir="$(mktemp -d)"
+  trap 'rm -rf "$mc_dir"' EXIT
+  cargo run -q --release -p remo-mc --bin remo-mc -- explore \
+    --depth 4 --max-nodes 5 \
+    --replay-dir "$mc_dir" --sarif "$mc_dir/mc.sarif.json"
+  for trace in crates/mc/corpus/*.json; do
+    cargo run -q --release -p remo-mc --bin remo-mc -- replay "$trace"
+  done
+  echo "mc smoke passed."
+  exit 0
+fi
+
 # --obs-smoke: end-to-end observability pipeline check — plan the
 # example spec with --trace/--metrics, then make `remo-obs dump`
 # summarize both files. Fails if either export is missing or
@@ -41,10 +59,14 @@ echo "==> cargo test -q"
 cargo test -q
 
 # Interleaving tests for the epoch-deadline health detector and the
-# token-bucket throttle. The loom cfg swaps in schedule-perturbing
-# sync primitives; a separate target dir keeps the main cache warm.
+# token-bucket throttle. The loom cfg swaps in the vendored
+# bounded-preemption scheduler (DFS over thread interleavings, at
+# most LOOM_MAX_PREEMPTIONS forced switches per schedule); the
+# iteration budget keeps the gate fast, and a separate target dir
+# keeps the main cache warm.
 echo "==> loom concurrency suite"
 CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+  LOOM_MAX_ITER="${LOOM_MAX_ITER:-400}" \
   cargo test -p remo-runtime --test loom
 
 # Miri is optional: nightly-only component, not present in every

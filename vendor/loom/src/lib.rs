@@ -1,132 +1,649 @@
 //! Offline stand-in for `loom`: the same API surface
-//! (`loom::model`, `loom::thread`, `loom::sync`), model-checked not by
-//! exhaustive DPOR exploration but by re-running the model body many
-//! times under randomized schedule perturbation.
+//! (`loom::model`, `loom::thread`, `loom::sync`) backed by a
+//! deterministic bounded-preemption scheduler.
 //!
-//! Real loom enumerates every interleaving of its instrumented
-//! primitives; this stub approximates that by injecting
-//! deterministic-per-iteration `yield_now` calls at every instrumented
-//! operation (lock, atomic access) and varying the injection pattern
-//! across iterations with an xorshift PRNG. Assertions inside the
-//! model body therefore get exercised against many distinct
-//! interleavings, which is the strongest check available offline.
-//! Swap the path dependency back to registry `loom` for true
-//! exhaustive exploration.
+//! Unlike the earlier randomized-yield stub, `model` now *owns* the
+//! schedule: threads run one at a time, every instrumented operation
+//! (spawn, lock, unlock, atomic access, yield) is a scheduling choice
+//! point, and the checker does a depth-first search over those
+//! choices across iterations — replaying a recorded prefix, flipping
+//! the deepest untried alternative, and exploring the fresh suffix
+//! with the default "keep running" policy (the CHESS strategy).
 //!
-//! Iteration count defaults to 64 and can be raised with the
-//! `LOOM_MAX_ITER` environment variable (matching real loom's knob
-//! names loosely).
+//! Exploration is bounded two ways:
+//!
+//! - **preemption bound** — at most `LOOM_MAX_PREEMPTIONS` (default 2)
+//!   involuntary context switches per schedule. Voluntary switches
+//!   (`yield_now`) and forced ones (blocking on a lock or a join) are
+//!   free, so the search space stays polynomial while still covering
+//!   the small-preemption schedules where real bugs live;
+//! - **iteration bound** — at most `LOOM_MAX_ITER` (default 1000)
+//!   schedules per `model` call; hitting it truncates the search and
+//!   says so on stderr.
+//!
+//! The number of distinct schedules explored by the last `model` call
+//! on the current thread is available via [`explored_iterations`].
+//! Swap the path dependency back to registry `loom` for true DPOR
+//! exploration.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
-static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0x9e3779b97f4a7c15);
+/// Lifecycle of a model thread, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to run.
+    Runnable,
+    /// Waiting for a `sync::Mutex` to be released.
+    Blocked,
+    /// Waiting for the given thread to finish.
+    BlockedJoin(usize),
+    /// Body returned (or unwound).
+    Finished,
+}
+
+/// One recorded scheduling decision: which runnable thread got the
+/// CPU at an instrumented operation.
+#[derive(Debug, Clone)]
+struct ChoicePoint {
+    /// Candidate threads, default-first (the running thread leads
+    /// when it stayed runnable, then the rest in ascending id order).
+    options: Vec<usize>,
+    /// Index into `options` of the thread actually chosen.
+    chosen_idx: usize,
+    /// The thread that was running when the decision was taken.
+    from: usize,
+    /// Whether `from` could have kept running (if not, the switch was
+    /// forced and costs no preemption).
+    from_runnable: bool,
+    /// Whether the running thread invited the switch (`yield_now`).
+    voluntary: bool,
+}
+
+impl ChoicePoint {
+    fn chosen(&self) -> usize {
+        self.options[self.chosen_idx]
+    }
+
+    /// Whether scheduling `tid` here preempts a thread that wanted to
+    /// keep running.
+    fn preemptive(&self, tid: usize) -> bool {
+        !self.voluntary && self.from_runnable && tid != self.from
+    }
+}
+
+/// Scheduler state shared by every thread of one model iteration.
+#[derive(Debug)]
+struct Inner {
+    statuses: Vec<Status>,
+    /// The single thread currently allowed to run.
+    active: usize,
+    /// Decision prefix to replay this iteration.
+    plan: Vec<ChoicePoint>,
+    /// Decisions taken so far (replayed prefix + fresh suffix).
+    tape: Vec<ChoicePoint>,
+    /// Index of the next decision (into `plan` while replaying).
+    pos: usize,
+    /// Set on the first panic or deadlock: every thread unwinds.
+    teardown: bool,
+    /// Set when every thread has finished.
+    completed: bool,
+}
+
+/// The cooperative scheduler: threads run strictly one at a time,
+/// handing the CPU over only at instrumented operations.
+#[derive(Debug)]
+struct Scheduler {
+    inner: StdMutex<Inner>,
+    cv: Condvar,
+    panic: StdMutex<Option<Box<dyn Any + Send>>>,
+}
 
 thread_local! {
-    static LOCAL_RNG: Cell<u64> = const { Cell::new(0) };
+    /// The scheduler and thread id of the current model thread.
+    static CONTEXT: RefCell<Option<(StdArc<Scheduler>, usize)>> = const { RefCell::new(None) };
+    /// Schedules explored by the last `model` call on this thread.
+    static LAST_EXPLORED: Cell<usize> = const { Cell::new(0) };
 }
 
-fn iterations() -> usize {
-    std::env::var("LOOM_MAX_ITER")
+fn current() -> Option<(StdArc<Scheduler>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// An instrumented operation on the current thread: a scheduling
+/// choice point inside a model, a no-op outside one.
+pub(crate) fn sync_point(voluntary: bool) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, tid)) = current() {
+        sched.schedule_point(tid, voluntary);
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+        .unwrap_or(default)
 }
 
-/// Called by every instrumented primitive: with probability ~1/4
-/// (varying per thread and per model iteration) yields the OS
-/// scheduler so another thread can interleave here.
-pub(crate) fn maybe_yield() {
-    LOCAL_RNG.with(|rng| {
-        let mut x = rng.get();
-        if x == 0 {
-            // Lazily seed each participating thread differently.
-            x = SCHEDULE_SEED.fetch_add(0x2545f4914f6cdd1d, StdOrdering::Relaxed) | 1;
+impl Scheduler {
+    fn new(plan: Vec<ChoicePoint>) -> Self {
+        Scheduler {
+            inner: StdMutex::new(Inner {
+                statuses: vec![Status::Runnable], // tid 0: the model body
+                active: 0,
+                plan,
+                tape: Vec::new(),
+                pos: 0,
+                teardown: false,
+                completed: false,
+            }),
+            cv: Condvar::new(),
+            panic: StdMutex::new(None),
         }
-        // xorshift64
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        rng.set(x);
-        if x & 3 == 0 {
-            std::thread::yield_now();
+    }
+
+    /// Records the first failure and tears the iteration down.
+    fn record_failure(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
         }
-    });
+        let mut inner = self.inner.lock().unwrap();
+        inner.teardown = true;
+        self.cv.notify_all();
+    }
+
+    fn fail_locked(&self, inner: &mut Inner, message: &str) {
+        {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(Box::new(message.to_string()));
+            }
+        }
+        inner.teardown = true;
+        self.cv.notify_all();
+    }
+
+    /// Takes one scheduling decision. Returns the chosen thread, or
+    /// `None` when there was nothing to decide (no other runnable
+    /// thread, or the iteration completed/tore down).
+    fn choose_locked(
+        &self,
+        inner: &mut Inner,
+        from: usize,
+        from_runnable: bool,
+        voluntary: bool,
+    ) -> Option<usize> {
+        let mut options: Vec<usize> = inner
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|&(t, s)| *s == Status::Runnable && t != from)
+            .map(|(t, _)| t)
+            .collect();
+        if from_runnable {
+            if options.is_empty() {
+                return None; // nobody to switch to: keep running
+            }
+            options.insert(0, from);
+        } else if options.is_empty() {
+            if inner.statuses.iter().all(|s| *s == Status::Finished) {
+                inner.completed = true;
+                self.cv.notify_all();
+            } else {
+                self.fail_locked(inner, "loom: deadlock — every live thread is blocked");
+            }
+            return None;
+        }
+        let chosen_idx = if options.len() < 2 {
+            0 // forced hand-off, not a decision: don't record it
+        } else {
+            let idx = if inner.pos < inner.plan.len() {
+                let planned = &inner.plan[inner.pos];
+                debug_assert_eq!(
+                    planned.options, options,
+                    "nondeterministic model body: replay diverged"
+                );
+                planned.chosen_idx.min(options.len() - 1)
+            } else {
+                0 // default policy: options[0] (keep running / lowest id)
+            };
+            inner.tape.push(ChoicePoint {
+                options: options.clone(),
+                chosen_idx: idx,
+                from,
+                from_runnable,
+                voluntary,
+            });
+            inner.pos += 1;
+            idx
+        };
+        let chosen = options[chosen_idx];
+        if chosen != from {
+            inner.active = chosen;
+            self.cv.notify_all();
+        }
+        Some(chosen)
+    }
+
+    /// Parks the caller until the scheduler hands it the CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics (to unwind the thread) when the iteration tears down.
+    fn wait_for_turn_locked(&self, mut inner: StdMutexGuard<'_, Inner>, tid: usize) {
+        loop {
+            if inner.teardown {
+                drop(inner);
+                panic!("loom: model torn down");
+            }
+            if inner.active == tid && inner.statuses[tid] == Status::Runnable {
+                return;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// A choice point at which the caller stays runnable.
+    fn schedule_point(&self, tid: usize, voluntary: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.teardown {
+            drop(inner);
+            panic!("loom: model torn down");
+        }
+        match self.choose_locked(&mut inner, tid, true, voluntary) {
+            Some(chosen) if chosen != tid => self.wait_for_turn_locked(inner, tid),
+            _ => {}
+        }
+    }
+
+    /// Blocks the caller with `status` and parks it until a wake-up.
+    fn block_current(&self, tid: usize, status: Status) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.teardown {
+            drop(inner);
+            panic!("loom: model torn down");
+        }
+        inner.statuses[tid] = status;
+        let _ = self.choose_locked(&mut inner, tid, false, false);
+        self.wait_for_turn_locked(inner, tid);
+    }
+
+    /// Marks a lock waiter eligible to run again.
+    fn make_runnable(&self, tid: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.statuses[tid] == Status::Blocked {
+            inner.statuses[tid] = Status::Runnable;
+        }
+    }
+
+    /// Blocks the caller until `target` finishes (no-op if it has).
+    fn join_wait(&self, tid: usize, target: usize) {
+        {
+            let inner = self.inner.lock().unwrap();
+            if inner.statuses[target] == Status::Finished {
+                return;
+            }
+        }
+        self.block_current(tid, Status::BlockedJoin(target));
+    }
+
+    /// Registers a freshly spawned thread (runnable, not yet running).
+    fn register(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        inner.statuses.push(Status::Runnable);
+        inner.statuses.len() - 1
+    }
+
+    /// Retires the caller: wakes its joiners and hands the CPU on.
+    fn finish_current(&self, tid: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.statuses[tid] = Status::Finished;
+        for s in inner.statuses.iter_mut() {
+            if *s == Status::BlockedJoin(tid) {
+                *s = Status::Runnable;
+            }
+        }
+        if !inner.teardown {
+            let _ = self.choose_locked(&mut inner, tid, false, false);
+        }
+        self.cv.notify_all();
+    }
 }
 
-/// Runs `f` under the model checker: many iterations, each with a
-/// different schedule-perturbation pattern. Panics (assertion
-/// failures) inside `f` propagate and fail the test.
+/// Computes the next schedule to explore: deepest choice point with an
+/// untried alternative whose preemption cost stays within `budget`.
+fn next_plan(tape: &[ChoicePoint], budget: usize) -> Option<Vec<ChoicePoint>> {
+    let mut prefix_cost = vec![0usize; tape.len() + 1];
+    for (i, p) in tape.iter().enumerate() {
+        prefix_cost[i + 1] = prefix_cost[i] + usize::from(p.preemptive(p.chosen()));
+    }
+    for d in (0..tape.len()).rev() {
+        for idx in tape[d].chosen_idx + 1..tape[d].options.len() {
+            let extra = usize::from(tape[d].preemptive(tape[d].options[idx]));
+            if prefix_cost[d] + extra <= budget {
+                let mut plan: Vec<ChoicePoint> = tape[..=d].to_vec();
+                plan[d].chosen_idx = idx;
+                return Some(plan);
+            }
+        }
+    }
+    None
+}
+
+/// Schedules explored by the last [`model`] call on this thread.
+pub fn explored_iterations() -> usize {
+    LAST_EXPLORED.with(|c| c.get())
+}
+
+/// Runs `f` under the model checker: a depth-first search over thread
+/// interleavings, one schedule per iteration, until the bounded space
+/// is exhausted (or `LOOM_MAX_ITER` truncates it). Panics inside `f`
+/// on any explored schedule propagate and fail the test.
 pub fn model<F>(f: F)
 where
     F: Fn() + Sync + Send + 'static,
 {
-    for i in 0..iterations() {
-        SCHEDULE_SEED.store(
-            (i as u64).wrapping_mul(0x9e3779b97f4a7c15) | 1,
-            StdOrdering::Relaxed,
-        );
-        LOCAL_RNG.with(|rng| rng.set((i as u64) << 1 | 1));
-        f();
+    let f = StdArc::new(f);
+    let budget = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iter = env_usize("LOOM_MAX_ITER", 1000).max(1);
+    let mut plan: Vec<ChoicePoint> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let sched = StdArc::new(Scheduler::new(std::mem::take(&mut plan)));
+        let body = {
+            let sched = StdArc::clone(&sched);
+            let f = StdArc::clone(&f);
+            std::thread::spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    CONTEXT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&sched), 0)));
+                    f();
+                }));
+                if let Err(payload) = out {
+                    sched.record_failure(payload);
+                }
+                sched.finish_current(0);
+                CONTEXT.with(|c| *c.borrow_mut() = None);
+            })
+        };
+        {
+            let mut inner = sched.inner.lock().unwrap();
+            while !inner.completed && !inner.teardown {
+                inner = sched.cv.wait(inner).unwrap();
+            }
+        }
+        let _ = body.join();
+        let (failed, tape) = {
+            let mut inner = sched.inner.lock().unwrap();
+            (inner.teardown, std::mem::take(&mut inner.tape))
+        };
+        if failed {
+            let payload = sched
+                .panic
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| Box::new("loom: model failed".to_string()));
+            LAST_EXPLORED.with(|c| c.set(iterations));
+            eprintln!(
+                "loom: schedule {iterations} failed ({} choice points: {:?})",
+                tape.len(),
+                tape.iter().map(ChoicePoint::chosen).collect::<Vec<_>>()
+            );
+            resume_unwind(payload);
+        }
+        match next_plan(&tape, budget) {
+            Some(p) if iterations < max_iter => plan = p,
+            Some(_) => {
+                eprintln!("loom: LOOM_MAX_ITER={max_iter} reached; exploration truncated");
+                break;
+            }
+            None => break,
+        }
     }
+    LAST_EXPLORED.with(|c| c.set(iterations));
+    eprintln!("loom: explored {iterations} interleaving(s)");
 }
 
 /// Instrumented `std::thread` subset.
 pub mod thread {
-    /// Re-export: joining works the same as std.
-    pub use std::thread::JoinHandle;
+    use super::*;
 
-    /// Spawns an instrumented thread.
+    /// Handle to a model thread; joining is scheduler-aware.
+    #[derive(Debug)]
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+        sched: StdArc<Scheduler>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits (under the scheduler) for the thread to finish and
+        /// returns its result, exactly like `std`'s join.
+        ///
+        /// # Errors
+        ///
+        /// Returns `Err` when the joined thread panicked (though a
+        /// panicking thread normally tears the whole model down
+        /// first).
+        ///
+        /// # Panics
+        ///
+        /// Panics when the model is torn down while waiting.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            if let Some((sched, tid)) = current() {
+                debug_assert!(StdArc::ptr_eq(&sched, &self.sched));
+                sched.join_wait(tid, self.tid);
+            }
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            self.result
+                .lock()
+                .unwrap()
+                .take()
+                .expect("loom: joined thread left no result")
+        }
+    }
+
+    /// Spawns an instrumented thread. Must be called inside
+    /// [`super::model`]; the new thread becomes runnable here (a
+    /// choice point) but only runs when the scheduler picks it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside a `model` body.
     pub fn spawn<F, T>(f: F) -> JoinHandle<T>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        std::thread::spawn(move || {
-            super::maybe_yield();
-            f()
-        })
+        let (sched, _parent) = current().expect("loom::thread::spawn outside loom::model");
+        let tid = sched.register();
+        let result = StdArc::new(StdMutex::new(None));
+        let os = {
+            let sched = StdArc::clone(&sched);
+            let result = StdArc::clone(&result);
+            std::thread::spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    {
+                        let inner = sched.inner.lock().unwrap();
+                        sched.wait_for_turn_locked(inner, tid);
+                    }
+                    CONTEXT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&sched), tid)));
+                    f()
+                }));
+                match out {
+                    Ok(v) => {
+                        *result.lock().unwrap() = Some(Ok(v));
+                    }
+                    Err(payload) => {
+                        *result.lock().unwrap() = Some(Err(
+                            Box::new("loom model thread panicked") as Box<dyn Any + Send>
+                        ));
+                        sched.record_failure(payload);
+                    }
+                }
+                sched.finish_current(tid);
+                CONTEXT.with(|c| *c.borrow_mut() = None);
+            })
+        };
+        sync_point(false); // the parent/child race starts here
+        JoinHandle {
+            tid,
+            result,
+            os: Some(os),
+            sched,
+        }
     }
 
-    /// Yields to the scheduler (an explicit interleaving point).
+    /// Yields to the scheduler: a voluntary (preemption-free)
+    /// interleaving point.
     pub fn yield_now() {
-        std::thread::yield_now();
+        sync_point(true);
     }
 }
 
 /// Instrumented `std::sync` subset.
 pub mod sync {
+    use super::{current, sync_point, Status};
+    use std::cell::UnsafeCell;
+    use std::ops::{Deref, DerefMut};
+
     pub use std::sync::Arc;
 
-    /// A mutex that injects an interleaving point before every lock
-    /// acquisition.
+    /// Bookkeeping for one mutex: who owns it, who waits on it.
     #[derive(Debug, Default)]
-    pub struct Mutex<T>(std::sync::Mutex<T>);
+    struct MutexState {
+        owner: Option<usize>,
+        waiters: Vec<usize>,
+    }
+
+    /// A scheduler-aware mutex: acquisition is a choice point, and
+    /// contenders block in the model scheduler, not the OS.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        data: UnsafeCell<T>,
+        state: std::sync::Mutex<MutexState>,
+    }
+
+    // SAFETY: the scheduler runs exactly one model thread at a time
+    // and `state.owner` enforces exclusive access to `data`.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    /// RAII guard; releasing it wakes blocked contenders and takes a
+    /// scheduling choice point.
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+    }
 
     impl<T> Mutex<T> {
         /// Creates the mutex.
         pub fn new(value: T) -> Self {
-            Mutex(std::sync::Mutex::new(value))
+            Mutex {
+                data: UnsafeCell::new(value),
+                state: std::sync::Mutex::new(MutexState::default()),
+            }
         }
 
-        /// Locks, yielding first so contenders can race here.
-        pub fn lock(
-            &self,
-        ) -> Result<
-            std::sync::MutexGuard<'_, T>,
-            std::sync::PoisonError<std::sync::MutexGuard<'_, T>>,
-        > {
-            super::maybe_yield();
-            self.0.lock()
+        /// Locks the mutex, blocking in the scheduler while another
+        /// model thread holds it.
+        ///
+        /// # Errors
+        ///
+        /// Never poisons; the `Result` only mirrors `std`'s signature.
+        ///
+        /// # Panics
+        ///
+        /// Panics when contended outside a `model` body, or when the
+        /// model is torn down while waiting.
+        #[allow(clippy::missing_errors_doc)]
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            if let Some((sched, tid)) = current() {
+                sched.schedule_point(tid, false);
+                loop {
+                    {
+                        let mut st = self.state.lock().unwrap();
+                        if st.owner.is_none() {
+                            st.owner = Some(tid);
+                            break;
+                        }
+                        st.waiters.push(tid);
+                    }
+                    sched.block_current(tid, Status::Blocked);
+                }
+            } else {
+                // Outside a model there is no concurrency to schedule;
+                // single-threaded use (e.g. inspecting state after
+                // `model` returns) is fine, contention is a bug.
+                let mut st = self.state.lock().unwrap();
+                assert!(
+                    st.owner.is_none(),
+                    "loom::Mutex contended outside loom::model"
+                );
+                st.owner = Some(usize::MAX);
+            }
+            Ok(MutexGuard { lock: self })
         }
 
         /// Consumes the mutex, returning the inner value.
+        ///
+        /// # Errors
+        ///
+        /// Never poisons; the `Result` only mirrors `std`'s signature.
         pub fn into_inner(self) -> Result<T, std::sync::PoisonError<T>> {
-            self.0.into_inner()
+            Ok(self.data.into_inner())
         }
     }
 
-    /// Instrumented atomics: every access is an interleaving point.
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            // SAFETY: the guard proves exclusive ownership.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: the guard proves exclusive ownership.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let waiters = {
+                let mut st = self.lock.state.lock().unwrap();
+                st.owner = None;
+                std::mem::take(&mut st.waiters)
+            };
+            if let Some((sched, _tid)) = current() {
+                for w in waiters {
+                    sched.make_runnable(w);
+                }
+                // Release is a choice point too — a woken contender
+                // may grab the lock before we run on.
+                sync_point(false);
+            }
+        }
+    }
+
+    /// Instrumented atomics: every access is a choice point. The
+    /// scheduler serializes model threads, so the std atomic inside
+    /// only provides the API, not the exploration.
     pub mod atomic {
         pub use std::sync::atomic::Ordering;
 
@@ -144,19 +661,19 @@ pub mod sync {
 
                     /// Instrumented load.
                     pub fn load(&self, order: Ordering) -> $prim {
-                        crate::maybe_yield();
+                        crate::sync_point(false);
                         self.0.load(order)
                     }
 
                     /// Instrumented store.
                     pub fn store(&self, v: $prim, order: Ordering) {
-                        crate::maybe_yield();
+                        crate::sync_point(false);
                         self.0.store(v, order)
                     }
 
                     /// Instrumented swap.
                     pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
-                        crate::maybe_yield();
+                        crate::sync_point(false);
                         self.0.swap(v, order)
                     }
 
@@ -168,7 +685,7 @@ pub mod sync {
                         success: Ordering,
                         failure: Ordering,
                     ) -> Result<$prim, $prim> {
-                        crate::maybe_yield();
+                        crate::sync_point(false);
                         self.0.compare_exchange(current, new, success, failure)
                     }
                 }
@@ -182,7 +699,7 @@ pub mod sync {
         impl AtomicUsize {
             /// Instrumented fetch-add.
             pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
-                crate::maybe_yield();
+                crate::sync_point(false);
                 self.0.fetch_add(v, order)
             }
         }
@@ -190,7 +707,7 @@ pub mod sync {
         impl AtomicU64 {
             /// Instrumented fetch-add.
             pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
-                crate::maybe_yield();
+                crate::sync_point(false);
                 self.0.fetch_add(v, order)
             }
         }
@@ -202,23 +719,36 @@ mod tests {
     use super::sync::atomic::{AtomicUsize, Ordering};
     use super::sync::{Arc, Mutex};
 
+    /// A two-thread body has more than one schedule, the DFS visits
+    /// each exactly once, and every schedule runs the body once.
     #[test]
-    fn model_runs_many_schedules() {
-        let runs = Arc::new(AtomicUsize::new(0));
-        let r = runs.clone();
+    fn model_explores_multiple_interleavings() {
+        let runs = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let r = std::sync::Arc::clone(&runs);
         super::model(move || {
-            r.fetch_add(1, Ordering::SeqCst);
+            r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let h = super::thread::spawn(move || {
+                *m2.lock().unwrap() += 1;
+            });
+            *m.lock().unwrap() += 10;
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 11);
         });
-        assert!(runs.load(Ordering::SeqCst) >= 2);
+        let explored = super::explored_iterations();
+        assert!(explored > 1, "expected >1 schedule, explored {explored}");
+        assert_eq!(runs.load(std::sync::atomic::Ordering::SeqCst), explored);
     }
 
+    /// Mutual exclusion holds on every explored schedule.
     #[test]
     fn mutex_counter_is_race_free() {
         super::model(|| {
             let m = Arc::new(Mutex::new(0u32));
             let handles: Vec<_> = (0..2)
                 .map(|_| {
-                    let m = m.clone();
+                    let m = Arc::clone(&m);
                     super::thread::spawn(move || {
                         for _ in 0..10 {
                             *m.lock().unwrap() += 1;
@@ -231,5 +761,35 @@ mod tests {
             }
             assert_eq!(*m.lock().unwrap(), 20);
         });
+        assert!(super::explored_iterations() > 1);
+    }
+
+    /// The bounded search actually finds bugs: an unsynchronized
+    /// load-then-store pair loses an update on some schedule within
+    /// the default preemption budget, which must fail the model.
+    #[test]
+    fn detects_a_lost_update() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        super::thread::spawn(move || {
+                            let v = c.load(Ordering::SeqCst);
+                            c.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(
+            result.is_err(),
+            "exploration must reach the lost-update interleaving"
+        );
     }
 }
