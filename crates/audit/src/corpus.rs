@@ -225,6 +225,27 @@ fn bad_schedule() -> AuditBundle {
     b
 }
 
+/// A deployment declaring a staleness SLO that one slow attribute can
+/// never meet: its refresh period alone exceeds the SLO, even with no
+/// backpressure degradation in play.
+fn unmeetable_staleness_slo() -> AuditBundle {
+    let pairs = dense_pairs(6, 2);
+    let caps = CapacityMap::uniform(6, 60.0, 500.0).expect("valid caps");
+    let cost = CostModel::default();
+    let mut catalog = AttrCatalog::new();
+    catalog.register(remo_core::AttrInfo::new("fast"));
+    catalog.register(
+        remo_core::AttrInfo::new("slow")
+            .with_frequency(0.125) // refreshes every 8 epochs
+            .expect("valid frequency"),
+    );
+    let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+    let mut b = AuditBundle::new(plan, pairs, caps, cost);
+    b.catalog = catalog;
+    b.staleness_slo = Some(5.0);
+    b
+}
+
 /// The full corpus: every entry trips exactly its named rule.
 pub fn known_bad() -> Vec<BadCase> {
     use crate::rules;
@@ -273,6 +294,11 @@ pub fn known_bad() -> Vec<BadCase> {
             rule: rules::FAILURE_SCHEDULE_CONSISTENT,
             description: "outage window that never fires",
             bundle: bad_schedule(),
+        },
+        BadCase {
+            rule: rules::STALENESS_BOUND,
+            description: "slow attribute can never meet the declared SLO",
+            bundle: unmeetable_staleness_slo(),
         },
     ]
 }

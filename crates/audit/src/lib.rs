@@ -92,6 +92,16 @@ pub struct AuditBundle {
     /// any — enables the `failure-schedule-consistent` rule.
     #[serde(default)]
     pub failure_schedule: Option<FailureSchedule>,
+    /// Staleness SLO in epochs, if the deployment declares one —
+    /// enables the `staleness-bound` rule.
+    #[serde(default)]
+    pub staleness_slo: Option<f64>,
+    /// Runtime degrade factor (collector-backpressure interval
+    /// multiplier) at the time the bundle was captured; 1 when
+    /// healthy. Values below 1 (including a serde-defaulted 0) are
+    /// treated as 1 by the rule.
+    #[serde(default)]
+    pub degrade_factor: f64,
 }
 
 impl AuditBundle {
@@ -113,6 +123,8 @@ impl AuditBundle {
             predecessor: None,
             failed_nodes: Vec::new(),
             failure_schedule: None,
+            staleness_slo: None,
+            degrade_factor: 1.0,
         }
     }
 
@@ -136,6 +148,11 @@ impl AuditBundle {
         }
         if let Some(predecessor) = &self.predecessor {
             input = input.with_predecessor(predecessor, &failed);
+        }
+        if let Some(slo) = self.staleness_slo {
+            input = input
+                .with_staleness_slo(slo)
+                .with_degrade_factor(self.degrade_factor);
         }
         let mut outcome = audit.run(&input);
         if let Some(schedule) = &self.failure_schedule {

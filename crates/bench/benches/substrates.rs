@@ -40,10 +40,11 @@ fn bench_simulator_step(c: &mut Criterion) {
 fn bench_wire_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire");
     for &n in &[1usize, 64, 1024] {
-        let msg = WireMessage {
-            tree: 3,
-            from: NodeId(7),
-            readings: (0..n)
+        let msg = WireMessage::data(
+            3,
+            NodeId(7),
+            1,
+            (0..n)
                 .map(|i| WireReading {
                     node: NodeId(i as u32),
                     attr: AttrId((i % 50) as u32),
@@ -52,7 +53,7 @@ fn bench_wire_protocol(c: &mut Criterion) {
                     contributors: 1,
                 })
                 .collect(),
-        };
+        );
         group.throughput(Throughput::Bytes(msg.encoded_len() as u64));
         group.bench_with_input(BenchmarkId::new("encode", n), &msg, |b, msg| {
             b.iter(|| msg.encode());

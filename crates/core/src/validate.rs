@@ -120,6 +120,9 @@ pub mod rules {
     /// with the health telemetry (checked by the `remo-mc` model
     /// checker).
     pub const VALUE_LOSS_ACCOUNTING: &str = "value-loss-accounting";
+    /// Effective per-attribute reporting intervals (sampling period ×
+    /// runtime degrade factor) stay within the declared staleness SLO.
+    pub const STALENESS_BOUND: &str = "staleness-bound";
 }
 
 /// Static description of one audit rule.
@@ -268,6 +271,15 @@ pub const RULES: &[RuleMeta] = &[
         paper_section: "§7.4",
         summary: "lost-value accounting is monotone and agrees with health telemetry",
         fix_hint: "charge add_values_lost exactly once per missed scheduled reading",
+    },
+    RuleMeta {
+        name: rules::STALENESS_BOUND,
+        code: "RA017",
+        severity: Severity::Warn,
+        paper_section: "§2.3",
+        summary: "effective reporting intervals stay within the declared staleness SLO",
+        fix_hint: "raise the attribute's update frequency, relax the SLO, or relieve \
+                   collector backpressure so the degrade factor returns to 1",
     },
 ];
 
@@ -440,6 +452,8 @@ pub struct AuditInput<'a> {
     rewrite: Option<&'a ReliabilityRewrite>,
     predecessor: Option<&'a MonitoringPlan>,
     failed: Option<&'a BTreeSet<NodeId>>,
+    staleness_slo: Option<f64>,
+    degrade_factor: f64,
 }
 
 impl<'a> AuditInput<'a> {
@@ -463,6 +477,8 @@ impl<'a> AuditInput<'a> {
             rewrite: None,
             predecessor: None,
             failed: None,
+            staleness_slo: None,
+            degrade_factor: 1.0,
         }
     }
 
@@ -497,6 +513,22 @@ impl<'a> AuditInput<'a> {
     ) -> Self {
         self.predecessor = Some(predecessor);
         self.failed = Some(failed);
+        self
+    }
+
+    /// Declares a staleness SLO in epochs, enabling
+    /// [`rules::STALENESS_BOUND`]: every demanded attribute's
+    /// effective reporting interval must stay within it.
+    pub fn with_staleness_slo(mut self, slo: f64) -> Self {
+        self.staleness_slo = Some(slo);
+        self
+    }
+
+    /// Sets the runtime degrade factor (the collector-backpressure
+    /// reporting-interval multiplier; 1 when the runtime is healthy).
+    /// Only meaningful together with [`AuditInput::with_staleness_slo`].
+    pub fn with_degrade_factor(mut self, factor: f64) -> Self {
+        self.degrade_factor = factor;
         self
     }
 }
@@ -574,6 +606,9 @@ impl Audit {
         }
         if let Some(predecessor) = input.predecessor {
             self.check_adaptation(input, predecessor, &mut em);
+        }
+        if let Some(slo) = input.staleness_slo {
+            self.check_staleness(input, slo, &mut em);
         }
 
         outcome.findings = em.findings;
@@ -1011,6 +1046,34 @@ impl Audit {
         }
     }
 
+    /// Staleness SLO: an attribute sampled with frequency f refreshes
+    /// every `round(1/f)` epochs; under collector backpressure the
+    /// runtime widens that interval by the degrade factor. The
+    /// effective interval bounds how stale the collector's snapshot can
+    /// be even on a perfectly healthy network, so an interval beyond
+    /// the SLO means the demand can never be met as configured.
+    fn check_staleness(&self, input: &AuditInput<'_>, slo: f64, em: &mut Emitter<'_>) {
+        for attr in input.pairs.attrs() {
+            let freq = input.catalog.get_or_default(attr).frequency();
+            let period = (1.0 / freq.max(f64::MIN_POSITIVE)).round().max(1.0);
+            let effective = period * input.degrade_factor.max(1.0);
+            if effective > slo + TOL {
+                if let Some(f) = em.emit(
+                    rules::STALENESS_BOUND,
+                    format!(
+                        "attribute {attr} refreshes every {effective:.0} epochs \
+                         (period {period:.0} × degrade {:.0}) but the staleness SLO is {slo:.0}",
+                        input.degrade_factor.max(1.0)
+                    ),
+                ) {
+                    f.attr = Some(attr);
+                    f.actual = Some(effective);
+                    f.limit = Some(slo);
+                }
+            }
+        }
+    }
+
     fn check_adaptation(
         &self,
         input: &AuditInput<'_>,
@@ -1305,6 +1368,47 @@ mod tests {
         assert_eq!(hits[0].severity, Severity::Warn);
         // Warn severity: the audit still passes.
         assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn staleness_slo_trips_on_slow_attrs_and_degrade() {
+        let pairs = dense_pairs(6, 2);
+        let caps = CapacityMap::uniform(6, 50.0, 300.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let mut catalog = AttrCatalog::new();
+        // Attr 1 refreshes every 8 epochs; attr 0 keeps the default 1.
+        catalog.register(AttrInfo::new("fast"));
+        catalog.register(
+            AttrInfo::new("slow")
+                .with_frequency(0.125)
+                .expect("valid frequency"),
+        );
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+
+        // SLO 5: only the slow attribute (period 8) trips, as a warning.
+        let outcome = Audit::new()
+            .run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog).with_staleness_slo(5.0));
+        let hits: Vec<_> = outcome.of_rule(rules::STALENESS_BOUND).collect();
+        assert_eq!(hits.len(), 1, "{}", outcome.render());
+        assert_eq!(hits[0].attr, Some(AttrId(1)));
+        assert_eq!(hits[0].severity, Severity::Warn);
+        assert_eq!(hits[0].actual, Some(8.0));
+        assert_eq!(hits[0].limit, Some(5.0));
+        assert!(outcome.is_clean(), "warnings never fail the audit");
+
+        // A backpressure degrade factor of 8 pushes even the fast
+        // attribute (period 1 → effective 8) over the SLO.
+        let outcome = Audit::new().run(
+            &AuditInput::new(&plan, &pairs, &caps, cost, &catalog)
+                .with_staleness_slo(5.0)
+                .with_degrade_factor(8.0),
+        );
+        assert_eq!(outcome.of_rule(rules::STALENESS_BOUND).count(), 2);
+
+        // A generous SLO is quiet.
+        let outcome = Audit::new()
+            .run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog).with_staleness_slo(8.0));
+        assert_eq!(outcome.of_rule(rules::STALENESS_BOUND).count(), 0);
     }
 
     #[test]

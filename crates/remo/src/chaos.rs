@@ -7,23 +7,29 @@
 //! can be asserted against the self-healing coordinator with the exact
 //! outage timeline the simulator used. Node outages map to
 //! [`Deployment::fail_node`] / [`Deployment::heal_node`]; link outages
-//! have no runtime counterpart (agents are wired point-to-point by the
-//! plan) and are ignored.
+//! map to [`Deployment::set_link_down`] — which takes effect on
+//! fault-capable transports (a deployment launched with
+//! `TransportSpec::Lossy`). On the perfect transport, which cannot
+//! model link faults, the driver logs a warning once per link instead
+//! of silently ignoring the outage.
 
 use remo_core::NodeId;
 use remo_runtime::{Deployment, EpochReport};
 use remo_sim::failure::FailureSchedule;
 use std::collections::BTreeMap;
 
-/// Replays a [`FailureSchedule`]'s node outages against a
+/// Replays a [`FailureSchedule`]'s node and link outages against a
 /// [`Deployment`], tick by tick.
 ///
-/// The driver tracks the last state it pushed per node so agents only
-/// see `SetFailed` transitions, not a re-assertion every epoch.
+/// The driver tracks the last state it pushed per target so agents and
+/// the transport only see transitions, not a re-assertion every epoch.
 #[derive(Debug, Clone)]
 pub struct ChaosDriver {
     schedule: FailureSchedule,
     pushed: BTreeMap<NodeId, bool>,
+    pushed_links: BTreeMap<(NodeId, NodeId), bool>,
+    /// Links already warned about on a transport without link faults.
+    warned_links: BTreeMap<(NodeId, NodeId), ()>,
 }
 
 impl ChaosDriver {
@@ -32,6 +38,8 @@ impl ChaosDriver {
         ChaosDriver {
             schedule,
             pushed: BTreeMap::new(),
+            pushed_links: BTreeMap::new(),
+            warned_links: BTreeMap::new(),
         }
     }
 
@@ -40,9 +48,9 @@ impl ChaosDriver {
         &self.schedule
     }
 
-    /// Applies the schedule's net node state for the *upcoming* epoch
-    /// (call immediately before each [`Deployment::tick`]). Returns
-    /// the nodes whose state changed.
+    /// Applies the schedule's net node and link state for the
+    /// *upcoming* epoch (call immediately before each
+    /// [`Deployment::tick`]). Returns the nodes whose state changed.
     pub fn apply(&mut self, dep: &mut Deployment) -> Vec<NodeId> {
         let epoch = dep.epoch() + 1;
         let mut changed = Vec::new();
@@ -57,6 +65,19 @@ impl ChaosDriver {
             }
             self.pushed.insert(node, failed);
             changed.push(node);
+        }
+        for ((a, b), down) in self.schedule.link_states_at(epoch) {
+            if self.pushed_links.get(&(a, b)) == Some(&down) {
+                continue;
+            }
+            if dep.set_link_down(a, b, down) {
+                self.pushed_links.insert((a, b), down);
+            } else if self.warned_links.insert((a, b), ()).is_none() {
+                remo_obs::event!("chaos.link_outage.unsupported",
+                    "from" => u64::from(a.0),
+                    "to" => u64::from(b.0),
+                    "epoch" => epoch);
+            }
         }
         changed
     }

@@ -6,9 +6,18 @@
 //! epoch `e − 1`, applies in-network aggregation, and forwards one
 //! message per tree upstream — exactly the per-epoch behavior the
 //! planner budgets for.
+//!
+//! All upstream traffic goes through a [`Transport`]. On a reliable
+//! transport (the deterministic default) the agent behaves exactly as
+//! it always has. On an unreliable one it runs an ARQ layer: every
+//! data frame carries a sequence number, receivers ack and
+//! deduplicate (via [`SeqTracker`]), and unacked frames are
+//! retransmitted on an exponential-backoff timer until a retry budget
+//! runs out.
 
-use crate::proto::{WireMessage, WireReading};
+use crate::proto::{FrameKind, WireMessage, WireReading};
 use crate::throttle::TokenBucket;
+use crate::transport::{Endpoint, NetConfig, SeqTracker, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use remo_core::{Aggregation, AttrId, CostModel, NodeId};
@@ -25,6 +34,15 @@ pub enum Route {
     Collector,
     /// Forward to another agent.
     Node(NodeId),
+}
+
+impl Route {
+    fn endpoint(self) -> Endpoint {
+        match self {
+            Route::Collector => Endpoint::Collector,
+            Route::Node(n) => Endpoint::Node(n),
+        }
+    }
 }
 
 /// One attribute an agent samples locally for a tree.
@@ -63,6 +81,12 @@ pub enum AgentMsg {
         /// Encoded [`WireMessage`].
         frame: Bytes,
     },
+    /// The upstream receiver acknowledged this agent's data frame
+    /// `seq` (ARQ; only seen on unreliable transports).
+    Ack {
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
     /// Start of an epoch.
     Tick {
         /// The epoch now beginning.
@@ -72,6 +96,13 @@ pub enum AgentMsg {
     Reconfigure {
         /// New assignments (full replacement).
         assignments: Vec<TreeAssignment>,
+    },
+    /// Collector backpressure: multiply every local sampling period by
+    /// `factor` (1 = no degradation). Widening the effective reporting
+    /// interval sheds load at the source, per the paper's cost model.
+    SetDegrade {
+        /// Period multiplier (a power of two in practice).
+        factor: u64,
     },
     /// Crash or heal the agent (failure injection): a failed agent
     /// drops all data traffic and goes silent — it stops acknowledging
@@ -89,16 +120,36 @@ pub struct TickReport {
     pub node: NodeId,
     /// Epoch covered.
     pub epoch: u64,
-    /// Messages sent upstream.
+    /// Messages sent upstream (first transmissions).
     pub sent_messages: u32,
     /// Readings sent upstream.
     pub sent_readings: u32,
     /// Messages dropped on the receive side (budget exhausted).
     pub dropped_messages: u32,
-    /// Readings lost (receive drops + send-side trimming).
+    /// Readings lost (receive drops + send-side trimming + abandoned
+    /// retransmissions).
     pub dropped_readings: u32,
     /// Cost-units of traffic this agent paid for this epoch.
     pub volume: f64,
+    /// ARQ retransmissions sent this epoch.
+    pub retransmits: u32,
+    /// Duplicate data frames ignored by receive-side dedup.
+    pub dup_ignored: u32,
+    /// Frames abandoned after the retry budget ran out.
+    pub abandoned: u32,
+}
+
+/// A data frame awaiting its ack.
+#[derive(Debug)]
+struct Unacked {
+    to: Endpoint,
+    tree: u32,
+    frame: Bytes,
+    readings: u32,
+    /// Transmissions so far (the initial send counts as 1).
+    attempts: u32,
+    /// Epoch at which the next retransmission is due.
+    next_retry: u64,
 }
 
 /// The agent state machine (runs on its own thread via
@@ -106,20 +157,32 @@ pub struct TickReport {
 pub struct Agent {
     id: NodeId,
     inbox: Receiver<AgentMsg>,
-    peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
-    collector: Sender<(u64, Bytes)>,
+    transport: Arc<dyn Transport>,
     reports: Sender<TickReport>,
     bucket: TokenBucket,
     cost: CostModel,
+    net: NetConfig,
+    /// ARQ engaged (transport is unreliable).
+    arq: bool,
     sampler: Sampler,
     assignments: Vec<TreeAssignment>,
     /// Buffered readings per tree: `(sent_epoch, reading)`.
     buffers: BTreeMap<u32, Vec<(u64, WireReading)>>,
+    /// Sequence counter for outgoing data frames (monotone across
+    /// crashes so fresh frames are never mistaken for replays).
+    next_seq: u64,
+    /// Sent-but-unacked data frames, by seq.
+    unacked: BTreeMap<u64, Unacked>,
+    /// Receive-side dedup state per child sender.
+    seen: BTreeMap<NodeId, SeqTracker>,
+    /// Sampling-period multiplier pushed by collector backpressure.
+    degrade: u64,
     epoch: u64,
     failed: bool,
     /// Receive-side drops accumulated since the last tick report.
     drop_messages: u32,
     drop_readings: u32,
+    dup_ignored: u32,
 }
 
 impl std::fmt::Debug for Agent {
@@ -128,6 +191,7 @@ impl std::fmt::Debug for Agent {
             .field("id", &self.id)
             .field("epoch", &self.epoch)
             .field("assignments", &self.assignments.len())
+            .field("arq", &self.arq)
             .finish()
     }
 }
@@ -138,29 +202,36 @@ impl Agent {
     pub fn new(
         id: NodeId,
         inbox: Receiver<AgentMsg>,
-        peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
-        collector: Sender<(u64, Bytes)>,
+        transport: Arc<dyn Transport>,
         reports: Sender<TickReport>,
         capacity: f64,
         cost: CostModel,
+        net: NetConfig,
         sampler: Sampler,
         assignments: Vec<TreeAssignment>,
     ) -> Self {
+        let arq = !transport.reliable();
         Agent {
             id,
             inbox,
-            peers,
-            collector,
+            transport,
             reports,
             bucket: TokenBucket::new(capacity),
             cost,
+            net,
+            arq,
             sampler,
             assignments,
             buffers: BTreeMap::new(),
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            degrade: 1,
             epoch: 0,
             failed: false,
             drop_messages: 0,
             drop_readings: 0,
+            dup_ignored: 0,
         }
     }
 
@@ -170,19 +241,35 @@ impl Agent {
             match msg {
                 AgentMsg::Shutdown => break,
                 AgentMsg::Reconfigure { assignments } => {
-                    // Buffers of trees we no longer serve are dropped.
+                    // Buffers and in-flight frames of trees we no
+                    // longer serve are dropped.
                     let live: Vec<u32> = assignments.iter().map(|a| a.tree).collect();
                     self.buffers.retain(|tree, _| live.contains(tree));
+                    self.unacked.retain(|_, u| live.contains(&u.tree));
                     self.assignments = assignments;
+                }
+                AgentMsg::SetDegrade { factor } => {
+                    self.degrade = factor.max(1);
                 }
                 AgentMsg::SetFailed(failed) => {
                     self.failed = failed;
                     if failed {
-                        // A crashed process loses its buffers.
+                        // A crashed process loses its volatile state:
+                        // buffers, retransmit queue, and dedup window.
+                        // `next_seq` survives (monotone identity), so
+                        // post-recovery frames are never taken for
+                        // replays upstream.
                         self.buffers.clear();
+                        self.unacked.clear();
+                        self.seen.clear();
                     }
                 }
                 AgentMsg::Data { sent_epoch, frame } => self.on_data(sent_epoch, frame),
+                AgentMsg::Ack { seq } => {
+                    if !self.failed {
+                        self.unacked.remove(&seq);
+                    }
+                }
                 AgentMsg::Tick { epoch } => self.on_tick(epoch),
             }
         }
@@ -198,11 +285,35 @@ impl Agent {
         let Ok(msg) = WireMessage::decode(frame) else {
             return; // corrupt frames are silently dropped
         };
+        if msg.kind != FrameKind::Data {
+            return; // acks arrive as AgentMsg::Ack, not as frames
+        }
+        if self.arq {
+            // Replay? Re-ack (the first ack may have been lost) and
+            // discard — dedup keeps duplicates out of the buffers.
+            if self
+                .seen
+                .get(&msg.from)
+                .is_some_and(|t| t.contains(msg.seq))
+            {
+                self.transport
+                    .send_ack(Endpoint::Node(self.id), msg.from, msg.seq, self.epoch);
+                self.dup_ignored += 1;
+                return;
+            }
+        }
         let cost = self.cost.message_cost(msg.readings.len() as f64);
         if !self.bucket.try_consume(cost) {
-            // Receive-side drop; reported with the next tick.
+            // Receive-side drop; reported with the next tick. No ack:
+            // on an unreliable transport the sender will retry once
+            // budget pressure eases.
             self.pending_drop(msg.readings.len() as u32);
             return;
+        }
+        if self.arq {
+            self.transport
+                .send_ack(Endpoint::Node(self.id), msg.from, msg.seq, self.epoch);
+            self.seen.entry(msg.from).or_default().insert(msg.seq);
         }
         let buf = self.buffers.entry(msg.tree).or_default();
         for r in msg.readings {
@@ -214,6 +325,52 @@ impl Agent {
     fn pending_drop(&mut self, readings: u32) {
         self.drop_readings += readings;
         self.drop_messages += 1;
+    }
+
+    /// Retransmits overdue unacked frames, abandoning those whose
+    /// retry budget ran out. Runs before new sends so retransmissions
+    /// get first claim on the epoch's budget.
+    fn retransmit_pass(&mut self, epoch: u64, report: &mut TickReport) {
+        let due: Vec<u64> = self
+            .unacked
+            .iter()
+            .filter(|(_, u)| u.next_retry <= epoch)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in due {
+            let Some(u) = self.unacked.get_mut(&seq) else {
+                continue;
+            };
+            if u.attempts >= self.net.max_attempts {
+                report.abandoned += 1;
+                report.dropped_readings += u.readings;
+                if remo_obs::enabled() {
+                    remo_obs::counter("remo_net_abandoned_frames_total").inc();
+                }
+                self.unacked.remove(&seq);
+                continue;
+            }
+            let cost = self.cost.message_cost(u.readings as f64);
+            if !self.bucket.try_consume(cost) {
+                // Budget exhausted: postpone rather than abandon.
+                u.next_retry = epoch + 1;
+                continue;
+            }
+            u.attempts += 1;
+            // Exponential backoff: base_rto, 2·base_rto, 4·base_rto…
+            let backoff = self
+                .net
+                .base_rto
+                .saturating_mul(1u64 << (u.attempts - 1).min(32));
+            u.next_retry = epoch + backoff.max(1);
+            report.retransmits += 1;
+            report.volume += cost;
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_net_retransmits_total").inc();
+            }
+            self.transport
+                .send_data(self.id, u.to, seq, epoch, u.frame.clone());
+        }
     }
 
     fn on_tick(&mut self, epoch: u64) {
@@ -231,14 +388,20 @@ impl Agent {
             epoch,
             dropped_messages: std::mem::take(&mut self.drop_messages),
             dropped_readings: std::mem::take(&mut self.drop_readings),
+            dup_ignored: std::mem::take(&mut self.dup_ignored),
             ..TickReport::default()
         };
+
+        if self.arq {
+            self.retransmit_pass(epoch, &mut report);
+        }
 
         for ai in 0..self.assignments.len() {
             let a = self.assignments[ai].clone();
             let mut readings: Vec<WireReading> = Vec::new();
             for la in &a.local {
-                if !epoch.is_multiple_of(la.period.max(1)) {
+                let period = la.period.max(1).saturating_mul(self.degrade);
+                if !epoch.is_multiple_of(period) {
                     continue;
                 }
                 readings.push(WireReading {
@@ -285,28 +448,28 @@ impl Agent {
                 debug_assert!(ok, "trimmed message must fit");
             }
 
-            let msg = WireMessage {
-                tree: a.tree,
-                from: self.id,
-                readings,
-            };
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            let msg = WireMessage::data(a.tree, self.id, seq, readings);
             report.sent_messages += 1;
             report.sent_readings += msg.readings.len() as u32;
             report.volume += self.cost.message_cost(msg.readings.len() as f64);
             let frame = msg.encode();
-            match a.parent {
-                Route::Collector => {
-                    let _ = self.collector.send((epoch, frame));
-                }
-                Route::Node(p) => {
-                    if let Some(tx) = self.peers.get(&p) {
-                        let _ = tx.send(AgentMsg::Data {
-                            sent_epoch: epoch,
-                            frame,
-                        });
-                    }
-                }
+            let to = a.parent.endpoint();
+            if self.arq {
+                self.unacked.insert(
+                    seq,
+                    Unacked {
+                        to,
+                        tree: a.tree,
+                        frame: frame.clone(),
+                        readings: msg.readings.len() as u32,
+                        attempts: 1,
+                        next_retry: epoch + self.net.base_rto.max(1),
+                    },
+                );
             }
+            self.transport.send_data(self.id, to, seq, epoch, frame);
         }
         let _ = self.reports.send(report);
     }

@@ -16,15 +16,19 @@ use crate::agent::{
     run_agent, Agent, AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment,
 };
 use crate::health::{HealthConfig, HealthMonitor, HealthReport, HealthState};
-use crate::proto::WireMessage;
+use crate::proto::{FrameKind, WireMessage, WireReading};
 use crate::throttle::TokenBucket;
+use crate::transport::{
+    Endpoint, LossyTransport, NetConfig, NetSpec, PerfectTransport, SeqTracker, Transport,
+    TransportStats,
+};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use remo_core::adapt::AdaptivePlanner;
 use remo_core::{
     AttrCatalog, AttrId, CapacityMap, CostModel, MonitoringPlan, NodeId, PairSet, Parent,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -72,11 +76,58 @@ pub struct EpochReport {
     /// one is attached: repairs that warm-start from memoized builds
     /// show up as hits here.
     pub planner_cache: Option<remo_core::CacheStats>,
+    /// ARQ retransmissions sent this epoch (zero on a reliable
+    /// transport).
+    pub retransmit_messages: u64,
+    /// Duplicate data frames discarded by receive-side dedup.
+    pub duplicate_messages_ignored: u64,
+    /// Frames abandoned after the retry budget ran out.
+    pub abandoned_messages: u64,
+    /// Readings shed by the collector's bounded ingress queue.
+    pub shed_readings: u64,
+    /// Degrade-level transitions signalled to the agents this epoch.
+    pub backpressure_signals: u64,
+    /// Collector ingress queue depth (readings) after this epoch.
+    pub ingress_depth: u64,
+    /// Effective reporting-interval multiplier in force after this
+    /// epoch (1 = no degradation). Zero only in unticked defaults.
+    pub degrade_factor: u64,
 }
 
 /// Result of [`Deployment::snapshot`]: the observed values for the
 /// queried pairs plus the pairs with no observation yet.
 pub type Snapshot = (BTreeMap<(NodeId, AttrId), Observed>, Vec<(NodeId, AttrId)>);
+
+/// Which transport a deployment runs on.
+#[derive(Debug, Clone, Default)]
+pub enum TransportSpec {
+    /// Immediate, loss-free in-memory delivery (deterministic; the
+    /// pre-transport behavior, bit for bit).
+    #[default]
+    Perfect,
+    /// Fault-injecting transport with ARQ, bounded collector ingress,
+    /// and graceful degradation.
+    Lossy(NetSpec, NetConfig),
+}
+
+/// One reading as it was accepted into the collector store (recorded
+/// only when [`NetConfig::record_deliveries`] is set; a test and
+/// diagnosis aid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveredReading {
+    /// Source node.
+    pub node: NodeId,
+    /// Attribute.
+    pub attr: AttrId,
+    /// Reported value.
+    pub value: f64,
+    /// Epoch the sample was produced.
+    pub produced: u64,
+    /// Samples folded in.
+    pub contributors: u32,
+    /// Epoch the collector recorded it.
+    pub received: u64,
+}
 
 /// A running in-process deployment of a monitoring plan.
 #[derive(Debug)]
@@ -86,6 +137,10 @@ pub struct Deployment {
     reports: Receiver<TickReport>,
     collector_rx: Receiver<(u64, Bytes)>,
     collector_bucket: TokenBucket,
+    transport: Arc<dyn Transport>,
+    net: NetConfig,
+    /// ARQ + backpressure engaged (transport is unreliable).
+    lossy: bool,
     cost: CostModel,
     epoch: u64,
     store: BTreeMap<(NodeId, AttrId), Observed>,
@@ -100,6 +155,16 @@ pub struct Deployment {
     health: HealthMonitor,
     /// Present only for self-healing deployments.
     healer: Option<AdaptivePlanner>,
+    /// Bounded collector ingress queue: `(reading, sent_epoch)`
+    /// awaiting budget (lossy path only).
+    ingress: VecDeque<(WireReading, u64)>,
+    /// Receive-side dedup state per root sender (lossy path only).
+    collector_seen: BTreeMap<NodeId, SeqTracker>,
+    /// Current backpressure degrade level; the agents' period
+    /// multiplier is `2^level`.
+    degrade_level: u32,
+    /// Every accepted reading, when `net.record_deliveries`.
+    delivery_log: Vec<DeliveredReading>,
 }
 
 impl Deployment {
@@ -136,6 +201,33 @@ impl Deployment {
         sampler: Sampler,
         health_cfg: HealthConfig,
     ) -> Self {
+        Self::launch_with_transport(
+            plan,
+            pairs,
+            caps,
+            cost,
+            catalog,
+            sampler,
+            health_cfg,
+            TransportSpec::Perfect,
+        )
+    }
+
+    /// [`Deployment::launch_with_health`] on an explicit transport.
+    /// With [`TransportSpec::Lossy`] the deployment runs the full
+    /// robustness stack: ARQ delivery, bounded collector ingress with
+    /// backpressure, and graceful degradation under overload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_with_transport(
+        plan: &MonitoringPlan,
+        pairs: &PairSet,
+        caps: &CapacityMap,
+        cost: CostModel,
+        catalog: &AttrCatalog,
+        sampler: Sampler,
+        health_cfg: HealthConfig,
+        tspec: TransportSpec,
+    ) -> Self {
         let (report_tx, report_rx) = unbounded();
         let (collector_tx, collector_rx) = unbounded();
 
@@ -148,17 +240,29 @@ impl Deployment {
         }
         let peers = Arc::new(senders);
 
+        let (transport, net): (Arc<dyn Transport>, NetConfig) = match tspec {
+            TransportSpec::Perfect => (
+                Arc::new(PerfectTransport::new(Arc::clone(&peers), collector_tx)),
+                NetConfig::default(),
+            ),
+            TransportSpec::Lossy(spec, net) => (
+                Arc::new(LossyTransport::new(Arc::clone(&peers), collector_tx, spec)),
+                net,
+            ),
+        };
+        let lossy = !transport.reliable();
+
         let assignments = plan_assignments(plan, pairs, catalog);
         let mut handles = Vec::new();
         for (node, inbox) in inboxes {
             let agent = Agent::new(
                 node,
                 inbox,
-                Arc::clone(&peers),
-                collector_tx.clone(),
+                Arc::clone(&transport),
                 report_tx.clone(),
                 caps.node(node).unwrap_or(0.0),
                 cost,
+                net,
                 Arc::clone(&sampler),
                 assignments.get(&node).cloned().unwrap_or_default(),
             );
@@ -172,6 +276,9 @@ impl Deployment {
             reports: report_rx,
             collector_rx,
             collector_bucket: TokenBucket::new(caps.collector()),
+            transport,
+            net,
+            lossy,
             cost,
             epoch: 0,
             store: BTreeMap::new(),
@@ -182,6 +289,10 @@ impl Deployment {
             health_cfg,
             health,
             healer: None,
+            ingress: VecDeque::new(),
+            collector_seen: BTreeMap::new(),
+            degrade_level: 0,
+            delivery_log: Vec::new(),
         }
     }
 
@@ -195,9 +306,27 @@ impl Deployment {
         sampler: Sampler,
         health_cfg: HealthConfig,
     ) -> Self {
+        Self::launch_self_healing_with_transport(
+            planner,
+            sampler,
+            health_cfg,
+            TransportSpec::Perfect,
+        )
+    }
+
+    /// [`Deployment::launch_self_healing`] on an explicit transport:
+    /// the combination exercised by the chaos soak — node failures
+    /// repaired by the planner while the network drops, delays, and
+    /// partitions traffic underneath.
+    pub fn launch_self_healing_with_transport(
+        planner: AdaptivePlanner,
+        sampler: Sampler,
+        health_cfg: HealthConfig,
+        tspec: TransportSpec,
+    ) -> Self {
         let caps = planner.caps().clone();
         let catalog = planner.catalog().clone();
-        let mut dep = Self::launch_with_health(
+        let mut dep = Self::launch_with_transport(
             planner.plan(),
             planner.pairs(),
             &caps,
@@ -205,6 +334,7 @@ impl Deployment {
             &catalog,
             sampler,
             health_cfg,
+            tspec,
         );
         dep.healer = Some(planner);
         dep
@@ -261,6 +391,58 @@ impl Deployment {
         self.health.report(self.epoch)
     }
 
+    /// Fault counters of the underlying transport (all zero on the
+    /// perfect transport).
+    pub fn net_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Forces a directed link up or down on the transport (chaos
+    /// injection). Returns `false` when the transport cannot model
+    /// link faults — the perfect transport cannot.
+    pub fn set_link_down(&self, from: NodeId, to: NodeId, down: bool) -> bool {
+        self.transport.set_link_down(from, to, down)
+    }
+
+    /// Effective reporting-interval multiplier currently in force
+    /// (1 = no degradation).
+    pub fn degrade_factor(&self) -> u64 {
+        1u64 << self.degrade_level
+    }
+
+    /// Readings accepted into the store, in order (only populated when
+    /// [`NetConfig::record_deliveries`] is set).
+    pub fn delivery_log(&self) -> &[DeliveredReading] {
+        &self.delivery_log
+    }
+
+    /// Per-attribute staleness bounds under the current degradation
+    /// level: once the network delivers again (faults healed, queue
+    /// drained), a live pair's snapshot is at most
+    /// `degrade_factor·period + tree depth + base_rto + 1` epochs old —
+    /// the degraded sampling interval, plus one epoch per relay hop,
+    /// plus the retransmit timer of the last in-flight frame. During
+    /// an outage no finite bound exists (that is what
+    /// [`EpochReport::values_lost`] and the abandoned counters
+    /// surface); this is the convergence bound the soak test holds the
+    /// collector to.
+    pub fn staleness_bounds(&self) -> BTreeMap<AttrId, u64> {
+        let factor = self.degrade_factor();
+        let mut out: BTreeMap<AttrId, u64> = BTreeMap::new();
+        for (&node, assigns) in &self.assignments {
+            for a in assigns {
+                let depth = route_depth(&self.assignments, node, a.tree);
+                for la in &a.local {
+                    let bound =
+                        la.period.max(1).saturating_mul(factor) + depth + self.net.base_rto + 1;
+                    let slot = out.entry(la.attr).or_insert(0);
+                    *slot = (*slot).max(bound);
+                }
+            }
+        }
+        out
+    }
+
     /// Advances one lockstep epoch and returns its aggregate report.
     ///
     /// The tick barrier waits up to [`HealthConfig::deadline`] for
@@ -275,6 +457,10 @@ impl Deployment {
             epoch,
             ..EpochReport::default()
         };
+
+        // Release transport-delayed frames due this epoch before the
+        // agents start processing it.
+        self.transport.advance(epoch);
 
         for tx in self.agents.values() {
             let _ = tx.send(AgentMsg::Tick { epoch });
@@ -292,6 +478,9 @@ impl Deployment {
                 report.dropped_messages += tr.dropped_messages as u64;
                 report.dropped_readings += tr.dropped_readings as u64;
                 report.volume += tr.volume;
+                report.retransmit_messages += tr.retransmits as u64;
+                report.duplicate_messages_ignored += tr.dup_ignored as u64;
+                report.abandoned_messages += tr.abandoned as u64;
             };
             if missing.is_empty() {
                 // Barrier satisfied; drain anything already queued so
@@ -340,7 +529,20 @@ impl Deployment {
         }
         report.planner_cache = self.healer.as_ref().map(AdaptivePlanner::cache_stats);
 
-        // Collector intake: frames roots sent this epoch.
+        if self.lossy {
+            self.collector_intake_arq(epoch, &mut report);
+        } else {
+            self.collector_intake_perfect(&mut report);
+        }
+        export_epoch_metrics(&report);
+        report
+    }
+
+    /// Collector intake on the reliable transport: frames roots sent
+    /// this epoch, processed immediately. This is the pre-transport
+    /// behavior, bit for bit — the perfect-path regression test pins
+    /// its `EpochReport`s.
+    fn collector_intake_perfect(&mut self, report: &mut EpochReport) {
         self.collector_bucket.refill();
         while let Ok((sent_epoch, frame)) = self.collector_rx.try_recv() {
             let Ok(msg) = WireMessage::decode(frame) else {
@@ -353,28 +555,166 @@ impl Deployment {
                 continue;
             }
             for r in msg.readings {
-                let observed = Observed {
-                    value: r.value,
-                    produced: r.produced,
-                    received: sent_epoch + 1,
-                    contributors: r.contributors,
-                };
-                report.delivered_values += r.contributors as u64;
-                if r.contributors > 1 {
-                    let slot = self.aggregates.entry(r.attr).or_insert(observed);
-                    if observed.produced >= slot.produced {
-                        *slot = observed;
-                    }
-                } else {
-                    let slot = self.store.entry((r.node, r.attr)).or_insert(observed);
-                    if observed.produced >= slot.produced {
-                        *slot = observed;
-                    }
-                }
+                self.record(&r, sent_epoch + 1, report);
             }
         }
-        export_epoch_metrics(&report);
-        report
+    }
+
+    /// Collector intake on an unreliable transport: ack + dedup every
+    /// arriving frame, stage its readings in the bounded ingress
+    /// queue, shed the least valuable readings when the queue
+    /// overflows, process under the per-value budget (the paper's
+    /// collector-capacity constraint), and signal backpressure to the
+    /// agents when the queue stays saturated.
+    fn collector_intake_arq(&mut self, epoch: u64, report: &mut EpochReport) {
+        self.collector_bucket.refill();
+        while let Ok((sent_epoch, frame)) = self.collector_rx.try_recv() {
+            let Ok(msg) = WireMessage::decode(frame) else {
+                continue;
+            };
+            if msg.kind != FrameKind::Data {
+                continue;
+            }
+            // Replayed frame: re-ack (the first ack may have been
+            // lost) and discard.
+            if self
+                .collector_seen
+                .get(&msg.from)
+                .is_some_and(|t| t.contains(msg.seq))
+            {
+                self.transport
+                    .send_ack(Endpoint::Collector, msg.from, msg.seq, epoch);
+                report.duplicate_messages_ignored += 1;
+                if remo_obs::enabled() {
+                    remo_obs::counter("remo_net_dedup_dropped_total").inc();
+                }
+                continue;
+            }
+            self.transport
+                .send_ack(Endpoint::Collector, msg.from, msg.seq, epoch);
+            self.collector_seen
+                .entry(msg.from)
+                .or_default()
+                .insert(msg.seq);
+            // The fixed per-message overhead C is paid on arrival —
+            // parsing a frame costs the collector whether or not its
+            // readings are ever processed.
+            self.collector_bucket.charge(self.cost.per_message());
+            for r in msg.readings {
+                self.ingress.push_back((r, sent_epoch));
+            }
+        }
+
+        // Bounded ingress: shed the lowest-frequency-weight readings
+        // first (they contribute least to the cost-model's planned
+        // load; ties broken oldest-produced first), exactly the
+        // degradation order the paper's collector-capacity constraint
+        // suggests.
+        while self.ingress.len() > self.net.ingress_capacity {
+            let victim = self
+                .ingress
+                .iter()
+                .enumerate()
+                .min_by(|(_, (a, _)), (_, (b, _))| {
+                    let fa = self.catalog.get_or_default(a.attr).frequency();
+                    let fb = self.catalog.get_or_default(b.attr).frequency();
+                    fa.partial_cmp(&fb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.produced.cmp(&b.produced))
+                })
+                .map(|(i, _)| i);
+            let Some(i) = victim else { break };
+            self.ingress.remove(i);
+            report.shed_readings += 1;
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_collector_shed_readings_total").inc();
+            }
+        }
+
+        // Process under the per-value budget; what the budget cannot
+        // cover stays queued (backpressure) instead of being lost.
+        while let Some(&(r, _sent_epoch)) = self.ingress.front() {
+            if !self.collector_bucket.try_consume(self.cost.per_value()) {
+                break;
+            }
+            self.ingress.pop_front();
+            if remo_obs::enabled() {
+                remo_obs::histogram("remo_net_delivery_latency_epochs")
+                    .observe((epoch + 1).saturating_sub(r.produced) as f64);
+            }
+            self.record(&r, epoch + 1, report);
+        }
+
+        report.ingress_depth = self.ingress.len() as u64;
+        if remo_obs::enabled() {
+            remo_obs::gauge("remo_collector_queue_depth").set(self.ingress.len() as f64);
+        }
+
+        // Backpressure control loop: widen the agents' effective
+        // reporting intervals while the queue stays saturated, relax
+        // when it drains. Shedding this epoch counts as saturation
+        // even when processing drains the residual queue below the
+        // watermark — otherwise a small ingress bound sheds forever
+        // without ever engaging degradation.
+        let depth = self.ingress.len() as f64;
+        let cap = self.net.ingress_capacity as f64;
+        let saturated = depth > cap * self.net.high_watermark || report.shed_readings > 0;
+        let mut level = self.degrade_level;
+        if saturated && level < self.net.max_degrade_level {
+            level += 1;
+        } else if !saturated && depth < cap * self.net.low_watermark && level > 0 {
+            level -= 1;
+        }
+        if level != self.degrade_level {
+            self.degrade_level = level;
+            let factor = 1u64 << level;
+            for tx in self.agents.values() {
+                let _ = tx.send(AgentMsg::SetDegrade { factor });
+            }
+            report.backpressure_signals += 1;
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_collector_backpressure_transitions_total").inc();
+            }
+            remo_obs::event!("runtime.backpressure",
+                "level" => u64::from(level),
+                "queue_depth" => self.ingress.len() as u64);
+        }
+        report.degrade_factor = 1u64 << self.degrade_level;
+    }
+
+    /// Records one reading into the collector store (shared by both
+    /// intake paths): a reading only replaces the stored one if it was
+    /// produced no earlier, so replays and stragglers never regress
+    /// the snapshot.
+    fn record(&mut self, r: &WireReading, received: u64, report: &mut EpochReport) {
+        let observed = Observed {
+            value: r.value,
+            produced: r.produced,
+            received,
+            contributors: r.contributors,
+        };
+        report.delivered_values += r.contributors as u64;
+        if self.net.record_deliveries {
+            self.delivery_log.push(DeliveredReading {
+                node: r.node,
+                attr: r.attr,
+                value: r.value,
+                produced: r.produced,
+                contributors: r.contributors,
+                received,
+            });
+        }
+        if r.contributors > 1 {
+            let slot = self.aggregates.entry(r.attr).or_insert(observed);
+            if observed.produced >= slot.produced {
+                *slot = observed;
+            }
+        } else {
+            let slot = self.store.entry((r.node, r.attr)).or_insert(observed);
+            if observed.produced >= slot.produced {
+                *slot = observed;
+            }
+        }
     }
 
     /// Repairs the plan around newly confirmed failures and
@@ -441,6 +781,14 @@ impl Deployment {
             total.recovered += r.recovered;
             total.values_lost += r.values_lost;
             total.reconfigure_messages += r.reconfigure_messages;
+            total.retransmit_messages += r.retransmit_messages;
+            total.duplicate_messages_ignored += r.duplicate_messages_ignored;
+            total.abandoned_messages += r.abandoned_messages;
+            total.shed_readings += r.shed_readings;
+            total.backpressure_signals += r.backpressure_signals;
+            // Latest-state fields: keep the final epoch's snapshot.
+            total.ingress_depth = r.ingress_depth;
+            total.degrade_factor = r.degrade_factor;
             // Counters are already cumulative; keep the latest snapshot.
             total.planner_cache = r.planner_cache.or(total.planner_cache);
         }
@@ -607,6 +955,35 @@ pub fn plan_assignments(
         }
     }
     out
+}
+
+/// Hops from `node` to the collector along `tree`'s parent chain (1 =
+/// the node is the tree's root). Walks are bounded, so a corrupted
+/// cyclic topology yields a finite (conservative) depth instead of a
+/// hang.
+fn route_depth(
+    assignments: &BTreeMap<NodeId, Vec<TreeAssignment>>,
+    node: NodeId,
+    tree: u32,
+) -> u64 {
+    let mut depth: u64 = 1;
+    let mut cur = node;
+    for _ in 0..=assignments.len() {
+        let Some(a) = assignments
+            .get(&cur)
+            .and_then(|v| v.iter().find(|a| a.tree == tree))
+        else {
+            return depth;
+        };
+        match a.parent {
+            Route::Collector => return depth,
+            Route::Node(p) => {
+                depth += 1;
+                cur = p;
+            }
+        }
+    }
+    depth
 }
 
 /// Readings `assigns` schedules for production at `epoch` — the per-

@@ -47,14 +47,19 @@ pub mod health;
 pub mod proto;
 pub mod samplers;
 pub mod throttle;
+pub mod transport;
 
 pub use agent::{AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment};
 pub use deployment::{
-    changed_assignments, due_readings, plan_assignments, Deployment, EpochReport, Observed,
-    Snapshot,
+    changed_assignments, due_readings, plan_assignments, DeliveredReading, Deployment, EpochReport,
+    Observed, Snapshot, TransportSpec,
 };
 pub use health::{
     HealthConfig, HealthEvents, HealthMonitor, HealthReport, HealthState, NodeHealthStats,
 };
-pub use proto::{WireMessage, WireReading};
+pub use proto::{FrameKind, WireMessage, WireReading};
 pub use throttle::TokenBucket;
+pub use transport::{
+    Endpoint, LinkSpec, LossyTransport, NetConfig, NetSpec, PartitionWindow, PerfectTransport,
+    SeqTracker, Transport, TransportStats,
+};

@@ -5,6 +5,10 @@
 //! tangible) plus densely packed readings. Encoding is explicit and
 //! versioned rather than serde-derived so the framing — and its fixed
 //! overhead — is visible and testable.
+//!
+//! Version 2 adds ARQ support for unreliable transports: a frame kind
+//! (data vs. ack) and a per-sender sequence number, so receivers can
+//! acknowledge and deduplicate (see [`crate::transport`]).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use remo_core::{AttrId, NodeId};
@@ -14,13 +18,40 @@ use std::fmt;
 /// Protocol magic marker.
 pub const MAGIC: u16 = 0x5235; // "R5"
 /// Protocol version.
-pub const VERSION: u8 = 1;
-/// Fixed header size in bytes: magic (2) + version (1) + tree (4) +
-/// from (4) + count (4).
-pub const HEADER_LEN: usize = 15;
+pub const VERSION: u8 = 2;
+/// Fixed header size in bytes: magic (2) + version (1) + kind (1) +
+/// tree (4) + from (4) + seq (8) + count (4).
+pub const HEADER_LEN: usize = 24;
 /// Encoded size of one reading: node (4) + attr (4) + value (8) +
 /// produced (8) + contributors (4).
 pub const READING_LEN: usize = 28;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A monitoring update (readings payload).
+    Data,
+    /// An acknowledgement of a data frame's sequence number (empty
+    /// payload).
+    Ack,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Ack),
+            _ => None,
+        }
+    }
+}
 
 /// One encoded observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,11 +71,17 @@ pub struct WireReading {
 /// A monitoring update message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireMessage {
+    /// Frame kind.
+    pub kind: FrameKind,
     /// Tree index within the deployed forest.
     pub tree: u32,
     /// Sending node.
     pub from: NodeId,
-    /// Payload.
+    /// Sender-assigned sequence number (monotone per sender; the ARQ
+    /// layer's ack/dedup key). Zero on transports that never lose
+    /// frames.
+    pub seq: u64,
+    /// Payload (empty for acks).
     pub readings: Vec<WireReading>,
 }
 
@@ -57,7 +94,10 @@ pub enum DecodeError {
     BadMagic(u16),
     /// Unsupported protocol version.
     BadVersion(u8),
-    /// Declared reading count exceeds the remaining bytes.
+    /// Unknown frame kind.
+    BadKind(u8),
+    /// Declared reading count exceeds the remaining bytes (or
+    /// overflows entirely).
     BadCount(u32),
 }
 
@@ -67,6 +107,7 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "frame shorter than header"),
             DecodeError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             DecodeError::BadCount(c) => write!(f, "reading count {c} exceeds frame size"),
         }
     }
@@ -75,6 +116,28 @@ impl fmt::Display for DecodeError {
 impl StdError for DecodeError {}
 
 impl WireMessage {
+    /// A data frame.
+    pub fn data(tree: u32, from: NodeId, seq: u64, readings: Vec<WireReading>) -> Self {
+        WireMessage {
+            kind: FrameKind::Data,
+            tree,
+            from,
+            seq,
+            readings,
+        }
+    }
+
+    /// An ack frame for `seq`.
+    pub fn ack(tree: u32, from: NodeId, seq: u64) -> Self {
+        WireMessage {
+            kind: FrameKind::Ack,
+            tree,
+            from,
+            seq,
+            readings: Vec::new(),
+        }
+    }
+
     /// Encodes the message into a frame.
     ///
     /// # Examples
@@ -82,17 +145,13 @@ impl WireMessage {
     /// ```
     /// use remo_runtime::proto::{WireMessage, WireReading};
     /// use remo_core::{NodeId, AttrId};
-    /// let msg = WireMessage {
-    ///     tree: 0,
-    ///     from: NodeId(3),
-    ///     readings: vec![WireReading {
-    ///         node: NodeId(3),
-    ///         attr: AttrId(1),
-    ///         value: 0.5,
-    ///         produced: 42,
-    ///         contributors: 1,
-    ///     }],
-    /// };
+    /// let msg = WireMessage::data(0, NodeId(3), 1, vec![WireReading {
+    ///     node: NodeId(3),
+    ///     attr: AttrId(1),
+    ///     value: 0.5,
+    ///     produced: 42,
+    ///     contributors: 1,
+    /// }]);
     /// let frame = msg.encode();
     /// assert_eq!(WireMessage::decode(frame).unwrap(), msg);
     /// ```
@@ -100,8 +159,10 @@ impl WireMessage {
         let mut buf = BytesMut::with_capacity(HEADER_LEN + self.readings.len() * READING_LEN);
         buf.put_u16(MAGIC);
         buf.put_u8(VERSION);
+        buf.put_u8(self.kind.to_u8());
         buf.put_u32(self.tree);
         buf.put_u32(self.from.0);
+        buf.put_u64(self.seq);
         buf.put_u32(self.readings.len() as u32);
         for r in &self.readings {
             buf.put_u32(r.node.0);
@@ -118,7 +179,7 @@ impl WireMessage {
     /// # Errors
     ///
     /// Returns a [`DecodeError`] on truncated, foreign, or corrupt
-    /// frames.
+    /// frames. Never panics, whatever the input bytes.
     pub fn decode(mut frame: Bytes) -> Result<Self, DecodeError> {
         if frame.len() < HEADER_LEN {
             return Err(DecodeError::Truncated);
@@ -131,10 +192,20 @@ impl WireMessage {
         if version != VERSION {
             return Err(DecodeError::BadVersion(version));
         }
+        let kind_raw = frame.get_u8();
+        let Some(kind) = FrameKind::from_u8(kind_raw) else {
+            return Err(DecodeError::BadKind(kind_raw));
+        };
         let tree = frame.get_u32();
         let from = NodeId(frame.get_u32());
+        let seq = frame.get_u64();
         let count = frame.get_u32();
-        if frame.remaining() < count as usize * READING_LEN {
+        // checked_mul: a hostile count must not overflow into a bogus
+        // "fits" verdict on 32-bit targets (or wrap the Vec capacity).
+        let Some(payload) = (count as usize).checked_mul(READING_LEN) else {
+            return Err(DecodeError::BadCount(count));
+        };
+        if frame.remaining() < payload {
             return Err(DecodeError::BadCount(count));
         }
         let mut readings = Vec::with_capacity(count as usize);
@@ -148,8 +219,10 @@ impl WireMessage {
             });
         }
         Ok(WireMessage {
+            kind,
             tree,
             from,
+            seq,
             readings,
         })
     }
@@ -167,10 +240,11 @@ mod tests {
     use super::*;
 
     fn sample_msg(n: usize) -> WireMessage {
-        WireMessage {
-            tree: 7,
-            from: NodeId(9),
-            readings: (0..n)
+        WireMessage::data(
+            7,
+            NodeId(9),
+            1234,
+            (0..n)
                 .map(|i| WireReading {
                     node: NodeId(i as u32),
                     attr: AttrId(100 + i as u32),
@@ -179,7 +253,7 @@ mod tests {
                     contributors: 1 + i as u32,
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]
@@ -188,6 +262,16 @@ mod tests {
             let msg = sample_msg(n);
             assert_eq!(WireMessage::decode(msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let ack = WireMessage::ack(3, NodeId(5), 42);
+        let back = WireMessage::decode(ack.encode()).unwrap();
+        assert_eq!(back, ack);
+        assert_eq!(back.kind, FrameKind::Ack);
+        assert!(back.readings.is_empty());
+        assert_eq!(ack.encoded_len(), HEADER_LEN);
     }
 
     #[test]
@@ -225,11 +309,39 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bad_kind() {
+        let mut buf = BytesMut::from(&sample_msg(0).encode()[..]);
+        buf[3] = 7;
+        assert_eq!(
+            WireMessage::decode(buf.freeze()),
+            Err(DecodeError::BadKind(7))
+        );
+    }
+
+    #[test]
     fn rejects_lying_count() {
         let frame = sample_msg(3).encode();
         // Keep header, drop one reading's bytes.
         let cut = frame.slice(0..frame.len() - 1);
         assert_eq!(WireMessage::decode(cut), Err(DecodeError::BadCount(3)));
+    }
+
+    #[test]
+    fn rejects_overflowing_count() {
+        // A header declaring u32::MAX readings: the byte check must not
+        // wrap around.
+        let mut buf = BytesMut::new();
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u64(0);
+        buf.put_u32(u32::MAX);
+        assert_eq!(
+            WireMessage::decode(buf.freeze()),
+            Err(DecodeError::BadCount(u32::MAX))
+        );
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! Pluggable message transports between agents and the collector.
+//!
+//! The deployment wires every agent's upstream traffic through a
+//! [`Transport`]. Two implementations ship:
+//!
+//! - [`PerfectTransport`] — immediate, loss-free, in-order delivery
+//!   over the same crossbeam channels the runtime has always used.
+//!   This is the deterministic default that keeps the mc/loom/chaos
+//!   suites honest, and it is bit-for-bit the pre-transport behavior.
+//! - [`LossyTransport`] — a fault-injecting transport driven by a
+//!   declarative [`NetSpec`]: per-link drop probability, uniform delay
+//!   in epochs, duplication, reordering, named partition windows, and
+//!   chaos-driven link outages. Every random decision is derived by
+//!   hashing `(seed, from, to, seq, attempt)`, so outcomes are
+//!   reproducible regardless of thread scheduling.
+//!
+//! On top of an unreliable transport the agents and the collector run
+//! a per-hop ARQ protocol (sequence numbers, acks, timeout-based
+//! retransmission with exponential backoff and a retry budget, and
+//! idempotent receiver-side dedup via [`SeqTracker`]); see the
+//! [`agent`](crate::agent) and [`deployment`](crate::deployment)
+//! modules. [`Transport::reliable`] tells them whether that machinery
+//! is needed at all.
+
+use crate::agent::AgentMsg;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use remo_core::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// Where a frame is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// Another monitoring agent.
+    Node(NodeId),
+    /// The central collector.
+    Collector,
+}
+
+/// Internal link-key tag for an endpoint ([`Endpoint::Collector`] maps
+/// to `u32::MAX`, which is never a valid agent id in this runtime).
+fn tag(to: Endpoint) -> u32 {
+    match to {
+        Endpoint::Node(n) => n.0,
+        Endpoint::Collector => u32::MAX,
+    }
+}
+
+// ----------------------------------------------------------------- NetSpec
+
+/// Per-link drop-probability override.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Drop probability on this directed link (overrides
+    /// [`NetSpec::drop`]).
+    pub drop: f64,
+}
+
+/// A named partition window: while active, traffic crossing the
+/// boundary between `members` and everyone else (the collector counts
+/// as outside) is cut in both directions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Human-readable name (surfaced in fault telemetry).
+    pub name: String,
+    /// Nodes inside the partition.
+    pub members: BTreeSet<NodeId>,
+    /// First epoch (inclusive) the partition is in effect.
+    pub from_epoch: u64,
+    /// Last epoch (inclusive), or `None` for permanent.
+    pub until_epoch: Option<u64>,
+}
+
+impl PartitionWindow {
+    fn active_at(&self, epoch: u64) -> bool {
+        epoch >= self.from_epoch && self.until_epoch.is_none_or(|u| epoch <= u)
+    }
+
+    /// Whether a `from → to` frame crosses this partition's boundary.
+    fn cuts(&self, from: NodeId, to: Endpoint, epoch: u64) -> bool {
+        if !self.active_at(epoch) {
+            return false;
+        }
+        let from_inside = self.members.contains(&from);
+        let to_inside = match to {
+            Endpoint::Node(n) => self.members.contains(&n),
+            Endpoint::Collector => false,
+        };
+        from_inside != to_inside
+    }
+}
+
+/// Declarative description of a lossy network.
+///
+/// All probabilities are per transmission attempt; retransmissions
+/// draw fresh (but reproducible) outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// RNG seed for the hash-derived fault decisions.
+    pub seed: u64,
+    /// Default per-link drop probability.
+    pub drop: f64,
+    /// Per-link drop overrides.
+    pub links: Vec<LinkSpec>,
+    /// Uniform delivery delay in `0..=delay_max` epochs.
+    pub delay_max: u64,
+    /// Duplication probability (the copy is delivered with its own
+    /// independent delay).
+    pub dup: f64,
+    /// Reordering probability: a reordered frame is held one extra
+    /// epoch so later traffic overtakes it.
+    pub reorder: f64,
+    /// Named partition windows.
+    pub partitions: Vec<PartitionWindow>,
+    /// Epoch after which the random faults (drop/delay/dup/reorder)
+    /// cease — the network "heals". Partition windows and chaos link
+    /// outages keep their own schedules.
+    pub active_until: Option<u64>,
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        NetSpec {
+            seed: 0,
+            drop: 0.0,
+            links: Vec::new(),
+            delay_max: 0,
+            dup: 0.0,
+            reorder: 0.0,
+            partitions: Vec::new(),
+            active_until: None,
+        }
+    }
+}
+
+impl NetSpec {
+    /// Drop probability of the directed link `from → to`.
+    pub fn drop_of(&self, from: NodeId, to: Endpoint) -> f64 {
+        if let Endpoint::Node(n) = to {
+            for l in &self.links {
+                if l.from == from && l.to == n {
+                    return l.drop;
+                }
+            }
+        }
+        self.drop
+    }
+
+    /// Whether the random faults apply at `epoch`.
+    pub fn faults_active(&self, epoch: u64) -> bool {
+        self.active_until.is_none_or(|u| epoch <= u)
+    }
+}
+
+/// ARQ and collector-ingress tuning for deployments on an unreliable
+/// transport.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Epochs before the first retransmission of an unacked frame;
+    /// doubles per attempt (exponential backoff).
+    pub base_rto: u64,
+    /// Total transmission attempts per frame before it is abandoned
+    /// (the retry budget).
+    pub max_attempts: u32,
+    /// Collector ingress queue capacity, in readings.
+    pub ingress_capacity: usize,
+    /// Queue fill fraction above which the collector widens the
+    /// agents' effective reporting intervals (degrade level +1).
+    pub high_watermark: f64,
+    /// Queue fill fraction below which the degrade level steps back
+    /// toward zero.
+    pub low_watermark: f64,
+    /// Maximum degrade level; the reporting-interval multiplier is
+    /// `2^level`.
+    pub max_degrade_level: u32,
+    /// Record every reading delivered at the collector (test/diagnosis
+    /// aid; unbounded memory — keep off in production).
+    pub record_deliveries: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            base_rto: 2,
+            max_attempts: 5,
+            ingress_capacity: 4096,
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            max_degrade_level: 3,
+            record_deliveries: false,
+        }
+    }
+}
+
+// ----------------------------------------------------------------- stats
+
+/// Fault-injection and delivery counters of a transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Data frames handed to the transport.
+    pub data_sent: u64,
+    /// Acks handed to the transport.
+    pub acks_sent: u64,
+    /// Frames dropped by the random loss process.
+    pub dropped_random: u64,
+    /// Frames dropped on a chaos-injected down link.
+    pub dropped_link_down: u64,
+    /// Frames cut by an active partition window.
+    pub dropped_partition: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Frames held for later delivery (delay or reorder).
+    pub delayed: u64,
+    /// Frames actually delivered to a receiver.
+    pub delivered: u64,
+}
+
+impl TransportStats {
+    /// Every frame the transport refused to carry.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_random + self.dropped_link_down + self.dropped_partition
+    }
+}
+
+// ----------------------------------------------------------------- trait
+
+/// Carries encoded wire frames between agents and up to the collector.
+///
+/// Sends never block and never report failure to the caller: loss is a
+/// property of the network, and reliability is the ARQ layer's job.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Carries a data frame from `from` toward `to`, sent during
+    /// `epoch`. `seq` is the sender's sequence number (already encoded
+    /// in the frame; passed separately so the transport can derive
+    /// per-attempt randomness without decoding).
+    fn send_data(&self, from: NodeId, to: Endpoint, seq: u64, epoch: u64, frame: Bytes);
+
+    /// Carries an ack for `seq` from `from` back to `to`.
+    fn send_ack(&self, from: Endpoint, to: NodeId, seq: u64, epoch: u64);
+
+    /// Whether delivery is loss-free, exactly-once, and prompt. A
+    /// reliable transport lets agents skip the ARQ machinery entirely,
+    /// which keeps the perfect path byte-identical to the
+    /// pre-transport runtime.
+    fn reliable(&self) -> bool;
+
+    /// Releases any held frames whose delivery epoch has arrived.
+    /// Called by the coordinator at the start of every epoch, before
+    /// ticks go out.
+    fn advance(&self, _epoch: u64) {}
+
+    /// Forces a directed link up or down (chaos injection). Returns
+    /// `false` when this transport cannot model link faults.
+    fn set_link_down(&self, _from: NodeId, _to: NodeId, _down: bool) -> bool {
+        false
+    }
+
+    /// Snapshot of the fault counters.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}
+
+// ----------------------------------------------------------------- perfect
+
+/// Immediate, loss-free channel delivery — the deterministic default.
+pub struct PerfectTransport {
+    peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+    collector: Sender<(u64, Bytes)>,
+}
+
+impl std::fmt::Debug for PerfectTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfectTransport")
+            .field("peers", &self.peers.len())
+            .finish()
+    }
+}
+
+impl PerfectTransport {
+    /// Wraps the deployment's channels.
+    pub fn new(
+        peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+        collector: Sender<(u64, Bytes)>,
+    ) -> Self {
+        PerfectTransport { peers, collector }
+    }
+}
+
+impl Transport for PerfectTransport {
+    fn send_data(&self, _from: NodeId, to: Endpoint, _seq: u64, epoch: u64, frame: Bytes) {
+        match to {
+            Endpoint::Collector => {
+                let _ = self.collector.send((epoch, frame));
+            }
+            Endpoint::Node(n) => {
+                if let Some(tx) = self.peers.get(&n) {
+                    let _ = tx.send(AgentMsg::Data {
+                        sent_epoch: epoch,
+                        frame,
+                    });
+                }
+            }
+        }
+    }
+
+    fn send_ack(&self, _from: Endpoint, to: NodeId, seq: u64, _epoch: u64) {
+        if let Some(tx) = self.peers.get(&to) {
+            let _ = tx.send(AgentMsg::Ack { seq });
+        }
+    }
+
+    fn reliable(&self) -> bool {
+        true
+    }
+}
+
+// ----------------------------------------------------------------- lossy
+
+/// A frame held for later delivery.
+#[derive(Debug)]
+enum Queued {
+    Data {
+        to: Endpoint,
+        sent_epoch: u64,
+        frame: Bytes,
+    },
+    Ack {
+        to: NodeId,
+        seq: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct LossyState {
+    /// delivery epoch → held frames.
+    delayed: BTreeMap<u64, Vec<Queued>>,
+    /// Per-(from, to, seq, is_ack) transmission counter: retransmits
+    /// of the same frame draw fresh, still-reproducible outcomes.
+    attempts: BTreeMap<(u32, u32, u64, bool), u32>,
+    /// Chaos-injected down links (directed).
+    link_down: BTreeSet<(u32, u32)>,
+    stats: TransportStats,
+}
+
+/// Fault-injecting transport driven by a [`NetSpec`].
+pub struct LossyTransport {
+    peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+    collector: Sender<(u64, Bytes)>,
+    spec: NetSpec,
+    state: Mutex<LossyState>,
+}
+
+impl std::fmt::Debug for LossyTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LossyTransport")
+            .field("peers", &self.peers.len())
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+/// SplitMix64: a tiny, high-quality bit mixer. Fault decisions hash
+/// the send coordinates through it instead of drawing from a shared
+/// mutable RNG stream, so outcomes do not depend on thread scheduling.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` for one (link, seq, attempt, salt)
+/// coordinate.
+fn unit(seed: u64, from: u32, to: u32, seq: u64, attempt: u32, salt: u64) -> f64 {
+    let mut h = seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+    h = splitmix64(h ^ (u64::from(from) << 32 | u64::from(to)));
+    h = splitmix64(h ^ seq);
+    h = splitmix64(h ^ u64::from(attempt));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DUP: u64 = 2;
+const SALT_DELAY: u64 = 3;
+const SALT_REORDER: u64 = 4;
+const SALT_DELAY_COPY: u64 = 5;
+
+impl LossyTransport {
+    /// Wraps the deployment's channels in a faulty network.
+    pub fn new(
+        peers: Arc<BTreeMap<NodeId, Sender<AgentMsg>>>,
+        collector: Sender<(u64, Bytes)>,
+        spec: NetSpec,
+    ) -> Self {
+        LossyTransport {
+            peers,
+            collector,
+            spec,
+            state: Mutex::new(LossyState::default()),
+        }
+    }
+
+    /// The network description this transport injects.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    fn deliver(&self, q: Queued, stats: &mut TransportStats) {
+        match q {
+            Queued::Data {
+                to,
+                sent_epoch,
+                frame,
+            } => match to {
+                Endpoint::Collector => {
+                    let _ = self.collector.send((sent_epoch, frame));
+                    stats.delivered += 1;
+                }
+                Endpoint::Node(n) => {
+                    if let Some(tx) = self.peers.get(&n) {
+                        let _ = tx.send(AgentMsg::Data { sent_epoch, frame });
+                        stats.delivered += 1;
+                    }
+                }
+            },
+            Queued::Ack { to, seq } => {
+                if let Some(tx) = self.peers.get(&to) {
+                    let _ = tx.send(AgentMsg::Ack { seq });
+                    stats.delivered += 1;
+                }
+            }
+        }
+    }
+
+    /// The shared faulty path for data and acks. `from`/`to_tag` are
+    /// link-key tags; `build` constructs the queued frame per copy.
+    #[allow(clippy::too_many_arguments)]
+    fn route(
+        &self,
+        from_node: NodeId,
+        from_tag: u32,
+        to: Endpoint,
+        seq: u64,
+        epoch: u64,
+        is_ack: bool,
+        make: impl Fn() -> Queued,
+    ) {
+        let to_tag = tag(to);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if is_ack {
+            st.stats.acks_sent += 1;
+        } else {
+            st.stats.data_sent += 1;
+        }
+
+        // Structural faults apply on their own schedules, healed or not.
+        if st.link_down.contains(&(from_tag, to_tag)) {
+            st.stats.dropped_link_down += 1;
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_net_dropped_frames_total").inc();
+            }
+            return;
+        }
+        if self
+            .spec
+            .partitions
+            .iter()
+            .any(|p| p.cuts(from_node, to, epoch))
+        {
+            st.stats.dropped_partition += 1;
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_net_dropped_frames_total").inc();
+            }
+            return;
+        }
+
+        if !self.spec.faults_active(epoch) {
+            let q = make();
+            let stats = &mut st.stats;
+            // Deliver inline while holding the lock: cheap, and keeps
+            // the delivered counter consistent.
+            self.deliver(q, stats);
+            return;
+        }
+
+        let attempt = {
+            let n = st
+                .attempts
+                .entry((from_tag, to_tag, seq, is_ack))
+                .or_insert(0);
+            *n += 1;
+            *n
+        };
+
+        if unit(self.spec.seed, from_tag, to_tag, seq, attempt, SALT_DROP)
+            < self.spec.drop_of(from_node, to)
+        {
+            st.stats.dropped_random += 1;
+            if remo_obs::enabled() {
+                remo_obs::counter("remo_net_dropped_frames_total").inc();
+            }
+            return;
+        }
+
+        let copies =
+            if unit(self.spec.seed, from_tag, to_tag, seq, attempt, SALT_DUP) < self.spec.dup {
+                st.stats.duplicated += 1;
+                if remo_obs::enabled() {
+                    remo_obs::counter("remo_net_duplicated_frames_total").inc();
+                }
+                2
+            } else {
+                1
+            };
+
+        for copy in 0..copies {
+            let salt = if copy == 0 {
+                SALT_DELAY
+            } else {
+                SALT_DELAY_COPY
+            };
+            let mut d = if self.spec.delay_max == 0 {
+                0
+            } else {
+                (unit(self.spec.seed, from_tag, to_tag, seq, attempt, salt)
+                    * (self.spec.delay_max + 1) as f64) as u64
+            };
+            if unit(
+                self.spec.seed,
+                from_tag,
+                to_tag,
+                seq,
+                attempt.wrapping_add(copy),
+                SALT_REORDER,
+            ) < self.spec.reorder
+            {
+                d += 1;
+            }
+            let q = make();
+            if d == 0 {
+                let stats = &mut st.stats;
+                self.deliver(q, stats);
+            } else {
+                st.stats.delayed += 1;
+                if remo_obs::enabled() {
+                    remo_obs::counter("remo_net_delayed_frames_total").inc();
+                }
+                st.delayed.entry(epoch + d).or_default().push(q);
+            }
+        }
+    }
+}
+
+impl Transport for LossyTransport {
+    fn send_data(&self, from: NodeId, to: Endpoint, seq: u64, epoch: u64, frame: Bytes) {
+        self.route(from, from.0, to, seq, epoch, false, || Queued::Data {
+            to,
+            sent_epoch: epoch,
+            frame: frame.clone(),
+        });
+    }
+
+    fn send_ack(&self, from: Endpoint, to: NodeId, seq: u64, epoch: u64) {
+        self.route(
+            match from {
+                Endpoint::Node(n) => n,
+                // The collector is never inside a partition's member
+                // set; use a sentinel node id for the link key.
+                Endpoint::Collector => NodeId(u32::MAX),
+            },
+            tag(from),
+            Endpoint::Node(to),
+            seq,
+            epoch,
+            true,
+            || Queued::Ack { to, seq },
+        );
+    }
+
+    fn reliable(&self) -> bool {
+        false
+    }
+
+    fn advance(&self, epoch: u64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let due: Vec<u64> = st.delayed.range(..=epoch).map(|(&e, _)| e).collect();
+        for e in due {
+            if let Some(queued) = st.delayed.remove(&e) {
+                for q in queued {
+                    let stats = &mut st.stats;
+                    self.deliver(q, stats);
+                }
+            }
+        }
+    }
+
+    fn set_link_down(&self, from: NodeId, to: NodeId, down: bool) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if down {
+            st.link_down.insert((from.0, to.0));
+        } else {
+            st.link_down.remove(&(from.0, to.0));
+        }
+        true
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats
+    }
+}
+
+// ----------------------------------------------------------------- dedup
+
+/// Idempotent receive-side dedup keyed on a sender's sequence numbers
+/// (seqs start at 1): tracks the highest contiguous seq seen plus the
+/// out-of-order stragglers, so memory stays bounded by the reorder
+/// window instead of the whole history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqTracker {
+    contiguous: u64,
+    pending: BTreeSet<u64>,
+}
+
+impl SeqTracker {
+    /// Records `seq`; returns `true` iff it was never seen before.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq <= self.contiguous || self.pending.contains(&seq) {
+            return false;
+        }
+        self.pending.insert(seq);
+        while self.pending.remove(&(self.contiguous + 1)) {
+            self.contiguous += 1;
+        }
+        true
+    }
+
+    /// Whether `seq` has been seen.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq <= self.contiguous || self.pending.contains(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn seq_tracker_dedups_and_compacts() {
+        let mut t = SeqTracker::default();
+        assert!(t.insert(1));
+        assert!(t.insert(3));
+        assert!(!t.insert(1), "replay of a contiguous seq");
+        assert!(!t.insert(3), "replay of a pending seq");
+        assert!(t.insert(2), "gap fill");
+        assert!(t.pending.is_empty(), "window compacted");
+        assert_eq!(t.contiguous, 3);
+        assert!(t.contains(2) && t.contains(3) && !t.contains(4));
+    }
+
+    #[test]
+    fn unit_draw_is_deterministic_and_uniformish() {
+        let a = unit(42, 1, 2, 7, 1, SALT_DROP);
+        let b = unit(42, 1, 2, 7, 1, SALT_DROP);
+        assert_eq!(a, b, "same coordinates, same draw");
+        assert_ne!(
+            a,
+            unit(42, 1, 2, 7, 2, SALT_DROP),
+            "fresh attempt, fresh draw"
+        );
+        let n = 4000;
+        let mean: f64 = (0..n).map(|i| unit(9, 0, 1, i, 1, SALT_DROP)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from uniform");
+    }
+
+    #[test]
+    fn partition_cuts_boundary_both_ways_within_window() {
+        let p = PartitionWindow {
+            name: "west".into(),
+            members: [NodeId(1), NodeId(2)].into_iter().collect(),
+            from_epoch: 10,
+            until_epoch: Some(20),
+        };
+        // inside → outside, inside → collector: cut.
+        assert!(p.cuts(NodeId(1), Endpoint::Node(NodeId(5)), 15));
+        assert!(p.cuts(NodeId(1), Endpoint::Collector, 10));
+        // outside → inside: cut. inside → inside: flows.
+        assert!(p.cuts(NodeId(5), Endpoint::Node(NodeId(2)), 20));
+        assert!(!p.cuts(NodeId(1), Endpoint::Node(NodeId(2)), 15));
+        // outside the window: flows.
+        assert!(!p.cuts(NodeId(1), Endpoint::Collector, 9));
+        assert!(!p.cuts(NodeId(1), Endpoint::Collector, 21));
+    }
+
+    #[test]
+    fn netspec_serde_roundtrip() {
+        let spec = NetSpec {
+            seed: 7,
+            drop: 0.05,
+            links: vec![LinkSpec {
+                from: NodeId(1),
+                to: NodeId(2),
+                drop: 0.5,
+            }],
+            delay_max: 2,
+            dup: 0.01,
+            reorder: 0.1,
+            partitions: vec![PartitionWindow {
+                name: "west".into(),
+                members: [NodeId(1)].into_iter().collect(),
+                from_epoch: 5,
+                until_epoch: None,
+            }],
+            active_until: Some(100),
+        };
+        let v = serde::Serialize::serialize(&spec);
+        let back: NetSpec = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fuzz-shaped hardening tests for the wire protocol decoder: no
+//! byte string — random, truncated, or bit-flipped — may ever panic
+//! the decoder; every rejection must be a structured [`DecodeError`].
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use bytes::{BufMut, Bytes, BytesMut};
+use proptest::prelude::*;
+use remo_core::{AttrId, NodeId};
+use remo_runtime::proto::{DecodeError, WireMessage, WireReading, HEADER_LEN, MAGIC, VERSION};
+
+fn valid_frame(readings: usize) -> Bytes {
+    WireMessage::data(
+        3,
+        NodeId(7),
+        99,
+        (0..readings)
+            .map(|i| WireReading {
+                node: NodeId(i as u32),
+                attr: AttrId(i as u32 % 5),
+                value: i as f64 * 0.25,
+                produced: 40 + i as u64,
+                contributors: 1,
+            })
+            .collect(),
+    )
+    .encode()
+}
+
+proptest! {
+    /// Arbitrary byte strings decode to Ok or a structured error —
+    /// never a panic, never an unbounded allocation.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in prop::collection::vec(0u16..256, 0..512),
+    ) {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = WireMessage::decode(Bytes::from(raw));
+    }
+
+    /// Every strict prefix of a valid frame is rejected with a
+    /// structured error; the full frame round-trips.
+    #[test]
+    fn truncations_are_structured_errors(
+        readings in 0usize..12,
+        cut in 0u64..u64::MAX,
+    ) {
+        let frame = valid_frame(readings);
+        let len = (cut % frame.len() as u64) as usize; // strict prefix
+        let err = WireMessage::decode(frame.slice(0..len)).unwrap_err();
+        if len < HEADER_LEN {
+            prop_assert_eq!(err, DecodeError::Truncated);
+        } else {
+            prop_assert!(matches!(err, DecodeError::BadCount(_)));
+        }
+        prop_assert!(WireMessage::decode(frame).is_ok());
+    }
+
+    /// Single-byte corruption never panics, and corrupting the fixed
+    /// header fields yields the matching structured error.
+    #[test]
+    fn bit_flips_never_panic(
+        readings in 0usize..8,
+        pos in 0u64..u64::MAX,
+        val in 0u16..256,
+    ) {
+        let frame = valid_frame(readings);
+        let mut raw = BytesMut::from(&frame[..]);
+        let pos = (pos % raw.len() as u64) as usize;
+        let val = val as u8;
+        if raw[pos] != val {
+            raw[pos] = val;
+            match WireMessage::decode(raw.freeze()) {
+                // Corruption past the magic/version/kind prefix can
+                // still parse (tree, from, seq, count-shrink, payload
+                // bytes all remain structurally valid frames).
+                Ok(_) => prop_assert!(pos >= 4, "magic/version/kind corruption must not pass"),
+                Err(DecodeError::BadMagic(_)) => prop_assert!(pos < 2),
+                Err(DecodeError::BadVersion(v)) => {
+                    prop_assert_eq!(pos, 2);
+                    prop_assert_ne!(v, VERSION);
+                }
+                Err(DecodeError::BadKind(_)) => prop_assert_eq!(pos, 3),
+                Err(DecodeError::BadCount(_)) => {
+                    // Only a grown count field (bytes 20..24) trips this.
+                    prop_assert!((20..24).contains(&pos));
+                }
+                Err(DecodeError::Truncated) => prop_assert!(false, "length never changed"),
+            }
+        }
+    }
+
+    /// Headers declaring absurd reading counts are rejected without
+    /// allocating for them.
+    #[test]
+    fn hostile_counts_rejected(count in 0u64..u64::from(u32::MAX)) {
+        let count = count as u32;
+        let mut buf = BytesMut::new();
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0); // data
+        buf.put_u32(0); // tree
+        buf.put_u32(0); // from
+        buf.put_u64(0); // seq
+        buf.put_u32(count);
+        let res = WireMessage::decode(buf.freeze());
+        if count == 0 {
+            prop_assert!(res.is_ok());
+        } else {
+            prop_assert_eq!(res.unwrap_err(), DecodeError::BadCount(count));
+        }
+    }
+}
+
+/// The decoder handles the empty buffer and the exact-header boundary.
+#[test]
+fn boundary_sizes() {
+    assert_eq!(
+        WireMessage::decode(Bytes::new()).unwrap_err(),
+        DecodeError::Truncated
+    );
+    let frame = valid_frame(0);
+    assert_eq!(frame.len(), HEADER_LEN);
+    assert!(WireMessage::decode(frame).is_ok());
+}

@@ -49,6 +49,19 @@ if [[ "${1:-}" == "--obs-smoke" ]]; then
   exit 0
 fi
 
+# --net-smoke: fast seeded lossy-network soak — wire-decoder fuzz
+# tests plus the mini chaos soak (drops, delay, duplication, a
+# partition window, and a node outage over 80 epochs) asserting
+# convergence within the declared staleness bounds. Deterministic,
+# well under 2s warm; exits without running the gate.
+if [[ "${1:-}" == "--net-smoke" ]]; then
+  echo "==> proto fuzz + seeded lossy mini-soak"
+  cargo test -q -p remo-runtime --test proto_fuzz
+  cargo test -q -p remo --test net_soak net_smoke
+  echo "net smoke passed."
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -68,6 +81,12 @@ echo "==> loom concurrency suite"
 CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
   LOOM_MAX_ITER="${LOOM_MAX_ITER:-400}" \
   cargo test -p remo-runtime --test loom
+
+# Seeded lossy-network smoke (also covered by cargo test above; kept
+# as an explicit, individually-runnable gate step).
+echo "==> net smoke"
+cargo test -q -p remo-runtime --test proto_fuzz
+cargo test -q -p remo --test net_soak net_smoke
 
 # Miri is optional: nightly-only component, not present in every
 # toolchain. Run it when available, skip loudly when not.

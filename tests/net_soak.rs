@@ -1,0 +1,360 @@
+//! Perfect-path regression pinning and the combined chaos soak.
+//!
+//! Two guarantees ride here:
+//!
+//! 1. The transport refactor must not change the perfect path at all:
+//!    a seeded deployment's per-epoch `EpochReport`s are pinned
+//!    against values captured from the pre-transport runtime.
+//! 2. Under hundreds of epochs of combined node failures and network
+//!    faults (drop + delay + dup + reorder + a partition window), the
+//!    self-healing collector converges with bounded staleness, zero
+//!    store corruption, and fault telemetry that reconciles with the
+//!    injected faults.
+//!
+//! Every test here takes `remo_obs::test_guard()`: the soak asserts
+//! process-global metric counters, so tests in this binary must not
+//! interleave their deployments.
+
+use remo::prelude::*;
+use remo_runtime::{Deployment, NetConfig, NetSpec, PartitionWindow, Sampler, TransportSpec};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn sampler() -> Sampler {
+    Arc::new(|n: NodeId, a: AttrId, e: u64| (n.0 * 1000 + a.0 * 10) as f64 + (e % 7) as f64)
+}
+
+fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {
+    (0..nodes)
+        .flat_map(|n| (0..attrs).map(move |a| (NodeId(n), AttrId(a))))
+        .collect()
+}
+
+/// The exact per-epoch reports the pre-transport runtime produced for
+/// this scenario (captured from the seed revision): the perfect
+/// transport must reproduce them bit for bit.
+#[test]
+fn perfect_path_reports_are_byte_identical_to_pre_transport_runtime() {
+    let _guard = remo_obs::test_guard();
+    let caps = CapacityMap::uniform(6, 100.0, 10_000.0).unwrap();
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let pairs = dense_pairs(6, 2);
+    let catalog = AttrCatalog::new();
+    let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+    let mut dep = Deployment::launch(&plan, &pairs, &caps, cost, &catalog, sampler());
+    for epoch in 1..=12u64 {
+        let r = dep.tick();
+        let expected = if epoch == 1 {
+            (2, 0, 0, 24.0)
+        } else {
+            (12, 0, 0, 34.0)
+        };
+        assert_eq!(
+            (
+                r.delivered_values,
+                r.dropped_messages,
+                r.dropped_readings,
+                r.volume
+            ),
+            expected,
+            "perfect path diverged from pre-transport runtime at epoch {epoch}"
+        );
+        // The robustness machinery must stay entirely dormant.
+        assert_eq!(r.retransmit_messages, 0);
+        assert_eq!(r.duplicate_messages_ignored, 0);
+        assert_eq!(r.abandoned_messages, 0);
+        assert_eq!(r.shed_readings, 0);
+        assert_eq!(r.backpressure_signals, 0);
+        assert_eq!(r.ingress_depth, 0);
+    }
+    assert_eq!(dep.net_stats(), Default::default());
+    assert!(
+        !dep.set_link_down(NodeId(0), NodeId(1), true),
+        "perfect transport cannot model link faults"
+    );
+    dep.shutdown();
+}
+
+fn fast_health(confirm_after: u32) -> HealthConfig {
+    HealthConfig {
+        deadline: std::time::Duration::from_millis(60),
+        confirm_after,
+        ..HealthConfig::default()
+    }
+}
+
+fn lossy_self_healing(
+    nodes: u32,
+    attrs: u32,
+    spec: NetSpec,
+    net: NetConfig,
+) -> (Deployment, PairSet) {
+    let caps = CapacityMap::uniform(nodes as usize, 200.0, 50_000.0).unwrap();
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let pairs = dense_pairs(nodes, attrs);
+    let planner = AdaptivePlanner::new(
+        Planner::default(),
+        AdaptScheme::Adaptive,
+        pairs.clone(),
+        caps,
+        cost,
+        AttrCatalog::new(),
+    );
+    let dep = Deployment::launch_self_healing_with_transport(
+        planner,
+        sampler(),
+        fast_health(2),
+        TransportSpec::Lossy(spec, net),
+    );
+    (dep, pairs)
+}
+
+/// The headline acceptance test: ≥300 epochs of node failures, ≥5%
+/// drop, delivery delay, duplication, reordering, a partition window,
+/// and a chaos-driven link outage — the collector must converge within
+/// the declared staleness bound with zero corruption, and the metrics
+/// must account for every injected fault.
+#[test]
+fn chaos_soak_converges_with_bounded_staleness() {
+    let _obs_guard = remo_obs::test_guard();
+    remo_obs::registry::registry().reset();
+    remo_obs::enable();
+
+    const EPOCHS: u64 = 300;
+    let members: BTreeSet<NodeId> = [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect();
+    let spec = NetSpec {
+        seed: 2026,
+        drop: 0.06,
+        delay_max: 2,
+        dup: 0.03,
+        reorder: 0.1,
+        partitions: vec![PartitionWindow {
+            name: "west-wing".into(),
+            members,
+            from_epoch: 120,
+            until_epoch: Some(150),
+        }],
+        active_until: Some(270),
+        ..NetSpec::default()
+    };
+    let (mut dep, pairs) = lossy_self_healing(10, 2, spec, NetConfig::default());
+
+    // Cut a relay edge that really carries tree traffic: pick a
+    // child → parent route from the launched assignments. The window
+    // sits before the first node failure, while the launch topology
+    // is still live.
+    let (child, parent) = dep
+        .assignments()
+        .iter()
+        .find_map(|(&node, assigns)| {
+            assigns.iter().find_map(|a| match a.parent {
+                remo_runtime::Route::Node(p) => Some((node, p)),
+                remo_runtime::Route::Collector => None,
+            })
+        })
+        .expect("10-node forest must contain at least one relay edge");
+
+    let mut schedule = FailureSchedule::new();
+    schedule.add(Outage::link(child, parent, 20, Some(50)));
+    schedule.add(Outage::node(NodeId(5), 60, Some(90)));
+    schedule.add(Outage::node(NodeId(7), 180, Some(210)));
+    let mut chaos = ChaosDriver::new(schedule);
+
+    let reports = chaos.run(&mut dep, EPOCHS);
+    remo_obs::disable();
+    assert_eq!(reports.len(), EPOCHS as usize);
+
+    // Fold the epoch reports the way Deployment::run does.
+    let retransmits: u64 = reports.iter().map(|r| r.retransmit_messages).sum();
+    let abandoned: u64 = reports.iter().map(|r| r.abandoned_messages).sum();
+    let dups_ignored: u64 = reports.iter().map(|r| r.duplicate_messages_ignored).sum();
+    let confirmed: u64 = reports.iter().map(|r| r.confirmed_dead).sum();
+    let repaired: u64 = reports.iter().map(|r| r.repaired).sum();
+    let recovered: u64 = reports.iter().map(|r| r.recovered).sum();
+
+    // The scripted failures were detected, repaired, and recovered.
+    assert_eq!(confirmed, 2, "both node outages confirmed");
+    assert_eq!(repaired, 2, "both failures repaired");
+    assert_eq!(recovered, 2, "both nodes reintegrated");
+
+    // The network actually hurt, and ARQ actually fought back.
+    let stats = dep.net_stats();
+    assert!(stats.dropped_random > 0, "6% drop must bite");
+    assert!(stats.dropped_partition > 0, "partition must cut traffic");
+    assert!(stats.dropped_link_down > 0, "chaos link outage must bite");
+    assert!(stats.duplicated > 0 && stats.delayed > 0);
+    assert!(retransmits > 0, "losses must trigger retransmissions");
+    assert!(dups_ignored > 0, "replays must be deduped");
+
+    // Random drops reconcile with the NetSpec's drop probability:
+    // every attempt (data + ack) faced p = 0.06 while faults were
+    // active (90% of the run), so the observed rate must sit near it.
+    let attempts = stats.data_sent + stats.acks_sent;
+    let rate = stats.dropped_random as f64 / attempts as f64;
+    assert!(
+        (0.02..=0.12).contains(&rate),
+        "drop rate {rate:.4} unreasonably far from spec 0.06"
+    );
+
+    // Zero store corruption: every stored value is bit-exact against
+    // the sampler at its claimed produce epoch, and never from the
+    // future.
+    let s = sampler();
+    for (n, a) in pairs.iter() {
+        let obs = dep.observed(n, a).expect("pair observed by soak end");
+        assert_eq!(obs.value, s(n, a, obs.produced), "corrupt store at {n}/{a}");
+        assert!(obs.received >= obs.produced, "time travel at {n}/{a}");
+    }
+
+    // Convergence: the network healed at 270 — by 300 every pair's
+    // snapshot is within the declared per-attribute staleness bound.
+    let bounds = dep.staleness_bounds();
+    for (n, a) in pairs.iter() {
+        let obs = dep.observed(n, a).expect("pair observed");
+        let staleness = dep.epoch() - obs.produced;
+        let bound = bounds[&a];
+        assert!(
+            staleness <= bound,
+            "{n}/{a} staleness {staleness} exceeds declared bound {bound}"
+        );
+    }
+
+    // Metric reconciliation: the obs layer accounts for every injected
+    // fault. Transport-side counters are incremented under the same
+    // lock as the stats and must match exactly; agent-side counters
+    // are folded through tick reports, where a straggling report after
+    // the final tick can escape the fold — allow only that slack.
+    let c = |name: &str| remo_obs::counter(name).get() as u64;
+    assert_eq!(c("remo_net_dropped_frames_total"), stats.total_dropped());
+    assert_eq!(c("remo_net_duplicated_frames_total"), stats.duplicated);
+    assert_eq!(c("remo_net_delayed_frames_total"), stats.delayed);
+    let retx_metric = c("remo_net_retransmits_total");
+    assert!(
+        retx_metric >= retransmits && retx_metric - retransmits <= 50,
+        "retransmit counter {retx_metric} vs folded {retransmits}"
+    );
+    let abandoned_metric = c("remo_net_abandoned_frames_total");
+    assert!(
+        abandoned_metric >= abandoned && abandoned_metric - abandoned <= 50,
+        "abandoned counter {abandoned_metric} vs folded {abandoned}"
+    );
+
+    dep.shutdown();
+}
+
+/// Collector overload sheds gracefully: with a starved collector and a
+/// tiny ingress queue, the deployment must degrade (widen reporting
+/// intervals, shed lowest-value readings) instead of corrupting state
+/// or growing without bound — and must surface the degradation.
+#[test]
+fn overload_degrades_gracefully_and_recovers() {
+    let _guard = remo_obs::test_guard();
+    const EPOCHS: u64 = 120;
+    let spec = NetSpec {
+        seed: 9,
+        ..NetSpec::default() // loss-free: isolate the overload path
+    };
+    let net = NetConfig {
+        ingress_capacity: 16,
+        ..NetConfig::default()
+    };
+    // Provisioning mismatch: the plan assumed a well-provisioned
+    // collector, but the deployed one has a fraction of that budget —
+    // the runtime must absorb the overload the planner never saw.
+    let planned_caps = CapacityMap::uniform(10, 200.0, 10_000.0).unwrap();
+    let caps = CapacityMap::uniform(10, 200.0, 30.0).unwrap(); // starved collector
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let pairs = dense_pairs(10, 3);
+    let catalog = AttrCatalog::new();
+    let plan = Planner::default().plan_with_catalog(&pairs, &planned_caps, cost, &catalog);
+    let mut dep = Deployment::launch_with_transport(
+        &plan,
+        &pairs,
+        &caps,
+        cost,
+        &catalog,
+        sampler(),
+        HealthConfig::default(),
+        TransportSpec::Lossy(spec, net),
+    );
+
+    let total = dep.run(EPOCHS);
+    assert!(
+        total.backpressure_signals > 0,
+        "saturated collector must signal backpressure"
+    );
+    assert!(
+        total.degrade_factor > 1,
+        "reporting intervals must widen under overload"
+    );
+    assert!(
+        total.shed_readings > 0,
+        "bounded ingress must shed under overload"
+    );
+    assert!(
+        total.ingress_depth <= 16,
+        "ingress queue must stay bounded, got {}",
+        total.ingress_depth
+    );
+    // Degradation is graceful: whatever was kept is uncorrupted, and
+    // the staleness bounds honestly reflect the widened intervals.
+    let s = sampler();
+    for (n, a) in pairs.iter() {
+        if let Some(obs) = dep.observed(n, a) {
+            assert_eq!(obs.value, s(n, a, obs.produced), "corrupt store at {n}/{a}");
+        }
+    }
+    let bounds = dep.staleness_bounds();
+    let base = 1 + 1 + NetConfig::default().base_rto + 1; // period + depth(root) + rto + 1
+    assert!(
+        bounds
+            .values()
+            .all(|&b| b >= base + dep.degrade_factor() - 1),
+        "declared bounds must reflect the degrade factor"
+    );
+    dep.shutdown();
+}
+
+/// Fast seeded lossy soak for the `--net-smoke` CI gate (<2s): node
+/// failure + drops + delay + partition over 80 epochs, asserting
+/// convergence and zero corruption.
+#[test]
+fn net_smoke_mini_soak() {
+    let _guard = remo_obs::test_guard();
+    const EPOCHS: u64 = 80;
+    let spec = NetSpec {
+        seed: 77,
+        drop: 0.08,
+        delay_max: 1,
+        dup: 0.05,
+        reorder: 0.1,
+        partitions: vec![PartitionWindow {
+            name: "blip".into(),
+            members: [NodeId(2)].into_iter().collect(),
+            from_epoch: 30,
+            until_epoch: Some(40),
+        }],
+        active_until: Some(60),
+        ..NetSpec::default()
+    };
+    let (mut dep, pairs) = lossy_self_healing(6, 2, spec, NetConfig::default());
+    let mut schedule = FailureSchedule::new();
+    schedule.add(Outage::node(NodeId(4), 20, Some(35)));
+    let mut chaos = ChaosDriver::new(schedule);
+    let reports = chaos.run(&mut dep, EPOCHS);
+
+    assert!(reports.iter().map(|r| r.retransmit_messages).sum::<u64>() > 0);
+    let s = sampler();
+    let bounds = dep.staleness_bounds();
+    for (n, a) in pairs.iter() {
+        let obs = dep.observed(n, a).expect("pair observed");
+        assert_eq!(obs.value, s(n, a, obs.produced), "corrupt store at {n}/{a}");
+        let staleness = dep.epoch() - obs.produced;
+        assert!(
+            staleness <= bounds[&a],
+            "{n}/{a} staleness {staleness} over bound {}",
+            bounds[&a]
+        );
+    }
+    dep.shutdown();
+}

@@ -183,16 +183,18 @@ proptest! {
     fn wire_roundtrip(
         tree in 0u32..100,
         from in 0u32..1000,
+        seq in 0u64..u64::MAX,
         readings in prop::collection::vec(
             (0u32..1000, 0u32..1000, -1e12f64..1e12, 0u64..1_000_000, 1u32..100),
             0..50,
         ),
     ) {
         use remo_runtime::proto::{WireMessage, WireReading};
-        let msg = WireMessage {
+        let msg = WireMessage::data(
             tree,
-            from: NodeId(from),
-            readings: readings
+            NodeId(from),
+            seq,
+            readings
                 .into_iter()
                 .map(|(n, a, v, p, c)| WireReading {
                     node: NodeId(n),
@@ -202,7 +204,7 @@ proptest! {
                     contributors: c,
                 })
                 .collect(),
-        };
+        );
         let back = WireMessage::decode(msg.encode()).unwrap();
         prop_assert_eq!(back, msg);
     }

@@ -120,10 +120,11 @@ fn reconfiguration_mid_flight_loses_nothing_permanently() {
 #[test]
 fn wire_protocol_overhead_is_the_header() {
     use remo_runtime::proto::{WireMessage, WireReading, HEADER_LEN, READING_LEN};
-    let msg = WireMessage {
-        tree: 0,
-        from: NodeId(0),
-        readings: (0..10)
+    let msg = WireMessage::data(
+        0,
+        NodeId(0),
+        1,
+        (0..10)
             .map(|i| WireReading {
                 node: NodeId(i),
                 attr: AttrId(0),
@@ -132,7 +133,7 @@ fn wire_protocol_overhead_is_the_header() {
                 contributors: 1,
             })
             .collect(),
-    };
+    );
     // The C + a·x cost model made concrete: fixed header (C) plus
     // per-reading payload (a·x).
     assert_eq!(msg.encoded_len(), HEADER_LEN + 10 * READING_LEN);
