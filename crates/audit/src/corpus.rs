@@ -8,6 +8,11 @@
 //! constructors would have rejected them — exactly what a plan that
 //! crossed a serialization boundary can contain.
 
+// Corpus fixtures are built from constant inputs whose constructors
+// cannot fail; a panic here is a broken fixture, not a runtime error
+// path, so the workspace unwrap/expect deny is relaxed for this module.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::AuditBundle;
 use remo_core::planner::{PartitionScheme, Planner};
 use remo_core::reliability::rewrite_ssdp;
@@ -305,6 +310,7 @@ pub fn known_bad() -> Vec<BadCase> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::Audit;
     use std::collections::BTreeSet;

@@ -165,6 +165,7 @@ pub fn check_failure_schedule(schedule: &FailureSchedule, ruleset: &RuleSet) -> 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use remo_core::planner::Planner;
     use remo_core::{AttrId, CapacityMap, CostModel};

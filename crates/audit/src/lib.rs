@@ -206,6 +206,7 @@ pub fn assert_plan_clean(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use remo_core::planner::Planner;
     use remo_core::{AttrId, NodeId};

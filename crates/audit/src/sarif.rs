@@ -125,6 +125,7 @@ pub fn sarif_json(outcome: &AuditOutcome) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::Finding;
     use remo_core::NodeId;

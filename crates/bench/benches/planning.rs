@@ -2,6 +2,10 @@
 //! scales. Complements the figure harnesses with statistically sound
 //! timing (the schemes' *coverage* comparison lives in fig5/fig6).
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,6 +1,10 @@
 //! Substrate benchmarks: simulator epoch throughput and wire-protocol
 //! encode/decode.
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use remo_core::planner::Planner;
 use remo_core::{AttrCatalog, AttrId, CapacityMap, CostModel, NodeId, PairSet};

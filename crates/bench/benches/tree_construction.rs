@@ -2,6 +2,10 @@
 //! candidates) and the adjustment-optimization variants (Fig. 10's
 //! timing dimension).
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use remo_core::build::{
     build_tree, AdjustConfig, BuildRequest, BuilderKind, LocalLoad, NodeDemand,

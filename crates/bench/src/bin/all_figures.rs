@@ -5,6 +5,10 @@
 //! cargo run --release -p remo-bench --bin all_figures
 //! ```
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::Command;
 
 const FIGURES: [&str; 8] = [

@@ -30,6 +30,10 @@
 //! instrumented run are not comparable to the committed baseline —
 //! the smoke regression gate is skipped when either flag is given.
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo_core::planner::{EvalBreakdown, Planner, PlannerConfig};

@@ -6,6 +6,10 @@
 //! trees of very different sizes, where building small trees first
 //! avoids starving them).
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo_bench::{f3, Reporter};

@@ -15,6 +15,10 @@
 //! overhead is worth ~100 values (`C/a = 100`), so node budgets bound
 //! message *counts* long before payloads.
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo_bench::{eval_scheme, f3, Reporter, SCHEMES};

@@ -7,6 +7,10 @@
 //! hardest (many trees, many messages), ONE-SET degrades gracefully,
 //! and REMO adapts by coarsening its partition.
 
+// Benchmark scaffolding: inputs are compile-time constants, so a
+// failed unwrap is a broken harness, not a runtime error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo_bench::{eval_scheme, f3, Reporter, SCHEMES};

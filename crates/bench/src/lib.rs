@@ -139,7 +139,7 @@ pub fn eval_scheme(
 /// dominates small payloads, matching the paper's Fig. 2 measurements
 /// (one empty message ≈ the cost of tens of values).
 pub fn default_cost() -> CostModel {
-    CostModel::from_ratio(20.0).expect("valid ratio")
+    CostModel::from_ratio(20.0).unwrap_or_else(|_| unreachable!("20.0 is a valid ratio"))
 }
 
 /// Formats a float with three decimals for CSV cells.
@@ -149,6 +149,7 @@ pub fn f3(v: f64) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

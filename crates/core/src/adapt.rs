@@ -329,7 +329,7 @@ impl AdaptivePlanner {
         let old_plan = self.plan.clone();
         self.caps
             .set_node(node, capacity)
-            .expect("non-negative capacity");
+            .unwrap_or_else(|e| panic!("non-negative capacity: {e}"));
 
         // Affected: trees the node is currently in (failure) plus trees
         // whose attribute sets the node demands (recovery headroom).
@@ -425,7 +425,7 @@ impl AdaptivePlanner {
             partition,
             new_trees
                 .into_iter()
-                .map(|t| t.expect("every set planned"))
+                .map(|t| t.unwrap_or_else(|| unreachable!("every set planned")))
                 .collect(),
         );
         rebuilt
@@ -471,8 +471,8 @@ impl AdaptivePlanner {
                 kept_from_old.push(None);
             }
         }
-        let partition =
-            Partition::from_sets(sets).expect("filtered sets remain disjoint and non-empty");
+        let partition = Partition::from_sets(sets)
+            .unwrap_or_else(|e| panic!("filtered sets remain disjoint and non-empty: {e}"));
 
         // Affected sets: contain a touched attribute, shrank, or are new.
         let mut affected: BTreeSet<usize> = BTreeSet::new();
@@ -494,7 +494,8 @@ impl AdaptivePlanner {
             if affected.contains(&i) {
                 continue;
             }
-            let k = old_idx.expect("unaffected trees come from the old plan");
+            let k =
+                old_idx.unwrap_or_else(|| unreachable!("unaffected trees come from the old plan"));
             let t = self.plan.trees()[k].clone();
             for (&n, &u) in &t.usage {
                 if let Some(r) = avail.get_mut(&n) {
@@ -540,7 +541,7 @@ impl AdaptivePlanner {
             partition,
             new_trees
                 .into_iter()
-                .map(|t| t.expect("every set planned"))
+                .map(|t| t.unwrap_or_else(|| unreachable!("every set planned")))
                 .collect(),
         );
         (rebuilt, affected)
@@ -761,10 +762,10 @@ fn op_edge_changes(
         if let Some(t) = old_trees[k].tree.as_ref() {
             for n in t.nodes() {
                 old_nodes.insert(n);
-                old_parents
-                    .entry(n)
-                    .or_default()
-                    .insert(t.parent(n).expect("member has a parent"));
+                old_parents.entry(n).or_default().insert(
+                    t.parent(n)
+                        .unwrap_or_else(|| unreachable!("member has a parent")),
+                );
             }
         }
     }
@@ -774,7 +775,9 @@ fn op_edge_changes(
         if let Some(t) = new_trees[k].tree.as_ref() {
             for n in t.nodes() {
                 new_nodes.insert(n);
-                let p = t.parent(n).expect("member has a parent");
+                let p = t
+                    .parent(n)
+                    .unwrap_or_else(|| unreachable!("member has a parent"));
                 if !old_parents.get(&n).is_some_and(|s| s.contains(&p)) {
                     changed += 1;
                 }
@@ -810,6 +813,7 @@ fn remap_touched(touched: &BTreeSet<usize>, op: PartitionOp, new_len: usize) -> 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::planner::PlannerConfig;
 

@@ -362,7 +362,12 @@ impl LoadTracker {
     /// Remaining budget of `node`.
     pub fn available(&self, node: NodeId) -> Option<f64> {
         let e = self.entries.get(&node)?;
-        Some(e.budget - self.usage(node).expect("node present"))
+        Some(
+            e.budget
+                - self
+                    .usage(node)
+                    .unwrap_or_else(|| unreachable!("node present")),
+        )
     }
 
     /// Collector-side usage: receive cost of the root's message.
@@ -409,7 +414,10 @@ impl LoadTracker {
         let mut cur = Some(start);
         while let Some(n) = cur {
             let fresh = self.compute_outgoing(n);
-            let e = self.entries.get_mut(&n).expect("path node present");
+            let e = self
+                .entries
+                .get_mut(&n)
+                .unwrap_or_else(|| unreachable!("path node present"));
             saved.push((n, std::mem::replace(&mut e.outgoing, fresh)));
             cur = e.parent;
         }
@@ -430,7 +438,7 @@ impl LoadTracker {
         let mut cur = Some(start);
         while let Some(n) = cur {
             let e = &self.entries[&n];
-            if self.usage(n).expect("path node") > e.budget + EPS {
+            if self.usage(n).unwrap_or_else(|| unreachable!("path node")) > e.budget + EPS {
                 return Err(AttachError::BudgetExceeded);
             }
             cur = e.parent;
@@ -474,7 +482,7 @@ impl LoadTracker {
         );
         self.entries
             .get_mut(&parent)
-            .expect("parent present")
+            .unwrap_or_else(|| unreachable!("parent present"))
             .children
             .push(node);
 
@@ -492,7 +500,11 @@ impl LoadTracker {
 
     fn check_node_budget(&self, node: NodeId) -> Result<(), AttachError> {
         let e = &self.entries[&node];
-        if self.usage(node).expect("node present") > e.budget + EPS {
+        if self
+            .usage(node)
+            .unwrap_or_else(|| unreachable!("node present"))
+            > e.budget + EPS
+        {
             Err(AttachError::BudgetExceeded)
         } else {
             Ok(())
@@ -500,10 +512,17 @@ impl LoadTracker {
     }
 
     fn remove_leaf(&mut self, node: NodeId) {
-        let e = self.entries.remove(&node).expect("leaf present");
+        let e = self
+            .entries
+            .remove(&node)
+            .unwrap_or_else(|| unreachable!("leaf present"));
         debug_assert!(e.children.is_empty());
         if let Some(p) = e.parent {
-            let kids = &mut self.entries.get_mut(&p).expect("parent").children;
+            let kids = &mut self
+                .entries
+                .get_mut(&p)
+                .unwrap_or_else(|| unreachable!("parent"))
+                .children;
             kids.retain(|&k| k != node);
         } else {
             self.root = None;
@@ -528,7 +547,10 @@ impl LoadTracker {
         let old_parent = self.entries[&node].parent;
         let mut nodes = Vec::with_capacity(order.len());
         for (idx, &n) in order.iter().enumerate() {
-            let e = self.entries.remove(&n).expect("subtree node present");
+            let e = self
+                .entries
+                .remove(&n)
+                .unwrap_or_else(|| unreachable!("subtree node present"));
             let parent_in_branch = if idx == 0 { None } else { e.parent };
             nodes.push((n, parent_in_branch, e.local, e.budget));
         }
@@ -536,7 +558,7 @@ impl LoadTracker {
             Some(p) => {
                 self.entries
                     .get_mut(&p)
-                    .expect("parent present")
+                    .unwrap_or_else(|| unreachable!("parent present"))
                     .children
                     .retain(|&k| k != node);
                 let _ = self.refresh_upward(p);
@@ -586,14 +608,17 @@ impl LoadTracker {
             let p = parent_in_branch.unwrap_or(target);
             self.entries
                 .get_mut(&p)
-                .expect("parent inserted first")
+                .unwrap_or_else(|| unreachable!("parent inserted first"))
                 .children
                 .push(*n);
         }
         // Branch-internal outgoing, children before parents.
         for (n, ..) in branch.nodes.iter().rev() {
             let fresh = self.compute_outgoing(*n);
-            self.entries.get_mut(n).expect("present").outgoing = fresh;
+            self.entries
+                .get_mut(n)
+                .unwrap_or_else(|| unreachable!("present"))
+                .outgoing = fresh;
         }
         let saved = self.refresh_upward(target);
 
@@ -610,7 +635,7 @@ impl LoadTracker {
             }
             self.entries
                 .get_mut(&target)
-                .expect("target present")
+                .unwrap_or_else(|| unreachable!("target present"))
                 .children
                 .retain(|k| branch.nodes[0].0 != *k);
             return Err((branch, e));
@@ -660,7 +685,9 @@ impl LoadTracker {
         let mut tree = Tree::new(attrs, root);
         let mut stack: Vec<NodeId> = self.children(root).to_vec();
         while let Some(n) = stack.pop() {
-            let p = self.parent(n).expect("non-root has parent");
+            let p = self
+                .parent(n)
+                .unwrap_or_else(|| unreachable!("non-root has parent"));
             tree.attach(n, p);
             stack.extend(self.children(n).iter().copied());
         }
@@ -671,7 +698,7 @@ impl LoadTracker {
     pub fn usage_map(&self) -> BTreeMap<NodeId, f64> {
         self.entries
             .keys()
-            .map(|&n| (n, self.usage(n).expect("tracked")))
+            .map(|&n| (n, self.usage(n).unwrap_or_else(|| unreachable!("tracked"))))
             .collect()
     }
 }
@@ -784,7 +811,7 @@ fn build_chain(request: &BuildRequest) -> BuildOutcome {
 fn members_by_avail(t: &LoadTracker) -> Vec<NodeId> {
     let mut m: Vec<(NodeId, f64)> = t
         .nodes()
-        .map(|n| (n, t.available(n).expect("member")))
+        .map(|n| (n, t.available(n).unwrap_or_else(|| unreachable!("member"))))
         .collect();
     m.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -847,7 +874,9 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
             leaves
         };
         for unit in movable {
-            let old_parent = t.parent(unit).expect("movable unit has a parent");
+            let old_parent = t
+                .parent(unit)
+                .unwrap_or_else(|| unreachable!("movable unit has a parent"));
             let branch = t.detach_subtree(unit);
             let in_branch: std::collections::BTreeSet<NodeId> =
                 branch.nodes.iter().map(|(n, ..)| *n).collect();
@@ -873,7 +902,12 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
                 .filter(|n| !in_branch.contains(n))
                 .take(PARENT_CANDIDATES)
             {
-                match t.try_attach_branch(carried.take().expect("branch in hand"), target) {
+                match t.try_attach_branch(
+                    carried
+                        .take()
+                        .unwrap_or_else(|| unreachable!("branch in hand")),
+                    target,
+                ) {
                     Ok(()) => break,
                     Err((back, _)) => carried = Some(back),
                 }
@@ -881,8 +915,9 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
             match carried {
                 None => return true,
                 Some(back) => {
-                    t.try_attach_branch(back, old_parent)
-                        .expect("restoring a just-detached branch cannot fail");
+                    t.try_attach_branch(back, old_parent).unwrap_or_else(|_| {
+                        unreachable!("restoring a just-detached branch cannot fail")
+                    });
                 }
             }
         }
@@ -940,6 +975,7 @@ fn build_adaptive(request: &BuildRequest, cfg: AdjustConfig) -> BuildOutcome {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ids::AttrId;
 

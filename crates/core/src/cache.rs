@@ -279,6 +279,7 @@ impl Clone for TreeCache {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::attribute::AttrCatalog;
     use crate::capacity::CapacityMap;

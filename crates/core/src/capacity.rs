@@ -133,6 +133,7 @@ fn validate(name: &'static str, value: f64) -> Result<(), PlanError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

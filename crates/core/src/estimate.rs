@@ -168,7 +168,10 @@ impl<'a> GainEstimator<'a> {
         // owners (they would pay an extra message after the split).
         let mut multi_owner: BTreeMap<(usize, AttrId), usize> = BTreeMap::new();
         for (node, here) in &member_sets {
-            let owned = self.pairs.attrs_of(*node).expect("member owns attrs");
+            let owned = self
+                .pairs
+                .attrs_of(*node)
+                .unwrap_or_else(|| unreachable!("member owns attrs"));
             for &i in here {
                 if owned.intersection(&sets[i]).count() >= 2 {
                     for a in owned.intersection(&sets[i]) {
@@ -261,6 +264,7 @@ impl<'a> GainEstimator<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ids::NodeId;
 

@@ -110,10 +110,12 @@ impl<'a> BudgetOverlay<'a> {
     /// Panics if `node` is not in the base map, matching the eager
     /// path's `expect("known node")`.
     pub fn add(&mut self, node: NodeId, delta: f64) {
-        let v = self
-            .touched
-            .entry(node)
-            .or_insert_with(|| *self.base.get(&node).expect("known node"));
+        let v = self.touched.entry(node).or_insert_with(|| {
+            *self
+                .base
+                .get(&node)
+                .unwrap_or_else(|| unreachable!("known node"))
+        });
         *v += delta;
     }
 
@@ -172,7 +174,7 @@ pub(crate) fn make_request_with_participants<B: BudgetView + ?Sized>(
         let owned = ctx
             .pairs
             .attrs_of(node)
-            .expect("participant owns at least one attribute");
+            .unwrap_or_else(|| unreachable!("participant owns at least one attribute"));
         let mut load = LocalLoad {
             holistic: 0.0,
             funnel: vec![0.0; funnels.len()],
@@ -364,13 +366,14 @@ pub fn build_forest_cached(
         partition.clone(),
         planned
             .into_iter()
-            .map(|t| t.expect("every set planned"))
+            .map(|t| t.unwrap_or_else(|| unreachable!("every set planned")))
             .collect(),
     )
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ids::AttrId;
 

@@ -42,7 +42,10 @@ pub fn to_dot(plan: &MonitoringPlan) -> String {
         out.push_str("  }\n");
         if let Some(tree) = planned.tree.as_ref() {
             for n in tree.nodes() {
-                match tree.parent(n).expect("member has parent") {
+                match tree
+                    .parent(n)
+                    .unwrap_or_else(|| unreachable!("member has parent"))
+                {
                     Parent::Collector => {
                         let _ = writeln!(out, "  t{k}_{} -> collector;", n.0);
                     }
@@ -121,6 +124,7 @@ pub fn node_report(plan: &MonitoringPlan, node: NodeId) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::capacity::CapacityMap;
     use crate::cost::CostModel;

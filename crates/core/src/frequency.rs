@@ -136,15 +136,15 @@ pub fn plan_frequency_groups(
     let mut groups = Vec::with_capacity(ordered.len());
 
     for (freq, group_pairs) in ordered {
-        let mut group_caps =
-            CapacityMap::new(collector_remaining.max(0.0)).expect("non-negative collector budget");
+        let mut group_caps = CapacityMap::new(collector_remaining.max(0.0))
+            .unwrap_or_else(|e| panic!("non-negative collector budget: {e}"));
         for (&n, &b) in &remaining {
             group_caps
                 .set_node(n, b.max(0.0))
-                .expect("non-negative budget");
+                .unwrap_or_else(|e| panic!("non-negative budget: {e}"));
         }
         let group_cost = CostModel::new(cost.per_message() * freq, cost.per_value() * freq)
-            .expect("scaled cost model is valid");
+            .unwrap_or_else(|e| panic!("scaled cost model is valid: {e}"));
         let plan = planner.plan_with_catalog(&group_pairs, &group_caps, group_cost, catalog);
         for (n, u) in plan.node_usage() {
             if let Some(r) = remaining.get_mut(&n) {
@@ -164,6 +164,7 @@ pub fn plan_frequency_groups(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::attribute::AttrInfo;
     use crate::ids::AttrId;

@@ -54,6 +54,11 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Planner diagnostics go through remo-obs (structured events plus the
+// REMO_PLANNER_DEBUG echo); direct prints from library code are build
+// errors so they cannot creep back in.
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod adapt;
 pub mod alloc;
@@ -73,6 +78,7 @@ mod partition;
 pub mod plan;
 pub mod planner;
 pub mod reliability;
+pub mod symbolic;
 mod task;
 mod taskman;
 mod tree;
@@ -87,6 +93,7 @@ pub use ids::{AttrId, NodeId, TaskId};
 pub use pairs::{PairSet, ParticipantBitsets};
 pub use partition::{AttrSet, Partition, PartitionOp};
 pub use plan::MonitoringPlan;
+pub use symbolic::Interval;
 pub use task::{MonitoringTask, TaskChange};
 pub use taskman::TaskManager;
 pub use tree::{Parent, Tree};

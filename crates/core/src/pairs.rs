@@ -236,6 +236,7 @@ impl Extend<(NodeId, AttrId)> for PairSet {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn sample() -> PairSet {

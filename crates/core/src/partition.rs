@@ -295,6 +295,7 @@ impl fmt::Display for PartitionOp {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn universe(n: u32) -> Vec<AttrId> {

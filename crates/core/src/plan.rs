@@ -183,6 +183,7 @@ impl MonitoringPlan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ids::AttrId;
     use crate::partition::AttrSet;

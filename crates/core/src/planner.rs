@@ -301,7 +301,7 @@ impl Planner {
                 }
             }
         }
-        let plan = best.expect("at least one seed");
+        let plan = best.unwrap_or_else(|| unreachable!("at least one seed"));
         report.seed_ms = t_seed.elapsed().as_secs_f64() * 1e3;
         let refined = self.refine_with_report(plan, &ctx, &mut report, cache);
         report.export_metrics();
@@ -356,7 +356,7 @@ impl Planner {
                 let (load, set) = bins
                     .iter_mut()
                     .min_by_key(|(load, _)| *load)
-                    .expect("k >= 1");
+                    .unwrap_or_else(|| unreachable!("k >= 1"));
                 *load += w;
                 set.insert(a);
             }
@@ -476,7 +476,9 @@ impl Planner {
         let mut collector_avail = ctx.caps.collector();
         for t in &trees {
             for (&n, &u) in &t.usage {
-                *avail.get_mut(&n).expect("known node") -= u;
+                *avail
+                    .get_mut(&n)
+                    .unwrap_or_else(|| unreachable!("known node")) -= u;
             }
             collector_avail -= t.collector_usage;
         }
@@ -513,14 +515,16 @@ impl Planner {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.config.parallelism)
             .build()
-            .expect("thread pool");
+            .unwrap_or_else(|e| panic!("thread pool: {e}"));
 
         let recompute_residual = |trees: &[PlannedTree]| {
             let mut avail: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
             let mut collector_avail = ctx.caps.collector();
             for t in trees {
                 for (&n, &u) in &t.usage {
-                    *avail.get_mut(&n).expect("known node") -= u;
+                    *avail
+                        .get_mut(&n)
+                        .unwrap_or_else(|| unreachable!("known node")) -= u;
                 }
                 collector_avail -= t.collector_usage;
             }
@@ -608,7 +612,9 @@ impl Planner {
                                 collector_after,
                                 score: new_score,
                             } = ev;
-                            partition.apply(op).expect("op validated by eval_op");
+                            partition
+                                .apply(op)
+                                .unwrap_or_else(|e| panic!("op validated by eval_op: {e}"));
                             trees = assemble_trees(op, &trees, built, partition.len());
                             for (n, v) in touched {
                                 avail.insert(n, v);
@@ -896,7 +902,9 @@ impl Planner {
                             continue;
                         }
                         fold(if k == lo {
-                            built.get(&lo).expect("merged tree built")
+                            built
+                                .get(&lo)
+                                .unwrap_or_else(|| unreachable!("merged tree built"))
                         } else {
                             t
                         });
@@ -905,12 +913,18 @@ impl Planner {
                 PartitionOp::Split(i, _) => {
                     for (k, t) in trees.iter().enumerate() {
                         fold(if k == i {
-                            built.get(&i).expect("shrunk tree built")
+                            built
+                                .get(&i)
+                                .unwrap_or_else(|| unreachable!("shrunk tree built"))
                         } else {
                             t
                         });
                     }
-                    fold(built.get(&(new_len - 1)).expect("extracted tree built"));
+                    fold(
+                        built
+                            .get(&(new_len - 1))
+                            .unwrap_or_else(|| unreachable!("extracted tree built")),
+                    );
                 }
             }
         }
@@ -996,7 +1010,11 @@ fn assemble_trees(
                     continue;
                 }
                 if k == lo {
-                    new_trees.push(built.remove(&lo).expect("merged tree built"));
+                    new_trees.push(
+                        built
+                            .remove(&lo)
+                            .unwrap_or_else(|| unreachable!("merged tree built")),
+                    );
                 } else {
                     new_trees.push(t.clone());
                 }
@@ -1005,12 +1023,20 @@ fn assemble_trees(
         PartitionOp::Split(i, _) => {
             for (k, t) in trees.iter().enumerate() {
                 if k == i {
-                    new_trees.push(built.remove(&i).expect("shrunk tree built"));
+                    new_trees.push(
+                        built
+                            .remove(&i)
+                            .unwrap_or_else(|| unreachable!("shrunk tree built")),
+                    );
                 } else {
                     new_trees.push(t.clone());
                 }
             }
-            new_trees.push(built.remove(&(new_len - 1)).expect("extracted tree built"));
+            new_trees.push(
+                built
+                    .remove(&(new_len - 1))
+                    .unwrap_or_else(|| unreachable!("extracted tree built")),
+            );
         }
     }
     new_trees
@@ -1141,6 +1167,7 @@ impl PartitionScheme {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn dense_pairs(nodes: u32, attrs: u32) -> PairSet {

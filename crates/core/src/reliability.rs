@@ -211,7 +211,11 @@ pub fn rewrite_dsdp(
         .map(|r| {
             let nodes: BTreeSet<NodeId> = groups
                 .iter()
-                .map(|g| *g.iter().nth(r).expect("group large enough"))
+                .map(|g| {
+                    *g.iter()
+                        .nth(r)
+                        .unwrap_or_else(|| unreachable!("group large enough"))
+                })
                 .collect();
             MonitoringTask::new(TaskId(first_task_id.0 + r as u32), [ids[r]], nodes)
         })
@@ -224,6 +228,7 @@ pub fn rewrite_dsdp(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn groups(sizes: &[u32]) -> Vec<BTreeSet<NodeId>> {

@@ -134,6 +134,7 @@ impl TaskChange {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn nodes(ids: &[u32]) -> Vec<NodeId> {

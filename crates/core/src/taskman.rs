@@ -131,6 +131,7 @@ impl TaskManager {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ids::{AttrId, NodeId};
 

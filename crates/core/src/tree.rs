@@ -243,6 +243,7 @@ impl Tree {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ids::AttrId;
 

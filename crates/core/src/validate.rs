@@ -123,6 +123,26 @@ pub mod rules {
     /// Effective per-attribute reporting intervals (sampling period ×
     /// runtime degrade factor) stay within the declared staleness SLO.
     pub const STALENESS_BOUND: &str = "staleness-bound";
+    /// Even the cheapest legal plan shape (one message, maximal
+    /// piggybacking, every funnel applied) overruns a node or
+    /// collector budget — no plan can exist (checked pre-flight by
+    /// the `remo-static` analyzer).
+    pub const STATIC_INFEASIBLE_CAPACITY: &str = "static-infeasible-capacity";
+    /// The declared staleness SLO cannot be met under the declared
+    /// `NetSpec` — a permanent partition or dead link cuts demanded
+    /// traffic, or the SLO is below the network's guaranteed minimum
+    /// latency (checked pre-flight by the `remo-static` analyzer).
+    pub const SLO_UNREACHABLE_UNDER_NETSPEC: &str = "slo-unreachable-under-netspec";
+    /// The power-of-two backpressure loop has no fixed point: even at
+    /// the maximum degrade level the collector's worst-case arrival
+    /// rate exceeds its service rate (checked pre-flight by the
+    /// `remo-static` analyzer).
+    pub const DEGRADE_DIVERGENCE: &str = "degrade-divergence";
+    /// With degradation disabled (or absent), worst-case arrivals
+    /// exceed collector service, so the bounded ingress queue stays
+    /// full and only shedding keeps it finite (checked pre-flight by
+    /// the `remo-static` analyzer).
+    pub const UNBOUNDED_QUEUE: &str = "unbounded-queue";
 }
 
 /// Static description of one audit rule.
@@ -280,6 +300,42 @@ pub const RULES: &[RuleMeta] = &[
         summary: "effective reporting intervals stay within the declared staleness SLO",
         fix_hint: "raise the attribute's update frequency, relax the SLO, or relieve \
                    collector backpressure so the degrade factor returns to 1",
+    },
+    RuleMeta {
+        name: rules::STATIC_INFEASIBLE_CAPACITY,
+        code: "RA018",
+        severity: Severity::Error,
+        paper_section: "§2.3, §3.2",
+        summary: "the best-case symbolic plan cost fits every node and collector budget",
+        fix_hint: "raise the offending budget, drop attributes from the task, or lower \
+                   the per-message overhead C; no partition shape can fix this",
+    },
+    RuleMeta {
+        name: rules::SLO_UNREACHABLE_UNDER_NETSPEC,
+        code: "RA019",
+        severity: Severity::Error,
+        paper_section: "§2.3",
+        summary: "the staleness SLO is reachable under the declared network fault model",
+        fix_hint: "remove the permanent partition / dead link from the NetSpec, relax \
+                   the SLO, or widen the ARQ retry budget past the fault window",
+    },
+    RuleMeta {
+        name: rules::DEGRADE_DIVERGENCE,
+        code: "RA020",
+        severity: Severity::Warn,
+        paper_section: "§5",
+        summary: "the collector backpressure loop converges to a finite degrade level",
+        fix_hint: "raise collector capacity, lower per-message overhead, or raise \
+                   max_degrade_level so interval widening can catch up with arrivals",
+    },
+    RuleMeta {
+        name: rules::UNBOUNDED_QUEUE,
+        code: "RA021",
+        severity: Severity::Warn,
+        paper_section: "§5",
+        summary: "the collector ingress queue is bounded without load shedding",
+        fix_hint: "enable degradation (max_degrade_level > 0), raise collector \
+                   capacity, or accept shedding as the steady-state overload response",
     },
 ];
 
@@ -1057,7 +1113,11 @@ impl Audit {
             let freq = input.catalog.get_or_default(attr).frequency();
             let period = (1.0 / freq.max(f64::MIN_POSITIVE)).round().max(1.0);
             let effective = period * input.degrade_factor.max(1.0);
-            if effective > slo + TOL {
+            // Strictly-greater, with the audit's relative tolerance:
+            // an SLO exactly equal to the effective interval is met
+            // (the snapshot refreshes exactly on the deadline), so
+            // equality must not warn at any magnitude.
+            if effective > slo && !close(effective, slo) {
                 if let Some(f) = em.emit(
                     rules::STALENESS_BOUND,
                     format!(
@@ -1117,6 +1177,7 @@ impl Audit {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::plan::PlannedTree;
     use crate::planner::{PartitionScheme, Planner, PlannerConfig};
@@ -1408,6 +1469,59 @@ mod tests {
         // A generous SLO is quiet.
         let outcome = Audit::new()
             .run(&AuditInput::new(&plan, &pairs, &caps, cost, &catalog).with_staleness_slo(8.0));
+        assert_eq!(outcome.of_rule(rules::STALENESS_BOUND).count(), 0);
+    }
+
+    /// Regression pin for the RA017 boundary: the comparison is
+    /// strict (`effective > slo` warns, `effective == slo` does not),
+    /// including when the equality is only reached through the
+    /// degrade multiplier, and at magnitudes where an absolute
+    /// epsilon would misclassify.
+    #[test]
+    fn staleness_slo_equal_to_effective_interval_is_quiet() {
+        let pairs = dense_pairs(4, 1);
+        let caps = CapacityMap::uniform(4, 50.0, 300.0).unwrap();
+        let cost = CostModel::new(2.0, 1.0).unwrap();
+        let mut catalog = AttrCatalog::new();
+        // Period 4 (frequency 0.25).
+        catalog.register(
+            AttrInfo::new("quarter")
+                .with_frequency(0.25)
+                .expect("valid frequency"),
+        );
+        let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+        let input = || AuditInput::new(&plan, &pairs, &caps, cost, &catalog);
+
+        // SLO == period: met exactly, no warning.
+        let outcome = Audit::new().run(&input().with_staleness_slo(4.0));
+        assert_eq!(
+            outcome.of_rule(rules::STALENESS_BOUND).count(),
+            0,
+            "{}",
+            outcome.render()
+        );
+
+        // SLO == period × degrade: still equality, still quiet.
+        let outcome = Audit::new().run(&input().with_staleness_slo(8.0).with_degrade_factor(2.0));
+        assert_eq!(
+            outcome.of_rule(rules::STALENESS_BOUND).count(),
+            0,
+            "{}",
+            outcome.render()
+        );
+
+        // One epoch under the effective interval: warns.
+        let outcome = Audit::new().run(&input().with_staleness_slo(7.0).with_degrade_factor(2.0));
+        assert_eq!(outcome.of_rule(rules::STALENESS_BOUND).count(), 1);
+
+        // Equality at a magnitude where the old absolute epsilon is
+        // below one ulp: must stay quiet (relative comparison).
+        let big = 4.0 * (1u64 << 40) as f64;
+        let outcome = Audit::new().run(
+            &input()
+                .with_staleness_slo(big)
+                .with_degrade_factor((1u64 << 40) as f64),
+        );
         assert_eq!(outcome.of_rule(rules::STALENESS_BOUND).count(), 0);
     }
 

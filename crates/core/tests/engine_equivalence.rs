@@ -7,6 +7,8 @@
 //! Engines may only differ in evaluation mechanics — every test here
 //! asserts they agree on the *plan*, byte for byte.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
 use remo_core::alloc::AllocationScheme;

@@ -10,6 +10,8 @@
 //! Every test takes [`remo_obs::test_guard`]: the trace sink, the
 //! registry, and the enabled flag are process-wide.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo_core::planner::{Planner, PlannerConfig};
 use remo_core::{AttrCatalog, AttrId, CapacityMap, CostModel, NodeId, PairSet};
 

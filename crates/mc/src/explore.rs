@@ -147,6 +147,39 @@ mod tests {
         );
     }
 
+    /// Depth-4 sweeps over every seeded topology cross-check the
+    /// static analyzer's usage intervals on each explored plan state:
+    /// the bounds must hold everywhere (a violation surfaces as an
+    /// RA018 finding through the harness and would land in
+    /// `violations`).
+    #[test]
+    fn static_bounds_hold_on_every_explored_state() {
+        for spec in crate::topology::seeded_specs() {
+            let result = explore(&spec, &InvariantConfig::default(), 4).unwrap();
+            let bound_violations: Vec<_> = result
+                .violations
+                .iter()
+                .flat_map(|v| &v.findings)
+                .filter(|f| f.rule == remo_audit::rules::STATIC_INFEASIBLE_CAPACITY)
+                .collect();
+            assert!(
+                bound_violations.is_empty(),
+                "static usage bounds violated during exploration: {bound_violations:?}"
+            );
+            assert!(
+                result.violations.is_empty(),
+                "seeded spec must stay violation-free: {:?}",
+                result.violations.first().map(|v| &v.findings)
+            );
+            // The sweep actually exercised the comparison: replaying a
+            // single tick on a fresh harness counts per-node + collector
+            // checks.
+            let mut h = crate::harness::Harness::new(spec, InvariantConfig::default()).unwrap();
+            h.apply(crate::harness::Event::Tick);
+            assert!(h.bound_checks() > 0);
+        }
+    }
+
     #[test]
     fn impossible_tolerance_produces_minimized_counterexample() {
         // Volume tolerance below 1.0 makes the convergence invariant

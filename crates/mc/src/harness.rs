@@ -25,6 +25,7 @@ use remo_runtime::health::HealthState;
 use remo_runtime::{
     changed_assignments, due_readings, plan_assignments, HealthMonitor, TreeAssignment,
 };
+use remo_static::{cost_bounds, CostBounds, CostFlags};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -162,6 +163,14 @@ pub struct Harness {
     reconfigures: u64,
     baseline_pairs: usize,
     baseline_volume: f64,
+    /// Shape-independent usage intervals from the static analyzer,
+    /// computed once from the original demand. Demand only shrinks as
+    /// nodes fail (and every funnel is monotone), so the upper ends
+    /// stay sound bounds for every explored plan state.
+    static_bounds: CostBounds,
+    /// Static-bound comparisons performed so far (soundness witness
+    /// for the sweep: checked everywhere, violated nowhere).
+    bound_checks: u64,
 }
 
 impl Harness {
@@ -178,6 +187,12 @@ impl Harness {
         let assignments = plan_assignments(planner.plan(), planner.pairs(), planner.catalog());
         let baseline_pairs = planner.plan().collected_pairs();
         let baseline_volume = planner.plan().message_volume();
+        let static_bounds = cost_bounds(
+            planner.pairs(),
+            planner.catalog(),
+            planner.cost(),
+            CostFlags::default(),
+        );
         Ok(Harness {
             spec,
             cfg,
@@ -194,7 +209,14 @@ impl Harness {
             reconfigures: 0,
             baseline_pairs,
             baseline_volume,
+            static_bounds,
+            bound_checks: 0,
         })
+    }
+
+    /// Static-bound comparisons performed so far.
+    pub fn bound_checks(&self) -> u64 {
+        self.bound_checks
     }
 
     /// The spec this state was built from.
@@ -365,6 +387,64 @@ impl Harness {
             &self.assignments,
             &RuleSet::all(),
         ));
+
+        // RA018 cross-check: every explored plan state must sit inside
+        // the static analyzer's shape-independent usage intervals —
+        // upper ends always, lower ends whenever the plan collects the
+        // full original demand (the lo bound is conditional on full
+        // collection).
+        let usage = self.planner.plan().node_usage();
+        let full_collection = self.planner.plan().collected_pairs() == self.planner.pairs().len();
+        for (&n, iv) in &self.static_bounds.per_node {
+            let u = usage.get(&n).copied().unwrap_or(0.0);
+            self.bound_checks += 1;
+            if u > iv.hi() * (1.0 + 1e-6) {
+                if let Some(mut f) = mc_finding(
+                    remo_audit::rules::STATIC_INFEASIBLE_CAPACITY,
+                    format!(
+                        "node {n} usage {u:.2} escaped the static worst-shape bound {:.2}",
+                        iv.hi()
+                    ),
+                ) {
+                    f.node = Some(n);
+                    f.actual = Some(u);
+                    f.limit = Some(iv.hi());
+                    findings.push(f);
+                }
+            }
+            if full_collection && u < iv.lo() * (1.0 - 1e-6) {
+                if let Some(mut f) = mc_finding(
+                    remo_audit::rules::STATIC_INFEASIBLE_CAPACITY,
+                    format!(
+                        "node {n} usage {u:.2} undercuts the static best-shape bound {:.2} \
+                         with every pair collected",
+                        iv.lo()
+                    ),
+                ) {
+                    f.node = Some(n);
+                    f.actual = Some(u);
+                    f.limit = Some(iv.lo());
+                    findings.push(f);
+                }
+            }
+        }
+        self.bound_checks += 1;
+        let collector = self.planner.plan().collector_usage();
+        if collector > self.static_bounds.collector.hi() * (1.0 + 1e-6)
+            || (full_collection && collector < self.static_bounds.collector.lo() * (1.0 - 1e-6))
+        {
+            if let Some(mut f) = mc_finding(
+                remo_audit::rules::STATIC_INFEASIBLE_CAPACITY,
+                format!(
+                    "collector usage {collector:.2} escaped the static interval [{:.2}, {:.2}]",
+                    self.static_bounds.collector.lo(),
+                    self.static_bounds.collector.hi()
+                ),
+            ) {
+                f.actual = Some(collector);
+                findings.push(f);
+            }
+        }
 
         // RA013: a node whose repair completed (dead, not pending)
         // must carry no load — absent from trees, empty assignments,

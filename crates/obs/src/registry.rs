@@ -354,6 +354,7 @@ pub fn histogram(name: &str) -> Histogram {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::test_guard;
 

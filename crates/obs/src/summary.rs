@@ -146,6 +146,7 @@ pub fn render_metrics_summary(samples: &BTreeMap<String, f64>) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::test_guard;
 

@@ -407,6 +407,7 @@ macro_rules! event {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::test_guard;
 

@@ -76,7 +76,10 @@ impl DeploymentSpec {
 
     /// Serializes the spec to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        // Plain-data struct: every field is a serde-friendly scalar,
+        // string, vec, or integer-keyed map, so serialization is
+        // infallible by construction.
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| unreachable!("spec serializes: {e}"))
     }
 
     /// Builds the capacity map.
@@ -182,6 +185,7 @@ fn parse_aggregation(s: &str) -> Result<Aggregation, String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn sample_spec() -> DeploymentSpec {

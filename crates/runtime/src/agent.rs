@@ -358,11 +358,9 @@ impl Agent {
             }
             u.attempts += 1;
             // Exponential backoff: base_rto, 2·base_rto, 4·base_rto…
-            let backoff = self
-                .net
-                .base_rto
-                .saturating_mul(1u64 << (u.attempts - 1).min(32));
-            u.next_retry = epoch + backoff.max(1);
+            // (the closed form `NetConfig::backoff` the static
+            // analyzer sums into its staleness bound).
+            u.next_retry = epoch + self.net.backoff(u.attempts);
             report.retransmits += 1;
             report.volume += cost;
             if remo_obs::enabled() {
@@ -465,7 +463,7 @@ impl Agent {
                         frame: frame.clone(),
                         readings: msg.readings.len() as u32,
                         attempts: 1,
-                        next_retry: epoch + self.net.base_rto.max(1),
+                        next_retry: epoch + self.net.backoff(1),
                     },
                 );
             }

@@ -407,7 +407,7 @@ impl Deployment {
     /// Effective reporting-interval multiplier currently in force
     /// (1 = no degradation).
     pub fn degrade_factor(&self) -> u64 {
-        1u64 << self.degrade_level
+        NetConfig::degrade_factor_at(self.degrade_level)
     }
 
     /// Readings accepted into the store, in order (only populated when
@@ -667,7 +667,7 @@ impl Deployment {
         }
         if level != self.degrade_level {
             self.degrade_level = level;
-            let factor = 1u64 << level;
+            let factor = NetConfig::degrade_factor_at(level);
             for tx in self.agents.values() {
                 let _ = tx.send(AgentMsg::SetDegrade { factor });
             }
@@ -679,7 +679,7 @@ impl Deployment {
                 "level" => u64::from(level),
                 "queue_depth" => self.ingress.len() as u64);
         }
-        report.degrade_factor = 1u64 << self.degrade_level;
+        report.degrade_factor = NetConfig::degrade_factor_at(self.degrade_level);
     }
 
     /// Records one reading into the collector store (shared by both

@@ -61,5 +61,5 @@ pub use proto::{FrameKind, WireMessage, WireReading};
 pub use throttle::TokenBucket;
 pub use transport::{
     Endpoint, LinkSpec, LossyTransport, NetConfig, NetSpec, PartitionWindow, PerfectTransport,
-    SeqTracker, Transport, TransportStats,
+    SeqTracker, Transport, TransportStats, MAX_BACKOFF_SHIFT,
 };

@@ -198,6 +198,65 @@ impl Default for NetConfig {
     }
 }
 
+/// Cap on the exponent of the exponential backoff: attempts beyond
+/// `MAX_BACKOFF_SHIFT + 1` reuse the largest backoff instead of
+/// overflowing the shift.
+pub const MAX_BACKOFF_SHIFT: u32 = 32;
+
+impl NetConfig {
+    /// Backoff before retry number `attempts` (1-based transmission
+    /// count): `base_rto · 2^(attempts-1)`, shift-capped — the ARQ
+    /// retransmit schedule in closed form. `attempts == 0` is treated
+    /// as the first attempt.
+    pub fn backoff(&self, attempts: u32) -> u64 {
+        let shift = attempts.saturating_sub(1).min(MAX_BACKOFF_SHIFT);
+        self.base_rto.saturating_mul(1u64 << shift).max(1)
+    }
+
+    /// Epoch offset (from the original send) of the **last**
+    /// transmission attempt: the geometric series
+    /// `Σ_{i=0}^{A-2} base_rto·2^i = base_rto·(2^(A-1) − 1)` for a
+    /// retry budget of `A = max_attempts` transmissions. Zero when the
+    /// budget allows a single attempt.
+    pub fn last_attempt_offset(&self) -> u64 {
+        let mut offset = 0u64;
+        for attempt in 1..self.max_attempts {
+            offset = offset.saturating_add(self.backoff(attempt));
+        }
+        offset
+    }
+
+    /// Epochs a frame can stay in flight before it is delivered or
+    /// abandoned: the last attempt's offset plus one epoch for the
+    /// final transmission itself.
+    pub fn retry_window(&self) -> u64 {
+        self.last_attempt_offset().saturating_add(1)
+    }
+
+    /// The reporting-interval multiplier at a degrade level:
+    /// `2^level`, shift-capped.
+    pub fn degrade_factor_at(level: u32) -> u64 {
+        1u64 << level.min(MAX_BACKOFF_SHIFT)
+    }
+
+    /// The largest reporting-interval multiplier backpressure can
+    /// impose under this configuration.
+    pub fn max_degrade_factor(&self) -> u64 {
+        Self::degrade_factor_at(self.max_degrade_level)
+    }
+
+    /// Probability that a frame facing per-attempt drop probability
+    /// `drop` is delivered within the retry budget: the complement of
+    /// all `max_attempts` independent attempts failing,
+    /// `1 − drop^A`. Purely informational — the worst-case bounds do
+    /// not depend on it — but it quantifies how much of the budget a
+    /// given `NetSpec` consumes.
+    pub fn delivery_probability(&self, drop: f64) -> f64 {
+        let p = drop.clamp(0.0, 1.0);
+        1.0 - p.powi(self.max_attempts.max(1) as i32)
+    }
+}
+
 // ----------------------------------------------------------------- stats
 
 /// Fault-injection and delivery counters of a transport.
@@ -679,6 +738,55 @@ mod tests {
         let n = 4000;
         let mean: f64 = (0..n).map(|i| unit(9, 0, 1, i, 1, SALT_DROP)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from uniform");
+    }
+
+    #[test]
+    fn backoff_closed_forms_match_the_retransmit_schedule() {
+        let net = NetConfig::default(); // base_rto 2, 5 attempts
+        assert_eq!(net.backoff(1), 2);
+        assert_eq!(net.backoff(2), 4);
+        assert_eq!(net.backoff(3), 8);
+        assert_eq!(net.backoff(0), 2, "attempt 0 treated as the first");
+        // Geometric series: 2·(2^(5-1) − 1) = 30.
+        assert_eq!(net.last_attempt_offset(), 30);
+        assert_eq!(net.retry_window(), 31);
+        // Iterated schedule agrees with the closed form.
+        let mut offset = 0u64;
+        for attempt in 1..net.max_attempts {
+            offset += net.backoff(attempt);
+        }
+        assert_eq!(offset, net.last_attempt_offset());
+        // Single-attempt budget: no retries, zero offset.
+        let one = NetConfig {
+            max_attempts: 1,
+            ..NetConfig::default()
+        };
+        assert_eq!(one.last_attempt_offset(), 0);
+        assert_eq!(one.retry_window(), 1);
+        // Shift cap: huge attempt counts saturate instead of
+        // overflowing.
+        assert_eq!(
+            net.backoff(200),
+            2u64.saturating_mul(1 << MAX_BACKOFF_SHIFT)
+        );
+        // Zero base_rto still advances the retry clock.
+        let zero = NetConfig {
+            base_rto: 0,
+            ..NetConfig::default()
+        };
+        assert_eq!(zero.backoff(3), 1);
+    }
+
+    #[test]
+    fn degrade_factor_and_delivery_probability() {
+        assert_eq!(NetConfig::degrade_factor_at(0), 1);
+        assert_eq!(NetConfig::degrade_factor_at(3), 8);
+        assert_eq!(NetConfig::default().max_degrade_factor(), 8);
+        let net = NetConfig::default();
+        assert_eq!(net.delivery_probability(0.0), 1.0);
+        assert!((net.delivery_probability(0.5) - (1.0 - 0.5f64.powi(5))).abs() < 1e-12);
+        assert_eq!(net.delivery_probability(1.0), 0.0);
+        assert_eq!(net.delivery_probability(7.0), 0.0, "clamped");
     }
 
     #[test]

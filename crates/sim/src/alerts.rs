@@ -195,6 +195,7 @@ impl ResultProcessor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::reading::Reading;
 

@@ -140,6 +140,7 @@ pub fn staleness_profile(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::engine::{SimConfig, SimSetup, Simulator};
     use remo_core::build::BuilderKind;

@@ -138,6 +138,7 @@ impl CollectorStore {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn truth(entries: &[(u32, u32, f64)]) -> BTreeMap<(NodeId, AttrId), f64> {

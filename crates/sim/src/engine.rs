@@ -170,7 +170,13 @@ impl Simulator {
                 let members: Vec<NodeId> = tree.nodes().collect();
                 let parent = members
                     .iter()
-                    .map(|&n| (n, tree.parent(n).expect("member has parent")))
+                    .map(|&n| {
+                        (
+                            n,
+                            tree.parent(n)
+                                .unwrap_or_else(|| unreachable!("member has parent")),
+                        )
+                    })
                     .collect();
                 let local = members
                     .iter()
@@ -386,7 +392,9 @@ impl Simulator {
                         stats.dropped_readings += msg.readings.len() as u64;
                         continue;
                     }
-                    let b = budget.get_mut(&p).expect("member node has a budget");
+                    let b = budget
+                        .get_mut(&p)
+                        .unwrap_or_else(|| unreachable!("member node has a budget"));
                     if *b >= cost {
                         *b -= cost;
                         self.inbox
@@ -430,7 +438,9 @@ impl Simulator {
                 readings = self.aggregate_at(node, readings);
 
                 // Send-side budget enforcement: trim oldest first.
-                let b = budget.get_mut(&node).expect("member node has a budget");
+                let b = budget
+                    .get_mut(&node)
+                    .unwrap_or_else(|| unreachable!("member node has a budget"));
                 let full_cost = self.cost.message_cost(readings.len() as f64);
                 let kept = if *b >= full_cost {
                     readings
@@ -448,7 +458,9 @@ impl Simulator {
                     readings
                 };
                 let cost = self.cost.message_cost(kept.len() as f64);
-                *budget.get_mut(&node).expect("member") -= cost;
+                *budget
+                    .get_mut(&node)
+                    .unwrap_or_else(|| unreachable!("member")) -= cost;
                 stats.monitoring_volume += cost;
                 let to = self.routes[k].parent[&node];
                 self.in_transit.push(Message {
@@ -510,6 +522,7 @@ impl Simulator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use remo_core::planner::Planner;
 

@@ -160,6 +160,7 @@ impl FailureSchedule {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::engine::{SimConfig, SimSetup};
     use remo_core::planner::Planner;

@@ -180,6 +180,7 @@ impl SimMetrics {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn stats(epoch: u64, err: f64, delivered: u64) -> EpochStats {

@@ -109,6 +109,7 @@ pub fn snapshot_for_pairs(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::reading::Reading;
     use remo_core::TaskId;

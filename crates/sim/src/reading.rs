@@ -103,6 +103,7 @@ fn fold(at: NodeId, attr: AttrId, value: f64, inputs: &[Reading]) -> Reading {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn rs(values: &[f64]) -> Vec<Reading> {

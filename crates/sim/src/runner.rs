@@ -116,6 +116,7 @@ pub fn run_adaptation_experiment(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use remo_core::{AttrId, NodeId};
 

@@ -112,6 +112,7 @@ impl ValueProcess {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rand::SeedableRng;
 

@@ -1,0 +1,176 @@
+//! `remo-static` — pre-flight analysis of a deployment bundle:
+//! capacity feasibility, worst-case staleness, and backpressure
+//! convergence, from the declarative inputs alone.
+//!
+//! ```text
+//! remo-static analyze <bundle.json> [--sarif <out.json>]
+//! remo-static --list-rules
+//! remo-static --example [<rule>]
+//! ```
+//!
+//! Exit status: 0 when no finding fired, 1 when at least one did,
+//! 2 on usage or I/O problems.
+
+use remo_static::{analyze, corpus, StaticBundle};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: remo-static analyze <bundle.json> [options]
+       remo-static --list-rules
+       remo-static --example [<rule>]
+
+The bundle is a JSON document {spec, net?, net_config?,
+staleness_slo?}; a bare deployment spec is accepted too.
+
+options:
+  --sarif <out.json>  also write a SARIF-style report
+  --list-rules        print the static rule registry (RA018-RA021)
+                      and exit
+  --example [<rule>]  print a known-bad bundle from the corpus
+                      (default: the first case) and exit
+";
+
+/// The static analyzer's slice of the shared rule registry.
+const STATIC_CODES: [&str; 4] = ["RA018", "RA019", "RA020", "RA021"];
+
+fn list_rules() {
+    println!(
+        "{:<7} {:<30} {:<8} {:<12} summary",
+        "code", "rule", "level", "paper"
+    );
+    for r in remo_audit::RULES {
+        if STATIC_CODES.contains(&r.code) {
+            println!(
+                "{:<7} {:<30} {:<8} {:<12} {}",
+                r.code,
+                r.name,
+                r.severity.to_string(),
+                r.paper_section,
+                r.summary
+            );
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("remo-static: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn print_example(which: Option<&str>) -> ExitCode {
+    let cases = corpus::cases();
+    let case = match which {
+        None => &cases[0],
+        Some(name) => {
+            let Some(case) = cases
+                .iter()
+                .find(|c| c.name == name || c.rule == name || c.code == name)
+            else {
+                eprintln!("remo-static: no corpus case named `{name}`");
+                return ExitCode::from(2);
+            };
+            case
+        }
+    };
+    match case.bundle.to_json() {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("remo-static: cannot render example: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--example") {
+        return print_example(args.get(i + 1).map(String::as_str));
+    }
+
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("analyze") => {}
+        Some(other) => return usage_error(&format!("unknown command `{other}`")),
+        None => return usage_error("no command given"),
+    }
+
+    let mut bundle_path: Option<String> = None;
+    let mut sarif_path: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sarif" => match it.next() {
+                Some(path) => sarif_path = Some(path),
+                None => return usage_error("--sarif needs a path"),
+            },
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown option `{other}`"));
+            }
+            path => {
+                if bundle_path.replace(path.to_string()).is_some() {
+                    return usage_error("more than one bundle path given");
+                }
+            }
+        }
+    }
+
+    let Some(path) = bundle_path else {
+        return usage_error("no bundle path given");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("remo-static: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bundle = match StaticBundle::from_json(&text) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("remo-static: {path} is not a valid bundle: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze(&bundle) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("remo-static: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = sarif_path {
+        if let Err(e) = std::fs::write(&out, remo_audit::sarif::sarif_json(&report.outcome())) {
+            eprintln!("remo-static: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    print!("{}", report.render());
+    if report.findings.is_empty() {
+        println!("{path}: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{path}: {} finding(s), {} error(s)",
+            report.findings.len(),
+            report
+                .findings
+                .iter()
+                .filter(|f| f.severity == remo_audit::Severity::Error)
+                .count()
+        );
+        ExitCode::FAILURE
+    }
+}

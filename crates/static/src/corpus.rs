@@ -1,0 +1,173 @@
+//! Known-bad bundles, one per static rule.
+//!
+//! Mirrors `remo_audit::corpus`: each case is a minimal deployment
+//! bundle engineered to trip exactly one of RA018–RA021, used as
+//! regression anchors for the analyzer and as `--example` seeds for
+//! the CLI.
+
+use crate::StaticBundle;
+use remo::spec::{DeploymentSpec, TaskSpec};
+use remo_core::NodeId;
+use remo_runtime::{NetConfig, NetSpec, PartitionWindow};
+use std::collections::BTreeMap;
+
+/// One known-bad bundle and the single rule it must trip.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Short case name.
+    pub name: &'static str,
+    /// The rule every finding must carry.
+    pub rule: &'static str,
+    /// Its stable code.
+    pub code: &'static str,
+    /// The offending bundle.
+    pub bundle: StaticBundle,
+}
+
+fn base_spec(nodes: usize, node_capacity: f64, collector_capacity: f64) -> DeploymentSpec {
+    DeploymentSpec {
+        nodes,
+        node_capacity,
+        capacity_overrides: BTreeMap::new(),
+        collector_capacity,
+        per_message_cost: 4.0,
+        per_value_cost: 1.0,
+        attributes: Vec::new(),
+        tasks: vec![TaskSpec {
+            attrs: vec![0],
+            nodes: (0..nodes as u32).collect(),
+        }],
+        aggregation_aware: false,
+        frequency_aware: false,
+    }
+}
+
+/// The four known-bad cases, in rule order.
+pub fn cases() -> Vec<CorpusCase> {
+    // RA018: a node budget below even the single-leaf message cost
+    // (C + a·1 = 5 > 1). Collector budget is ample, so the degrade
+    // fixed point converges and nothing else fires.
+    let infeasible = StaticBundle {
+        spec: base_spec(2, 1.0, 1_000.0),
+        net: None,
+        net_config: None,
+        staleness_slo: None,
+    };
+
+    // RA019: generous budgets, but node 1 sits inside a partition
+    // window that never ends while a staleness SLO is declared.
+    let severed = StaticBundle {
+        spec: base_spec(2, 100.0, 1_000.0),
+        net: Some(NetSpec {
+            partitions: vec![PartitionWindow {
+                name: "island".into(),
+                members: [NodeId(1)].into_iter().collect(),
+                from_epoch: 0,
+                until_epoch: None,
+            }],
+            ..NetSpec::default()
+        }),
+        net_config: None,
+        staleness_slo: Some(50.0),
+    };
+
+    // RA020: eight holistic attributes on two nodes with a heavy
+    // per-message overhead. Collector lower bound 100 + 16 = 116 fits
+    // the 200 budget (no RA018), but the worst-case service rate is
+    // (200 − 100·8)/1 < 0 — no degrade level can ever keep up.
+    let diverging_spec = DeploymentSpec {
+        per_message_cost: 100.0,
+        tasks: vec![TaskSpec {
+            attrs: (0..8).collect(),
+            nodes: vec![0, 1],
+        }],
+        ..base_spec(2, 10_000.0, 200.0)
+    };
+    let diverging = StaticBundle {
+        spec: diverging_spec.clone(),
+        net: None,
+        net_config: None,
+        staleness_slo: None,
+    };
+
+    // RA021: the same overload with the degrade ladder disabled —
+    // the queue is bounded only by shedding.
+    let unbounded = StaticBundle {
+        spec: diverging_spec,
+        net: None,
+        net_config: Some(NetConfig {
+            max_degrade_level: 0,
+            ..NetConfig::default()
+        }),
+        staleness_slo: None,
+    };
+
+    vec![
+        CorpusCase {
+            name: "infeasible-capacity",
+            rule: "static-infeasible-capacity",
+            code: "RA018",
+            bundle: infeasible,
+        },
+        CorpusCase {
+            name: "severed-slo",
+            rule: "slo-unreachable-under-netspec",
+            code: "RA019",
+            bundle: severed,
+        },
+        CorpusCase {
+            name: "degrade-divergence",
+            rule: "degrade-divergence",
+            code: "RA020",
+            bundle: diverging,
+        },
+        CorpusCase {
+            name: "unbounded-queue",
+            rule: "unbounded-queue",
+            code: "RA021",
+            bundle: unbounded,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::analyze;
+
+    /// Every corpus case trips its rule — and *only* its rule.
+    #[test]
+    fn each_case_trips_exactly_its_rule() {
+        for case in cases() {
+            let report = analyze(&case.bundle)
+                .unwrap_or_else(|e| panic!("corpus case {} failed to analyze: {e}", case.name));
+            assert!(
+                !report.findings.is_empty(),
+                "corpus case {} produced no findings",
+                case.name
+            );
+            for f in &report.findings {
+                assert_eq!(
+                    (f.rule.as_str(), f.code.as_str()),
+                    (case.rule, case.code),
+                    "corpus case {} tripped a foreign rule: {f}",
+                    case.name
+                );
+            }
+        }
+    }
+
+    /// The cases survive a JSON roundtrip (they double as CLI
+    /// `--example` seeds).
+    #[test]
+    fn cases_roundtrip_through_json() {
+        for case in cases() {
+            let json = case.bundle.to_json().unwrap();
+            let back = StaticBundle::from_json(&json).unwrap();
+            assert_eq!(back.spec, case.bundle.spec, "case {}", case.name);
+            assert_eq!(back.staleness_slo, case.bundle.staleness_slo);
+        }
+    }
+}

@@ -82,7 +82,9 @@ impl AppModel {
                 info = info.with_aggregation(Aggregation::Max);
             }
             if rng.gen_bool(cfg.slow_fraction.clamp(0.0, 1.0)) {
-                info = info.with_frequency(0.5).expect("0.5 is a valid frequency");
+                info = info
+                    .with_frequency(0.5)
+                    .unwrap_or_else(|_| unreachable!("0.5 is a valid frequency"));
             }
             catalog.register(info);
         }
@@ -151,6 +153,7 @@ impl AppModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn small_cfg() -> AppModelConfig {

@@ -230,6 +230,7 @@ impl DataflowApp {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn app() -> DataflowApp {

@@ -69,8 +69,9 @@ impl Scenario {
         let tasks = gen.generate(cfg.tasks, TaskId(0), &mut rng);
         let pairs: PairSet = tasks.iter().flat_map(MonitoringTask::pairs).collect();
         let caps = CapacityMap::uniform(cfg.nodes, cfg.node_budget, cfg.collector_budget)
-            .expect("valid budgets");
-        let cost = CostModel::from_ratio(cfg.c_over_a).expect("valid ratio");
+            .unwrap_or_else(|e| panic!("scenario budgets must be non-negative: {e}"));
+        let cost = CostModel::from_ratio(cfg.c_over_a)
+            .unwrap_or_else(|e| panic!("scenario C/a ratio must be positive: {e}"));
         Scenario {
             caps,
             cost,
@@ -82,6 +83,7 @@ impl Scenario {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -108,6 +108,7 @@ pub fn churn_batch(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rand::SeedableRng;
     use remo_core::TaskId;

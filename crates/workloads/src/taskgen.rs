@@ -93,6 +93,7 @@ impl TaskGenConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use rand::SeedableRng;
 

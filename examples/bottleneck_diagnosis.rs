@@ -11,6 +11,10 @@
 //! cargo run --example bottleneck_diagnosis
 //! ```
 
+// Examples favor terse unwraps over error plumbing; a panic here is a
+// broken example, not a library error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
 use remo_core::TaskId;

@@ -12,6 +12,10 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
+// Examples favor terse unwraps over error plumbing; a panic here is a
+// broken example, not a library error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_core::planner::PartitionScheme;
 use remo_core::validate::{Audit, AuditInput};

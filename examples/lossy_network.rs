@@ -7,6 +7,10 @@
 //! cargo run --example lossy_network [nodes] [drop_percent] [epochs]
 //! ```
 
+// Examples favor terse unwraps over error plumbing; a panic here is a
+// broken example, not a library error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo::runtime::{NetConfig, NetSpec, PartitionWindow, Sampler, TransportSpec};
 use std::sync::Arc;

@@ -5,6 +5,10 @@
 //! cargo run --example quickstart
 //! ```
 
+// Examples favor terse unwraps over error plumbing; a panic here is a
+// broken example, not a library error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 
 fn main() -> Result<(), PlanError> {

@@ -10,6 +10,10 @@
 //! cargo run --example reliable_collection
 //! ```
 
+// Examples favor terse unwraps over error plumbing; a panic here is a
+// broken example, not a library error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_core::reliability::rewrite_ssdp;
 use remo_core::{MonitoringTask, TaskId};

@@ -6,6 +6,10 @@
 //! cargo run --example self_healing [nodes] [confirm_after] [crashes]
 //! ```
 
+// Examples favor terse unwraps over error plumbing; a panic here is a
+// broken example, not a library error path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo::runtime::Sampler;
 use std::sync::Arc;

@@ -2,6 +2,8 @@
 //! four schemes must preserve plan validity and the paper's relative
 //! ordering of costs.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo::prelude::*;

@@ -1,5 +1,7 @@
 //! End-to-end tests of the `remo-plan` CLI binary.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::Command;
 
 fn remo_plan() -> Command {

@@ -1,6 +1,8 @@
 //! Extensions end to end (paper §6): in-network aggregation,
 //! reliability rewriting, and heterogeneous update frequencies.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_core::frequency::plan_frequency_groups;
 use remo_core::reliability::{rewrite_dsdp, rewrite_ssdp};

@@ -7,6 +7,8 @@
 //! reorders, and partitions happened along the way — and the stored
 //! `received` epoch never precedes `produced`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use remo::prelude::*;
 use remo_runtime::{Deployment, NetConfig, NetSpec, PartitionWindow, Sampler, TransportSpec};

@@ -15,6 +15,8 @@
 //! process-global metric counters, so tests in this binary must not
 //! interleave their deployments.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_runtime::{Deployment, NetConfig, NetSpec, PartitionWindow, Sampler, TransportSpec};
 use std::collections::BTreeSet;
@@ -312,6 +314,179 @@ fn overload_degrades_gracefully_and_recovers() {
             .all(|&b| b >= base + dep.degrade_factor() - 1),
         "declared bounds must reflect the degrade factor"
     );
+    dep.shutdown();
+}
+
+/// Walks a node's parent chain the way the runtime does, so the tests
+/// below can reproduce the declared closed form independently.
+fn route_depth_of(dep: &Deployment, node: NodeId, tree: u32) -> u64 {
+    let assignments = dep.assignments();
+    let mut depth = 1u64;
+    let mut cur = node;
+    loop {
+        let a = assignments[&cur]
+            .iter()
+            .find(|a| a.tree == tree)
+            .expect("route stays inside the tree");
+        match a.parent {
+            remo_runtime::Route::Collector => return depth,
+            remo_runtime::Route::Node(p) => {
+                depth += 1;
+                cur = p;
+            }
+        }
+    }
+}
+
+/// `staleness_bounds()` under a nonzero degrade factor: the declared
+/// per-attribute bound is exactly
+/// `period·factor + depth + base_rto + 1` maximized over owning
+/// nodes, so when backpressure widens the reporting interval every
+/// bound moves by `period·(factor − 1)` — per attribute, scaled by
+/// that attribute's own period.
+#[test]
+fn staleness_bounds_scale_with_the_degrade_factor() {
+    let _guard = remo_obs::test_guard();
+    let spec = NetSpec {
+        seed: 11,
+        ..NetSpec::default() // loss-free: isolate the overload path
+    };
+    let net = NetConfig {
+        ingress_capacity: 16,
+        ..NetConfig::default()
+    };
+    // A half-rate attribute (period 2) alongside full-rate ones, so the
+    // factor multiplies different periods in the same deployment.
+    let mut catalog = AttrCatalog::new();
+    catalog.register(AttrInfo::new("fast"));
+    catalog.register(AttrInfo::new("slow").with_frequency(0.5).unwrap());
+    catalog.register(AttrInfo::new("fast2"));
+    // Same provisioning mismatch as the overload soak: planned against
+    // a healthy collector, deployed against a starved one.
+    let planned_caps = CapacityMap::uniform(10, 200.0, 10_000.0).unwrap();
+    let caps = CapacityMap::uniform(10, 200.0, 30.0).unwrap();
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let pairs = dense_pairs(10, 3);
+    let plan = Planner::default().plan_with_catalog(&pairs, &planned_caps, cost, &catalog);
+    let mut dep = Deployment::launch_with_transport(
+        &plan,
+        &pairs,
+        &caps,
+        cost,
+        &catalog,
+        sampler(),
+        HealthConfig::default(),
+        TransportSpec::Lossy(spec, net),
+    );
+
+    // Before any backpressure the bounds are the undegraded closed
+    // form, reproduced here from the launched assignments.
+    assert_eq!(dep.degrade_factor(), 1);
+    let before = dep.staleness_bounds();
+    let base_rto = NetConfig::default().base_rto;
+    let period_of = |a: AttrId| {
+        (1.0 / catalog.get_or_default(a).frequency())
+            .round()
+            .max(1.0) as u64
+    };
+    let mut expected = std::collections::BTreeMap::new();
+    for (&node, assigns) in dep.assignments() {
+        for a in assigns {
+            let depth = route_depth_of(&dep, node, a.tree);
+            for la in &a.local {
+                let b = period_of(la.attr) + depth + base_rto + 1;
+                let slot = expected.entry(la.attr).or_insert(0);
+                *slot = (*slot).max(b);
+            }
+        }
+    }
+    assert_eq!(
+        before, expected,
+        "undegraded bounds diverge from closed form"
+    );
+
+    // Saturate the collector until the degrade ladder engages, then
+    // the declared bounds must have widened by exactly
+    // `period·(factor − 1)` each.
+    dep.run(120);
+    let factor = dep.degrade_factor();
+    assert!(factor > 1, "starved collector must widen intervals");
+    let after = dep.staleness_bounds();
+    for (&a, &b) in &after {
+        assert_eq!(
+            b - before[&a],
+            period_of(a) * (factor - 1),
+            "attr {a}: degraded bound must grow by period·(factor − 1)"
+        );
+    }
+    dep.shutdown();
+}
+
+/// `staleness_bounds()` is a convergence bound, not an outage bound:
+/// while a partition window holds a member incommunicado its pairs
+/// run arbitrarily stale (the documented exception), and once the
+/// window closes every pair settles back under the declared bound.
+#[test]
+fn staleness_bounds_hold_after_a_partition_window_closes() {
+    let _guard = remo_obs::test_guard();
+    let victim = NodeId(1);
+    let spec = NetSpec {
+        seed: 21,
+        partitions: vec![PartitionWindow {
+            name: "quarantine".into(),
+            members: [victim].into_iter().collect(),
+            from_epoch: 10,
+            until_epoch: Some(40),
+        }],
+        active_until: Some(60),
+        ..NetSpec::default()
+    };
+    let caps = CapacityMap::uniform(6, 100.0, 10_000.0).unwrap();
+    let cost = CostModel::new(2.0, 1.0).unwrap();
+    let pairs = dense_pairs(6, 2);
+    let catalog = AttrCatalog::new();
+    let plan = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
+    let mut dep = Deployment::launch_with_transport(
+        &plan,
+        &pairs,
+        &caps,
+        cost,
+        &catalog,
+        sampler(),
+        HealthConfig::default(),
+        TransportSpec::Lossy(spec, NetConfig::default()),
+    );
+    let bounds = dep.staleness_bounds();
+    let worst = *bounds.values().max().unwrap();
+    assert!(worst < 25, "bound {worst} too loose for this topology");
+
+    // Mid-window: the victim's snapshots have been frozen since epoch
+    // 9, far beyond anything the bound promises for healthy traffic.
+    dep.run(35);
+    for a in 0..2 {
+        let obs = dep
+            .observed(victim, AttrId(a))
+            .expect("delivered pre-window");
+        let staleness = dep.epoch() - obs.produced;
+        assert!(
+            staleness > bounds[&AttrId(a)],
+            "victim staleness {staleness} should exceed bound {} mid-partition",
+            bounds[&AttrId(a)]
+        );
+    }
+
+    // The window closes at 40; by 60 (> 40 + worst bound) every pair —
+    // including the quarantined node's — is back under its bound.
+    dep.run(25);
+    for (n, a) in pairs.iter() {
+        let obs = dep.observed(n, a).expect("pair observed after healing");
+        let staleness = dep.epoch() - obs.produced;
+        assert!(
+            staleness <= bounds[&a],
+            "{n}/{a} staleness {staleness} over bound {} after window closed",
+            bounds[&a]
+        );
+    }
     dep.shutdown();
 }
 

@@ -2,6 +2,8 @@
 //! → planning, across partition schemes, builders, and allocation
 //! schemes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use remo::prelude::*;

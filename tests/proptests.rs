@@ -1,5 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use remo::prelude::*;
 use remo_core::build::{build_tree, BuildRequest, BuilderKind, LocalLoad, NodeDemand};

@@ -2,6 +2,8 @@
 //! end, and the deployment's behavior must mirror the simulator's
 //! semantics (latency = depth, capacity enforcement, reconfiguration).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_runtime::{Deployment, Sampler};
 use std::sync::Arc;

@@ -5,6 +5,8 @@
 //! epochs of confirmation — with time-to-detect, MTTR, and lost-value
 //! telemetry present in the [`HealthReport`].
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo::runtime::Sampler;
 use std::sync::Arc;

@@ -2,6 +2,8 @@
 //! paper measures on the real system must emerge from the simulated
 //! substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use remo::prelude::*;
 use remo_core::planner::PartitionScheme;
 use std::collections::BTreeMap;
