@@ -570,7 +570,13 @@ impl AdaptivePlanner {
         let estimator = GainEstimator::with_capacity(new_pairs, self.cost, max_budget);
 
         let mut partition = self.plan.partition().clone();
-        let mut trees: Vec<PlannedTree> = self.plan.trees().to_vec();
+        let mut trees: Vec<std::sync::Arc<PlannedTree>> = self
+            .plan
+            .trees()
+            .iter()
+            .cloned()
+            .map(std::sync::Arc::new)
+            .collect();
         let mut avail: BTreeMap<NodeId, f64> = self.caps.iter().collect();
         let mut collector_avail = self.caps.collector();
         for t in &trees {
@@ -629,6 +635,7 @@ impl AdaptivePlanner {
                             &trees,
                             &avail,
                             collector_avail,
+                            score,
                             &ctx,
                             self.cache_ref(),
                         )
@@ -701,7 +708,13 @@ impl AdaptivePlanner {
             ops_applied += 1;
         }
 
-        self.plan = MonitoringPlan::new(partition, trees);
+        self.plan = MonitoringPlan::new(
+            partition,
+            trees
+                .into_iter()
+                .map(std::sync::Arc::unwrap_or_clone)
+                .collect(),
+        );
         (ops_applied, ops_throttled)
     }
 
@@ -742,9 +755,9 @@ impl AdaptivePlanner {
 fn op_edge_changes(
     op: PartitionOp,
     old_partition: &Partition,
-    old_trees: &[PlannedTree],
+    old_trees: &[std::sync::Arc<PlannedTree>],
     new_partition: &Partition,
-    new_trees: &[PlannedTree],
+    new_trees: &[std::sync::Arc<PlannedTree>],
 ) -> usize {
     let affected_old: Vec<usize> = match op {
         PartitionOp::Merge(i, j) => vec![i, j],

@@ -18,14 +18,20 @@
 //!
 //! All schemes share the [`LoadTracker`], an incrementally-maintained
 //! account of per-node outgoing values (with in-network aggregation
-//! funnels), usage, and budget feasibility.
+//! funnels), usage, and budget feasibility. The tracker stores its
+//! per-node state in flat parallel arrays (slot arena indexed through
+//! one id map) and keeps usage cached per node — send cost plus a
+//! running receive sum — so a budget check is O(1) and an attach costs
+//! O(path length) instead of O(children) per ancestor. Mutations
+//! journal every touched slot and restore the exact prior floats on
+//! rollback, preserving the transactional semantics.
 
 use crate::cost::{Aggregation, CostModel};
 use crate::ids::NodeId;
 use crate::partition::AttrSet;
 use crate::tree::Tree;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Slack tolerated in floating-point budget comparisons.
 const EPS: f64 = 1e-9;
@@ -66,6 +72,22 @@ impl LocalLoad {
         self.holistic += other.holistic;
         for (a, b) in self.funnel.iter_mut().zip(&other.funnel) {
             *a += *b;
+        }
+    }
+
+    fn sub(&mut self, other: &LocalLoad) {
+        self.holistic -= other.holistic;
+        for (a, b) in self.funnel.iter_mut().zip(&other.funnel) {
+            *a -= *b;
+        }
+    }
+
+    /// Applies the element-wise change `new - old` to `self` — the
+    /// delta-propagation step when a child's outgoing vector changes.
+    fn add_delta(&mut self, new: &LocalLoad, old: &LocalLoad) {
+        self.holistic += new.holistic - old.holistic;
+        for ((a, b), c) in self.funnel.iter_mut().zip(&new.funnel).zip(&old.funnel) {
+            *a += *b - *c;
         }
     }
 
@@ -227,14 +249,16 @@ impl Branch {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    parent: Option<NodeId>,
-    children: Vec<NodeId>,
-    local: LocalLoad,
-    budget: f64,
-    /// Values leaving this node per epoch, after funnel application.
+/// Rollback record: the exact float state of one slot before an
+/// operation first touched it. Restoring entries in reverse order
+/// reproduces the pre-operation state bit-for-bit.
+#[derive(Debug)]
+struct Saved {
+    slot: u32,
+    incoming: LocalLoad,
     outgoing: LocalLoad,
+    send: f64,
+    recv: f64,
 }
 
 /// Incrementally-maintained load accounting for a tree under
@@ -245,13 +269,40 @@ struct Entry {
 /// send cost of its own message and the receive cost of each child's
 /// message (`C + a·x` each, paper §2.3). Attach operations are
 /// transactional — on budget violation the tracker is left unchanged.
+///
+/// Internally the per-node state lives in parallel arrays indexed by
+/// slot (freed slots are recycled): `incoming` is the pre-funnel value
+/// vector (local plus children's outgoing), `outgoing` its
+/// post-funnel image, `send` the cached cost of the node's own
+/// message, and `recv` the cached sum of children receive costs — so
+/// `usage = send + recv` is O(1) and a mutation only walks the
+/// root-ward path, stopping early once nothing changes.
 #[derive(Debug, Clone)]
 pub struct LoadTracker {
     cost: CostModel,
     funnels: Vec<Aggregation>,
     collector_budget: f64,
     root: Option<NodeId>,
-    entries: BTreeMap<NodeId, Entry>,
+    idx: HashMap<NodeId, u32>,
+    ids: Vec<NodeId>,
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<NodeId>>,
+    local: Vec<LocalLoad>,
+    budget: Vec<f64>,
+    incoming: Vec<LocalLoad>,
+    outgoing: Vec<LocalLoad>,
+    send: Vec<f64>,
+    recv: Vec<f64>,
+    free: Vec<u32>,
+    /// Nodes whose availability changed in the last successful
+    /// mutation (cleared at the start of each mutating call); the
+    /// greedy builders use this to keep their parent ranking fresh.
+    dirty: Vec<NodeId>,
+    /// Bumped on every successful mutation. Failed operations roll
+    /// back to the exact prior state and leave it unchanged, so equal
+    /// epochs mean the tracker is bit-identical — the builders' failed-
+    /// placement memo keys on this.
+    epoch: u64,
 }
 
 impl LoadTracker {
@@ -262,7 +313,152 @@ impl LoadTracker {
             funnels,
             collector_budget,
             root: None,
-            entries: BTreeMap::new(),
+            idx: HashMap::new(),
+            ids: Vec::new(),
+            parent: Vec::new(),
+            children: Vec::new(),
+            local: Vec::new(),
+            budget: Vec::new(),
+            incoming: Vec::new(),
+            outgoing: Vec::new(),
+            send: Vec::new(),
+            recv: Vec::new(),
+            free: Vec::new(),
+            dirty: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Mutation epoch: bumped on every successful mutation, untouched
+    /// by rolled-back failures.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the funnel table is empty (purely holistic loads, where
+    /// attach feasibility is monotone in the candidate's load total).
+    pub fn holistic_only(&self) -> bool {
+        self.funnels.is_empty()
+    }
+
+    fn alloc_slot(
+        &mut self,
+        node: NodeId,
+        parent: Option<u32>,
+        local: LocalLoad,
+        budget: f64,
+    ) -> u32 {
+        let incoming = local.clone();
+        let outgoing = self.apply_funnels(incoming.clone());
+        let send = self.cost.message_cost(outgoing.total());
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                self.ids[i] = node;
+                self.parent[i] = parent;
+                self.children[i].clear();
+                self.local[i] = local;
+                self.budget[i] = budget;
+                self.incoming[i] = incoming;
+                self.outgoing[i] = outgoing;
+                self.send[i] = send;
+                self.recv[i] = 0.0;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.ids.len())
+                    .unwrap_or_else(|_| unreachable!("more than u32::MAX tree members"));
+                self.ids.push(node);
+                self.parent.push(parent);
+                self.children.push(Vec::new());
+                self.local.push(local);
+                self.budget.push(budget);
+                self.incoming.push(incoming);
+                self.outgoing.push(outgoing);
+                self.send.push(send);
+                self.recv.push(0.0);
+                s
+            }
+        };
+        self.idx.insert(node, slot);
+        slot
+    }
+
+    fn free_slot(&mut self, node: NodeId, slot: u32) {
+        self.idx.remove(&node);
+        self.children[slot as usize].clear();
+        self.free.push(slot);
+    }
+
+    fn save(&self, journal: &mut Vec<Saved>, slot: u32) {
+        let i = slot as usize;
+        journal.push(Saved {
+            slot,
+            incoming: self.incoming[i].clone(),
+            outgoing: self.outgoing[i].clone(),
+            send: self.send[i],
+            recv: self.recv[i],
+        });
+    }
+
+    fn restore(&mut self, journal: Vec<Saved>) {
+        for s in journal.into_iter().rev() {
+            let i = s.slot as usize;
+            self.incoming[i] = s.incoming;
+            self.outgoing[i] = s.outgoing;
+            self.send[i] = s.send;
+            self.recv[i] = s.recv;
+        }
+    }
+
+    /// Re-derives `outgoing`/`send` from the (already updated)
+    /// `incoming` of `start` and propagates the change root-ward,
+    /// journaling every touched slot. Stops as soon as a node's
+    /// outgoing vector and send cost are unchanged (nothing above can
+    /// differ then). With `check` set, verifies each touched node's
+    /// budget on the way up and the collector constraint at the root,
+    /// returning the first violation (the caller rolls back).
+    fn bubble(
+        &mut self,
+        start: u32,
+        journal: &mut Vec<Saved>,
+        check: bool,
+    ) -> Result<(), AttachError> {
+        let mut n = start;
+        loop {
+            let i = n as usize;
+            self.save(journal, n);
+            self.dirty.push(self.ids[i]);
+            let new_out = self.apply_funnels(self.incoming[i].clone());
+            let old_send = self.send[i];
+            self.send[i] = self.cost.message_cost(new_out.total());
+            if check && self.send[i] + self.recv[i] > self.budget[i] + EPS {
+                return Err(AttachError::BudgetExceeded);
+            }
+            let out_changed = new_out != self.outgoing[i];
+            if !out_changed && self.send[i] == old_send {
+                return Ok(());
+            }
+            match self.parent[i] {
+                None => {
+                    self.outgoing[i] = new_out;
+                    if check && self.send[i] > self.collector_budget + EPS {
+                        return Err(AttachError::CollectorExceeded);
+                    }
+                    return Ok(());
+                }
+                Some(p) => {
+                    self.save(journal, p);
+                    let pi = p as usize;
+                    self.recv[pi] += self.send[i] - old_send;
+                    let old_out = std::mem::replace(&mut self.outgoing[i], new_out);
+                    // Split borrows: clone the new outgoing for the
+                    // delta (funnel vectors are tiny).
+                    let new_ref = self.outgoing[i].clone();
+                    self.incoming[pi].add_delta(&new_ref, &old_out);
+                    n = p;
+                }
+            }
         }
     }
 
@@ -283,6 +479,7 @@ impl LoadTracker {
         if self.root.is_some() {
             return Err(AttachError::DuplicateNode);
         }
+        self.dirty.clear();
         let local = load.padded(self.funnels.len());
         let outgoing = self.apply_funnels(local.clone());
         let send = self.cost.message_cost(outgoing.total());
@@ -292,17 +489,10 @@ impl LoadTracker {
         if send > self.collector_budget + EPS {
             return Err(AttachError::CollectorExceeded);
         }
-        self.entries.insert(
-            node,
-            Entry {
-                parent: None,
-                children: Vec::new(),
-                local,
-                budget,
-                outgoing,
-            },
-        );
+        self.alloc_slot(node, None, local, budget);
         self.root = Some(node);
+        self.dirty.push(node);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -313,76 +503,79 @@ impl LoadTracker {
 
     /// Number of nodes tracked.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.idx.len()
     }
 
     /// Whether the tracker is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.idx.is_empty()
     }
 
     /// All tracked nodes, in id order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.keys().copied()
+        let mut ids: Vec<NodeId> = self.idx.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
     }
 
     /// Whether `node` is tracked.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.entries.contains_key(&node)
+        self.idx.contains_key(&node)
+    }
+
+    fn slot(&self, node: NodeId) -> Option<u32> {
+        self.idx.get(&node).copied()
     }
 
     /// The parent of `node` (`None` for the root or an absent node).
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.entries.get(&node).and_then(|e| e.parent)
+        let s = self.slot(node)?;
+        self.parent[s as usize].map(|p| self.ids[p as usize])
     }
 
     /// The children of `node` (empty for leaves or absent nodes).
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        self.entries
-            .get(&node)
-            .map_or(&[], |e| e.children.as_slice())
+        match self.slot(node) {
+            Some(s) => self.children[s as usize].as_slice(),
+            None => &[],
+        }
     }
 
     /// Values leaving `node` per epoch (after funnels).
     pub fn outgoing_values(&self, node: NodeId) -> Option<f64> {
-        self.entries.get(&node).map(|e| e.outgoing.total())
+        let s = self.slot(node)?;
+        Some(self.outgoing[s as usize].total())
     }
 
     /// Current usage of `node`: send cost of its message plus receive
-    /// cost of each child's message.
+    /// cost of each child's message. O(1) from the cached accounting.
     pub fn usage(&self, node: NodeId) -> Option<f64> {
-        let e = self.entries.get(&node)?;
-        let mut u = self.cost.message_cost(e.outgoing.total());
-        for c in &e.children {
-            u += self.cost.message_cost(self.entries[c].outgoing.total());
-        }
-        Some(u)
+        let s = self.slot(node)? as usize;
+        Some(self.send[s] + self.recv[s])
     }
 
     /// Remaining budget of `node`.
     pub fn available(&self, node: NodeId) -> Option<f64> {
-        let e = self.entries.get(&node)?;
-        Some(
-            e.budget
-                - self
-                    .usage(node)
-                    .unwrap_or_else(|| unreachable!("node present")),
-        )
+        let s = self.slot(node)? as usize;
+        Some(self.budget[s] - (self.send[s] + self.recv[s]))
     }
 
     /// Collector-side usage: receive cost of the root's message.
     pub fn collector_usage(&self) -> f64 {
-        match self.root {
-            Some(r) => self.cost.message_cost(self.entries[&r].outgoing.total()),
+        match self.root.and_then(|r| self.slot(r)) {
+            Some(s) => self.send[s as usize],
             None => 0.0,
         }
     }
 
-    /// Σ send costs over all tracked nodes.
+    /// Σ send costs over all tracked nodes (summed in id order, so the
+    /// result does not depend on insertion history).
     pub fn message_volume(&self) -> f64 {
-        self.entries
-            .values()
-            .map(|e| self.cost.message_cost(e.outgoing.total()))
+        self.nodes()
+            .map(|n| {
+                let s = self.slot(n).unwrap_or_else(|| unreachable!("tracked node"));
+                self.send[s as usize]
+            })
             .sum()
     }
 
@@ -398,55 +591,11 @@ impl LoadTracker {
         }
     }
 
-    fn compute_outgoing(&self, node: NodeId) -> LocalLoad {
-        let e = &self.entries[&node];
-        let mut incoming = e.local.clone();
-        for c in &e.children {
-            incoming.add(&self.entries[c].outgoing);
-        }
-        self.apply_funnels(incoming)
-    }
-
-    /// Recomputes outgoing vectors from `start` up to the root,
-    /// recording prior values for rollback.
-    fn refresh_upward(&mut self, start: NodeId) -> Vec<(NodeId, LocalLoad)> {
-        let mut saved = Vec::new();
-        let mut cur = Some(start);
-        while let Some(n) = cur {
-            let fresh = self.compute_outgoing(n);
-            let e = self
-                .entries
-                .get_mut(&n)
-                .unwrap_or_else(|| unreachable!("path node present"));
-            saved.push((n, std::mem::replace(&mut e.outgoing, fresh)));
-            cur = e.parent;
-        }
-        saved
-    }
-
-    fn restore_outgoing(&mut self, saved: Vec<(NodeId, LocalLoad)>) {
-        for (n, out) in saved {
-            if let Some(e) = self.entries.get_mut(&n) {
-                e.outgoing = out;
-            }
-        }
-    }
-
-    /// Checks budgets of every node from `start` up to the root, plus
-    /// the collector constraint.
-    fn check_path(&self, start: NodeId) -> Result<(), AttachError> {
-        let mut cur = Some(start);
-        while let Some(n) = cur {
-            let e = &self.entries[&n];
-            if self.usage(n).unwrap_or_else(|| unreachable!("path node")) > e.budget + EPS {
-                return Err(AttachError::BudgetExceeded);
-            }
-            cur = e.parent;
-        }
-        if self.collector_usage() > self.collector_budget + EPS {
-            return Err(AttachError::CollectorExceeded);
-        }
-        Ok(())
+    /// Nodes whose availability changed in the last successful
+    /// mutation; drains the list. The greedy builders consume this to
+    /// keep their availability ranking current.
+    fn take_dirty(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Attaches `node` as a leaf under `parent`, transactionally.
@@ -462,70 +611,39 @@ impl LoadTracker {
         budget: f64,
         parent: NodeId,
     ) -> Result<(), AttachError> {
-        if self.entries.contains_key(&node) {
+        if self.idx.contains_key(&node) {
             return Err(AttachError::DuplicateNode);
         }
-        if !self.entries.contains_key(&parent) {
+        let Some(p) = self.slot(parent) else {
             return Err(AttachError::MissingParent);
-        }
+        };
+        self.dirty.clear();
         let local = load.padded(self.funnels.len());
-        let outgoing = self.apply_funnels(local.clone());
-        self.entries.insert(
-            node,
-            Entry {
-                parent: Some(parent),
-                children: Vec::new(),
-                local,
-                budget,
-                outgoing,
-            },
-        );
-        self.entries
-            .get_mut(&parent)
-            .unwrap_or_else(|| unreachable!("parent present"))
-            .children
-            .push(node);
-
-        let saved = self.refresh_upward(parent);
-        let verdict = self
-            .check_node_budget(node)
-            .and_then(|()| self.check_path(parent));
-        if let Err(e) = verdict {
-            self.restore_outgoing(saved);
-            self.remove_leaf(node);
-            return Err(e);
+        let s = self.alloc_slot(node, Some(p), local, budget);
+        if self.send[s as usize] > budget + EPS {
+            self.free_slot(node, s);
+            return Err(AttachError::BudgetExceeded);
         }
-        Ok(())
-    }
-
-    fn check_node_budget(&self, node: NodeId) -> Result<(), AttachError> {
-        let e = &self.entries[&node];
-        if self
-            .usage(node)
-            .unwrap_or_else(|| unreachable!("node present"))
-            > e.budget + EPS
-        {
-            Err(AttachError::BudgetExceeded)
-        } else {
-            Ok(())
-        }
-    }
-
-    fn remove_leaf(&mut self, node: NodeId) {
-        let e = self
-            .entries
-            .remove(&node)
-            .unwrap_or_else(|| unreachable!("leaf present"));
-        debug_assert!(e.children.is_empty());
-        if let Some(p) = e.parent {
-            let kids = &mut self
-                .entries
-                .get_mut(&p)
-                .unwrap_or_else(|| unreachable!("parent"))
-                .children;
-            kids.retain(|&k| k != node);
-        } else {
-            self.root = None;
+        let pi = p as usize;
+        self.children[pi].push(node);
+        let mut journal = Vec::new();
+        self.save(&mut journal, p);
+        let child_out = self.outgoing[s as usize].clone();
+        self.incoming[pi].add(&child_out);
+        self.recv[pi] += self.send[s as usize];
+        self.dirty.push(node);
+        match self.bubble(p, &mut journal, true) {
+            Ok(()) => {
+                self.epoch += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.restore(journal);
+                self.children[pi].pop();
+                self.free_slot(node, s);
+                self.dirty.clear();
+                Err(e)
+            }
         }
     }
 
@@ -536,35 +654,50 @@ impl LoadTracker {
     ///
     /// Panics if `node` is not tracked.
     pub fn detach_subtree(&mut self, node: NodeId) -> Branch {
-        assert!(self.entries.contains_key(&node), "detach of absent node");
-        // Preorder walk.
-        let mut order = vec![node];
+        let s = self.slot(node);
+        assert!(s.is_some(), "detach of absent node");
+        let s = s.unwrap_or_else(|| unreachable!("checked above"));
+        self.dirty.clear();
+        // Preorder walk over slots.
+        let mut order = vec![s];
         let mut i = 0;
         while i < order.len() {
-            order.extend(self.entries[&order[i]].children.iter().copied());
+            let kids = self.children[order[i] as usize].clone();
+            order.extend(kids.iter().map(|&k| {
+                self.slot(k)
+                    .unwrap_or_else(|| unreachable!("child tracked"))
+            }));
             i += 1;
         }
-        let old_parent = self.entries[&node].parent;
+        let old_parent = self.parent[s as usize];
+        let detached_out = self.outgoing[s as usize].clone();
+        let detached_send = self.send[s as usize];
         let mut nodes = Vec::with_capacity(order.len());
-        for (idx, &n) in order.iter().enumerate() {
-            let e = self
-                .entries
-                .remove(&n)
-                .unwrap_or_else(|| unreachable!("subtree node present"));
-            let parent_in_branch = if idx == 0 { None } else { e.parent };
-            nodes.push((n, parent_in_branch, e.local, e.budget));
+        for (k, &slot) in order.iter().enumerate() {
+            let i = slot as usize;
+            let n = self.ids[i];
+            let parent_in_branch = if k == 0 {
+                None
+            } else {
+                self.parent[i].map(|p| self.ids[p as usize])
+            };
+            nodes.push((n, parent_in_branch, self.local[i].clone(), self.budget[i]));
+            self.free_slot(n, slot);
         }
         match old_parent {
             Some(p) => {
-                self.entries
-                    .get_mut(&p)
-                    .unwrap_or_else(|| unreachable!("parent present"))
-                    .children
-                    .retain(|&k| k != node);
-                let _ = self.refresh_upward(p);
+                let pi = p as usize;
+                self.children[pi].retain(|&k| k != node);
+                let mut journal = Vec::new();
+                self.save(&mut journal, p);
+                self.incoming[pi].sub(&detached_out);
+                self.recv[pi] -= detached_send;
+                self.bubble(p, &mut journal, false)
+                    .unwrap_or_else(|_| unreachable!("unchecked bubble cannot fail"));
             }
             None => self.root = None,
         }
+        self.epoch += 1;
         Branch { nodes }
     }
 
@@ -579,101 +712,152 @@ impl LoadTracker {
         branch: Branch,
         target: NodeId,
     ) -> Result<(), (Branch, AttachError)> {
-        if !self.entries.contains_key(&target) {
+        let Some(t) = self.slot(target) else {
             return Err((branch, AttachError::MissingParent));
-        }
-        if branch
-            .nodes
-            .iter()
-            .any(|(n, ..)| self.entries.contains_key(n))
-        {
+        };
+        if branch.nodes.iter().any(|(n, ..)| self.idx.contains_key(n)) {
             return Err((branch, AttachError::DuplicateNode));
         }
+        self.dirty.clear();
 
         // Insert structurally in preorder (parents before children).
-        for (n, parent_in_branch, local, budget) in branch.nodes.iter().cloned() {
-            let parent = Some(parent_in_branch.unwrap_or(target));
-            self.entries.insert(
-                n,
-                Entry {
-                    parent,
-                    children: Vec::new(),
-                    local: local.padded(self.funnels.len()),
-                    budget,
-                    outgoing: LocalLoad::default(),
-                },
+        let mut slots = Vec::with_capacity(branch.nodes.len());
+        for (n, parent_in_branch, local, budget) in branch.nodes.iter() {
+            let p = match parent_in_branch {
+                Some(bp) => self
+                    .slot(*bp)
+                    .unwrap_or_else(|| unreachable!("branch parent inserted first")),
+                None => t,
+            };
+            let slot = self.alloc_slot(
+                *n,
+                Some(p),
+                local.clone().padded(self.funnels.len()),
+                *budget,
             );
+            slots.push(slot);
         }
-        for (n, parent_in_branch, ..) in &branch.nodes {
-            let p = parent_in_branch.unwrap_or(target);
-            self.entries
-                .get_mut(&p)
-                .unwrap_or_else(|| unreachable!("parent inserted first"))
-                .children
-                .push(*n);
+        for (n, parent_in_branch, ..) in branch.nodes.iter() {
+            let pi = match parent_in_branch {
+                Some(bp) => self
+                    .slot(*bp)
+                    .unwrap_or_else(|| unreachable!("branch parent present")),
+                None => t,
+            } as usize;
+            self.children[pi].push(*n);
         }
-        // Branch-internal outgoing, children before parents.
-        for (n, ..) in branch.nodes.iter().rev() {
-            let fresh = self.compute_outgoing(*n);
-            self.entries
-                .get_mut(n)
-                .unwrap_or_else(|| unreachable!("present"))
-                .outgoing = fresh;
-        }
-        let saved = self.refresh_upward(target);
-
-        let verdict = branch
-            .nodes
-            .iter()
-            .try_for_each(|(n, ..)| self.check_node_budget(*n))
-            .and_then(|()| self.check_path(target));
-        if let Err(e) = verdict {
-            self.restore_outgoing(saved);
-            // Remove the just-inserted nodes (leaves last in preorder).
-            for (n, ..) in branch.nodes.iter().rev() {
-                self.entries.remove(n);
+        // Branch-internal accounting, children before parents (each
+        // node's incoming sums its children's final outgoing).
+        for &slot in slots.iter().rev() {
+            let i = slot as usize;
+            let mut incoming = self.local[i].clone();
+            let mut recv = 0.0;
+            for ck in 0..self.children[i].len() {
+                let c = self.children[i][ck];
+                let cs = self
+                    .slot(c)
+                    .unwrap_or_else(|| unreachable!("branch child present"))
+                    as usize;
+                incoming.add(&self.outgoing[cs]);
+                recv += self.send[cs];
             }
-            self.entries
-                .get_mut(&target)
-                .unwrap_or_else(|| unreachable!("target present"))
-                .children
-                .retain(|k| branch.nodes[0].0 != *k);
-            return Err((branch, e));
+            self.outgoing[i] = self.apply_funnels(incoming.clone());
+            self.incoming[i] = incoming;
+            self.send[i] = self.cost.message_cost(self.outgoing[i].total());
+            self.recv[i] = recv;
         }
-        Ok(())
+
+        let rollback = |me: &mut Self, journal: Vec<Saved>| {
+            me.restore(journal);
+            for (&slot, (n, ..)) in slots.iter().zip(&branch.nodes).rev() {
+                me.free_slot(*n, slot);
+            }
+            let ti = t as usize;
+            me.children[ti].retain(|k| branch.nodes[0].0 != *k);
+            me.dirty.clear();
+        };
+
+        // Branch-node budget checks (their accounting is final).
+        for &slot in &slots {
+            let i = slot as usize;
+            if self.send[i] + self.recv[i] > self.budget[i] + EPS {
+                rollback(self, Vec::new());
+                return Err((branch, AttachError::BudgetExceeded));
+            }
+        }
+
+        let mut journal = Vec::new();
+        self.save(&mut journal, t);
+        let ti = t as usize;
+        let root_slot = slots[0] as usize;
+        let branch_out = self.outgoing[root_slot].clone();
+        self.incoming[ti].add(&branch_out);
+        self.recv[ti] += self.send[root_slot];
+        match self.bubble(t, &mut journal, true) {
+            Ok(()) => {
+                self.dirty.extend(branch.nodes.iter().map(|(n, ..)| *n));
+                self.epoch += 1;
+                Ok(())
+            }
+            Err(e) => {
+                rollback(self, journal);
+                Err((branch, e))
+            }
+        }
     }
 
     /// Verifies the incremental accounting against a from-scratch
     /// recomputation (and the structural indices against each other).
     pub fn check_consistency(&self) -> bool {
-        for (&n, e) in &self.entries {
-            match e.parent {
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6;
+        for n in self.nodes() {
+            let s = self.slot(n).unwrap_or_else(|| unreachable!("tracked node"));
+            let i = s as usize;
+            if self.ids[i] != n {
+                return false;
+            }
+            match self.parent[i] {
                 None => {
                     if self.root != Some(n) {
                         return false;
                     }
                 }
-                Some(p) => match self.entries.get(&p) {
-                    Some(pe) if pe.children.contains(&n) => {}
+                Some(p) => {
+                    if !self.children[p as usize].contains(&n) {
+                        return false;
+                    }
+                }
+            }
+            // Recompute incoming/recv from the children lists.
+            let mut incoming = self.local[i].clone();
+            let mut recv = 0.0;
+            for c in &self.children[i] {
+                let cs = match self.slot(*c) {
+                    Some(cs) if self.parent[cs as usize] == Some(s) => cs as usize,
                     _ => return false,
-                },
+                };
+                incoming.add(&self.outgoing[cs]);
+                recv += self.send[cs];
             }
-            for c in &e.children {
-                if self.entries.get(c).map(|ce| ce.parent) != Some(Some(n)) {
+            let fresh_out = self.apply_funnels(incoming.clone());
+            if !close(incoming.holistic, self.incoming[i].holistic)
+                || !close(fresh_out.holistic, self.outgoing[i].holistic)
+                || fresh_out.funnel.len() != self.outgoing[i].funnel.len()
+            {
+                return false;
+            }
+            for (a, b) in fresh_out.funnel.iter().zip(&self.outgoing[i].funnel) {
+                if !close(*a, *b) {
                     return false;
                 }
             }
-            let fresh = self.compute_outgoing(n);
-            if (fresh.holistic - e.outgoing.holistic).abs() > 1e-6 {
+            if !close(recv, self.recv[i])
+                || !close(
+                    self.cost.message_cost(self.outgoing[i].total()),
+                    self.send[i],
+                )
+            {
                 return false;
-            }
-            if fresh.funnel.len() != e.outgoing.funnel.len() {
-                return false;
-            }
-            for (a, b) in fresh.funnel.iter().zip(&e.outgoing.funnel) {
-                if (a - b).abs() > 1e-6 {
-                    return false;
-                }
             }
         }
         true
@@ -696,9 +880,8 @@ impl LoadTracker {
 
     /// Per-node usage map (for [`BuildOutcome::usage`]).
     pub fn usage_map(&self) -> BTreeMap<NodeId, f64> {
-        self.entries
-            .keys()
-            .map(|&n| (n, self.usage(n).unwrap_or_else(|| unreachable!("tracked"))))
+        self.nodes()
+            .map(|n| (n, self.usage(n).unwrap_or_else(|| unreachable!("tracked"))))
             .collect()
     }
 }
@@ -775,13 +958,20 @@ fn build_star(request: &BuildRequest) -> BuildOutcome {
     };
     let root = order[root_idx].node;
     let mut excluded = Vec::new();
+    let mut memo = PlaceMemo::new();
     for (i, d) in order.iter().enumerate() {
         if i == root_idx {
+            continue;
+        }
+        let total = d.load.total();
+        if memo.known_to_fail(&t, total) {
+            excluded.push(d.node);
             continue;
         }
         if t.try_attach(d.node, d.load.clone(), d.budget, root)
             .is_err()
         {
+            memo.record_failure(&t, total);
             excluded.push(d.node);
         }
     }
@@ -795,13 +985,24 @@ fn build_chain(request: &BuildRequest) -> BuildOutcome {
     };
     let mut tail = order[root_idx].node;
     let mut excluded = Vec::new();
+    // The chain's only candidate parent is the tail, which moves only
+    // on success — the failed-placement memo applies verbatim.
+    let mut memo = PlaceMemo::new();
     for (i, d) in order.iter().enumerate() {
         if i == root_idx {
             continue;
         }
+        let total = d.load.total();
+        if memo.known_to_fail(&t, total) {
+            excluded.push(d.node);
+            continue;
+        }
         match t.try_attach(d.node, d.load.clone(), d.budget, tail) {
             Ok(()) => tail = d.node,
-            Err(_) => excluded.push(d.node),
+            Err(_) => {
+                memo.record_failure(&t, total);
+                excluded.push(d.node);
+            }
         }
     }
     finish(&t, request, excluded)
@@ -821,15 +1022,147 @@ fn members_by_avail(t: &LoadTracker) -> Vec<NodeId> {
     m.into_iter().map(|(n, _)| n).collect()
 }
 
+/// One lazy max-heap entry: a node at a point-in-time availability.
+#[derive(Debug)]
+struct AvailEntry {
+    avail: f64,
+    node: NodeId,
+}
+
+impl PartialEq for AvailEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for AvailEntry {}
+impl PartialOrd for AvailEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for AvailEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap pops highest availability first; ties pop the
+        // smallest node id — exactly the `members_by_avail` order.
+        self.avail
+            .total_cmp(&other.avail)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Lazily-invalidated availability ranking over the tracker's members.
+///
+/// A fresh entry is pushed for every node the tracker reports dirty
+/// after a successful mutation, so the current availability of every
+/// member always has a live entry; stale entries (value no longer
+/// matching, or node detached) are discarded on pop. Popping therefore
+/// yields members in exact `(avail desc, id asc)` order without the
+/// O(members · log) re-sort per placement the builders used to pay.
+#[derive(Debug, Default)]
+struct AvailHeap {
+    heap: std::collections::BinaryHeap<AvailEntry>,
+}
+
+impl AvailHeap {
+    fn seeded(t: &mut LoadTracker) -> Self {
+        let mut h = AvailHeap::default();
+        h.refresh(t);
+        h
+    }
+
+    /// Absorbs the tracker's dirty set after a successful mutation.
+    fn refresh(&mut self, t: &mut LoadTracker) {
+        for n in t.take_dirty() {
+            if let Some(avail) = t.available(n) {
+                self.heap.push(AvailEntry { avail, node: n });
+            }
+        }
+    }
+
+    /// The top `k` members by `(avail desc, id asc)`, written into
+    /// `out`. Valid entries that were popped are pushed back.
+    fn top(&mut self, t: &LoadTracker, k: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        let mut keep = Vec::with_capacity(k);
+        while out.len() < k {
+            let Some(e) = self.heap.pop() else { break };
+            match t.available(e.node) {
+                Some(avail) if avail == e.avail && !out.contains(&e.node) => {
+                    out.push(e.node);
+                    keep.push(e);
+                }
+                // Stale entries and duplicate live entries for the
+                // same node are dropped; one survivor suffices.
+                _ => {}
+            }
+        }
+        for e in keep {
+            self.heap.push(e);
+        }
+    }
+}
+
+/// Failed-placement memo. With purely holistic loads, attach
+/// feasibility is monotone: every budget check a load of `L` fails, a
+/// load `≥ L` fails at least as hard (given equal-or-smaller own
+/// budget, which the budget-descending demand order guarantees). A
+/// failed placement rolls back without touching the tracker, so while
+/// the epoch stands still the same candidate parents would be retried
+/// to the same verdict — the memo turns each of those retries into one
+/// comparison. On saturated instances most of the demand is excluded,
+/// and this removes the dominant cost of building the tree.
+#[derive(Debug, Default, Clone, Copy)]
+struct PlaceMemo {
+    epoch: u64,
+    min_failed: f64,
+}
+
+impl PlaceMemo {
+    fn new() -> Self {
+        PlaceMemo {
+            epoch: 0,
+            min_failed: f64::INFINITY,
+        }
+    }
+
+    fn known_to_fail(&self, t: &LoadTracker, load_total: f64) -> bool {
+        t.holistic_only() && self.epoch == t.epoch() && load_total >= self.min_failed
+    }
+
+    fn record_failure(&mut self, t: &LoadTracker, load_total: f64) {
+        if !t.holistic_only() {
+            return;
+        }
+        if self.epoch != t.epoch() {
+            self.epoch = t.epoch();
+            self.min_failed = f64::INFINITY;
+        }
+        self.min_failed = self.min_failed.min(load_total);
+    }
+}
+
 /// Greedy placement under the best-available parents.
-fn try_place(t: &mut LoadTracker, d: &NodeDemand) -> bool {
-    for parent in members_by_avail(t).into_iter().take(PARENT_CANDIDATES) {
+fn try_place(
+    t: &mut LoadTracker,
+    heap: &mut AvailHeap,
+    scratch: &mut Vec<NodeId>,
+    d: &NodeDemand,
+    memo: &mut PlaceMemo,
+) -> bool {
+    let total = d.load.total();
+    if memo.known_to_fail(t, total) {
+        return false;
+    }
+    heap.top(t, PARENT_CANDIDATES, scratch);
+    for &parent in scratch.iter() {
         if t.try_attach(d.node, d.load.clone(), d.budget, parent)
             .is_ok()
         {
+            heap.refresh(t);
             return true;
         }
     }
+    memo.record_failure(t, total);
     false
 }
 
@@ -838,12 +1171,15 @@ fn build_max_avb(request: &BuildRequest) -> BuildOutcome {
     let Some((mut t, root_idx)) = seed_root(request, &order) else {
         return empty_outcome(request);
     };
+    let mut heap = AvailHeap::seeded(&mut t);
+    let mut scratch = Vec::new();
     let mut excluded = Vec::new();
+    let mut memo = PlaceMemo::new();
     for (i, d) in order.iter().enumerate() {
         if i == root_idx {
             continue;
         }
-        if !try_place(&mut t, d) {
+        if !try_place(&mut t, &mut heap, &mut scratch, d, &mut memo) {
             excluded.push(d.node);
         }
     }
@@ -853,7 +1189,7 @@ fn build_max_avb(request: &BuildRequest) -> BuildOutcome {
 /// One congestion-relief attempt: relocate load away from the most
 /// congested members so a pending node can fit. Returns `true` if any
 /// relocation was applied.
-fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
+fn relieve_congestion(t: &mut LoadTracker, heap: &mut AvailHeap, cfg: AdjustConfig) -> bool {
     let mut donors = members_by_avail(t);
     donors.reverse(); // most congested first
     for donor in donors.into_iter().take(4) {
@@ -878,6 +1214,7 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
                 .parent(unit)
                 .unwrap_or_else(|| unreachable!("movable unit has a parent"));
             let branch = t.detach_subtree(unit);
+            heap.refresh(t);
             let in_branch: std::collections::BTreeSet<NodeId> =
                 branch.nodes.iter().map(|(n, ..)| *n).collect();
             let targets: Vec<NodeId> = if cfg.subtree_only {
@@ -888,6 +1225,7 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
                     sub.extend(t.children(sub[i]).iter().copied());
                     i += 1;
                 }
+                let sub: std::collections::HashSet<NodeId> = sub.into_iter().collect();
                 let mut ranked = members_by_avail(t);
                 ranked.retain(|n| sub.contains(n) && *n != old_parent);
                 ranked
@@ -908,7 +1246,10 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
                         .unwrap_or_else(|| unreachable!("branch in hand")),
                     target,
                 ) {
-                    Ok(()) => break,
+                    Ok(()) => {
+                        heap.refresh(t);
+                        break;
+                    }
                     Err((back, _)) => carried = Some(back),
                 }
             }
@@ -918,6 +1259,7 @@ fn relieve_congestion(t: &mut LoadTracker, cfg: AdjustConfig) -> bool {
                     t.try_attach_branch(back, old_parent).unwrap_or_else(|_| {
                         unreachable!("restoring a just-detached branch cannot fail")
                     });
+                    heap.refresh(t);
                 }
             }
         }
@@ -930,23 +1272,37 @@ fn build_adaptive(request: &BuildRequest, cfg: AdjustConfig) -> BuildOutcome {
     let Some((mut t, root_idx)) = seed_root(request, &order) else {
         return empty_outcome(request);
     };
+    let mut heap = AvailHeap::seeded(&mut t);
+    let mut scratch = Vec::new();
     let mut excluded = Vec::new();
     // Congestion-relief moves are budgeted: each one is cheap, but an
     // adversarial workload could otherwise trigger quadratically many.
     let mut moves_left = 2 * request.demand.len();
+    // Once a relief sweep finds no applicable relocation, the tracker
+    // is back in the exact state it started from (every attempted move
+    // was rolled back), so re-running the sweep for the next unplaced
+    // node would re-scan the same donors to the same answer. Skip it
+    // until some placement actually mutates the tree again — on a
+    // saturated instance this turns thousands of futile full-tree
+    // sweeps into one.
+    let mut relief_futile = false;
+    let mut memo = PlaceMemo::new();
     for (i, d) in order.iter().enumerate() {
         if i == root_idx {
             continue;
         }
-        let mut placed = try_place(&mut t, d);
-        while !placed && moves_left > 0 {
+        let mut placed = try_place(&mut t, &mut heap, &mut scratch, d, &mut memo);
+        while !placed && moves_left > 0 && !relief_futile {
             moves_left -= 1;
-            if !relieve_congestion(&mut t, cfg) {
+            if !relieve_congestion(&mut t, &mut heap, cfg) {
+                relief_futile = true;
                 break;
             }
-            placed = try_place(&mut t, d);
+            placed = try_place(&mut t, &mut heap, &mut scratch, d, &mut memo);
         }
-        if !placed {
+        if placed {
+            relief_futile = false;
+        } else {
             excluded.push(d.node);
         }
     }

@@ -26,11 +26,11 @@
 
 use crate::alloc::AllocationScheme;
 use crate::build::BuilderKind;
-use crate::evaluate::{build_tree_with_participants, BudgetView, EvalContext};
-use crate::ids::NodeId;
+use crate::evaluate::{build_tree_for_set, BudgetView, EvalContext};
+use crate::index::PairIndex;
 use crate::partition::AttrSet;
 use crate::plan::PlannedTree;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 /// Entry cap; reaching it deterministically drops every entry (a full
@@ -96,17 +96,27 @@ impl CacheKey {
         generation: u64,
         ctx: &EvalContext<'_>,
         set: &AttrSet,
-        participants: &BTreeSet<NodeId>,
         avail: &B,
         collector_avail: f64,
     ) -> Self {
+        // Participants via the dense index: the bitset OR iterated
+        // ascending yields the same (node, budget) sequence the old
+        // `BTreeSet` walk produced, so keys are unchanged.
+        let idx = ctx.pairs.index();
+        let mut row = Vec::new();
+        idx.or_participants(set, &mut row);
+        let mut dense = Vec::new();
+        PairIndex::iter_bits(&row, &mut dense);
         CacheKey {
             generation,
             cfg: CfgKey::of(ctx),
             attrs: set.iter().map(|a| a.0).collect(),
-            budgets: participants
+            budgets: dense
                 .iter()
-                .map(|&n| (n.0, avail.budget(n).to_bits()))
+                .map(|&d| {
+                    let n = idx.node_id(d);
+                    (n.0, avail.budget(n).to_bits())
+                })
                 .collect(),
             collector: collector_avail.to_bits(),
         }
@@ -193,38 +203,33 @@ impl TreeCache {
         avail: &B,
         collector_avail: f64,
     ) -> PlannedTree {
-        let participants = ctx.pairs.participants(set);
-        let (key, cached) = {
+        // Assemble the key outside the lock (it walks participant
+        // bitsets); only the generation stamp needs the mutex.
+        let mut key = CacheKey::new(0, ctx, set, avail, collector_avail);
+        let cached = {
             let mut inner = self.lock();
-            let key = CacheKey::new(
-                inner.generation,
-                ctx,
-                set,
-                &participants,
-                avail,
-                collector_avail,
-            );
+            key.generation = inner.generation;
             match inner.map.get(&key).cloned() {
                 Some(tree) => {
                     inner.hits += 1;
                     if remo_obs::enabled() {
                         hit_counter().inc();
                     }
-                    (key, Some(tree))
+                    Some(tree)
                 }
                 None => {
                     inner.misses += 1;
                     if remo_obs::enabled() {
                         miss_counter().inc();
                     }
-                    (key, None)
+                    None
                 }
             }
         };
         if let Some(tree) = cached {
             return tree;
         }
-        let tree = build_tree_with_participants(set, ctx, &participants, avail, collector_avail);
+        let tree = build_tree_for_set(set, ctx, avail, collector_avail);
         let mut inner = self.lock();
         if key.generation == inner.generation {
             if inner.map.len() >= MAX_ENTRIES {
@@ -284,7 +289,7 @@ mod tests {
     use crate::attribute::AttrCatalog;
     use crate::capacity::CapacityMap;
     use crate::cost::CostModel;
-    use crate::ids::AttrId;
+    use crate::ids::{AttrId, NodeId};
     use crate::pairs::PairSet;
     use std::collections::BTreeMap;
 

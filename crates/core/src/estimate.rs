@@ -7,10 +7,11 @@
 //! estimates and only evaluates the most promising few.
 
 use crate::cost::CostModel;
-use crate::ids::{AttrId, NodeId};
+use crate::ids::AttrId;
 use crate::pairs::PairSet;
 use crate::partition::{Partition, PartitionOp};
 use crate::plan::{MonitoringPlan, PlannedTree};
+use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
 /// Cheap gain/cost estimates over a fixed pair set and cost model.
@@ -93,9 +94,15 @@ impl<'a> GainEstimator<'a> {
     }
 
     /// [`merge_cost_lb`](Self::merge_cost_lb) over a bare tree slice,
-    /// for callers that track trees without wrapping them in a plan.
-    pub fn merge_cost_lb_trees(&self, trees: &[PlannedTree], i: usize, j: usize) -> usize {
-        let size = |k: usize| trees.get(k).map_or(0, |t| t.len());
+    /// for callers that track trees without wrapping them in a plan
+    /// (including `Arc<PlannedTree>` working sets).
+    pub fn merge_cost_lb_trees<T: Borrow<PlannedTree>>(
+        &self,
+        trees: &[T],
+        i: usize,
+        j: usize,
+    ) -> usize {
+        let size = |k: usize| trees.get(k).map_or(0, |t| t.borrow().len());
         size(i).min(size(j)).max(1)
     }
 
@@ -130,64 +137,122 @@ impl<'a> GainEstimator<'a> {
     /// [`rank_ops`](Self::rank_ops) over a bare tree slice, so callers
     /// holding `(Partition, Vec<PlannedTree>)` state need not assemble
     /// a throwaway [`MonitoringPlan`] every round.
-    pub fn rank_ops_trees(
+    pub fn rank_ops_trees<T: Borrow<PlannedTree>>(
         &self,
         partition: &Partition,
-        trees: &[PlannedTree],
+        trees: &[T],
     ) -> Vec<(PartitionOp, f64)> {
         use std::collections::BTreeMap;
 
         let sets = partition.sets();
+        let idx = self.pairs.index();
+        let n = idx.node_count();
+        let k = trees.len();
         let uncollected: Vec<usize> = trees
             .iter()
-            .map(|t| t.demanded_pairs.saturating_sub(t.collected_pairs))
+            .map(|t| {
+                let t = t.borrow();
+                t.demanded_pairs.saturating_sub(t.collected_pairs)
+            })
             .collect();
 
         // Per-node membership over nodes *included in the current
         // trees* — only they are actually paying per-message overhead,
         // so only their overlap is freed by a merge (a saturated-out
-        // demand overlap frees nothing).
-        let mut member_sets: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        // demand overlap frees nothing). Indexed by dense node id:
+        // dense ids ascend with NodeId, so iteration order matches the
+        // old BTreeMap<NodeId, _> walk exactly.
+        let mut member_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut included: Vec<Vec<u32>> = Vec::with_capacity(k);
         for (i, planned) in trees.iter().enumerate() {
-            if let Some(tree) = planned.tree.as_ref() {
-                for n in tree.nodes() {
-                    member_sets.entry(n).or_default().push(i);
+            let mut mine = Vec::new();
+            if let Some(tree) = planned.borrow().tree.as_ref() {
+                for node in tree.nodes() {
+                    let d = idx
+                        .dense_node(node)
+                        .unwrap_or_else(|| unreachable!("member owns attrs"));
+                    member_sets[d as usize].push(i as u32);
+                    mine.push(d);
+                }
+            }
+            included.push(mine);
+        }
+        // Pairwise included-member overlap. Tree counts stay small (one
+        // per attribute set), so a dense k×k triangle beats a keyed map
+        // for every realistic round; the map remains as a fallback so a
+        // pathological partition cannot allocate k² words.
+        let mut overlap_dense: Vec<u32> = Vec::new();
+        let mut overlap_map: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let use_dense = k <= 1 << 10;
+        if use_dense {
+            overlap_dense.resize(k * k, 0);
+        }
+        for here in &member_sets {
+            for x in 0..here.len() {
+                for y in (x + 1)..here.len() {
+                    let (a, b) = (here[x].min(here[y]) as usize, here[x].max(here[y]) as usize);
+                    if use_dense {
+                        overlap_dense[a * k + b] += 1;
+                    } else {
+                        *overlap_map.entry((a, b)).or_insert(0) += 1;
+                    }
                 }
             }
         }
-        let mut overlap: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-        for here in member_sets.values() {
-            for x in 0..here.len() {
-                for y in (x + 1)..here.len() {
-                    let (a, b) = (here[x].min(here[y]), here[x].max(here[y]));
-                    *overlap.entry((a, b)).or_insert(0) += 1;
+        if use_dense {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    let ov = overlap_dense[i * k + j];
+                    if ov > 0 {
+                        overlap_map.insert((i, j), ov as usize);
+                    }
                 }
             }
         }
         // Split gains: per-(set, attr) counts of included multi-attr
         // owners (they would pay an extra message after the split).
+        // Attr-major over the CSR owner rows: stamp each set's included
+        // members, count owned-in-set attrs per member, then re-walk
+        // the rows crediting attrs whose included owners own ≥ 2.
         let mut multi_owner: BTreeMap<(usize, AttrId), usize> = BTreeMap::new();
-        for (node, here) in &member_sets {
-            let owned = self
-                .pairs
-                .attrs_of(*node)
-                .unwrap_or_else(|| unreachable!("member owns attrs"));
-            for &i in here {
-                if owned.intersection(&sets[i]).count() >= 2 {
-                    for a in owned.intersection(&sets[i]) {
-                        *multi_owner.entry((i, *a)).or_insert(0) += 1;
+        let mut owned_in_set = vec![0u32; n];
+        let mut stamp = vec![usize::MAX; n];
+        for (i, set) in sets.iter().enumerate() {
+            if set.len() < 2 || included.get(i).is_none_or(Vec::is_empty) {
+                continue;
+            }
+            for &d in &included[i] {
+                stamp[d as usize] = i;
+                owned_in_set[d as usize] = 0;
+            }
+            for &attr in set {
+                for &o in idx.owners(attr) {
+                    if stamp[o as usize] == i {
+                        owned_in_set[o as usize] += 1;
                     }
+                }
+            }
+            for &attr in set {
+                let mut count = 0usize;
+                for &o in idx.owners(attr) {
+                    if stamp[o as usize] == i && owned_in_set[o as usize] >= 2 {
+                        count += 1;
+                    }
+                }
+                if count > 0 {
+                    multi_owner.insert((i, attr), count);
                 }
             }
         }
 
         let mut ranked: Vec<(PartitionOp, f64)> = Vec::new();
-        for (&(i, j), &ov) in &overlap {
+        for (&(i, j), &ov) in &overlap_map {
             let mut gain = 2.0 * self.cost.per_message() * ov as f64;
             // Root-feasibility penalty: the merged tree's root must
             // carry both trees' payloads in one message.
             if let Some(cap) = self.root_capacity {
-                let payload = (trees[i].collected_pairs + trees[j].collected_pairs) as f64;
+                let payload =
+                    (trees[i].borrow().collected_pairs + trees[j].borrow().collected_pairs) as f64;
                 let feasible = ((cap - self.cost.per_message()) / self.cost.per_value()).max(0.0);
                 let excess = payload - feasible;
                 if excess > 0.0 {
@@ -200,7 +265,7 @@ impl<'a> GainEstimator<'a> {
             // Fallback: merge the two smallest trees (saves one
             // collector message).
             let mut by_size: Vec<usize> = (0..sets.len()).collect();
-            by_size.sort_by_key(|&i| trees.get(i).map_or(0, |t| t.len()));
+            by_size.sort_by_key(|&i| trees.get(i).map_or(0, |t| t.borrow().len()));
             ranked.push((
                 PartitionOp::Merge(by_size[0].min(by_size[1]), by_size[0].max(by_size[1])),
                 self.cost.per_message(),
@@ -216,7 +281,7 @@ impl<'a> GainEstimator<'a> {
         let stranded: Vec<usize> = trees
             .iter()
             .enumerate()
-            .filter(|&(i, planned)| planned.tree.is_none() && i < sets.len())
+            .filter(|&(i, planned)| planned.borrow().tree.is_none() && i < sets.len())
             .map(|(i, _)| i)
             .collect();
         if !stranded.is_empty() {
@@ -225,7 +290,7 @@ impl<'a> GainEstimator<'a> {
                 // Exact counts keep `max_by_key` picking the same
                 // (last-maximal) partner the set-intersection scan did.
                 let best = (0..sets.len())
-                    .filter(|&j| j != i && trees[j].tree.is_some())
+                    .filter(|&j| j != i && trees[j].borrow().tree.is_some())
                     .max_by_key(|&j| bitsets.overlap(i, j));
                 if let Some(j) = best {
                     ranked.push((

@@ -13,10 +13,11 @@ use crate::cache::TreeCache;
 use crate::capacity::CapacityMap;
 use crate::cost::{Aggregation, CostModel};
 use crate::ids::NodeId;
+use crate::index::PairIndex;
 use crate::pairs::PairSet;
 use crate::partition::{AttrSet, Partition};
 use crate::plan::{MonitoringPlan, PlannedTree};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Everything the evaluator needs besides the partition itself.
 #[derive(Debug, Clone, Copy)]
@@ -136,69 +137,82 @@ impl BudgetView for BudgetOverlay<'_> {
 
 /// Builds the [`BuildRequest`] for one attribute set, with per-node
 /// budgets drawn from `avail` and the given collector budget.
+///
+/// Demand assembly runs over the dense [`PairIndex`]: participants come
+/// from a word-parallel bitset OR, loads accumulate attr-major over the
+/// CSR owner rows. Attributes ascend within `set` and owners ascend
+/// within each row, so each node's load receives the same additions in
+/// the same order as the old per-node `owned ∩ set` walk — the sums are
+/// bit-identical, only the traversal is packed.
 pub fn make_request<B: BudgetView + ?Sized>(
     set: &AttrSet,
     ctx: &EvalContext<'_>,
     avail: &B,
     collector_budget: f64,
 ) -> BuildRequest {
-    let participants = ctx.pairs.participants(set);
-    make_request_with_participants(set, ctx, &participants, avail, collector_budget)
-}
-
-/// [`make_request`] with the participant set precomputed (the cache
-/// computes it once for its key and reuses it on a miss).
-pub(crate) fn make_request_with_participants<B: BudgetView + ?Sized>(
-    set: &AttrSet,
-    ctx: &EvalContext<'_>,
-    participants: &BTreeSet<NodeId>,
-    avail: &B,
-    collector_budget: f64,
-) -> BuildRequest {
+    let idx = ctx.pairs.index();
     // Funnel table: non-identity aggregations present in this set, in
     // attribute order (only when aggregation-aware planning is on).
+    // `funnel_slot[i]` is the funnel of the i-th attribute of the set.
     let mut funnels: Vec<Aggregation> = Vec::new();
-    let mut funnel_index: BTreeMap<crate::ids::AttrId, usize> = BTreeMap::new();
+    let mut funnel_slot: Vec<Option<usize>> = Vec::new();
     if ctx.aggregation_aware {
+        funnel_slot.reserve(set.len());
         for &attr in set {
             let agg = ctx.catalog.get_or_default(attr).aggregation();
-            if !agg.is_identity() {
-                funnel_index.insert(attr, funnels.len());
+            if agg.is_identity() {
+                funnel_slot.push(None);
+            } else {
+                funnel_slot.push(Some(funnels.len()));
                 funnels.push(agg);
             }
         }
     }
 
-    let mut demand = Vec::with_capacity(participants.len());
-    for &node in participants {
-        let owned = ctx
-            .pairs
-            .attrs_of(node)
-            .unwrap_or_else(|| unreachable!("participant owns at least one attribute"));
-        let mut load = LocalLoad {
-            holistic: 0.0,
-            funnel: vec![0.0; funnels.len()],
+    // Dense participants, ascending — dense order is NodeId order.
+    let mut row = Vec::new();
+    idx.or_participants(set, &mut row);
+    let mut dense = Vec::new();
+    PairIndex::iter_bits(&row, &mut dense);
+
+    let mut demand: Vec<NodeDemand> = dense
+        .iter()
+        .map(|&d| {
+            let node = idx.node_id(d);
+            NodeDemand {
+                node,
+                load: LocalLoad {
+                    holistic: 0.0,
+                    funnel: vec![0.0; funnels.len()],
+                },
+                budget: avail.budget(node),
+                pairs: 0,
+            }
+        })
+        .collect();
+
+    for (i, &attr) in set.iter().enumerate() {
+        let weight = if ctx.frequency_aware {
+            ctx.catalog.get_or_default(attr).frequency()
+        } else {
+            1.0
         };
-        let mut raw_pairs = 0usize;
-        for attr in owned.intersection(set) {
-            raw_pairs += 1;
-            let info = ctx.catalog.get_or_default(*attr);
-            let weight = if ctx.frequency_aware {
-                info.frequency()
-            } else {
-                1.0
-            };
-            match funnel_index.get(attr) {
-                Some(&m) => load.funnel[m] += weight,
-                None => load.holistic += weight,
+        let slot = if ctx.aggregation_aware {
+            funnel_slot[i]
+        } else {
+            None
+        };
+        for &owner in idx.owners(attr) {
+            let k = dense
+                .binary_search(&owner)
+                .unwrap_or_else(|_| unreachable!("owner is a participant"));
+            let d = &mut demand[k];
+            d.pairs += 1;
+            match slot {
+                Some(m) => d.load.funnel[m] += weight,
+                None => d.load.holistic += weight,
             }
         }
-        demand.push(NodeDemand {
-            node,
-            load,
-            budget: avail.budget(node),
-            pairs: raw_pairs,
-        });
     }
 
     BuildRequest {
@@ -219,8 +233,17 @@ pub fn build_tree_for_set<B: BudgetView + ?Sized>(
     avail: &B,
     collector_avail: f64,
 ) -> PlannedTree {
-    let participants = ctx.pairs.participants(set);
-    build_tree_with_participants(set, ctx, &participants, avail, collector_avail)
+    let req = make_request(set, ctx, avail, collector_avail);
+    let out = build_tree(ctx.builder, &req);
+    PlannedTree {
+        tree: out.tree,
+        usage: out.usage,
+        collector_usage: out.collector_usage,
+        collected_pairs: out.collected_pairs,
+        demanded_pairs: out.demanded_pairs,
+        excluded: out.excluded,
+        message_volume: out.message_volume,
+    }
 }
 
 /// Like [`build_tree_for_set`], but consulting (and populating) a
@@ -236,27 +259,6 @@ pub fn build_tree_for_set_cached<B: BudgetView + ?Sized>(
     match cache {
         Some(cache) => cache.get_or_build(set, ctx, avail, collector_avail),
         None => build_tree_for_set(set, ctx, avail, collector_avail),
-    }
-}
-
-/// Tree construction from a precomputed participant set.
-pub(crate) fn build_tree_with_participants<B: BudgetView + ?Sized>(
-    set: &AttrSet,
-    ctx: &EvalContext<'_>,
-    participants: &BTreeSet<NodeId>,
-    avail: &B,
-    collector_avail: f64,
-) -> PlannedTree {
-    let req = make_request_with_participants(set, ctx, participants, avail, collector_avail);
-    let out = build_tree(ctx.builder, &req);
-    PlannedTree {
-        tree: out.tree,
-        usage: out.usage,
-        collector_usage: out.collector_usage,
-        collected_pairs: out.collected_pairs,
-        demanded_pairs: out.demanded_pairs,
-        excluded: out.excluded,
-        message_volume: out.message_volume,
     }
 }
 
@@ -295,16 +297,30 @@ pub fn build_forest_cached(
     cache: Option<&TreeCache>,
 ) -> MonitoringPlan {
     let sets = partition.sets();
-    let participants: Vec<_> = sets.iter().map(|s| ctx.pairs.participants(s)).collect();
-    let sizes: Vec<usize> = participants.iter().map(|p| p.len()).collect();
+    let idx = ctx.pairs.index();
+    // Dense participant lists per set (ascending = NodeId order).
+    let mut row = Vec::new();
+    let participants: Vec<Vec<u32>> = sets
+        .iter()
+        .map(|s| {
+            idx.or_participants(s, &mut row);
+            let mut dense = Vec::new();
+            PairIndex::iter_bits(&row, &mut dense);
+            dense
+        })
+        .collect();
+    let sizes: Vec<usize> = participants.iter().map(Vec::len).collect();
     let order = ctx.allocation.construction_order(&sizes);
 
     // Per-node list of tree sizes it participates in (static schemes).
     let mut my_tree_sizes: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
     if ctx.allocation.is_static() {
         for (k, parts) in participants.iter().enumerate() {
-            for &n in parts {
-                my_tree_sizes.entry(n).or_default().push(sizes[k]);
+            for &d in parts {
+                my_tree_sizes
+                    .entry(idx.node_id(d))
+                    .or_default()
+                    .push(sizes[k]);
             }
         }
     }
@@ -325,7 +341,8 @@ pub fn build_forest_cached(
         let tree = if ctx.allocation.is_static() {
             let budgets: BTreeMap<NodeId, f64> = participants[k]
                 .iter()
-                .map(|&n| {
+                .map(|&d| {
+                    let n = idx.node_id(d);
                     let b = ctx.caps.node(n).unwrap_or(0.0);
                     let all = my_tree_sizes.get(&n).map_or(&[][..], Vec::as_slice);
                     (n, ctx.allocation.node_share(b, sizes[k], all))

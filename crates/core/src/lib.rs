@@ -73,6 +73,7 @@ pub mod evaluate;
 pub mod export;
 pub mod frequency;
 mod ids;
+pub mod index;
 mod pairs;
 mod partition;
 pub mod plan;
@@ -90,6 +91,7 @@ pub use capacity::CapacityMap;
 pub use cost::{Aggregation, CostModel};
 pub use error::PlanError;
 pub use ids::{AttrId, NodeId, TaskId};
+pub use index::PairIndex;
 pub use pairs::{PairSet, ParticipantBitsets};
 pub use partition::{AttrSet, Partition, PartitionOp};
 pub use plan::MonitoringPlan;

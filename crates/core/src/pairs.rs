@@ -2,8 +2,10 @@
 //! planning (paper Problem Statement 1).
 
 use crate::ids::{AttrId, NodeId};
+use crate::index::PairIndex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
 
 /// Pair lists returned by [`PairSet::diff`]: `(added, removed)`.
 pub type PairDiff = (Vec<(NodeId, AttrId)>, Vec<(NodeId, AttrId)>);
@@ -26,11 +28,55 @@ pub type PairDiff = (Vec<(NodeId, AttrId)>, Vec<(NodeId, AttrId)>);
 /// assert_eq!(pairs.attrs_of(NodeId(0)).unwrap().len(), 2);
 /// assert_eq!(pairs.nodes_of(AttrId(0)).unwrap().len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PairSet {
     by_node: BTreeMap<NodeId, BTreeSet<AttrId>>,
     by_attr: BTreeMap<AttrId, BTreeSet<NodeId>>,
     len: usize,
+    /// Lazily built dense index ([`PairIndex`]); cleared by any
+    /// mutation so it always mirrors the current pair content. Not part
+    /// of the value: skipped by serde (hand-written impls below) and
+    /// ignored by `PartialEq`.
+    index: OnceLock<Arc<PairIndex>>,
+}
+
+impl PartialEq for PairSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.by_node == other.by_node && self.by_attr == other.by_attr
+    }
+}
+
+impl Eq for PairSet {}
+
+// Hand-written serde impls matching the derive's wire format for the
+// three data fields; the index cache is transient and rebuilt on
+// demand after a round-trip.
+impl Serialize for PairSet {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("by_node".to_string(), self.by_node.serialize()),
+            ("by_attr".to_string(), self.by_attr.serialize()),
+            ("len".to_string(), self.len.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for PairSet {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(format!("expected object, found {}", v.kind()));
+        }
+        let read = |field: &str| {
+            v.get(field)
+                .ok_or_else(|| format!("missing field `{field}`"))
+        };
+        Ok(PairSet {
+            by_node: Deserialize::deserialize(read("by_node")?)?,
+            by_attr: Deserialize::deserialize(read("by_attr")?)?,
+            len: Deserialize::deserialize(read("len")?)?,
+            index: OnceLock::new(),
+        })
+    }
 }
 
 impl PairSet {
@@ -45,6 +91,7 @@ impl PairSet {
         if fresh {
             self.by_attr.entry(attr).or_default().insert(node);
             self.len += 1;
+            self.index.take();
         }
         fresh
     }
@@ -66,8 +113,19 @@ impl PairSet {
                 }
             }
             self.len -= 1;
+            self.index.take();
         }
         removed
+    }
+
+    /// The dense struct-of-arrays index over this pair set, built on
+    /// first use and cached until the next mutation. All hot planner
+    /// paths (participant discovery, load accumulation, overlap
+    /// ranking) go through this view.
+    pub fn index(&self) -> &PairIndex {
+        self.index
+            .get_or_init(|| Arc::new(PairIndex::build(self)))
+            .as_ref()
     }
 
     /// Returns `true` if the pair is present.

@@ -27,6 +27,7 @@ use crate::plan::{MonitoringPlan, PlannedTree};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where the local search starts from.
@@ -96,6 +97,15 @@ pub struct PlannerConfig {
     /// scratch. Plans are identical either way; only latency differs.
     #[serde(default)]
     pub cache: bool,
+    /// Score candidates by re-folding the entire tree vector instead of
+    /// the incremental gain delta against cached per-tree costs (the
+    /// default). The delta touches only the op's two affected sets, so
+    /// candidate cost stops scaling with partition size; the full fold
+    /// is kept as the reference path the delta is proven against (see
+    /// the delta-vs-recompute property test). Plans are identical
+    /// either way.
+    #[serde(default)]
+    pub full_recompute: bool,
 }
 
 impl Default for PlannerConfig {
@@ -113,6 +123,7 @@ impl Default for PlannerConfig {
             forbidden_pairs: Vec::new(),
             parallelism: 0,
             cache: true,
+            full_recompute: false,
         }
     }
 }
@@ -188,6 +199,12 @@ impl PlanReport {
         remo_obs::histogram("remo_planner_rank_duration_ms").observe(self.rank_ms);
         remo_obs::histogram("remo_planner_local_duration_ms").observe(self.local_ms);
         remo_obs::histogram("remo_planner_global_duration_ms").observe(self.global_ms);
+        // Candidate throughput of the local phase — the number the
+        // arena/bitset/delta work moves, worth a first-class series.
+        if self.local_ms > 0.0 && self.local_evals > 0 {
+            remo_obs::histogram("remo_planner_candidate_evals_per_sec")
+                .observe(self.local_evals as f64 / self.local_ms * 1e3);
+        }
     }
 }
 
@@ -202,6 +219,16 @@ fn accepted_counter() -> &'static remo_obs::Counter {
 fn rejected_counter() -> &'static remo_obs::Counter {
     static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
     HANDLE.get_or_init(|| remo_obs::counter("remo_planner_candidates_rejected_total"))
+}
+
+fn delta_eval_counter() -> &'static remo_obs::Counter {
+    static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| remo_obs::counter("remo_planner_delta_evals_total"))
+}
+
+fn full_eval_counter() -> &'static remo_obs::Counter {
+    static HANDLE: std::sync::OnceLock<remo_obs::Counter> = std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| remo_obs::counter("remo_planner_full_evals_total"))
 }
 
 /// The basic REMO planner.
@@ -285,9 +312,28 @@ impl Planner {
         let t_seed = Instant::now();
         {
             let _seed_span = remo_obs::span!("planner.seed");
-            for seed in seeds {
-                report.seeds_evaluated += 1;
-                let plan = build_forest_cached(&seed, &ctx, cache);
+            report.seeds_evaluated = seeds.len();
+            // Seed forests are independent, pure constructions; the
+            // batch engine fans them out and selection stays in seed
+            // order, so the chosen start is identical to a serial walk.
+            let built: Vec<MonitoringPlan> = if self.config.parallelism == 1 || seeds.len() <= 1 {
+                seeds
+                    .iter()
+                    .map(|seed| build_forest_cached(seed, &ctx, cache))
+                    .collect()
+            } else {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.config.parallelism)
+                    .build()
+                    .unwrap_or_else(|e| panic!("thread pool: {e}"));
+                pool.install(|| {
+                    seeds
+                        .par_iter()
+                        .map(|seed| build_forest_cached(seed, &ctx, cache))
+                        .collect()
+                })
+            };
+            for plan in built {
                 let better = match &best {
                     None => true,
                     Some(b) => {
@@ -469,7 +515,10 @@ impl Planner {
         cache: Option<&TreeCache>,
     ) -> MonitoringPlan {
         let mut partition = plan.partition().clone();
-        let mut trees: Vec<PlannedTree> = plan.trees().to_vec();
+        // Working forest as shared handles: a round replaces only the
+        // one or two trees its accepted op rebuilt, every other slot is
+        // an `Arc` bump instead of a deep `PlannedTree` clone.
+        let mut trees: Vec<Arc<PlannedTree>> = plan.trees().iter().cloned().map(Arc::new).collect();
 
         // Residual capacities after the current forest.
         let mut avail: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
@@ -517,7 +566,7 @@ impl Planner {
             .build()
             .unwrap_or_else(|e| panic!("thread pool: {e}"));
 
-        let recompute_residual = |trees: &[PlannedTree]| {
+        let recompute_residual = |trees: &[Arc<PlannedTree>]| {
             let mut avail: BTreeMap<NodeId, f64> = ctx.caps.iter().collect();
             let mut collector_avail = ctx.caps.collector();
             for t in trees {
@@ -533,6 +582,9 @@ impl Planner {
         let score_of = |trees: &[PlannedTree]| Score {
             pairs: trees.iter().map(|t| t.collected_pairs).sum(),
             volume: trees.iter().map(|t| t.message_volume).sum(),
+        };
+        let share = |trees: &[PlannedTree]| -> Vec<Arc<PlannedTree>> {
+            trees.iter().cloned().map(Arc::new).collect()
         };
 
         // Best-so-far snapshot: tolerant plateau moves may transiently
@@ -564,26 +616,35 @@ impl Planner {
                 (strict, strict || tolerant)
             };
             if batch {
-                // Chunked window evaluation: each chunk (sized to the
-                // effective thread count) is evaluated in parallel, then
-                // scanned in rank order for the first passing candidate.
-                // Evaluations only read round-start state, so acceptance
-                // matches the serial loop exactly, and short-circuiting
-                // after an accepting chunk keeps the evaluation count at
-                // parity with the serial early-exit loop (one thread =>
-                // identical counts; more threads => at most one chunk of
-                // extra speculative evaluations).
+                // One parallel wave over the whole window. Every
+                // candidate is an independent partition region (the one
+                // or two sets its op touches) evaluated against
+                // round-start state, so scanning the results in rank
+                // order accepts exactly the candidate the serial loop
+                // would. The evaluation count charged to the report is
+                // the serial loop's — evaluations up to and including
+                // the accepted rank — so telemetry is deterministic
+                // regardless of worker count; the extra speculative
+                // evaluations run on otherwise-idle workers.
                 let window: Vec<PartitionOp> = ranked
                     .iter()
                     .take(self.config.candidates_per_round)
                     .map(|&(op, _)| op)
                     .filter(|&op| !self.op_violates_constraints(op, &partition))
                     .collect();
-                let chunk_len = pool.install(rayon::current_num_threads).max(1);
-                'chunks: for chunk in window.chunks(chunk_len) {
-                    report.local_evals += chunk.len();
+                // Waves of one candidate per worker: acceptance almost
+                // always lands in the first few ranks, so an eager
+                // full-window wave would waste a window's worth of tree
+                // builds per round. Wave size only shapes wall-clock —
+                // acceptance scans in global rank order, so the chosen
+                // candidate (and the charged eval count) never depends
+                // on the worker count.
+                let wave = pool.install(rayon::current_num_threads).max(1);
+                let mut accepted: Option<(usize, bool, CandidateEval)> = None;
+                let mut scanned = 0usize;
+                for wave_ops in window.chunks(wave) {
                     let evals: Vec<Option<CandidateEval>> = pool.install(|| {
-                        chunk
+                        wave_ops
                             .par_iter()
                             .map(|&op| {
                                 self.eval_op(
@@ -592,51 +653,63 @@ impl Planner {
                                     &trees,
                                     &avail,
                                     collector_avail,
+                                    score,
                                     ctx,
                                     cache,
                                 )
                             })
                             .collect()
                     });
-                    for ev in evals.into_iter().flatten() {
+                    for (off, ev) in evals.into_iter().enumerate() {
+                        let Some(ev) = ev else { continue };
                         let (strict, ok) = accepts(&ev.score, best.2.pairs, &score);
                         if ok {
-                            report.local_accepts += 1;
-                            if !strict {
-                                report.tolerant_accepts += 1;
-                            }
-                            let CandidateEval {
-                                op,
-                                built,
-                                touched,
-                                collector_after,
-                                score: new_score,
-                            } = ev;
-                            partition
-                                .apply(op)
-                                .unwrap_or_else(|e| panic!("op validated by eval_op: {e}"));
-                            trees = assemble_trees(op, &trees, built, partition.len());
-                            for (n, v) in touched {
-                                avail.insert(n, v);
-                            }
-                            collector_avail = collector_after;
-                            score = new_score;
-                            applied = true;
-                            if remo_obs::enabled() {
-                                accepted_counter().inc();
-                            }
-                            remo_obs::event!("planner.local.accept",
-                                "round" => round,
-                                "strict" => strict,
-                                "pairs" => score.pairs,
-                                "volume" => score.volume);
-                            break 'chunks;
+                            accepted = Some((scanned + off, strict, ev));
+                            break;
                         }
                         if remo_obs::enabled() {
                             rejected_counter().inc();
                         }
                         remo_obs::event!("planner.local.reject", "round" => round);
                     }
+                    if accepted.is_some() {
+                        break;
+                    }
+                    scanned += wave_ops.len();
+                }
+                report.local_evals += accepted
+                    .as_ref()
+                    .map_or(window.len(), |&(rank, ..)| rank + 1);
+                if let Some((_, strict, ev)) = accepted {
+                    report.local_accepts += 1;
+                    if !strict {
+                        report.tolerant_accepts += 1;
+                    }
+                    let CandidateEval {
+                        op,
+                        built,
+                        touched,
+                        collector_after,
+                        score: new_score,
+                    } = ev;
+                    partition
+                        .apply(op)
+                        .unwrap_or_else(|e| panic!("op validated by eval_op: {e}"));
+                    trees = assemble_trees(op, &trees, built, partition.len());
+                    for (n, v) in touched {
+                        avail.insert(n, v);
+                    }
+                    collector_avail = collector_after;
+                    score = new_score;
+                    applied = true;
+                    if remo_obs::enabled() {
+                        accepted_counter().inc();
+                    }
+                    remo_obs::event!("planner.local.accept",
+                        "round" => round,
+                        "strict" => strict,
+                        "pairs" => score.pairs,
+                        "volume" => score.volume);
                 }
             } else {
                 for (op, _gain) in ranked
@@ -649,7 +722,16 @@ impl Planner {
                     }
                     if let Some((new_partition, new_trees, new_avail, new_collector, new_score)) = {
                         report.local_evals += 1;
-                        self.try_op(op, &partition, &trees, &avail, collector_avail, ctx, None)
+                        self.try_op(
+                            op,
+                            &partition,
+                            &trees,
+                            &avail,
+                            collector_avail,
+                            score,
+                            ctx,
+                            None,
+                        )
                     } {
                         let (strict, ok) = accepts(&new_score, best.2.pairs, &score);
                         if ok {
@@ -694,7 +776,7 @@ impl Planner {
                 let rebuilt = build_forest_cached(&partition, ctx, cache);
                 let rebuilt_score = score_of(rebuilt.trees());
                 if rebuilt_score.better_than(&score) {
-                    trees = rebuilt.trees().to_vec();
+                    trees = share(rebuilt.trees());
                     (avail, collector_avail) = recompute_residual(&trees);
                     score = rebuilt_score;
                     applied = true;
@@ -729,7 +811,7 @@ impl Planner {
                         if cand_score.better_than(&score) {
                             report.global_accepts += 1;
                             partition = cand;
-                            trees = plan.trees().to_vec();
+                            trees = share(plan.trees());
                             (avail, collector_avail) = recompute_residual(&trees);
                             score = cand_score;
                             applied = true;
@@ -786,10 +868,13 @@ impl Planner {
             }
         }
 
+        let materialize = |trees: Vec<Arc<PlannedTree>>| -> Vec<PlannedTree> {
+            trees.into_iter().map(Arc::unwrap_or_clone).collect()
+        };
         if best.2.better_than(&score) {
-            MonitoringPlan::new(best.0, best.1)
+            MonitoringPlan::new(best.0, materialize(best.1))
         } else {
-            MonitoringPlan::new(partition, trees)
+            MonitoringPlan::new(partition, materialize(trees))
         }
     }
 
@@ -810,17 +895,21 @@ impl Planner {
     /// Evaluates one candidate op *without materializing* the resulting
     /// state: only the op's new trees are built (smaller-first, against
     /// a copy-on-write budget overlay), unaffected trees are referenced
-    /// in place, and the score is folded in the same order the eager
-    /// path folds its assembled tree vector — so scores, budgets, and
-    /// trees are bit-identical to a full clone-and-rebuild evaluation.
+    /// in place, and the score is the incremental gain delta against
+    /// `base` — subtract the affected trees' cached costs, add the
+    /// rebuilt ones' — so candidate cost no longer scales with the
+    /// partition size. With [`PlannerConfig::full_recompute`] the score
+    /// is instead folded over the whole logical tree vector in assembly
+    /// order, the reference the delta is property-tested against.
     #[allow(clippy::too_many_arguments)]
     fn eval_op(
         &self,
         op: PartitionOp,
         partition: &Partition,
-        trees: &[PlannedTree],
+        trees: &[Arc<PlannedTree>],
         avail: &BTreeMap<NodeId, f64>,
         collector_avail: f64,
+        base: Score,
         ctx: &EvalContext<'_>,
         cache: Option<&TreeCache>,
     ) -> Option<CandidateEval> {
@@ -873,8 +962,8 @@ impl Planner {
         // Build smaller-first (ordered on-demand within the candidate),
         // drawing down the freed residual.
         let mut order: Vec<usize> = (0..new_sets.len()).collect();
-        order.sort_by_key(|&x| ctx.pairs.participants(&new_sets[x].1).len());
-        let mut built: BTreeMap<usize, PlannedTree> = BTreeMap::new();
+        order.sort_by_key(|&x| ctx.pairs.index().participant_count(&new_sets[x].1));
+        let mut built: BTreeMap<usize, Arc<PlannedTree>> = BTreeMap::new();
         for x in order {
             let (k, set) = &new_sets[x];
             let t = build_tree_for_set_cached(set, ctx, &view, collector, cache);
@@ -882,14 +971,17 @@ impl Planner {
                 view.add(n, -u);
             }
             collector -= t.collector_usage;
-            built.insert(*k, t);
+            built.insert(*k, Arc::new(t));
         }
 
-        // Score over the logical new tree list, folding in the exact
-        // order `assemble_trees` lays the vector out.
-        let mut pairs_total = 0usize;
-        let mut volume = 0.0f64;
-        {
+        let score = if self.config.full_recompute {
+            if remo_obs::enabled() {
+                full_eval_counter().inc();
+            }
+            // Reference path: fold over the logical new tree list in
+            // the exact order `assemble_trees` lays the vector out.
+            let mut pairs_total = 0usize;
+            let mut volume = 0.0f64;
             let mut fold = |t: &PlannedTree| {
                 pairs_total += t.collected_pairs;
                 volume += t.message_volume;
@@ -927,17 +1019,37 @@ impl Planner {
                     );
                 }
             }
-        }
+            Score {
+                pairs: pairs_total,
+                volume,
+            }
+        } else {
+            if remo_obs::enabled() {
+                delta_eval_counter().inc();
+            }
+            // Delta path: only the affected sets change hands.
+            let mut pairs_total = base.pairs;
+            let mut volume = base.volume;
+            for &k in &affected_old {
+                pairs_total -= trees[k].collected_pairs;
+                volume -= trees[k].message_volume;
+            }
+            for t in built.values() {
+                pairs_total += t.collected_pairs;
+                volume += t.message_volume;
+            }
+            Score {
+                pairs: pairs_total,
+                volume,
+            }
+        };
 
         Some(CandidateEval {
             op,
             built,
             touched: view.into_touched(),
             collector_after: collector,
-            score: Score {
-                pairs: pairs_total,
-                volume,
-            },
+            score,
         })
     }
 
@@ -949,19 +1061,29 @@ impl Planner {
         &self,
         op: PartitionOp,
         partition: &Partition,
-        trees: &[PlannedTree],
+        trees: &[Arc<PlannedTree>],
         avail: &BTreeMap<NodeId, f64>,
         collector_avail: f64,
+        base: Score,
         ctx: &EvalContext<'_>,
         cache: Option<&TreeCache>,
     ) -> Option<(
         Partition,
-        Vec<PlannedTree>,
+        Vec<Arc<PlannedTree>>,
         BTreeMap<NodeId, f64>,
         f64,
         Score,
     )> {
-        let ev = self.eval_op(op, partition, trees, avail, collector_avail, ctx, cache)?;
+        let ev = self.eval_op(
+            op,
+            partition,
+            trees,
+            avail,
+            collector_avail,
+            base,
+            ctx,
+            cache,
+        )?;
         let mut new_partition = partition.clone();
         new_partition.apply(op).ok()?;
         let CandidateEval {
@@ -986,7 +1108,7 @@ impl Planner {
 #[derive(Debug)]
 struct CandidateEval {
     op: PartitionOp,
-    built: BTreeMap<usize, PlannedTree>,
+    built: BTreeMap<usize, Arc<PlannedTree>>,
     touched: BTreeMap<NodeId, f64>,
     collector_after: f64,
     score: Score,
@@ -994,14 +1116,16 @@ struct CandidateEval {
 
 /// Lays out the post-op tree vector parallel to the post-op partition:
 /// merge collapses `hi` into `lo`; split rebuilds `i` and appends the
-/// extracted singleton.
+/// extracted singleton. Unaffected slots are reference bumps, not deep
+/// clones — with hundreds of trees in flight this was the dominant
+/// per-accepted-op cost.
 fn assemble_trees(
     op: PartitionOp,
-    trees: &[PlannedTree],
-    mut built: BTreeMap<usize, PlannedTree>,
+    trees: &[Arc<PlannedTree>],
+    mut built: BTreeMap<usize, Arc<PlannedTree>>,
     new_len: usize,
-) -> Vec<PlannedTree> {
-    let mut new_trees: Vec<PlannedTree> = Vec::with_capacity(new_len);
+) -> Vec<Arc<PlannedTree>> {
+    let mut new_trees: Vec<Arc<PlannedTree>> = Vec::with_capacity(new_len);
     match op {
         PartitionOp::Merge(i, j) => {
             let (lo, hi) = (i.min(j), i.max(j));
@@ -1016,7 +1140,7 @@ fn assemble_trees(
                             .unwrap_or_else(|| unreachable!("merged tree built")),
                     );
                 } else {
-                    new_trees.push(t.clone());
+                    new_trees.push(Arc::clone(t));
                 }
             }
         }
@@ -1029,7 +1153,7 @@ fn assemble_trees(
                             .unwrap_or_else(|| unreachable!("shrunk tree built")),
                     );
                 } else {
-                    new_trees.push(t.clone());
+                    new_trees.push(Arc::clone(t));
                 }
             }
             new_trees.push(
@@ -1293,6 +1417,118 @@ mod tests {
         let direct = Planner::default().plan_with_catalog(&pairs, &caps, cost, &catalog);
         assert_eq!(plan.collected_pairs(), direct.collected_pairs());
         assert_eq!(plan.partition(), direct.partition());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The delta-scoring invariant: for any candidate op against
+        /// any reachable search state, the incremental score (base
+        /// minus affected old trees plus rebuilt trees) is **bit-for-
+        /// bit** equal to the full re-fold over the whole tree vector.
+        /// The workload keeps loads and costs integer-valued, so both
+        /// summation orders are exact — any disagreement is a
+        /// bookkeeping bug in the delta path, not float noise.
+        #[test]
+        fn delta_scores_match_full_recompute_over_op_sequences(
+            raw in prop::collection::vec((0u32..7, 0u32..10), 1..60),
+            seq in prop::collection::vec((0u8..2, 0u8..64, 0u8..64), 1..12),
+            per_node in 8.0f64..50.0,
+            collector in 50.0f64..400.0,
+        ) {
+            let pairs: PairSet = raw
+                .iter()
+                .map(|&(n, a)| (NodeId(n), AttrId(a)))
+                .collect();
+            let caps = CapacityMap::uniform(7, per_node, collector).unwrap();
+            let cost = CostModel::new(2.0, 1.0).unwrap();
+            let catalog = AttrCatalog::new();
+            let delta_planner = Planner::new(PlannerConfig {
+                parallelism: 1,
+                ..PlannerConfig::default()
+            });
+            let full_planner = Planner::new(PlannerConfig {
+                parallelism: 1,
+                full_recompute: true,
+                ..PlannerConfig::default()
+            });
+            let ctx = crate::evaluate::EvalContext::basic(&pairs, &caps, cost, &catalog);
+
+            let mut partition = Partition::singleton(pairs.attr_universe());
+            let start = crate::evaluate::build_forest(&partition, &ctx);
+            let mut trees: Vec<Arc<PlannedTree>> =
+                start.trees().iter().cloned().map(Arc::new).collect();
+            let mut avail: BTreeMap<NodeId, f64> = caps.iter().collect();
+            let mut collector_avail = caps.collector();
+            for t in &trees {
+                for (&n, &u) in &t.usage {
+                    *avail.get_mut(&n).unwrap() -= u;
+                }
+                collector_avail -= t.collector_usage;
+            }
+            let mut score = Score {
+                pairs: trees.iter().map(|t| t.collected_pairs).sum(),
+                volume: trees.iter().map(|t| t.message_volume).sum(),
+            };
+
+            for (m, x, y) in seq {
+                let is_merge = m == 1;
+                let k = partition.len();
+                let op = if is_merge && k >= 2 {
+                    let (i, j) = ((x as usize) % k, (y as usize) % k);
+                    if i == j {
+                        continue;
+                    }
+                    PartitionOp::Merge(i.min(j), i.max(j))
+                } else {
+                    let i = (x as usize) % k;
+                    let set = &partition.sets()[i];
+                    if set.len() < 2 {
+                        continue;
+                    }
+                    let attr = *set
+                        .iter()
+                        .nth((y as usize) % set.len())
+                        .unwrap();
+                    PartitionOp::Split(i, attr)
+                };
+
+                let d = delta_planner.eval_op(
+                    op, &partition, &trees, &avail, collector_avail, score, &ctx, None,
+                );
+                let f = full_planner.eval_op(
+                    op, &partition, &trees, &avail, collector_avail, score, &ctx, None,
+                );
+                match (&d, &f) {
+                    (Some(de), Some(fe)) => {
+                        prop_assert_eq!(de.score.pairs, fe.score.pairs, "pairs diverged on {:?}", op);
+                        prop_assert_eq!(
+                            de.score.volume.to_bits(),
+                            fe.score.volume.to_bits(),
+                            "volume diverged on {:?}: delta {} vs recompute {}",
+                            op,
+                            de.score.volume,
+                            fe.score.volume
+                        );
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "engines disagree on feasibility of {:?}", op),
+                }
+
+                // Advance the state through the op (accepted or not —
+                // the invariant must hold along arbitrary trajectories,
+                // not just improving ones).
+                if let Some((np, nt, na, nc, ns)) = delta_planner.try_op(
+                    op, &partition, &trees, &avail, collector_avail, score, &ctx, None,
+                ) {
+                    partition = np;
+                    trees = nt;
+                    avail = na;
+                    collector_avail = nc;
+                    score = ns;
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Cross-engine determinism and cache-soundness tests.
 //!
-//! The planner has one search policy and three execution engines:
-//! the serial reference loop (`parallelism: 1`, no cache), the batch
-//! engine (chunked parallel candidate evaluation over copy-on-write
-//! budget overlays), and the batch engine backed by a [`TreeCache`].
-//! Engines may only differ in evaluation mechanics — every test here
-//! asserts they agree on the *plan*, byte for byte.
+//! The planner has one search policy and four execution engines: the
+//! serial reference loop (`parallelism: 1`, no cache) scoring by
+//! incremental gain deltas, the same loop with `full_recompute`
+//! scoring (re-folding the whole tree vector per candidate), the batch
+//! engine (parallel candidate waves over round-start state), and the
+//! batch engine backed by a [`TreeCache`]. Engines may only differ in
+//! evaluation mechanics — every test here asserts they agree on the
+//! *plan*, byte for byte.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -41,18 +43,25 @@ fn config(
     }
 }
 
-/// Plans `pairs` with all three engines under `base` and returns the
-/// serialized plans (serial, batch, cached).
-fn plan_three_ways(
+/// Plans `pairs` with all four engines under `base` and returns the
+/// serialized plans (serial-incremental, serial-full-recompute, batch,
+/// cached).
+fn plan_four_ways(
     base: &PlannerConfig,
     pairs: &PairSet,
     caps: &CapacityMap,
     cost: CostModel,
     catalog: &AttrCatalog,
-) -> (String, String, String) {
+) -> (String, String, String, String) {
     let mut serial_cfg = base.clone();
     serial_cfg.parallelism = 1;
     serial_cfg.cache = false;
+    // The serial loop again, but scoring every candidate by re-folding
+    // the whole tree vector instead of the incremental gain delta.
+    let full_cfg = PlannerConfig {
+        full_recompute: true,
+        ..serial_cfg.clone()
+    };
     let mut batch_cfg = base.clone();
     batch_cfg.parallelism = 0;
     batch_cfg.cache = false;
@@ -62,6 +71,9 @@ fn plan_three_ways(
     };
 
     let serial = Planner::new(serial_cfg)
+        .plan_with_report_cached(pairs, caps, cost, catalog, None)
+        .0;
+    let full = Planner::new(full_cfg)
         .plan_with_report_cached(pairs, caps, cost, catalog, None)
         .0;
     // `cache: false` but `parallelism: 0` still selects the batch engine.
@@ -74,6 +86,7 @@ fn plan_three_ways(
         .0;
     (
         serde_json::to_string(&serial).expect("serial plan serializes"),
+        serde_json::to_string(&full).expect("full-recompute plan serializes"),
         serde_json::to_string(&batch).expect("batch plan serializes"),
         serde_json::to_string(&cached).expect("cached plan serializes"),
     )
@@ -83,8 +96,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// The tentpole invariant: across every builder × allocation ×
-    /// initial-partition combination, the serial, batch, and cached
-    /// engines produce byte-identical `MonitoringPlan`s.
+    /// initial-partition combination, the serial (incremental-delta
+    /// scoring), serial full-recompute, batch, and cached engines
+    /// produce byte-identical `MonitoringPlan`s.
     #[test]
     fn serial_batch_and_cached_plans_are_identical(
         raw in prop::collection::vec((0u32..NODES as u32, 0u32..ATTRS), 1..80),
@@ -113,8 +127,13 @@ proptest! {
             for allocation in allocations {
                 for initial in initials {
                     let base = config(builder, allocation, initial);
-                    let (serial, batch, cached) =
-                        plan_three_ways(&base, &pairs, &caps, cost, &catalog);
+                    let (serial, full, batch, cached) =
+                        plan_four_ways(&base, &pairs, &caps, cost, &catalog);
+                    prop_assert_eq!(
+                        &serial, &full,
+                        "full-recompute scoring diverged ({:?}/{:?}/{:?})",
+                        builder, allocation, initial
+                    );
                     prop_assert_eq!(
                         &serial, &batch,
                         "batch engine diverged ({:?}/{:?}/{:?})",

@@ -5,13 +5,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# --bench-smoke: quick planner-benchmark regression check against the
-# committed BENCH_planner.json baseline (warns on >20% slowdowns),
-# then exit. Not part of the default gate — timings need a quiet box.
-# REMO_BENCH_SMOKE_TOLERANCE (default 2.0) sets the relative mean-time
-# factor past which a slowdown fails the smoke; the default is loose
-# because the committed baseline came from one machine — tighten it
-# toward 1.2 where the baseline is local.
+# --bench-smoke: quick planner-benchmark regression gate against the
+# committed BENCH_planner.json baseline — FAILS (non-zero exit) on any
+# mode slower than the tolerance, then exits. Not part of the default
+# gate — timings need a quiet box. REMO_BENCH_SMOKE_TOLERANCE (default
+# 2.0) sets the relative mean-time factor past which a slowdown fails;
+# the default is loose because the committed baseline came from one
+# machine — tighten it toward 1.2 where the baseline is local.
 if [[ "${1:-}" == "--bench-smoke" ]]; then
   echo "==> bench_planner --smoke"
   cargo run --release -p remo-bench --bin bench_planner -- --smoke
