@@ -1,0 +1,45 @@
+//! One monitoring-node process.
+//!
+//! ```text
+//! remo-node --addr 127.0.0.1:7701 --id 3
+//! ```
+//!
+//! Connects to the collector, registers, and runs the agent state
+//! machine until the collector says shutdown (or the collector stays
+//! gone past the reconnect budget). Samples come from the
+//! deterministic distributed sampler so the collector can verify
+//! end-to-end integrity; a real deployment would plug in a probe here.
+
+use remo_core::NodeId;
+use remo_node::{dist_sampler, spawn_node, NodeConfig};
+
+fn parse_args() -> Result<(String, u32), String> {
+    let mut addr = "127.0.0.1:7701".to_string();
+    let mut id: Option<u32> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = take()?,
+            "--id" => id = Some(take()?.parse().map_err(|e| format!("--id: {e}"))?),
+            "--help" | "-h" => return Err("usage: remo-node --id N [--addr A]".to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    let id = id.ok_or_else(|| "--id is required".to_string())?;
+    Ok((addr, id))
+}
+
+fn main() {
+    let (addr, id) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("remo-node: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("remo-node {id} connecting to {addr}");
+    let handle = spawn_node(NodeConfig::new(addr, NodeId(id)), dist_sampler());
+    handle.join();
+    println!("remo-node {id} done");
+}

@@ -1,0 +1,281 @@
+//! The `remo-node` process: one monitoring node of the distributed
+//! deployment.
+//!
+//! A node runs the unmodified [`Agent`] state machine from
+//! `remo-runtime` — the same code the in-process deployment and the
+//! chaos soaks exercise — on a [`TcpTransport`]. This module supplies
+//! the process scaffolding around it:
+//!
+//! * a supervisor loop that connects to the collector, registers with
+//!   [`CtrlMsg::Hello`], and reconnects with exponential backoff when
+//!   the connection drops;
+//! * a reader that turns incoming envelopes into [`AgentMsg`]s
+//!   (control frames drive ticks/assignments, data frames carry tree
+//!   traffic and acks);
+//! * a forwarder that turns the agent's per-epoch [`TickReport`]s into
+//!   [`CtrlMsg::Report`] frames.
+//!
+//! Incarnation: a *fresh* process greets with incarnation 0 and adopts
+//! whatever the collector assigns (each restart gets a higher one, so
+//! receivers reset their seq watermarks instead of swallowing the
+//! restarted sender's frames). A *reconnecting* process — same life,
+//! new socket — re-greets with the incarnation it already holds.
+
+use crate::config;
+use crate::net::{lock, read_envelopes, spawn_writer, TcpTransport};
+use crossbeam::channel::unbounded;
+use remo_core::{CostModel, NodeId};
+use remo_runtime::agent::{run_agent, Agent, AgentMsg};
+use remo_runtime::framing::{CHAN_CTRL, CHAN_DATA};
+use remo_runtime::proto::{FrameKind, WireMessage};
+use remo_runtime::{CtrlMsg, Sampler};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Connection settings for one node process.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Collector address, e.g. `127.0.0.1:7701`.
+    pub addr: String,
+    /// This node's identity.
+    pub node: NodeId,
+    /// Initial reconnect backoff (doubles per failure, capped 32×).
+    pub reconnect_base: Duration,
+    /// Consecutive failed reconnects after a successful registration
+    /// before the process gives up (the collector is gone).
+    pub max_reconnect_failures: u32,
+}
+
+impl NodeConfig {
+    /// Defaults for `node` against `addr`, honoring `REMO_DIST_*`.
+    pub fn new(addr: impl Into<String>, node: NodeId) -> Self {
+        NodeConfig {
+            addr: addr.into(),
+            node,
+            reconnect_base: config::reconnect_base(),
+            max_reconnect_failures: 40,
+        }
+    }
+}
+
+/// Handle to a spawned node (test and supervisor aid).
+#[derive(Debug)]
+pub struct NodeHandle {
+    abort: Arc<AtomicBool>,
+    stream: Arc<Mutex<Option<TcpStream>>>,
+    thread: JoinHandle<()>,
+}
+
+impl NodeHandle {
+    /// Kills the node abruptly: the socket is torn down without any
+    /// goodbye, exactly like a SIGKILL'd process as seen from the
+    /// collector. Joins the supervisor thread.
+    pub fn abort(self) {
+        self.abort.store(true, Ordering::SeqCst);
+        if let Some(s) = lock(&self.stream).as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let _ = self.thread.join();
+    }
+
+    /// Waits for the node to exit on its own (collector shutdown).
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Spawns a node process' supervisor loop on a background thread.
+pub fn spawn_node(cfg: NodeConfig, sampler: Sampler) -> NodeHandle {
+    let abort = Arc::new(AtomicBool::new(false));
+    let stream_slot: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
+    let thread = {
+        let abort = Arc::clone(&abort);
+        let stream_slot = Arc::clone(&stream_slot);
+        std::thread::spawn(move || run_supervisor(&cfg, sampler, &abort, &stream_slot))
+    };
+    NodeHandle {
+        abort,
+        stream: stream_slot,
+        thread,
+    }
+}
+
+/// One node life: connect → register → pump frames until the
+/// connection dies or the collector says shutdown.
+struct NodeState {
+    transport: Arc<TcpTransport>,
+    /// Assigned by the collector's `Welcome`; `None` until first
+    /// registration (the agent is created at that moment).
+    agent_tx: Option<crossbeam::channel::Sender<AgentMsg>>,
+    agent_thread: Option<JoinHandle<()>>,
+    incarnation: Option<u32>,
+    sampler: Sampler,
+    node: NodeId,
+}
+
+impl NodeState {
+    /// Handles the collector's `Welcome`: the first one creates and
+    /// starts the agent; later ones (reconnects) are consistency
+    /// checks only.
+    fn on_welcome(
+        &mut self,
+        capacity: f64,
+        per_message: f64,
+        per_value: f64,
+        net: remo_runtime::transport::NetConfig,
+        incarnation: u32,
+    ) {
+        if self.agent_tx.is_some() {
+            return;
+        }
+        let Ok(cost) = CostModel::new(per_message, per_value) else {
+            return;
+        };
+        let (tx, rx) = unbounded();
+        let (report_tx, report_rx) = unbounded();
+        let agent = Agent::new(
+            self.node,
+            rx,
+            Arc::clone(&self.transport) as Arc<dyn remo_runtime::transport::Transport>,
+            report_tx,
+            capacity,
+            cost,
+            net,
+            Arc::clone(&self.sampler),
+            Vec::new(),
+        )
+        .with_incarnation(incarnation);
+        self.agent_thread = Some(run_agent(agent));
+        self.agent_tx = Some(tx);
+        self.incarnation = Some(incarnation);
+        // Forwarder: every agent tick report becomes a control frame.
+        let transport = Arc::clone(&self.transport);
+        std::thread::spawn(move || {
+            for tr in report_rx {
+                transport.send_ctrl(&CtrlMsg::Report { report: tr }, tr.epoch);
+            }
+        });
+    }
+
+    fn send_agent(&self, msg: AgentMsg) {
+        if let Some(tx) = self.agent_tx.as_ref() {
+            let _ = tx.send(msg);
+        }
+    }
+}
+
+fn run_supervisor(
+    cfg: &NodeConfig,
+    sampler: Sampler,
+    abort: &AtomicBool,
+    stream_slot: &Mutex<Option<TcpStream>>,
+) {
+    let transport = Arc::new(TcpTransport::new(cfg.node));
+    let mut state = NodeState {
+        transport: Arc::clone(&transport),
+        agent_tx: None,
+        agent_thread: None,
+        incarnation: None,
+        sampler,
+        node: cfg.node,
+    };
+    let mut backoff = cfg.reconnect_base;
+    let max_backoff = cfg.reconnect_base.saturating_mul(32);
+    let mut failures: u32 = 0;
+    let mut done = false;
+
+    while !abort.load(Ordering::SeqCst) && !done {
+        let mut stream = match TcpStream::connect(&cfg.addr) {
+            Ok(s) => s,
+            Err(_) => {
+                failures += 1;
+                // Registered once and the collector has been gone for
+                // a while: the run is over, exit instead of spinning.
+                if state.incarnation.is_some() && failures > cfg.max_reconnect_failures {
+                    break;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(max_backoff);
+                continue;
+            }
+        };
+        failures = 0;
+        backoff = cfg.reconnect_base;
+        let _ = stream.set_nodelay(true);
+        *lock(stream_slot) = stream.try_clone().ok();
+
+        // Register (a reconnect re-greets with the held incarnation).
+        let (wtx, wrx) = unbounded();
+        let writer = match stream.try_clone() {
+            Ok(s) => spawn_writer(s, wrx),
+            Err(_) => continue,
+        };
+        transport.attach(wtx);
+        transport.send_ctrl(
+            &CtrlMsg::Hello {
+                node: cfg.node,
+                incarnation: state.incarnation.unwrap_or(0),
+            },
+            0,
+        );
+
+        let result = read_envelopes(&mut stream, |env| {
+            match env.chan {
+                CHAN_CTRL => match CtrlMsg::decode(env.payload) {
+                    Ok(CtrlMsg::Welcome {
+                        capacity,
+                        per_message,
+                        per_value,
+                        net,
+                        incarnation,
+                        epoch: _,
+                    }) => {
+                        state.on_welcome(capacity, per_message, per_value, net, incarnation);
+                    }
+                    Ok(CtrlMsg::Assign { assignments }) => {
+                        state.send_agent(AgentMsg::Reconfigure { assignments });
+                    }
+                    Ok(CtrlMsg::Tick { epoch }) => state.send_agent(AgentMsg::Tick { epoch }),
+                    Ok(CtrlMsg::Degrade { factor }) => {
+                        state.send_agent(AgentMsg::SetDegrade { factor });
+                    }
+                    Ok(CtrlMsg::Shutdown) => {
+                        done = true;
+                        return false;
+                    }
+                    Ok(_) | Err(_) => {}
+                },
+                CHAN_DATA => {
+                    if let Ok(msg) = WireMessage::decode(env.payload.clone()) {
+                        match msg.kind {
+                            FrameKind::Ack => state.send_agent(AgentMsg::Ack {
+                                incarnation: msg.incarnation,
+                                seq: msg.seq,
+                            }),
+                            FrameKind::Data => state.send_agent(AgentMsg::Data {
+                                sent_epoch: env.sent_epoch,
+                                frame: env.payload,
+                            }),
+                        }
+                    }
+                }
+                _ => {}
+            }
+            true
+        });
+        let _ = result;
+
+        transport.detach();
+        let _ = stream.shutdown(Shutdown::Both);
+        *lock(stream_slot) = None;
+        let _ = writer.join();
+    }
+
+    state.send_agent(AgentMsg::Shutdown);
+    if let Some(h) = state.agent_thread.take() {
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,92 @@
+//! `REMO_DIST_*` environment knobs shared by the two binaries.
+//!
+//! Every knob is optional; unparseable values fall back to the default
+//! (a monitoring process must come up even with a typo'd environment).
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `REMO_DIST_EPOCH_MS` | wall-clock epoch length | 150 |
+//! | `REMO_DIST_DEADLINE_MS` | report-barrier deadline within an epoch | 100 |
+//! | `REMO_DIST_CONFIRM_AFTER` | consecutive misses before a node is confirmed dead | 2 |
+//! | `REMO_DIST_NODE_CAPACITY` | per-node budget (cost units/epoch) | 1000 |
+//! | `REMO_DIST_COLLECTOR_CAPACITY` | collector budget (cost units/epoch) | 100000 |
+//! | `REMO_DIST_STARTUP_WAIT_MS` | how long the collector waits for nodes to register before ticking | 10000 |
+//! | `REMO_DIST_RECONNECT_BASE_MS` | node's initial reconnect backoff (doubles, capped at 32×) | 50 |
+
+use std::time::Duration;
+
+/// Reads `name` as a `u64`, falling back to `default` when unset or
+/// unparseable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads `name` as an `f64`, falling back to `default` when unset,
+/// unparseable, or not a finite positive number.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .unwrap_or(default)
+}
+
+/// Reads `name` as a millisecond duration.
+pub fn env_ms(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(env_u64(name, default_ms))
+}
+
+/// Wall-clock epoch length.
+pub fn epoch_interval() -> Duration {
+    env_ms("REMO_DIST_EPOCH_MS", 150)
+}
+
+/// Report-barrier deadline within an epoch.
+pub fn barrier_deadline() -> Duration {
+    env_ms("REMO_DIST_DEADLINE_MS", 100)
+}
+
+/// Consecutive misses before a node is confirmed dead.
+pub fn confirm_after() -> u32 {
+    env_u64("REMO_DIST_CONFIRM_AFTER", 2) as u32
+}
+
+/// Per-node budget in cost units per epoch.
+pub fn node_capacity() -> f64 {
+    env_f64("REMO_DIST_NODE_CAPACITY", 1000.0)
+}
+
+/// Collector budget in cost units per epoch.
+pub fn collector_capacity() -> f64 {
+    env_f64("REMO_DIST_COLLECTOR_CAPACITY", 100_000.0)
+}
+
+/// How long the collector waits for expected nodes to register before
+/// starting epochs anyway.
+pub fn startup_wait() -> Duration {
+    env_ms("REMO_DIST_STARTUP_WAIT_MS", 10_000)
+}
+
+/// Node's initial reconnect backoff.
+pub fn reconnect_base() -> Duration {
+    env_ms("REMO_DIST_RECONNECT_BASE_MS", 50)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unparseable_falls_back() {
+        // Unset names fall back.
+        assert_eq!(env_u64("REMO_DIST_TEST_UNSET_KNOB", 7), 7);
+        assert_eq!(env_f64("REMO_DIST_TEST_UNSET_KNOB", 2.5), 2.5);
+        assert_eq!(
+            env_ms("REMO_DIST_TEST_UNSET_KNOB", 40),
+            Duration::from_millis(40)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Socket plumbing shared by the node client and the collector
+//! service: the TCP-backed [`Transport`] the agent state machine runs
+//! on, per-connection writer threads, and the framed read loop.
+//!
+//! Topology is hub-and-spoke: every node holds exactly one TCP
+//! connection to the collector, and the collector forwards node→node
+//! tree traffic by the envelope's `dest` tag. That keeps connection
+//! count linear in nodes and puts reconnection logic in one place.
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use remo_core::NodeId;
+use remo_runtime::framing::{Envelope, FrameDecoder, CHAN_CTRL, CHAN_DATA, DEST_COLLECTOR};
+use remo_runtime::proto::WireMessage;
+use remo_runtime::transport::{Endpoint, Transport};
+use remo_runtime::CtrlMsg;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering from poisoning: a panicked holder must
+/// not take the monitoring plane down with it.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The [`Transport`] a node agent runs on: frames are queued to the
+/// current connection's writer thread, or dropped when disconnected —
+/// loss the agent's ARQ layer already handles, exactly as it handles
+/// a lossy in-memory network.
+pub struct TcpTransport {
+    node: NodeId,
+    out: Mutex<Option<Sender<Bytes>>>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// A transport for `node`, initially disconnected.
+    pub fn new(node: NodeId) -> Self {
+        TcpTransport {
+            node,
+            out: Mutex::new(None),
+        }
+    }
+
+    /// Routes outgoing frames through `tx` (a fresh connection's
+    /// writer queue).
+    pub fn attach(&self, tx: Sender<Bytes>) {
+        *lock(&self.out) = Some(tx);
+    }
+
+    /// Drops the current writer queue; subsequent sends are lost until
+    /// the next [`TcpTransport::attach`] (ARQ retries cover the gap).
+    pub fn detach(&self) {
+        *lock(&self.out) = None;
+    }
+
+    fn enqueue(&self, bytes: Bytes) {
+        if let Some(tx) = lock(&self.out).as_ref() {
+            let _ = tx.send(bytes);
+        }
+    }
+
+    /// Queues a control-plane message for the collector.
+    pub fn send_ctrl(&self, msg: &CtrlMsg, epoch: u64) {
+        self.enqueue(
+            Envelope {
+                dest: DEST_COLLECTOR,
+                chan: CHAN_CTRL,
+                sent_epoch: epoch,
+                payload: msg.encode(),
+            }
+            .encode(),
+        );
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_data(&self, _from: NodeId, to: Endpoint, _seq: u64, epoch: u64, frame: Bytes) {
+        let dest = match to {
+            Endpoint::Collector => DEST_COLLECTOR,
+            Endpoint::Node(n) => n.0,
+        };
+        self.enqueue(
+            Envelope {
+                dest,
+                chan: CHAN_DATA,
+                sent_epoch: epoch,
+                payload: frame,
+            }
+            .encode(),
+        );
+    }
+
+    fn send_ack(&self, _from: Endpoint, to: NodeId, incarnation: u32, seq: u64, epoch: u64) {
+        let ack = WireMessage::ack(0, self.node, seq)
+            .with_incarnation(incarnation)
+            .encode();
+        self.enqueue(
+            Envelope {
+                dest: to.0,
+                chan: CHAN_DATA,
+                sent_epoch: epoch,
+                payload: ack,
+            }
+            .encode(),
+        );
+    }
+
+    /// TCP delivers bytes reliably, but the *deployment* does not:
+    /// processes restart, connections drop mid-epoch, and the hub may
+    /// shed. Running the ARQ layer gives end-to-end acknowledgement
+    /// and incarnation-scoped dedup across reconnects.
+    fn reliable(&self) -> bool {
+        false
+    }
+}
+
+/// Spawns the writer thread for one connection: drains `rx` into the
+/// stream until the channel closes or a write fails, then shuts the
+/// socket down.
+pub fn spawn_writer(mut stream: TcpStream, rx: Receiver<Bytes>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for bytes in rx {
+            if stream.write_all(&bytes).is_err() {
+                break;
+            }
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+    })
+}
+
+/// Reads framed envelopes off `stream` until EOF, a read error, a
+/// framing error (hostile length — the connection is unrecoverable),
+/// or `on_env` returns `false`.
+pub fn read_envelopes(
+    stream: &mut TcpStream,
+    mut on_env: impl FnMut(Envelope) -> bool,
+) -> std::io::Result<()> {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        dec.push(&buf[..n]);
+        loop {
+            match dec.try_next() {
+                Ok(Some(env)) => {
+                    if !on_env(env) {
+                        return Ok(());
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! The `remo-collector` process: registration, hub routing, lockstep
+//! epochs, failure repair, and capacity-enforced intake.
+//!
+//! The service composes the pieces the in-process runtime already
+//! tests hard: [`CollectorCore`] for ingest (token bucket, dedup,
+//! bounded ingress + shedding, degrade ladder), [`HealthMonitor`] fed
+//! through the epoch-report barrier, and [`RepairEngine`] for plan
+//! repair around confirmed failures — the distributed deployment adds
+//! only sockets around them.
+
+use crate::config;
+use crate::net::{lock, read_envelopes, spawn_writer};
+use crate::summary::RunSummary;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
+use remo_core::planner::Planner;
+use remo_core::{AttrCatalog, CapacityMap, CostModel, NodeId, PairSet};
+use remo_runtime::agent::{TickReport, TreeAssignment};
+use remo_runtime::deployment::plan_assignments;
+use remo_runtime::framing::{Envelope, CHAN_CTRL, CHAN_DATA, DEST_COLLECTOR};
+use remo_runtime::health::{HealthConfig, HealthMonitor};
+use remo_runtime::proto::WireMessage;
+use remo_runtime::transport::{Endpoint, NetConfig, Transport};
+use remo_runtime::{CollectorCore, CtrlMsg, EpochReport, RepairEngine, Sampler};
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything a collector run needs.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// The monitoring task.
+    pub pairs: PairSet,
+    /// Node and collector budgets.
+    pub caps: CapacityMap,
+    /// Cost model shared with every node.
+    pub cost: CostModel,
+    /// Attribute catalog (frequencies, aggregations).
+    pub catalog: AttrCatalog,
+    /// ARQ + backpressure tuning pushed to nodes at registration.
+    pub net: NetConfig,
+    /// Failure-detector tuning (`deadline` bounds the report barrier).
+    pub health: HealthConfig,
+    /// Epochs to run.
+    pub epochs: u64,
+    /// Wall-clock epoch length.
+    pub epoch_interval: Duration,
+    /// How long to wait for expected nodes before ticking anyway.
+    pub startup_wait: Duration,
+    /// Deterministic sampler for end-of-run integrity checking
+    /// (`None` skips the check).
+    pub integrity_sampler: Option<Sampler>,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("addr", &self.addr)
+            .field("epochs", &self.epochs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceConfig {
+    /// Defaults for `pairs`/`caps` on `addr`, honoring `REMO_DIST_*`.
+    pub fn new(addr: impl Into<String>, pairs: PairSet, caps: CapacityMap) -> Self {
+        let health = HealthConfig {
+            deadline: config::barrier_deadline(),
+            confirm_after: config::confirm_after(),
+            ..HealthConfig::default()
+        };
+        ServiceConfig {
+            addr: addr.into(),
+            pairs,
+            caps,
+            cost: CostModel::default(),
+            catalog: AttrCatalog::new(),
+            net: NetConfig::default(),
+            health,
+            epochs: 40,
+            epoch_interval: config::epoch_interval(),
+            startup_wait: config::startup_wait(),
+            integrity_sampler: Some(crate::dist_sampler()),
+        }
+    }
+}
+
+/// Connection registry: node id → (connection generation, that
+/// connection's writer queue). The generation lets a dying reader
+/// deregister only *its own* entry — a reconnect may already have
+/// replaced it.
+type Registry = Arc<Mutex<BTreeMap<u32, (u64, Sender<Bytes>)>>>;
+
+/// Monotonic connection-generation source (shared by all services in
+/// a process; uniqueness is all that matters).
+static CONN_GEN: AtomicU64 = AtomicU64::new(1);
+
+/// State shared between the accept/reader threads and the epoch loop.
+struct Shared {
+    /// Current per-node assignments (updated by plan repair; sent to a
+    /// node at registration).
+    assignments: BTreeMap<NodeId, Vec<TreeAssignment>>,
+    /// Current epoch (stamped into `Welcome`).
+    epoch: u64,
+    /// Highest incarnation handed to each node so far.
+    incarnations: BTreeMap<u32, u32>,
+}
+
+/// Collector-side [`Transport`]: routes acks back out through the hub
+/// registry. The collector originates no data frames.
+struct RouterTransport {
+    registry: Registry,
+}
+
+impl std::fmt::Debug for RouterTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RouterTransport")
+    }
+}
+
+impl Transport for RouterTransport {
+    fn send_data(&self, _from: NodeId, _to: Endpoint, _seq: u64, _epoch: u64, _frame: Bytes) {}
+
+    fn send_ack(&self, _from: Endpoint, to: NodeId, incarnation: u32, seq: u64, epoch: u64) {
+        let ack = WireMessage::ack(0, NodeId(DEST_COLLECTOR), seq)
+            .with_incarnation(incarnation)
+            .encode();
+        if let Some((_, tx)) = lock(&self.registry).get(&to.0) {
+            let _ = tx.send(
+                Envelope {
+                    dest: to.0,
+                    chan: CHAN_DATA,
+                    sent_epoch: epoch,
+                    payload: ack,
+                }
+                .encode(),
+            );
+        }
+    }
+
+    fn reliable(&self) -> bool {
+        false
+    }
+}
+
+/// A listening collector service. Create with
+/// [`CollectorService::start`], then call [`CollectorService::run`] to
+/// drive the epochs.
+pub struct CollectorService {
+    cfg: ServiceConfig,
+    addr: std::net::SocketAddr,
+    running: Arc<AtomicBool>,
+    registry: Registry,
+    shared: Arc<Mutex<Shared>>,
+    data_rx: Receiver<(u64, Bytes)>,
+    reports_rx: Receiver<TickReport>,
+    engine: RepairEngine,
+}
+
+impl std::fmt::Debug for CollectorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectorService")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl CollectorService {
+    /// Binds the listener, computes the initial plan, and starts
+    /// accepting registrations. Epochs do not tick until
+    /// [`CollectorService::run`].
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
+        let planner = AdaptivePlanner::new(
+            Planner::default(),
+            AdaptScheme::Adaptive,
+            cfg.pairs.clone(),
+            cfg.caps.clone(),
+            cfg.cost,
+            cfg.catalog.clone(),
+        );
+        let assignments = plan_assignments(planner.plan(), planner.pairs(), &cfg.catalog);
+        let engine = RepairEngine::new(planner);
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let registry: Registry = Arc::new(Mutex::new(BTreeMap::new()));
+        let shared = Arc::new(Mutex::new(Shared {
+            assignments,
+            epoch: 0,
+            incarnations: BTreeMap::new(),
+        }));
+        let (data_tx, data_rx) = unbounded();
+        let (reports_tx, reports_rx) = unbounded();
+
+        {
+            let running = Arc::clone(&running);
+            let registry = Arc::clone(&registry);
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if !running.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = Arc::clone(&registry);
+                    let shared = Arc::clone(&shared);
+                    let data_tx = data_tx.clone();
+                    let reports_tx = reports_tx.clone();
+                    let cfg = cfg.clone();
+                    std::thread::spawn(move || {
+                        serve_connection(stream, &cfg, &registry, &shared, &data_tx, &reports_tx);
+                    });
+                }
+            });
+        }
+
+        Ok(CollectorService {
+            cfg,
+            addr,
+            running,
+            registry,
+            shared,
+            data_rx,
+            reports_rx,
+            engine,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral-port bind).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Nodes currently registered.
+    pub fn connected_nodes(&self) -> usize {
+        lock(&self.registry).len()
+    }
+
+    /// Waits until `expected` nodes registered or the startup window
+    /// elapsed; returns how many are connected.
+    pub fn wait_for_nodes(&self, expected: usize) -> usize {
+        let deadline = Instant::now() + self.cfg.startup_wait;
+        while Instant::now() < deadline {
+            let n = self.connected_nodes();
+            if n >= expected {
+                return n;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.connected_nodes()
+    }
+
+    /// Drives the configured number of lockstep epochs, then shuts the
+    /// deployment down and returns the reconciliation summary.
+    /// `on_epoch` observes every epoch's report (progress logging).
+    pub fn run(mut self, mut on_epoch: impl FnMut(&EpochReport)) -> RunSummary {
+        let expected: Vec<NodeId> = self.cfg.caps.node_ids().collect();
+        let mut health =
+            HealthMonitor::new(expected.iter().copied(), self.cfg.health.confirm_after);
+        let mut core = CollectorCore::new(
+            self.cfg.caps.collector(),
+            self.cfg.cost,
+            self.cfg.net,
+            self.cfg.catalog.clone(),
+        );
+        let router = RouterTransport {
+            registry: Arc::clone(&self.registry),
+        };
+        let mut summary = RunSummary {
+            planned_pairs: self.cfg.pairs.len() as u64,
+            ..RunSummary::default()
+        };
+
+        for epoch in 1..=self.cfg.epochs {
+            let started = Instant::now();
+            lock(&self.shared).epoch = epoch;
+            let mut report = EpochReport {
+                epoch,
+                ..EpochReport::default()
+            };
+
+            // Tick fan-out to every live connection.
+            let tick = Envelope {
+                dest: DEST_COLLECTOR,
+                chan: CHAN_CTRL,
+                sent_epoch: epoch,
+                payload: CtrlMsg::Tick { epoch }.encode(),
+            }
+            .encode();
+            for (_, tx) in lock(&self.registry).values() {
+                let _ = tx.send(tick.clone());
+            }
+
+            // Deadline-bounded report barrier, crediting each reporter
+            // with the freshest epoch it claimed (a stale report is a
+            // liveness hint, not attendance — see
+            // `HealthMonitor::observe_reports`).
+            let mut missing = health.expected_reporters();
+            let mut reporters: BTreeMap<NodeId, u64> = BTreeMap::new();
+            let deadline = started + self.cfg.health.deadline;
+            loop {
+                if missing.is_empty() {
+                    while let Ok(tr) = self.reports_rx.try_recv() {
+                        missing.remove(&tr.node);
+                        let e = reporters.entry(tr.node).or_insert(tr.epoch);
+                        *e = (*e).max(tr.epoch);
+                        fold_report(&tr, &mut report);
+                    }
+                    break;
+                }
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match self.reports_rx.recv_timeout(wait) {
+                    Ok(tr) => {
+                        missing.remove(&tr.node);
+                        let e = reporters.entry(tr.node).or_insert(tr.epoch);
+                        *e = (*e).max(tr.epoch);
+                        fold_report(&tr, &mut report);
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+
+            let events = health.observe_reports(epoch, &reporters);
+            report.suspected = events.suspected.len() as u64;
+            report.confirmed_dead = events.confirmed.len() as u64;
+            report.recovered = events.recovered.len() as u64;
+
+            // Plan repair around confirmed failures; targeted Assign
+            // fan-out to the survivors whose routes changed.
+            if !events.confirmed.is_empty() || !events.recovered.is_empty() {
+                let current = lock(&self.shared).assignments.clone();
+                let (fresh, changed) =
+                    self.engine
+                        .repair(&events.confirmed, &events.recovered, &current, epoch);
+                for node in changed {
+                    let next = fresh.get(&node).cloned().unwrap_or_default();
+                    let assign = Envelope {
+                        dest: node.0,
+                        chan: CHAN_CTRL,
+                        sent_epoch: epoch,
+                        payload: CtrlMsg::Assign { assignments: next }.encode(),
+                    }
+                    .encode();
+                    if let Some((_, tx)) = lock(&self.registry).get(&node.0) {
+                        let _ = tx.send(assign);
+                        report.reconfigure_messages += 1;
+                    }
+                }
+                lock(&self.shared).assignments = fresh;
+                for &node in &events.confirmed {
+                    health.mark_repaired(node, epoch);
+                    report.repaired += 1;
+                }
+            }
+
+            // Capacity-enforced intake, identical to the in-process
+            // ARQ path: refill, ack+dedup+stage every frame, then
+            // shed/process/backpressure.
+            core.refill();
+            while let Ok((sent_epoch, frame)) = self.data_rx.try_recv() {
+                core.accept_arq(epoch, sent_epoch, frame, &router, &mut report);
+            }
+            if let Some(factor) = core.drain_arq(epoch, &mut report) {
+                let degrade = Envelope {
+                    dest: DEST_COLLECTOR,
+                    chan: CHAN_CTRL,
+                    sent_epoch: epoch,
+                    payload: CtrlMsg::Degrade { factor }.encode(),
+                }
+                .encode();
+                for (_, tx) in lock(&self.registry).values() {
+                    let _ = tx.send(degrade.clone());
+                }
+            }
+
+            summary.epochs = epoch;
+            summary.delivered_values += report.delivered_values;
+            summary.confirmed_dead += report.confirmed_dead;
+            summary.repaired += report.repaired;
+            summary.recovered += report.recovered;
+            summary.reconfigure_messages += report.reconfigure_messages;
+            summary.duplicate_messages_ignored += report.duplicate_messages_ignored;
+            summary.shed_readings += report.shed_readings;
+            summary.degrade_factor = report.degrade_factor;
+            on_epoch(&report);
+
+            let elapsed = started.elapsed();
+            if elapsed < self.cfg.epoch_interval {
+                std::thread::sleep(self.cfg.epoch_interval - elapsed);
+            }
+        }
+
+        // Goodbye to every node, then unblock the accept loop.
+        let bye = Envelope {
+            dest: DEST_COLLECTOR,
+            chan: CHAN_CTRL,
+            sent_epoch: self.cfg.epochs,
+            payload: CtrlMsg::Shutdown.encode(),
+        }
+        .encode();
+        for (_, tx) in lock(&self.registry).values() {
+            let _ = tx.send(bye.clone());
+        }
+        self.running.store(false, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+
+        summary.observed_pairs = core.observed_pairs() as u64;
+        if let Some(sampler) = self.cfg.integrity_sampler.as_ref() {
+            for (&(node, attr), obs) in core.store() {
+                summary.integrity_checked += 1;
+                if obs.value != sampler(node, attr, obs.produced) {
+                    summary.integrity_violations += 1;
+                }
+            }
+        }
+        summary
+    }
+}
+
+fn fold_report(tr: &TickReport, report: &mut EpochReport) {
+    report.dropped_messages += tr.dropped_messages as u64;
+    report.dropped_readings += tr.dropped_readings as u64;
+    report.volume += tr.volume;
+    report.retransmit_messages += tr.retransmits as u64;
+    report.duplicate_messages_ignored += tr.dup_ignored as u64;
+    report.abandoned_messages += tr.abandoned as u64;
+}
+
+/// One node connection: registration handshake, then pump frames until
+/// the socket dies.
+fn serve_connection(
+    mut stream: TcpStream,
+    cfg: &ServiceConfig,
+    registry: &Registry,
+    shared: &Arc<Mutex<Shared>>,
+    data_tx: &Sender<(u64, Bytes)>,
+    reports_tx: &Sender<TickReport>,
+) {
+    let _ = stream.set_nodelay(true);
+    // Writer half, cloned up front: the reader loop below holds the
+    // original mutably.
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = Some(write_half);
+    let gen = CONN_GEN.fetch_add(1, Ordering::Relaxed);
+    let mut who: Option<u32> = None;
+    let mut writer: Option<std::thread::JoinHandle<()>> = None;
+
+    let result = read_envelopes(&mut stream, |env| {
+        match env.chan {
+            CHAN_CTRL => match CtrlMsg::decode(env.payload) {
+                Ok(CtrlMsg::Hello { node, incarnation }) => {
+                    if who.is_some() {
+                        return true; // duplicate Hello: ignore
+                    }
+                    let Some(capacity) = cfg.caps.node(node) else {
+                        return false; // unknown node: refuse
+                    };
+                    let (assigned, assignments, epoch) = {
+                        let mut sh = lock(shared);
+                        let slot = sh.incarnations.entry(node.0).or_insert(0);
+                        let assigned = if incarnation == 0 {
+                            // Fresh process life: strictly above every
+                            // previous one, so receivers reset their
+                            // seq watermarks instead of swallowing it.
+                            *slot += 1;
+                            *slot
+                        } else {
+                            // Reconnect of a live process: keep it.
+                            *slot = (*slot).max(incarnation);
+                            incarnation
+                        };
+                        (
+                            assigned,
+                            sh.assignments.get(&node).cloned().unwrap_or_default(),
+                            sh.epoch,
+                        )
+                    };
+                    let (wtx, wrx) = unbounded();
+                    let Some(ws) = write_half.take() else {
+                        return false;
+                    };
+                    writer = Some(spawn_writer(ws, wrx));
+                    let welcome = Envelope {
+                        dest: node.0,
+                        chan: CHAN_CTRL,
+                        sent_epoch: epoch,
+                        payload: CtrlMsg::Welcome {
+                            capacity,
+                            per_message: cfg.cost.per_message(),
+                            per_value: cfg.cost.per_value(),
+                            net: cfg.net,
+                            incarnation: assigned,
+                            epoch,
+                        }
+                        .encode(),
+                    }
+                    .encode();
+                    let assign = Envelope {
+                        dest: node.0,
+                        chan: CHAN_CTRL,
+                        sent_epoch: epoch,
+                        payload: CtrlMsg::Assign { assignments }.encode(),
+                    }
+                    .encode();
+                    let _ = wtx.send(welcome);
+                    let _ = wtx.send(assign);
+                    lock(registry).insert(node.0, (gen, wtx));
+                    who = Some(node.0);
+                }
+                Ok(CtrlMsg::Report { report }) => {
+                    let _ = reports_tx.send(report);
+                }
+                Ok(_) | Err(_) => {}
+            },
+            CHAN_DATA => {
+                if env.dest == DEST_COLLECTOR {
+                    let _ = data_tx.send((env.sent_epoch, env.payload));
+                } else if let Some((_, tx)) = lock(registry).get(&env.dest) {
+                    // Hub routing: node→node tree traffic (data frames
+                    // and peer acks) forwarded by destination tag.
+                    let _ = tx.send(env.encode());
+                }
+            }
+            _ => {}
+        }
+        true
+    });
+    let _ = result;
+
+    // Connection gone: deregister — but only our own generation. A
+    // reconnect may already have replaced the entry, and removing the
+    // fresh one would orphan the live connection.
+    if let Some(node) = who {
+        let mut reg = lock(registry);
+        if reg.get(&node).is_some_and(|(g, _)| *g == gen) {
+            reg.remove(&node);
+        }
+    }
+    if let Some(w) = writer {
+        let _ = w.join();
+    }
+}

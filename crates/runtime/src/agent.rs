@@ -17,7 +17,7 @@
 
 use crate::proto::{FrameKind, WireMessage, WireReading};
 use crate::throttle::TokenBucket;
-use crate::transport::{Endpoint, NetConfig, SeqTracker, Transport};
+use crate::transport::{Endpoint, IncarnationTracker, NetConfig, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use remo_core::{Aggregation, AttrId, CostModel, NodeId};
@@ -84,6 +84,9 @@ pub enum AgentMsg {
     /// The upstream receiver acknowledged this agent's data frame
     /// `seq` (ARQ; only seen on unreliable transports).
     Ack {
+        /// Sender incarnation the ack was earned under (echoed from
+        /// the data frame; an ack for another incarnation is stale).
+        incarnation: u32,
         /// Acknowledged sequence number.
         seq: u64,
     },
@@ -168,13 +171,18 @@ pub struct Agent {
     assignments: Vec<TreeAssignment>,
     /// Buffered readings per tree: `(sent_epoch, reading)`.
     buffers: BTreeMap<u32, Vec<(u64, WireReading)>>,
+    /// This process's incarnation, stamped on every outgoing frame.
+    /// In-process agents never restart and stay at 0; distributed
+    /// node processes get a fresh (higher) incarnation per restart.
+    incarnation: u32,
     /// Sequence counter for outgoing data frames (monotone across
     /// crashes so fresh frames are never mistaken for replays).
     next_seq: u64,
     /// Sent-but-unacked data frames, by seq.
     unacked: BTreeMap<u64, Unacked>,
-    /// Receive-side dedup state per child sender.
-    seen: BTreeMap<NodeId, SeqTracker>,
+    /// Receive-side dedup state per child sender, incarnation-scoped
+    /// so a restarted child's seqs starting over are not swallowed.
+    seen: BTreeMap<NodeId, IncarnationTracker>,
     /// Sampling-period multiplier pushed by collector backpressure.
     degrade: u64,
     epoch: u64,
@@ -223,6 +231,7 @@ impl Agent {
             sampler,
             assignments,
             buffers: BTreeMap::new(),
+            incarnation: 0,
             next_seq: 0,
             unacked: BTreeMap::new(),
             seen: BTreeMap::new(),
@@ -233,6 +242,14 @@ impl Agent {
             drop_readings: 0,
             dup_ignored: 0,
         }
+    }
+
+    /// Sets the process incarnation stamped on outgoing frames (a
+    /// restarted node process must use a higher incarnation than its
+    /// previous life; in-process deployments keep the default 0).
+    pub fn with_incarnation(mut self, incarnation: u32) -> Self {
+        self.incarnation = incarnation;
+        self
     }
 
     /// Processes messages until shutdown.
@@ -265,8 +282,10 @@ impl Agent {
                     }
                 }
                 AgentMsg::Data { sent_epoch, frame } => self.on_data(sent_epoch, frame),
-                AgentMsg::Ack { seq } => {
-                    if !self.failed {
+                AgentMsg::Ack { incarnation, seq } => {
+                    // An ack earned under another incarnation says
+                    // nothing about this life's frames.
+                    if !self.failed && incarnation == self.incarnation {
                         self.unacked.remove(&seq);
                     }
                 }
@@ -294,10 +313,15 @@ impl Agent {
             if self
                 .seen
                 .get(&msg.from)
-                .is_some_and(|t| t.contains(msg.seq))
+                .is_some_and(|t| t.contains(msg.incarnation, msg.seq))
             {
-                self.transport
-                    .send_ack(Endpoint::Node(self.id), msg.from, msg.seq, self.epoch);
+                self.transport.send_ack(
+                    Endpoint::Node(self.id),
+                    msg.from,
+                    msg.incarnation,
+                    msg.seq,
+                    self.epoch,
+                );
                 self.dup_ignored += 1;
                 return;
             }
@@ -311,9 +335,17 @@ impl Agent {
             return;
         }
         if self.arq {
-            self.transport
-                .send_ack(Endpoint::Node(self.id), msg.from, msg.seq, self.epoch);
-            self.seen.entry(msg.from).or_default().insert(msg.seq);
+            self.transport.send_ack(
+                Endpoint::Node(self.id),
+                msg.from,
+                msg.incarnation,
+                msg.seq,
+                self.epoch,
+            );
+            self.seen
+                .entry(msg.from)
+                .or_default()
+                .insert(msg.incarnation, msg.seq);
         }
         let buf = self.buffers.entry(msg.tree).or_default();
         for r in msg.readings {
@@ -448,7 +480,8 @@ impl Agent {
 
             self.next_seq += 1;
             let seq = self.next_seq;
-            let msg = WireMessage::data(a.tree, self.id, seq, readings);
+            let msg = WireMessage::data(a.tree, self.id, seq, readings)
+                .with_incarnation(self.incarnation);
             report.sent_messages += 1;
             report.sent_readings += msg.readings.len() as u32;
             report.volume += self.cost.message_cost(msg.readings.len() as f64);

@@ -15,12 +15,11 @@
 use crate::agent::{
     run_agent, Agent, AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment,
 };
+use crate::collector::CollectorCore;
 use crate::health::{HealthConfig, HealthMonitor, HealthReport, HealthState};
-use crate::proto::{FrameKind, WireMessage, WireReading};
-use crate::throttle::TokenBucket;
+use crate::repair::RepairEngine;
 use crate::transport::{
-    Endpoint, LossyTransport, NetConfig, NetSpec, PerfectTransport, SeqTracker, Transport,
-    TransportStats,
+    LossyTransport, NetConfig, NetSpec, PerfectTransport, Transport, TransportStats,
 };
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -28,71 +27,12 @@ use remo_core::adapt::AdaptivePlanner;
 use remo_core::{
     AttrCatalog, AttrId, CapacityMap, CostModel, MonitoringPlan, NodeId, PairSet, Parent,
 };
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// A value stored at the collector.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Observed {
-    /// Reported value.
-    pub value: f64,
-    /// Epoch the sample was produced.
-    pub produced: u64,
-    /// Epoch it reached the collector.
-    pub received: u64,
-    /// Samples folded in (aggregates).
-    pub contributors: u32,
-}
-
-/// Aggregate statistics of one epoch across the deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct EpochReport {
-    /// Epoch covered.
-    pub epoch: u64,
-    /// Values recorded at the collector.
-    pub delivered_values: u64,
-    /// Messages dropped anywhere.
-    pub dropped_messages: u64,
-    /// Readings lost anywhere.
-    pub dropped_readings: u64,
-    /// Monitoring traffic volume in cost units.
-    pub volume: f64,
-    /// Nodes that entered the suspected state this epoch.
-    pub suspected: u64,
-    /// Nodes confirmed dead this epoch.
-    pub confirmed_dead: u64,
-    /// Confirmed failures the plan was repaired around this epoch.
-    pub repaired: u64,
-    /// Previously dead nodes that reported again this epoch.
-    pub recovered: u64,
-    /// Readings unhealthy nodes were scheduled to produce but could
-    /// not this epoch.
-    pub values_lost: u64,
-    /// Targeted reconfiguration messages sent by plan repair.
-    pub reconfigure_messages: u64,
-    /// Cumulative tree-cache counters of the self-healing planner, if
-    /// one is attached: repairs that warm-start from memoized builds
-    /// show up as hits here.
-    pub planner_cache: Option<remo_core::CacheStats>,
-    /// ARQ retransmissions sent this epoch (zero on a reliable
-    /// transport).
-    pub retransmit_messages: u64,
-    /// Duplicate data frames discarded by receive-side dedup.
-    pub duplicate_messages_ignored: u64,
-    /// Frames abandoned after the retry budget ran out.
-    pub abandoned_messages: u64,
-    /// Readings shed by the collector's bounded ingress queue.
-    pub shed_readings: u64,
-    /// Degrade-level transitions signalled to the agents this epoch.
-    pub backpressure_signals: u64,
-    /// Collector ingress queue depth (readings) after this epoch.
-    pub ingress_depth: u64,
-    /// Effective reporting-interval multiplier in force after this
-    /// epoch (1 = no degradation). Zero only in unticked defaults.
-    pub degrade_factor: u64,
-}
+pub use crate::collector::{DeliveredReading, EpochReport, Observed};
 
 /// Result of [`Deployment::snapshot`]: the observed values for the
 /// queried pairs plus the pairs with no observation yet.
@@ -110,25 +50,6 @@ pub enum TransportSpec {
     Lossy(NetSpec, NetConfig),
 }
 
-/// One reading as it was accepted into the collector store (recorded
-/// only when [`NetConfig::record_deliveries`] is set; a test and
-/// diagnosis aid).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DeliveredReading {
-    /// Source node.
-    pub node: NodeId,
-    /// Attribute.
-    pub attr: AttrId,
-    /// Reported value.
-    pub value: f64,
-    /// Epoch the sample was produced.
-    pub produced: u64,
-    /// Samples folded in.
-    pub contributors: u32,
-    /// Epoch the collector recorded it.
-    pub received: u64,
-}
-
 /// A running in-process deployment of a monitoring plan.
 #[derive(Debug)]
 pub struct Deployment {
@@ -136,35 +57,21 @@ pub struct Deployment {
     handles: Vec<JoinHandle<()>>,
     reports: Receiver<TickReport>,
     collector_rx: Receiver<(u64, Bytes)>,
-    collector_bucket: TokenBucket,
+    /// The collector's ingest core: capacity enforcement, dedup,
+    /// bounded ingress, backpressure, and the snapshot store.
+    collector: CollectorCore,
     transport: Arc<dyn Transport>,
     net: NetConfig,
     /// ARQ + backpressure engaged (transport is unreliable).
     lossy: bool,
-    cost: CostModel,
     epoch: u64,
-    store: BTreeMap<(NodeId, AttrId), Observed>,
-    aggregates: BTreeMap<AttrId, Observed>,
-    catalog: AttrCatalog,
-    /// Capacities as launched, used to reintegrate recovered nodes.
-    original_caps: CapacityMap,
     /// Assignments currently pushed to each agent, diffed at repair
     /// time so reconfiguration messages stay targeted.
     assignments: BTreeMap<NodeId, Vec<TreeAssignment>>,
     health_cfg: HealthConfig,
     health: HealthMonitor,
     /// Present only for self-healing deployments.
-    healer: Option<AdaptivePlanner>,
-    /// Bounded collector ingress queue: `(reading, sent_epoch)`
-    /// awaiting budget (lossy path only).
-    ingress: VecDeque<(WireReading, u64)>,
-    /// Receive-side dedup state per root sender (lossy path only).
-    collector_seen: BTreeMap<NodeId, SeqTracker>,
-    /// Current backpressure degrade level; the agents' period
-    /// multiplier is `2^level`.
-    degrade_level: u32,
-    /// Every accepted reading, when `net.record_deliveries`.
-    delivery_log: Vec<DeliveredReading>,
+    healer: Option<RepairEngine>,
 }
 
 impl Deployment {
@@ -275,24 +182,15 @@ impl Deployment {
             handles,
             reports: report_rx,
             collector_rx,
-            collector_bucket: TokenBucket::new(caps.collector()),
+            collector: CollectorCore::new(caps.collector(), cost, net, catalog.clone()),
             transport,
             net,
             lossy,
-            cost,
             epoch: 0,
-            store: BTreeMap::new(),
-            aggregates: BTreeMap::new(),
-            catalog: catalog.clone(),
-            original_caps: caps.clone(),
             assignments,
             health_cfg,
             health,
             healer: None,
-            ingress: VecDeque::new(),
-            collector_seen: BTreeMap::new(),
-            degrade_level: 0,
-            delivery_log: Vec::new(),
         }
     }
 
@@ -336,7 +234,7 @@ impl Deployment {
             health_cfg,
             tspec,
         );
-        dep.healer = Some(planner);
+        dep.healer = Some(RepairEngine::new(planner));
         dep
     }
 
@@ -355,17 +253,17 @@ impl Deployment {
 
     /// The collector's snapshot of a pair.
     pub fn observed(&self, node: NodeId, attr: AttrId) -> Option<Observed> {
-        self.store.get(&(node, attr)).copied()
+        self.collector.observed(node, attr)
     }
 
     /// The collector's snapshot of an aggregated attribute.
     pub fn observed_aggregate(&self, attr: AttrId) -> Option<Observed> {
-        self.aggregates.get(&attr).copied()
+        self.collector.observed_aggregate(attr)
     }
 
     /// Number of distinct pairs ever observed.
     pub fn observed_pairs(&self) -> usize {
-        self.store.len()
+        self.collector.observed_pairs()
     }
 
     /// Snapshot of an explicit pair list: observed values plus the
@@ -375,7 +273,7 @@ impl Deployment {
         let mut values = BTreeMap::new();
         let mut missing = Vec::new();
         for (n, a) in pairs {
-            match self.store.get(&(n, a)) {
+            match self.collector.store().get(&(n, a)) {
                 Some(&o) => {
                     values.insert((n, a), o);
                 }
@@ -407,13 +305,13 @@ impl Deployment {
     /// Effective reporting-interval multiplier currently in force
     /// (1 = no degradation).
     pub fn degrade_factor(&self) -> u64 {
-        NetConfig::degrade_factor_at(self.degrade_level)
+        self.collector.degrade_factor()
     }
 
     /// Readings accepted into the store, in order (only populated when
     /// [`NetConfig::record_deliveries`] is set).
     pub fn delivery_log(&self) -> &[DeliveredReading] {
-        &self.delivery_log
+        self.collector.delivery_log()
     }
 
     /// Per-attribute staleness bounds under the current degradation
@@ -467,11 +365,14 @@ impl Deployment {
         }
 
         // Deadline-bounded barrier: wait for every expected (non-dead)
-        // reporter, but never past the health deadline. Any report —
-        // even a stale-epoch one racing in late — proves its sender's
-        // process is alive.
+        // reporter, but never past the health deadline. Each reporter
+        // is credited with the freshest epoch it claimed — a report
+        // proves its sender's process is alive *as of that epoch*, so
+        // a stale report racing in late cannot satisfy this epoch's
+        // liveness check (it is counted as a miss-then-arrival by
+        // [`HealthMonitor::observe_reports`]).
         let mut missing: BTreeSet<NodeId> = self.health.expected_reporters();
-        let mut reporters: BTreeSet<NodeId> = BTreeSet::new();
+        let mut reporters: BTreeMap<NodeId, u64> = BTreeMap::new();
         let deadline = Instant::now() + self.health_cfg.deadline;
         loop {
             let fold = |tr: TickReport, report: &mut EpochReport| {
@@ -482,13 +383,17 @@ impl Deployment {
                 report.duplicate_messages_ignored += tr.dup_ignored as u64;
                 report.abandoned_messages += tr.abandoned as u64;
             };
+            let credit = |tr: &TickReport, reporters: &mut BTreeMap<NodeId, u64>| {
+                let e = reporters.entry(tr.node).or_insert(tr.epoch);
+                *e = (*e).max(tr.epoch);
+            };
             if missing.is_empty() {
                 // Barrier satisfied; drain anything already queued so
                 // reports from recovering (previously dead) agents are
                 // seen this epoch rather than next.
                 while let Ok(tr) = self.reports.try_recv() {
                     missing.remove(&tr.node);
-                    reporters.insert(tr.node);
+                    credit(&tr, &mut reporters);
                     fold(tr, &mut report);
                 }
                 break;
@@ -497,7 +402,7 @@ impl Deployment {
             match self.reports.recv_timeout(wait) {
                 Ok(tr) => {
                     missing.remove(&tr.node);
-                    reporters.insert(tr.node);
+                    credit(&tr, &mut reporters);
                     fold(tr, &mut report);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -505,7 +410,7 @@ impl Deployment {
             }
         }
 
-        let events = self.health.observe(epoch, &reporters);
+        let events = self.health.observe_reports(epoch, &reporters);
         report.suspected = events.suspected.len() as u64;
         report.confirmed_dead = events.confirmed.len() as u64;
         report.recovered = events.recovered.len() as u64;
@@ -527,7 +432,7 @@ impl Deployment {
         if !events.confirmed.is_empty() || !events.recovered.is_empty() {
             self.repair(&events.confirmed, &events.recovered, epoch, &mut report);
         }
-        report.planner_cache = self.healer.as_ref().map(AdaptivePlanner::cache_stats);
+        report.planner_cache = self.healer.as_ref().map(|e| e.planner().cache_stats());
 
         if self.lossy {
             self.collector_intake_arq(epoch, &mut report);
@@ -543,20 +448,9 @@ impl Deployment {
     /// behavior, bit for bit — the perfect-path regression test pins
     /// its `EpochReport`s.
     fn collector_intake_perfect(&mut self, report: &mut EpochReport) {
-        self.collector_bucket.refill();
+        self.collector.refill();
         while let Ok((sent_epoch, frame)) = self.collector_rx.try_recv() {
-            let Ok(msg) = WireMessage::decode(frame) else {
-                continue;
-            };
-            let cost = self.cost.message_cost(msg.readings.len() as f64);
-            if !self.collector_bucket.try_consume(cost) {
-                report.dropped_messages += 1;
-                report.dropped_readings += msg.readings.len() as u64;
-                continue;
-            }
-            for r in msg.readings {
-                self.record(&r, sent_epoch + 1, report);
-            }
+            self.collector.accept_perfect(sent_epoch, frame, report);
         }
     }
 
@@ -567,152 +461,14 @@ impl Deployment {
     /// collector-capacity constraint), and signal backpressure to the
     /// agents when the queue stays saturated.
     fn collector_intake_arq(&mut self, epoch: u64, report: &mut EpochReport) {
-        self.collector_bucket.refill();
+        self.collector.refill();
         while let Ok((sent_epoch, frame)) = self.collector_rx.try_recv() {
-            let Ok(msg) = WireMessage::decode(frame) else {
-                continue;
-            };
-            if msg.kind != FrameKind::Data {
-                continue;
-            }
-            // Replayed frame: re-ack (the first ack may have been
-            // lost) and discard.
-            if self
-                .collector_seen
-                .get(&msg.from)
-                .is_some_and(|t| t.contains(msg.seq))
-            {
-                self.transport
-                    .send_ack(Endpoint::Collector, msg.from, msg.seq, epoch);
-                report.duplicate_messages_ignored += 1;
-                if remo_obs::enabled() {
-                    remo_obs::counter("remo_net_dedup_dropped_total").inc();
-                }
-                continue;
-            }
-            self.transport
-                .send_ack(Endpoint::Collector, msg.from, msg.seq, epoch);
-            self.collector_seen
-                .entry(msg.from)
-                .or_default()
-                .insert(msg.seq);
-            // The fixed per-message overhead C is paid on arrival —
-            // parsing a frame costs the collector whether or not its
-            // readings are ever processed.
-            self.collector_bucket.charge(self.cost.per_message());
-            for r in msg.readings {
-                self.ingress.push_back((r, sent_epoch));
-            }
+            self.collector
+                .accept_arq(epoch, sent_epoch, frame, self.transport.as_ref(), report);
         }
-
-        // Bounded ingress: shed the lowest-frequency-weight readings
-        // first (they contribute least to the cost-model's planned
-        // load; ties broken oldest-produced first), exactly the
-        // degradation order the paper's collector-capacity constraint
-        // suggests.
-        while self.ingress.len() > self.net.ingress_capacity {
-            let victim = self
-                .ingress
-                .iter()
-                .enumerate()
-                .min_by(|(_, (a, _)), (_, (b, _))| {
-                    let fa = self.catalog.get_or_default(a.attr).frequency();
-                    let fb = self.catalog.get_or_default(b.attr).frequency();
-                    fa.partial_cmp(&fb)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.produced.cmp(&b.produced))
-                })
-                .map(|(i, _)| i);
-            let Some(i) = victim else { break };
-            self.ingress.remove(i);
-            report.shed_readings += 1;
-            if remo_obs::enabled() {
-                remo_obs::counter("remo_collector_shed_readings_total").inc();
-            }
-        }
-
-        // Process under the per-value budget; what the budget cannot
-        // cover stays queued (backpressure) instead of being lost.
-        while let Some(&(r, _sent_epoch)) = self.ingress.front() {
-            if !self.collector_bucket.try_consume(self.cost.per_value()) {
-                break;
-            }
-            self.ingress.pop_front();
-            if remo_obs::enabled() {
-                remo_obs::histogram("remo_net_delivery_latency_epochs")
-                    .observe((epoch + 1).saturating_sub(r.produced) as f64);
-            }
-            self.record(&r, epoch + 1, report);
-        }
-
-        report.ingress_depth = self.ingress.len() as u64;
-        if remo_obs::enabled() {
-            remo_obs::gauge("remo_collector_queue_depth").set(self.ingress.len() as f64);
-        }
-
-        // Backpressure control loop: widen the agents' effective
-        // reporting intervals while the queue stays saturated, relax
-        // when it drains. Shedding this epoch counts as saturation
-        // even when processing drains the residual queue below the
-        // watermark — otherwise a small ingress bound sheds forever
-        // without ever engaging degradation.
-        let depth = self.ingress.len() as f64;
-        let cap = self.net.ingress_capacity as f64;
-        let saturated = depth > cap * self.net.high_watermark || report.shed_readings > 0;
-        let mut level = self.degrade_level;
-        if saturated && level < self.net.max_degrade_level {
-            level += 1;
-        } else if !saturated && depth < cap * self.net.low_watermark && level > 0 {
-            level -= 1;
-        }
-        if level != self.degrade_level {
-            self.degrade_level = level;
-            let factor = NetConfig::degrade_factor_at(level);
+        if let Some(factor) = self.collector.drain_arq(epoch, report) {
             for tx in self.agents.values() {
                 let _ = tx.send(AgentMsg::SetDegrade { factor });
-            }
-            report.backpressure_signals += 1;
-            if remo_obs::enabled() {
-                remo_obs::counter("remo_collector_backpressure_transitions_total").inc();
-            }
-            remo_obs::event!("runtime.backpressure",
-                "level" => u64::from(level),
-                "queue_depth" => self.ingress.len() as u64);
-        }
-        report.degrade_factor = NetConfig::degrade_factor_at(self.degrade_level);
-    }
-
-    /// Records one reading into the collector store (shared by both
-    /// intake paths): a reading only replaces the stored one if it was
-    /// produced no earlier, so replays and stragglers never regress
-    /// the snapshot.
-    fn record(&mut self, r: &WireReading, received: u64, report: &mut EpochReport) {
-        let observed = Observed {
-            value: r.value,
-            produced: r.produced,
-            received,
-            contributors: r.contributors,
-        };
-        report.delivered_values += r.contributors as u64;
-        if self.net.record_deliveries {
-            self.delivery_log.push(DeliveredReading {
-                node: r.node,
-                attr: r.attr,
-                value: r.value,
-                produced: r.produced,
-                contributors: r.contributors,
-                received,
-            });
-        }
-        if r.contributors > 1 {
-            let slot = self.aggregates.entry(r.attr).or_insert(observed);
-            if observed.produced >= slot.produced {
-                *slot = observed;
-            }
-        } else {
-            let slot = self.store.entry((r.node, r.attr)).or_insert(observed);
-            if observed.produced >= slot.produced {
-                *slot = observed;
             }
         }
     }
@@ -730,15 +486,8 @@ impl Deployment {
         let Some(healer) = self.healer.as_mut() else {
             return;
         };
-        for &node in confirmed {
-            healer.handle_node_failure(node, epoch);
-        }
-        for &node in recovered {
-            let capacity = self.original_caps.node(node).unwrap_or(0.0);
-            healer.handle_node_recovery(node, capacity, epoch);
-        }
-        let fresh = plan_assignments(healer.plan(), healer.pairs(), &self.catalog);
-        for node in changed_assignments(&self.assignments, &fresh) {
+        let (fresh, changed) = healer.repair(confirmed, recovered, &self.assignments, epoch);
+        for node in changed {
             let Some(tx) = self.agents.get(&node) else {
                 continue;
             };
@@ -748,17 +497,6 @@ impl Deployment {
             }
         }
         self.assignments = fresh;
-        #[cfg(debug_assertions)]
-        {
-            // Post-condition: the repaired plan must still pass every
-            // error-severity audit rule before agents act on it.
-            let outcome = healer.audit();
-            debug_assert!(
-                outcome.is_clean(),
-                "repair left a plan that fails the audit:\n{}",
-                outcome.render()
-            );
-        }
         for &node in confirmed {
             self.health.mark_repaired(node, epoch);
             report.repaired += 1;

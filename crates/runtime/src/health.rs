@@ -81,6 +81,10 @@ pub struct NodeHealthStats {
     /// Readings this node was scheduled to produce but could not,
     /// accumulated over its unhealthy windows.
     pub values_lost: u64,
+    /// Reports that arrived carrying an older epoch than the barrier
+    /// they were observed in (clock skew / slow node): each counted as
+    /// a miss-then-arrival, never as current liveness.
+    pub stale_reports: u64,
 }
 
 /// Serializable snapshot of deployment health.
@@ -200,11 +204,40 @@ impl HealthMonitor {
     }
 
     /// Folds one epoch's reporter set into the detector and returns
-    /// the transitions.
+    /// the transitions. Every reporter is taken to have reported *for*
+    /// `epoch` — correct for in-process lockstep, where agents answer
+    /// the tick they were sent. Distributed coordinators, where a
+    /// slow-but-alive node's report can arrive a barrier late, must
+    /// use [`HealthMonitor::observe_reports`] instead.
     pub fn observe(&mut self, epoch: u64, reporters: &BTreeSet<NodeId>) -> HealthEvents {
+        let reports: BTreeMap<NodeId, u64> = reporters.iter().map(|&n| (n, epoch)).collect();
+        self.observe_reports(epoch, &reports)
+    }
+
+    /// Folds one epoch's reports — `node → newest report epoch heard
+    /// during this barrier` — into the detector.
+    ///
+    /// Liveness for `epoch` requires a report *for* `epoch` (or
+    /// newer): a late frame from a previous epoch is real evidence the
+    /// process was alive back then, but the node still missed this
+    /// deadline, so it counts as a miss-then-arrival. Crediting stale
+    /// reports as current liveness has two failure modes this method
+    /// exists to close: a consistently one-epoch-behind node resets
+    /// its miss counter every barrier and is never detected, and a
+    /// killed node's last pre-death frame, delivered late, "recovers"
+    /// it after confirmation — triggering `handle_node_recovery`
+    /// followed by a second detection and a double repair.
+    pub fn observe_reports(&mut self, epoch: u64, reports: &BTreeMap<NodeId, u64>) -> HealthEvents {
         let mut events = HealthEvents::default();
         for (&node, h) in self.nodes.iter_mut() {
-            if reporters.contains(&node) {
+            let report_epoch = reports.get(&node);
+            if report_epoch.is_some_and(|&e| e < epoch) {
+                h.stats.stale_reports += 1;
+                if remo_obs::enabled() {
+                    remo_obs::counter("remo_runtime_stale_reports_total").inc();
+                }
+            }
+            if report_epoch.is_some_and(|&e| e >= epoch) {
                 if h.state == HealthState::Dead {
                     h.stats.recovered += 1;
                     events.recovered.push(node);
@@ -350,6 +383,86 @@ mod tests {
         assert_eq!(e.recovered, vec![NodeId(0)]);
         assert_eq!(m.state(NodeId(0)), HealthState::Healthy);
         assert_eq!(m.report(2).stats[&NodeId(0)].recovered, 1);
+    }
+
+    /// A slow-but-alive node whose report always arrives one barrier
+    /// late must be detected: its stale reports are miss-then-arrival,
+    /// not liveness. (Pre-fix, any report in the barrier window reset
+    /// the miss counter, so a perpetually lagging node was never
+    /// confirmed.)
+    #[test]
+    fn perpetually_late_reporter_is_confirmed_not_reset() {
+        let mut m = HealthMonitor::new((0..3).map(NodeId), 3);
+        for epoch in 1..=3u64 {
+            // Nodes 0 and 1 report the current epoch; node 2's report
+            // is delayed transport — it carries the previous epoch.
+            let reports: BTreeMap<NodeId, u64> = [
+                (NodeId(0), epoch),
+                (NodeId(1), epoch),
+                (NodeId(2), epoch - 1),
+            ]
+            .into_iter()
+            .collect();
+            let events = m.observe_reports(epoch, &reports);
+            if epoch < 3 {
+                assert!(events.confirmed.is_empty());
+            } else {
+                assert_eq!(events.confirmed, vec![NodeId(2)]);
+            }
+        }
+        assert_eq!(m.state(NodeId(2)), HealthState::Dead);
+        assert_eq!(m.report(3).stats[&NodeId(2)].stale_reports, 3);
+    }
+
+    /// A confirmed-dead node's last pre-death frame delivered late
+    /// must not resurrect it: recovery (and the repair it triggers)
+    /// requires a current-epoch report. Pre-fix the stale report
+    /// flipped the node back to healthy, and its continued silence
+    /// then drove a second suspect→confirm→repair cycle for the same
+    /// crash.
+    #[test]
+    fn stale_report_does_not_resurrect_a_dead_node() {
+        let mut m = HealthMonitor::new((0..2).map(NodeId), 1);
+        let only0: BTreeMap<NodeId, u64> = [(NodeId(0), 1)].into_iter().collect();
+        let e = m.observe_reports(1, &only0);
+        assert_eq!(e.confirmed, vec![NodeId(1)]);
+
+        // Epoch 2: node 1's dying report from epoch 1 straggles in.
+        let late: BTreeMap<NodeId, u64> = [(NodeId(0), 2), (NodeId(1), 1)].into_iter().collect();
+        let e = m.observe_reports(2, &late);
+        assert!(e.recovered.is_empty(), "stale frame resurrected the dead");
+        assert_eq!(m.state(NodeId(1)), HealthState::Dead);
+        assert_eq!(m.report(2).stats[&NodeId(1)].confirmed, 1);
+
+        // Epoch 3: silence again — no second confirmation fires (the
+        // node never left Dead, so no double repair can be triggered).
+        let only0: BTreeMap<NodeId, u64> = [(NodeId(0), 3)].into_iter().collect();
+        let e = m.observe_reports(3, &only0);
+        assert!(e.is_empty());
+        assert_eq!(m.report(3).stats[&NodeId(1)].confirmed, 1);
+
+        // A genuine current-epoch report does recover it.
+        let both: BTreeMap<NodeId, u64> = [(NodeId(0), 4), (NodeId(1), 4)].into_iter().collect();
+        let e = m.observe_reports(4, &both);
+        assert_eq!(e.recovered, vec![NodeId(1)]);
+    }
+
+    /// A miss-then-arrival straggler catches up: reports for both the
+    /// missed epoch and the current one arrive in the same barrier —
+    /// the newest wins and the node is healthy again.
+    #[test]
+    fn catching_up_straggler_is_healthy() {
+        let mut m = HealthMonitor::new((0..2).map(NodeId), 3);
+        let miss: BTreeMap<NodeId, u64> = [(NodeId(0), 1)].into_iter().collect();
+        m.observe_reports(1, &miss);
+        assert_eq!(m.state(NodeId(1)), HealthState::Suspected);
+        // Barrier 2 hears both the late epoch-1 report and the
+        // current epoch-2 one (the caller keeps the max).
+        let caught_up: BTreeMap<NodeId, u64> =
+            [(NodeId(0), 2), (NodeId(1), 2)].into_iter().collect();
+        m.observe_reports(2, &caught_up);
+        assert_eq!(m.state(NodeId(1)), HealthState::Healthy);
+        assert_eq!(m.consecutive_misses(NodeId(1)), 0);
     }
 
     #[test]

@@ -42,24 +42,31 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agent;
+pub mod collector;
+pub mod ctrl;
 pub mod deployment;
+pub mod framing;
 pub mod health;
 pub mod proto;
+pub mod repair;
 pub mod samplers;
 pub mod throttle;
 pub mod transport;
 
 pub use agent::{AgentMsg, LocalAttr, Route, Sampler, TickReport, TreeAssignment};
+pub use collector::{CollectorCore, DeliveredReading, EpochReport, Observed};
+pub use ctrl::{CtrlError, CtrlMsg};
 pub use deployment::{
-    changed_assignments, due_readings, plan_assignments, DeliveredReading, Deployment, EpochReport,
-    Observed, Snapshot, TransportSpec,
+    changed_assignments, due_readings, plan_assignments, Deployment, Snapshot, TransportSpec,
 };
+pub use framing::{Envelope, FrameDecoder, FrameError};
 pub use health::{
     HealthConfig, HealthEvents, HealthMonitor, HealthReport, HealthState, NodeHealthStats,
 };
 pub use proto::{FrameKind, WireMessage, WireReading};
+pub use repair::RepairEngine;
 pub use throttle::TokenBucket;
 pub use transport::{
-    Endpoint, LinkSpec, LossyTransport, NetConfig, NetSpec, PartitionWindow, PerfectTransport,
-    SeqTracker, Transport, TransportStats, MAX_BACKOFF_SHIFT,
+    Endpoint, IncarnationTracker, LinkSpec, LossyTransport, NetConfig, NetSpec, PartitionWindow,
+    PerfectTransport, SeqTracker, Transport, TransportStats, MAX_BACKOFF_SHIFT,
 };

@@ -9,6 +9,17 @@
 //! Version 2 adds ARQ support for unreliable transports: a frame kind
 //! (data vs. ack) and a per-sender sequence number, so receivers can
 //! acknowledge and deduplicate (see [`crate::transport`]).
+//!
+//! Version 3 adds the sender's *incarnation*: a number that increases
+//! every time the sending process restarts. Without it, a recovered
+//! sender restarting its sequence numbers at zero is silently swallowed
+//! by the receiver's contiguous-watermark dedup — every fresh frame
+//! looks "already seen". Receivers reset their per-sender watermark
+//! when the incarnation advances, and acks echo the data frame's
+//! incarnation so a sender never credits an ack earned by its previous
+//! life. In-process deployments never restart agents, so they pin
+//! incarnation 0 and their byte streams change only by the widened
+//! header.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use remo_core::{AttrId, NodeId};
@@ -18,10 +29,10 @@ use std::fmt;
 /// Protocol magic marker.
 pub const MAGIC: u16 = 0x5235; // "R5"
 /// Protocol version.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes: magic (2) + version (1) + kind (1) +
-/// tree (4) + from (4) + seq (8) + count (4).
-pub const HEADER_LEN: usize = 24;
+/// tree (4) + from (4) + incarnation (4) + seq (8) + count (4).
+pub const HEADER_LEN: usize = 28;
 /// Encoded size of one reading: node (4) + attr (4) + value (8) +
 /// produced (8) + contributors (4).
 pub const READING_LEN: usize = 28;
@@ -77,9 +88,14 @@ pub struct WireMessage {
     pub tree: u32,
     /// Sending node.
     pub from: NodeId,
-    /// Sender-assigned sequence number (monotone per sender; the ARQ
-    /// layer's ack/dedup key). Zero on transports that never lose
-    /// frames.
+    /// Sender process incarnation: bumped on every process restart so
+    /// receivers know to reset their seq watermark. Always 0 for
+    /// in-process agents (they never restart); acks echo the data
+    /// frame's incarnation.
+    pub incarnation: u32,
+    /// Sender-assigned sequence number (monotone per sender within one
+    /// incarnation; the ARQ layer's ack/dedup key). Zero on transports
+    /// that never lose frames.
     pub seq: u64,
     /// Payload (empty for acks).
     pub readings: Vec<WireReading>,
@@ -116,26 +132,37 @@ impl fmt::Display for DecodeError {
 impl StdError for DecodeError {}
 
 impl WireMessage {
-    /// A data frame.
+    /// A data frame (incarnation 0 — the in-process default; use
+    /// [`WireMessage::with_incarnation`] for restartable senders).
     pub fn data(tree: u32, from: NodeId, seq: u64, readings: Vec<WireReading>) -> Self {
         WireMessage {
             kind: FrameKind::Data,
             tree,
             from,
+            incarnation: 0,
             seq,
             readings,
         }
     }
 
-    /// An ack frame for `seq`.
+    /// An ack frame for `seq` (incarnation 0; receivers acking a
+    /// restartable sender echo its incarnation via
+    /// [`WireMessage::with_incarnation`]).
     pub fn ack(tree: u32, from: NodeId, seq: u64) -> Self {
         WireMessage {
             kind: FrameKind::Ack,
             tree,
             from,
+            incarnation: 0,
             seq,
             readings: Vec::new(),
         }
+    }
+
+    /// Sets the sender incarnation.
+    pub fn with_incarnation(mut self, incarnation: u32) -> Self {
+        self.incarnation = incarnation;
+        self
     }
 
     /// Encodes the message into a frame.
@@ -162,6 +189,7 @@ impl WireMessage {
         buf.put_u8(self.kind.to_u8());
         buf.put_u32(self.tree);
         buf.put_u32(self.from.0);
+        buf.put_u32(self.incarnation);
         buf.put_u64(self.seq);
         buf.put_u32(self.readings.len() as u32);
         for r in &self.readings {
@@ -198,6 +226,7 @@ impl WireMessage {
         };
         let tree = frame.get_u32();
         let from = NodeId(frame.get_u32());
+        let incarnation = frame.get_u32();
         let seq = frame.get_u64();
         let count = frame.get_u32();
         // checked_mul: a hostile count must not overflow into a bogus
@@ -222,6 +251,7 @@ impl WireMessage {
             kind,
             tree,
             from,
+            incarnation,
             seq,
             readings,
         })
@@ -336,12 +366,23 @@ mod tests {
         buf.put_u8(0);
         buf.put_u32(0);
         buf.put_u32(0);
+        buf.put_u32(0);
         buf.put_u64(0);
         buf.put_u32(u32::MAX);
         assert_eq!(
             WireMessage::decode(buf.freeze()),
             Err(DecodeError::BadCount(u32::MAX))
         );
+    }
+
+    #[test]
+    fn incarnation_roundtrips() {
+        let msg = sample_msg(2).with_incarnation(7);
+        let back = WireMessage::decode(msg.encode()).unwrap();
+        assert_eq!(back.incarnation, 7);
+        assert_eq!(back, msg);
+        let ack = WireMessage::ack(0, NodeId(1), 9).with_incarnation(3);
+        assert_eq!(WireMessage::decode(ack.encode()).unwrap().incarnation, 3);
     }
 
     #[test]

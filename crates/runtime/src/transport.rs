@@ -301,7 +301,10 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
     fn send_data(&self, from: NodeId, to: Endpoint, seq: u64, epoch: u64, frame: Bytes);
 
     /// Carries an ack for `seq` from `from` back to `to`.
-    fn send_ack(&self, from: Endpoint, to: NodeId, seq: u64, epoch: u64);
+    /// `incarnation` echoes the acked data frame's sender incarnation,
+    /// so a restarted sender never credits an ack earned by its
+    /// previous life.
+    fn send_ack(&self, from: Endpoint, to: NodeId, incarnation: u32, seq: u64, epoch: u64);
 
     /// Whether delivery is loss-free, exactly-once, and prompt. A
     /// reliable transport lets agents skip the ARQ machinery entirely,
@@ -369,9 +372,9 @@ impl Transport for PerfectTransport {
         }
     }
 
-    fn send_ack(&self, _from: Endpoint, to: NodeId, seq: u64, _epoch: u64) {
+    fn send_ack(&self, _from: Endpoint, to: NodeId, incarnation: u32, seq: u64, _epoch: u64) {
         if let Some(tx) = self.peers.get(&to) {
-            let _ = tx.send(AgentMsg::Ack { seq });
+            let _ = tx.send(AgentMsg::Ack { incarnation, seq });
         }
     }
 
@@ -392,6 +395,7 @@ enum Queued {
     },
     Ack {
         to: NodeId,
+        incarnation: u32,
         seq: u64,
     },
 }
@@ -450,6 +454,21 @@ const SALT_DUP: u64 = 2;
 const SALT_DELAY: u64 = 3;
 const SALT_REORDER: u64 = 4;
 const SALT_DELAY_COPY: u64 = 5;
+const SALT_REORDER_COPY: u64 = 6;
+
+/// The `(attempt, salt)` coordinate of the reorder draw for `copy` of
+/// transmission `attempt`. Duplicates get their own salt domain at the
+/// *same* attempt: deriving the copy's draw at `attempt + 1` instead
+/// (as this code once did) aliases the genuine next retry's coordinate
+/// for the same (link, seq), correlating outcomes the seeded-hash
+/// design promises are independent.
+fn reorder_coordinate(attempt: u32, copy: u32) -> (u32, u64) {
+    if copy == 0 {
+        (attempt, SALT_REORDER)
+    } else {
+        (attempt, SALT_REORDER_COPY)
+    }
+}
 
 impl LossyTransport {
     /// Wraps the deployment's channels in a faulty network.
@@ -489,9 +508,13 @@ impl LossyTransport {
                     }
                 }
             },
-            Queued::Ack { to, seq } => {
+            Queued::Ack {
+                to,
+                incarnation,
+                seq,
+            } => {
                 if let Some(tx) = self.peers.get(&to) {
-                    let _ = tx.send(AgentMsg::Ack { seq });
+                    let _ = tx.send(AgentMsg::Ack { incarnation, seq });
                     stats.delivered += 1;
                 }
             }
@@ -591,13 +614,14 @@ impl LossyTransport {
                 (unit(self.spec.seed, from_tag, to_tag, seq, attempt, salt)
                     * (self.spec.delay_max + 1) as f64) as u64
             };
+            let (reorder_attempt, reorder_salt) = reorder_coordinate(attempt, copy);
             if unit(
                 self.spec.seed,
                 from_tag,
                 to_tag,
                 seq,
-                attempt.wrapping_add(copy),
-                SALT_REORDER,
+                reorder_attempt,
+                reorder_salt,
             ) < self.spec.reorder
             {
                 d += 1;
@@ -626,7 +650,7 @@ impl Transport for LossyTransport {
         });
     }
 
-    fn send_ack(&self, from: Endpoint, to: NodeId, seq: u64, epoch: u64) {
+    fn send_ack(&self, from: Endpoint, to: NodeId, incarnation: u32, seq: u64, epoch: u64) {
         self.route(
             match from {
                 Endpoint::Node(n) => n,
@@ -639,7 +663,11 @@ impl Transport for LossyTransport {
             seq,
             epoch,
             true,
-            || Queued::Ack { to, seq },
+            || Queued::Ack {
+                to,
+                incarnation,
+                seq,
+            },
         );
     }
 
@@ -706,6 +734,49 @@ impl SeqTracker {
     }
 }
 
+/// [`SeqTracker`] dedup that survives sender restarts: the sequence
+/// watermark is scoped to the sender's incarnation. A frame from a
+/// newer incarnation resets the window — the restarted sender's seqs
+/// legitimately start over, and without the reset every fresh frame
+/// would sit below the old watermark and be silently swallowed. A
+/// frame from an older incarnation is a stale replay from a previous
+/// life and always counts as seen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncarnationTracker {
+    incarnation: u32,
+    seqs: SeqTracker,
+}
+
+impl IncarnationTracker {
+    /// Records `(incarnation, seq)`; returns `true` iff never seen.
+    pub fn insert(&mut self, incarnation: u32, seq: u64) -> bool {
+        match incarnation.cmp(&self.incarnation) {
+            std::cmp::Ordering::Greater => {
+                self.incarnation = incarnation;
+                self.seqs = SeqTracker::default();
+            }
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+        self.seqs.insert(seq)
+    }
+
+    /// Whether `(incarnation, seq)` has been seen. Frames from older
+    /// incarnations always have; frames from newer ones never have.
+    pub fn contains(&self, incarnation: u32, seq: u64) -> bool {
+        match incarnation.cmp(&self.incarnation) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seqs.contains(seq),
+        }
+    }
+
+    /// The newest sender incarnation observed.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -723,6 +794,58 @@ mod tests {
         assert!(t.pending.is_empty(), "window compacted");
         assert_eq!(t.contiguous, 3);
         assert!(t.contains(2) && t.contains(3) && !t.contains(4));
+    }
+
+    #[test]
+    fn incarnation_tracker_resets_on_restart_and_rejects_past_lives() {
+        let mut t = IncarnationTracker::default();
+        assert!(t.insert(0, 1));
+        assert!(t.insert(0, 2));
+        assert!(!t.insert(0, 1), "same-incarnation replay");
+        // Restarted sender: seqs start over at 1 and must be fresh.
+        assert!(t.insert(1, 1), "post-restart seq 1 swallowed");
+        assert_eq!(t.incarnation(), 1);
+        assert!(t.contains(1, 1) && !t.contains(1, 2));
+        // A straggler from the previous life arrives late: stale.
+        assert!(!t.insert(0, 3));
+        assert!(t.contains(0, 3), "old incarnations always count seen");
+        // Frames from a future incarnation are never pre-seen.
+        assert!(!t.contains(2, 1));
+    }
+
+    /// Pre-fix, the duplicate copy of attempt `n` drew its reorder
+    /// decision at `(attempt n+1, SALT_REORDER)` — byte-for-byte the
+    /// genuine next retry's coordinate for the same (link, seq), so
+    /// the two outcomes were perfectly correlated. The copy must draw
+    /// from its own salt domain: equal draws across many coordinates
+    /// would flag the aliasing (with the old
+    /// `attempt.wrapping_add(copy)` derivation every single pair
+    /// collides and this test fails).
+    #[test]
+    fn duplicate_reorder_draw_is_independent_of_later_retries() {
+        let seed = 2026;
+        for &(from, to) in &[(3u32, u32::MAX), (0, 1), (7, 2)] {
+            for seq in 0..512u64 {
+                for attempt in 1..4u32 {
+                    let (a, s) = reorder_coordinate(attempt, 1);
+                    let dup_draw = unit(seed, from, to, seq, a, s);
+                    let retry_draw = unit(seed, from, to, seq, attempt + 1, SALT_REORDER);
+                    assert_ne!(
+                        dup_draw,
+                        retry_draw,
+                        "duplicate of attempt {attempt} aliases retry {} on \
+                         ({from},{to},{seq})",
+                        attempt + 1
+                    );
+                }
+            }
+        }
+        // Determinism: the same coordinate always draws the same value,
+        // and the primary copy's coordinate is unchanged by the fix.
+        let (a, s) = reorder_coordinate(4, 1);
+        assert_eq!(unit(7, 1, 2, 9, a, s), unit(7, 1, 2, 9, a, s));
+        assert_eq!(reorder_coordinate(5, 0), (5, SALT_REORDER));
+        assert_eq!(reorder_coordinate(5, 1), (5, SALT_REORDER_COPY));
     }
 
     #[test]

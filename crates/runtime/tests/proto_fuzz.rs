@@ -1,12 +1,16 @@
-//! Fuzz-shaped hardening tests for the wire protocol decoder: no
-//! byte string — random, truncated, or bit-flipped — may ever panic
-//! the decoder; every rejection must be a structured [`DecodeError`].
+//! Fuzz-shaped hardening tests for the wire-facing decoders: no byte
+//! string — random, truncated, segmented, or bit-flipped — may ever
+//! panic the data-plane decoder ([`WireMessage`]), the stream framing
+//! codec ([`FrameDecoder`]), or the control-plane decoder
+//! ([`CtrlMsg`]); every rejection must be a structured error.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use bytes::{BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 use remo_core::{AttrId, NodeId};
+use remo_runtime::ctrl::CtrlMsg;
+use remo_runtime::framing::{Envelope, FrameDecoder, FrameError, MAX_FRAME_LEN};
 use remo_runtime::proto::{DecodeError, WireMessage, WireReading, HEADER_LEN, MAGIC, VERSION};
 
 fn valid_frame(readings: usize) -> Bytes {
@@ -82,8 +86,8 @@ proptest! {
                 }
                 Err(DecodeError::BadKind(_)) => prop_assert_eq!(pos, 3),
                 Err(DecodeError::BadCount(_)) => {
-                    // Only a grown count field (bytes 20..24) trips this.
-                    prop_assert!((20..24).contains(&pos));
+                    // Only a grown count field (bytes 24..28) trips this.
+                    prop_assert!((24..28).contains(&pos));
                 }
                 Err(DecodeError::Truncated) => prop_assert!(false, "length never changed"),
             }
@@ -101,6 +105,7 @@ proptest! {
         buf.put_u8(0); // data
         buf.put_u32(0); // tree
         buf.put_u32(0); // from
+        buf.put_u32(0); // incarnation
         buf.put_u64(0); // seq
         buf.put_u32(count);
         let res = WireMessage::decode(buf.freeze());
@@ -109,6 +114,100 @@ proptest! {
         } else {
             prop_assert_eq!(res.unwrap_err(), DecodeError::BadCount(count));
         }
+    }
+}
+
+proptest! {
+    /// Arbitrary byte streams fed to the framing decoder in arbitrary
+    /// chunks either produce envelopes or a structured [`FrameError`]
+    /// — never a panic, never unbounded buffering past the length cap.
+    #[test]
+    fn framing_random_streams_never_panic(
+        bytes in prop::collection::vec(0u16..256, 0..1024),
+        chunk in 1usize..64,
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let mut dec = FrameDecoder::new();
+        'outer: for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.try_next() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(FrameError::TooLong(n)) => {
+                        prop_assert!(n as usize > MAX_FRAME_LEN);
+                        break 'outer;
+                    }
+                    Err(FrameError::TooShort(_)) => break 'outer,
+                }
+            }
+        }
+    }
+
+    /// A sequence of valid envelopes survives any adversarial
+    /// segmentation of the byte stream: every envelope comes back
+    /// intact and in order regardless of chunk boundaries.
+    #[test]
+    fn framing_reassembles_across_any_segmentation(
+        payload_lens in prop::collection::vec(0usize..96, 1..8),
+        chunk in 1usize..48,
+    ) {
+        let envelopes: Vec<Envelope> = payload_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Envelope {
+                dest: i as u32,
+                chan: (i % 2) as u8,
+                sent_epoch: i as u64,
+                payload: Bytes::from_vec((0..n).map(|b| b as u8).collect()),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for e in &envelopes {
+            wire.extend_from_slice(&e.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in wire.chunks(chunk) {
+            dec.push(piece);
+            while let Some(e) = dec.try_next().unwrap() {
+                out.push(e);
+            }
+        }
+        prop_assert_eq!(out, envelopes);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// Hostile length prefixes fail immediately — before the decoder
+    /// waits for (or allocates) the declared body.
+    #[test]
+    fn framing_hostile_lengths_fail_fast(len in (MAX_FRAME_LEN as u32 + 1)..u32::MAX) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&len.to_be_bytes());
+        prop_assert_eq!(dec.try_next(), Err(FrameError::TooLong(len)));
+    }
+
+    /// Arbitrary byte strings never panic the control-plane decoder.
+    #[test]
+    fn ctrl_random_bytes_never_panic(
+        bytes in prop::collection::vec(0u16..256, 0..512),
+    ) {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = CtrlMsg::decode(Bytes::from(raw));
+    }
+
+    /// Single-byte corruption of a valid control frame never panics.
+    #[test]
+    fn ctrl_bit_flips_never_panic(
+        epoch in 0u64..u64::MAX,
+        pos in 0u64..u64::MAX,
+        val in 0u16..256,
+    ) {
+        let frame = CtrlMsg::Tick { epoch }.encode();
+        let mut raw = frame.to_vec();
+        let pos = (pos % raw.len() as u64) as usize;
+        raw[pos] = val as u8;
+        let _ = CtrlMsg::decode(Bytes::from(raw));
     }
 }
 

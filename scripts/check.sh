@@ -92,6 +92,79 @@ if [[ "${1:-}" == "--net-smoke" ]]; then
   exit 0
 fi
 
+# --dist-smoke: the distributed runtime end-to-end as real processes —
+# one remo-collector plus nine remo-node processes over localhost TCP.
+# Mid-run, one node is SIGKILLed; the run must confirm the death,
+# repair the plan around it, and still reconcile every planned
+# (node, attribute) pair with sampler-exact values. Exits without
+# running the gate.
+if [[ "${1:-}" == "--dist-smoke" ]]; then
+  echo "==> dist smoke: 1 remo-collector + 9 remo-node over localhost TCP"
+  dist_dir="$(mktemp -d)"
+  node_pids=()
+  cleanup() {
+    for p in "${node_pids[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
+    [[ -n "${collector_pid:-}" ]] && kill -9 "$collector_pid" 2>/dev/null || true
+    rm -rf "$dist_dir"
+  }
+  trap cleanup EXIT
+  cargo build -q --release -p remo-node
+
+  # Short epochs keep the smoke fast; the generous startup window
+  # covers slow single-core boxes.
+  export REMO_DIST_EPOCH_MS=120 REMO_DIST_DEADLINE_MS=100 \
+    REMO_DIST_CONFIRM_AFTER=2 REMO_DIST_STARTUP_WAIT_MS=20000
+  target/release/remo-collector --addr 127.0.0.1:0 --nodes 9 --attrs 2 \
+    --epochs 45 --report "$dist_dir/report.json" \
+    > "$dist_dir/collector.log" 2>&1 &
+  collector_pid=$!
+
+  addr=""
+  for _ in $(seq 1 200); do
+    addr="$(sed -n 's/^remo-collector listening on //p' "$dist_dir/collector.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$addr" ]] || { echo "collector never came up" >&2; cat "$dist_dir/collector.log" >&2; exit 1; }
+
+  for i in $(seq 0 8); do
+    target/release/remo-node --addr "$addr" --id "$i" \
+      > "$dist_dir/node$i.log" 2>&1 &
+    node_pids+=($!)
+  done
+
+  for _ in $(seq 1 300); do
+    grep -q "epochs started" "$dist_dir/collector.log" && break
+    sleep 0.1
+  done
+  grep -q "epochs started" "$dist_dir/collector.log" \
+    || { echo "epochs never started" >&2; cat "$dist_dir/collector.log" >&2; exit 1; }
+
+  # Steady state, then the injected failure: SIGKILL node 3 mid-run.
+  sleep 2
+  kill -9 "${node_pids[3]}"
+  echo "    SIGKILLed node 3 (pid ${node_pids[3]})"
+
+  if ! wait "$collector_pid"; then
+    echo "collector exited non-zero" >&2; cat "$dist_dir/collector.log" >&2; exit 1
+  fi
+  collector_pid=""
+
+  python3 - "$dist_dir/report.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["planned_pairs"] == 18, r
+assert r["observed_pairs"] == r["planned_pairs"], f"coverage gap: {r}"
+assert r["confirmed_dead"] >= 1, f"SIGKILL not detected: {r}"
+assert r["repaired"] >= 1, f"no plan repair: {r}"
+assert r["integrity_checked"] > 0, r
+assert r["integrity_violations"] == 0, f"value corruption: {r}"
+print("    report reconciled:", json.dumps(r))
+EOF
+  echo "dist smoke passed."
+  exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -122,6 +195,12 @@ CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
 echo "==> net smoke"
 cargo test -q -p remo-runtime --test proto_fuzz
 cargo test -q -p remo --test net_soak net_smoke
+
+# Distributed runtime end-to-end: real processes, real sockets, an
+# injected SIGKILL (also covered in-process by crates/node/tests/dist.rs;
+# this exercises the actual binaries).
+echo "==> dist smoke"
+"$0" --dist-smoke
 
 # Miri is optional: nightly-only component, not present in every
 # toolchain. Run it when available, skip loudly when not.

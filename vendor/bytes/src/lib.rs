@@ -32,6 +32,11 @@ impl Bytes {
         }
     }
 
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_vec(data.to_vec())
+    }
+
     /// Bytes remaining in the window.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -134,6 +139,24 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` exceeds the current length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to past end");
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.data)
@@ -222,6 +245,21 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance past end");
+        self.data.drain(..n);
+    }
+}
+
 /// Write-side big-endian accessors.
 pub trait BufMut {
     /// Appends raw bytes.
@@ -278,6 +316,16 @@ mod tests {
         assert_eq!(frozen.get_f64(), -2.5);
         assert_eq!(frozen.get_u64(), u64::MAX);
         assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_partitions_builder() {
+        let mut buf = BytesMut::from(&[1u8, 2, 3, 4, 5][..]);
+        let head = buf.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&buf[..], &[3, 4, 5]);
+        buf.advance(1);
+        assert_eq!(&buf[..], &[4, 5]);
     }
 
     #[test]

@@ -68,6 +68,25 @@ pub mod channel {
         }
     }
 
+    /// Blocking iteration: yields messages until all senders are gone.
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = std::sync::mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
