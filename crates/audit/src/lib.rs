@@ -41,7 +41,8 @@
 
 pub mod corpus;
 pub mod cross;
-pub mod sarif;
+
+pub use remo_core::sarif;
 
 pub use remo_core::validate::{
     rule, rules, Audit, AuditInput, AuditOutcome, Finding, RuleMeta, RuleSet, Severity, RULES,

@@ -190,7 +190,7 @@ impl AdaptivePlanner {
     }
 
     /// The current node capacities (reflecting failures applied via
-    /// [`AdaptivePlanner::set_node_capacity`]).
+    /// `AdaptivePlanner::set_node_capacity`).
     pub fn caps(&self) -> &CapacityMap {
         &self.caps
     }

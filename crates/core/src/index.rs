@@ -1,5 +1,5 @@
 //! Dense pair-set index: the flat, cache-friendly mirror of
-//! [`PairSet`](crate::pairs::PairSet) that the planner's hot loops run
+//! [`PairSet`] that the planner's hot loops run
 //! over.
 //!
 //! `PairSet` keeps its `BTreeMap`-based forward/reverse indexes as the

@@ -79,6 +79,7 @@ mod partition;
 pub mod plan;
 pub mod planner;
 pub mod reliability;
+pub mod sarif;
 pub mod symbolic;
 mod task;
 mod taskman;

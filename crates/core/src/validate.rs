@@ -143,6 +143,22 @@ pub mod rules {
     /// full and only shedding keeps it finite (checked pre-flight by
     /// the `remo-static` analyzer).
     pub const UNBOUNDED_QUEUE: &str = "unbounded-queue";
+    /// The control-plane product automaton reaches a state where no
+    /// role can make progress toward quiescence (checked by the
+    /// `remo-proto` protocol verifier).
+    pub const PROTOCOL_DEADLOCK: &str = "protocol-deadlock";
+    /// A reachable state delivers a message its role's transition
+    /// table does not define — or treats a stale frame as fresh
+    /// evidence (checked by the `remo-proto` protocol verifier).
+    pub const UNEXPECTED_MESSAGE: &str = "unexpected-message";
+    /// Incarnation numbers assigned across node restarts regress or
+    /// repeat, or a fresh-incarnation frame is swallowed by the dedup
+    /// lattice (checked by the `remo-proto` protocol verifier).
+    pub const INCARNATION_REGRESSION: &str = "incarnation-regression";
+    /// The ARQ sender exceeds its declared unacked window, or a
+    /// control channel exceeds its declared bound (checked by the
+    /// `remo-proto` protocol verifier).
+    pub const UNBOUNDED_INFLIGHT: &str = "unbounded-inflight";
 }
 
 /// Static description of one audit rule.
@@ -336,6 +352,42 @@ pub const RULES: &[RuleMeta] = &[
         summary: "the collector ingress queue is bounded without load shedding",
         fix_hint: "enable degradation (max_degrade_level > 0), raise collector \
                    capacity, or accept shedding as the steady-state overload response",
+    },
+    RuleMeta {
+        name: rules::PROTOCOL_DEADLOCK,
+        code: "RA022",
+        severity: Severity::Error,
+        paper_section: "§4.2",
+        summary: "every reachable control-plane state can make progress toward quiescence",
+        fix_hint: "add the missing transition (usually a ConnLost / Shutdown handler) so \
+                   the stuck role can drain; re-run `remo-proto verify` on the spec",
+    },
+    RuleMeta {
+        name: rules::UNEXPECTED_MESSAGE,
+        code: "RA023",
+        severity: Severity::Error,
+        paper_section: "§4.2",
+        summary: "no reachable state delivers a message its transition table leaves undefined",
+        fix_hint: "define the (state, message) entry — handle, ignore, or reject it \
+                   explicitly — and never credit stale reports as fresh attendance",
+    },
+    RuleMeta {
+        name: rules::INCARNATION_REGRESSION,
+        code: "RA024",
+        severity: Severity::Error,
+        paper_section: "§4.2, §7.4",
+        summary: "incarnations grow strictly across restarts and never swallow fresh frames",
+        fix_hint: "bump the collector's incarnation slot on every fresh Hello and scope \
+                   sequence dedup to the frame's incarnation",
+    },
+    RuleMeta {
+        name: rules::UNBOUNDED_INFLIGHT,
+        code: "RA025",
+        severity: Severity::Error,
+        paper_section: "§2.3, §5",
+        summary: "unacked ARQ frames and control queues stay within their declared bounds",
+        fix_hint: "enforce the send window before emitting new frames and cap control \
+                   fan-out per epoch",
     },
 ];
 

@@ -16,11 +16,20 @@
 //! invariants: the full RA001–RA012 registry via
 //! [`AdaptivePlanner::audit`] plus the cross-layer assignment check,
 //! and the protocol-sequence rules RA013–RA016.
+//!
+//! The harness also carries one `remo-proto` [`SessionMachine`] per
+//! node and replays every explored collector step (tick fan-out,
+//! report credit, missed barriers, death confirmation, repair,
+//! reintegration) through the shared protocol spec: an explored
+//! transition the spec's session table leaves undefined is reported
+//! as RA023, so the model checker and the protocol verifier can never
+//! silently disagree about what the control plane is allowed to do.
 
 use crate::topology::TopologySpec;
 use remo_audit::{cross, rule, Finding, RuleSet, Severity};
 use remo_core::adapt::AdaptivePlanner;
 use remo_core::{CapacityMap, NodeId};
+use remo_proto::{HelloOutcome, SessionEvent, SessionMachine};
 use remo_runtime::health::HealthState;
 use remo_runtime::{
     changed_assignments, due_readings, plan_assignments, HealthMonitor, TreeAssignment,
@@ -171,6 +180,11 @@ pub struct Harness {
     /// Static-bound comparisons performed so far (soundness witness
     /// for the sweep: checked everywhere, violated nowhere).
     bound_checks: u64,
+    /// Per-node `remo-proto` session machines the explored collector
+    /// steps are replayed through (RA023 conformance cross-check).
+    sessions: BTreeMap<NodeId, SessionMachine>,
+    /// Session-machine steps replayed so far (conformance witness).
+    conformance_checks: u64,
 }
 
 impl Harness {
@@ -193,6 +207,15 @@ impl Harness {
             planner.cost(),
             CostFlags::default(),
         );
+        // Every node starts registered: the explored system begins in
+        // the post-handshake steady state, so each session machine is
+        // walked through its fresh Hello + Assign once up front.
+        let mut sessions = BTreeMap::new();
+        for n in spec.node_ids() {
+            let mut m = SessionMachine::new();
+            debug_assert!(matches!(m.on_hello(0), HelloOutcome::Admitted(_)));
+            sessions.insert(n, m);
+        }
         Ok(Harness {
             spec,
             cfg,
@@ -211,12 +234,42 @@ impl Harness {
             baseline_volume,
             static_bounds,
             bound_checks: 0,
+            sessions,
+            conformance_checks: 0,
         })
     }
 
     /// Static-bound comparisons performed so far.
     pub fn bound_checks(&self) -> u64 {
         self.bound_checks
+    }
+
+    /// Session-machine steps replayed through the protocol spec so
+    /// far (the RA023 conformance witness).
+    pub fn conformance_checks(&self) -> u64 {
+        self.conformance_checks
+    }
+
+    /// Replays one explored collector step through `n`'s session
+    /// machine; an undefined transition is an RA023 finding — the
+    /// model checker reached a control-plane step the protocol spec
+    /// does not allow.
+    fn step_session(&mut self, n: NodeId, event: SessionEvent, findings: &mut Vec<Finding>) {
+        self.conformance_checks += 1;
+        let m = self.sessions.entry(n).or_default();
+        let state = m.state();
+        if m.step(event).is_none() {
+            if let Some(mut f) = mc_finding(
+                remo_audit::rules::UNEXPECTED_MESSAGE,
+                format!(
+                    "explored collector step ({state:?}, {event:?}) for node {n} is undefined \
+                     in the protocol spec"
+                ),
+            ) {
+                f.node = Some(n);
+                findings.push(f);
+            }
+        }
     }
 
     /// The spec this state was built from.
@@ -303,6 +356,26 @@ impl Harness {
                     .filter(|n| !self.down.contains(n))
                     .collect();
                 let events = self.health.observe(self.epoch, &reporters);
+                // Conformance cross-check: replay the collector's
+                // epoch through each session machine — tick fan-out
+                // reaches the connected (non-crashed) nodes, reports
+                // credit the barrier, silent nodes miss the deadline,
+                // and the detector's verdicts confirm/reintegrate.
+                let nodes: Vec<NodeId> = self.spec.node_ids().collect();
+                for &n in &nodes {
+                    if !self.down.contains(&n) {
+                        self.step_session(n, SessionEvent::SendTick, &mut findings);
+                        self.step_session(n, SessionEvent::RecvReportFresh, &mut findings);
+                    } else {
+                        self.step_session(n, SessionEvent::MissDeadline, &mut findings);
+                    }
+                }
+                for &n in &events.confirmed {
+                    self.step_session(n, SessionEvent::ConfirmDead, &mut findings);
+                }
+                for &n in &events.recovered {
+                    self.step_session(n, SessionEvent::MarkRecovered, &mut findings);
+                }
                 // Loss accounting, verbatim from Deployment::tick:
                 // unhealthy nodes are charged the readings their
                 // current assignments schedule this epoch.
@@ -334,6 +407,7 @@ impl Harness {
             }
             Event::Repair(n) => {
                 self.pending_repair.remove(&n);
+                self.step_session(n, SessionEvent::Repair, &mut findings);
                 self.planner.handle_node_failure(n, self.epoch);
                 // RA014: a completed repair is a fixpoint — applying
                 // the same failure again must change nothing.
@@ -575,6 +649,9 @@ impl Harness {
         for (n, c) in self.planner.caps().iter() {
             text.push_str(&format!("c{}:{}|", n.0, c.to_bits()));
         }
+        for (n, m) in &self.sessions {
+            text.push_str(&format!("s{}:{:?}|", n.0, m.state()));
+        }
         if let Ok(plan) = serde_json::to_string(self.planner.plan()) {
             text.push_str(&plan);
         }
@@ -639,6 +716,10 @@ mod tests {
         }
         assert!(h.values_lost() > 0, "the dead window loses readings");
         assert!(h.reconfigures() > 0, "repair re-routes survivors");
+        assert!(
+            h.conformance_checks() > 0,
+            "the cycle must replay through the protocol spec"
+        );
     }
 
     #[test]

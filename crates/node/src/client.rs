@@ -12,8 +12,17 @@
 //! * a reader that turns incoming envelopes into [`AgentMsg`]s
 //!   (control frames drive ticks/assignments, data frames carry tree
 //!   traffic and acks);
-//! * a forwarder that turns the agent's per-epoch [`TickReport`]s into
+//! * a forwarder that turns the agent's per-epoch
+//!   [`TickReport`](remo_runtime::agent::TickReport)s into
 //!   [`CtrlMsg::Report`] frames.
+//!
+//! Every transition the supervisor takes is driven through the shared
+//! protocol specification (`remo-proto`): a [`ClientMachine`] is
+//! stepped for each connection edge and each decoded control frame,
+//! and the action it returns is what the handler executes. A frame the
+//! spec leaves undefined in the current state (a Hello or Report
+//! arriving at a node, say) is dropped and counted as a protocol
+//! reject instead of being improvised around.
 //!
 //! Incarnation: a *fresh* process greets with incarnation 0 and adopts
 //! whatever the collector assigns (each restart gets a higher one, so
@@ -25,6 +34,7 @@ use crate::config;
 use crate::net::{lock, read_envelopes, spawn_writer, TcpTransport};
 use crossbeam::channel::unbounded;
 use remo_core::{CostModel, NodeId};
+use remo_proto::{ClientAction, ClientEvent, ClientMachine};
 use remo_runtime::agent::{run_agent, Agent, AgentMsg};
 use remo_runtime::framing::{CHAN_CTRL, CHAN_DATA};
 use remo_runtime::proto::{FrameKind, WireMessage};
@@ -186,6 +196,10 @@ fn run_supervisor(
     let max_backoff = cfg.reconnect_base.saturating_mul(32);
     let mut failures: u32 = 0;
     let mut done = false;
+    // The executable spec: every connection edge and every decoded
+    // control frame steps this machine, and the action it returns is
+    // what gets executed. One machine per process life.
+    let mut machine = ClientMachine::new();
 
     while !abort.load(Ordering::SeqCst) && !done {
         let mut stream = match TcpStream::connect(&cfg.addr) {
@@ -195,6 +209,7 @@ fn run_supervisor(
                 // Registered once and the collector has been gone for
                 // a while: the run is over, exit instead of spinning.
                 if state.incarnation.is_some() && failures > cfg.max_reconnect_failures {
+                    machine.step(ClientEvent::GiveUp);
                     break;
                 }
                 std::thread::sleep(backoff);
@@ -214,40 +229,72 @@ fn run_supervisor(
             Err(_) => continue,
         };
         transport.attach(wtx);
-        transport.send_ctrl(
-            &CtrlMsg::Hello {
-                node: cfg.node,
-                incarnation: state.incarnation.unwrap_or(0),
-            },
-            0,
+        let action = machine.step(ClientEvent::Connected);
+        debug_assert_eq!(
+            action,
+            Some(ClientAction::SendHello),
+            "the spec must define Connected in {:?}",
+            machine.state()
         );
+        if action == Some(ClientAction::SendHello) {
+            transport.send_ctrl(
+                &CtrlMsg::Hello {
+                    node: cfg.node,
+                    incarnation: state.incarnation.unwrap_or(0),
+                },
+                0,
+            );
+        }
 
         let result = read_envelopes(&mut stream, |env| {
             match env.chan {
-                CHAN_CTRL => match CtrlMsg::decode(env.payload) {
-                    Ok(CtrlMsg::Welcome {
-                        capacity,
-                        per_message,
-                        per_value,
-                        net,
-                        incarnation,
-                        epoch: _,
-                    }) => {
-                        state.on_welcome(capacity, per_message, per_value, net, incarnation);
+                CHAN_CTRL => {
+                    if let Ok(msg) = CtrlMsg::decode(env.payload) {
+                        // The spec decides; the handler executes. An
+                        // undefined (state, frame) pair returns None:
+                        // the frame is dropped and the reject counted.
+                        match (machine.step(ClientEvent::recv(msg.kind())), msg) {
+                            (
+                                Some(ClientAction::AdoptWelcome),
+                                CtrlMsg::Welcome {
+                                    capacity,
+                                    per_message,
+                                    per_value,
+                                    net,
+                                    incarnation,
+                                    epoch: _,
+                                },
+                            ) => {
+                                // Adoption refuses a regressed
+                                // incarnation (RA024's client half).
+                                if machine.adopt_incarnation(incarnation) {
+                                    state.on_welcome(
+                                        capacity,
+                                        per_message,
+                                        per_value,
+                                        net,
+                                        incarnation,
+                                    );
+                                }
+                            }
+                            (Some(ClientAction::DropDuplicate), _) => {}
+                            (Some(ClientAction::ApplyAssign), CtrlMsg::Assign { assignments }) => {
+                                state.send_agent(AgentMsg::Reconfigure { assignments });
+                            }
+                            (Some(ClientAction::RunTick), CtrlMsg::Tick { epoch }) => {
+                                state.send_agent(AgentMsg::Tick { epoch });
+                            }
+                            (Some(ClientAction::ApplyDegrade), CtrlMsg::Degrade { factor }) => {
+                                state.send_agent(AgentMsg::SetDegrade { factor });
+                            }
+                            (Some(ClientAction::Stop), _) => {
+                                done = true;
+                                return false;
+                            }
+                            (Some(_) | None, _) => {}
+                        }
                     }
-                    Ok(CtrlMsg::Assign { assignments }) => {
-                        state.send_agent(AgentMsg::Reconfigure { assignments });
-                    }
-                    Ok(CtrlMsg::Tick { epoch }) => state.send_agent(AgentMsg::Tick { epoch }),
-                    Ok(CtrlMsg::Degrade { factor }) => {
-                        state.send_agent(AgentMsg::SetDegrade { factor });
-                    }
-                    Ok(CtrlMsg::Shutdown) => {
-                        done = true;
-                        return false;
-                    }
-                    Ok(_) | Err(_) => {}
-                },
+                }
                 CHAN_DATA => {
                     if let Ok(msg) = WireMessage::decode(env.payload.clone()) {
                         match msg.kind {
@@ -272,6 +319,9 @@ fn run_supervisor(
         let _ = stream.shutdown(Shutdown::Both);
         *lock(stream_slot) = None;
         let _ = writer.join();
+        if !done {
+            machine.step(ClientEvent::ConnLost);
+        }
     }
 
     state.send_agent(AgentMsg::Shutdown);

@@ -7,6 +7,16 @@
 //! through the epoch-report barrier, and [`RepairEngine`] for plan
 //! repair around confirmed failures — the distributed deployment adds
 //! only sockets around them.
+//!
+//! Session lifecycle is driven through the shared protocol
+//! specification (`remo-proto`): one [`SessionMachine`] per expected
+//! node owns that node's incarnation slot and is stepped for every
+//! Hello, report, barrier verdict, and fan-out the collector performs.
+//! Frames the spec leaves undefined in the session's current state are
+//! dropped and counted (surfaced as `protocol_rejects` in the run
+//! summary); the collector's own sends `debug_assert!` on spec
+//! definedness, because an undefined internal transition is a bug in
+//! collector logic, not hostile input.
 
 use crate::config;
 use crate::net::{lock, read_envelopes, spawn_writer};
@@ -16,6 +26,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use remo_core::adapt::{AdaptScheme, AdaptivePlanner};
 use remo_core::planner::Planner;
 use remo_core::{AttrCatalog, CapacityMap, CostModel, NodeId, PairSet};
+use remo_proto::{HelloOutcome, SessionEvent, SessionMachine};
 use remo_runtime::agent::{TickReport, TreeAssignment};
 use remo_runtime::deployment::plan_assignments;
 use remo_runtime::framing::{Envelope, CHAN_CTRL, CHAN_DATA, DEST_COLLECTOR};
@@ -107,8 +118,25 @@ struct Shared {
     assignments: BTreeMap<NodeId, Vec<TreeAssignment>>,
     /// Current epoch (stamped into `Welcome`).
     epoch: u64,
-    /// Highest incarnation handed to each node so far.
-    incarnations: BTreeMap<u32, u32>,
+    /// Per-node protocol session machines. Each owns its node's
+    /// incarnation slot and lives for the collector's whole run,
+    /// across that node's connections, restarts, and deaths.
+    machines: BTreeMap<u32, SessionMachine>,
+}
+
+impl Shared {
+    /// Steps `node`'s session machine for a collector-initiated event.
+    /// The collector's own sends must always be spec-defined; an
+    /// undefined one is a collector bug, so debug builds assert.
+    fn step_send(&mut self, node: u32, event: SessionEvent) {
+        let m = self.machines.entry(node).or_default();
+        let before = m.state();
+        let action = m.step(event);
+        debug_assert!(
+            action.is_some(),
+            "collector stepped undefined ({before:?}, {event:?}) for node {node}"
+        );
+    }
 }
 
 /// Collector-side [`Transport`]: routes acks back out through the hub
@@ -193,7 +221,7 @@ impl CollectorService {
         let shared = Arc::new(Mutex::new(Shared {
             assignments,
             epoch: 0,
-            incarnations: BTreeMap::new(),
+            machines: BTreeMap::new(),
         }));
         let (data_tx, data_rx) = unbounded();
         let (reports_tx, reports_rx) = unbounded();
@@ -286,7 +314,8 @@ impl CollectorService {
                 ..EpochReport::default()
             };
 
-            // Tick fan-out to every live connection.
+            // Tick fan-out to every live connection, each send stepped
+            // through that node's session machine first.
             let tick = Envelope {
                 dest: DEST_COLLECTOR,
                 chan: CHAN_CTRL,
@@ -294,8 +323,13 @@ impl CollectorService {
                 payload: CtrlMsg::Tick { epoch }.encode(),
             }
             .encode();
-            for (_, tx) in lock(&self.registry).values() {
-                let _ = tx.send(tick.clone());
+            {
+                let reg = lock(&self.registry);
+                let mut sh = lock(&self.shared);
+                for (&node, (_, tx)) in reg.iter() {
+                    sh.step_send(node, SessionEvent::SendTick);
+                    let _ = tx.send(tick.clone());
+                }
             }
 
             // Deadline-bounded report barrier, crediting each reporter
@@ -305,9 +339,26 @@ impl CollectorService {
             let mut missing = health.expected_reporters();
             let mut reporters: BTreeMap<NodeId, u64> = BTreeMap::new();
             let deadline = started + self.cfg.health.deadline;
+            // Every received report steps the reporter's session
+            // machine: current-epoch reports credit the barrier, stale
+            // ones are observed as liveness hints only.
+            let shared = Arc::clone(&self.shared);
+            let credit = move |tr: &TickReport| {
+                let event = if tr.epoch >= epoch {
+                    SessionEvent::RecvReportFresh
+                } else {
+                    SessionEvent::RecvReportStale
+                };
+                lock(&shared)
+                    .machines
+                    .entry(tr.node.0)
+                    .or_default()
+                    .step(event);
+            };
             loop {
                 if missing.is_empty() {
                     while let Ok(tr) = self.reports_rx.try_recv() {
+                        credit(&tr);
                         missing.remove(&tr.node);
                         let e = reporters.entry(tr.node).or_insert(tr.epoch);
                         *e = (*e).max(tr.epoch);
@@ -318,6 +369,7 @@ impl CollectorService {
                 let wait = deadline.saturating_duration_since(Instant::now());
                 match self.reports_rx.recv_timeout(wait) {
                     Ok(tr) => {
+                        credit(&tr);
                         missing.remove(&tr.node);
                         let e = reporters.entry(tr.node).or_insert(tr.epoch);
                         *e = (*e).max(tr.epoch);
@@ -327,10 +379,28 @@ impl CollectorService {
                 }
             }
 
+            // Barrier verdicts, through the spec: every still-missing
+            // node takes a MissDeadline step.
+            {
+                let mut sh = lock(&self.shared);
+                for node in &missing {
+                    sh.step_send(node.0, SessionEvent::MissDeadline);
+                }
+            }
+
             let events = health.observe_reports(epoch, &reporters);
             report.suspected = events.suspected.len() as u64;
             report.confirmed_dead = events.confirmed.len() as u64;
             report.recovered = events.recovered.len() as u64;
+            {
+                let mut sh = lock(&self.shared);
+                for &node in &events.confirmed {
+                    sh.step_send(node.0, SessionEvent::ConfirmDead);
+                }
+                for &node in &events.recovered {
+                    sh.step_send(node.0, SessionEvent::MarkRecovered);
+                }
+            }
 
             // Plan repair around confirmed failures; targeted Assign
             // fan-out to the survivors whose routes changed.
@@ -354,9 +424,11 @@ impl CollectorService {
                     }
                 }
                 lock(&self.shared).assignments = fresh;
+                let mut sh = lock(&self.shared);
                 for &node in &events.confirmed {
                     health.mark_repaired(node, epoch);
                     report.repaired += 1;
+                    sh.step_send(node.0, SessionEvent::Repair);
                 }
             }
 
@@ -375,7 +447,17 @@ impl CollectorService {
                     payload: CtrlMsg::Degrade { factor }.encode(),
                 }
                 .encode();
-                for (_, tx) in lock(&self.registry).values() {
+                // Factor 1 is the restore broadcast; anything wider is
+                // a degrade. The spec distinguishes the two edges.
+                let event = if factor > 1 {
+                    SessionEvent::SendDegrade
+                } else {
+                    SessionEvent::SendRecover
+                };
+                let reg = lock(&self.registry);
+                let mut sh = lock(&self.shared);
+                for (&node, (_, tx)) in reg.iter() {
+                    sh.step_send(node, event);
                     let _ = tx.send(degrade.clone());
                 }
             }
@@ -405,13 +487,23 @@ impl CollectorService {
             payload: CtrlMsg::Shutdown.encode(),
         }
         .encode();
-        for (_, tx) in lock(&self.registry).values() {
-            let _ = tx.send(bye.clone());
+        {
+            let reg = lock(&self.registry);
+            let mut sh = lock(&self.shared);
+            for (&node, (_, tx)) in reg.iter() {
+                sh.step_send(node, SessionEvent::SendShutdown);
+                let _ = tx.send(bye.clone());
+            }
         }
         self.running.store(false, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
 
         summary.observed_pairs = core.observed_pairs() as u64;
+        summary.protocol_rejects = lock(&self.shared)
+            .machines
+            .values()
+            .map(SessionMachine::rejects)
+            .sum();
         if let Some(sampler) = self.cfg.integrity_sampler.as_ref() {
             for (&(node, attr), obs) in core.store() {
                 summary.integrity_checked += 1;
@@ -466,17 +558,17 @@ fn serve_connection(
                     };
                     let (assigned, assignments, epoch) = {
                         let mut sh = lock(shared);
-                        let slot = sh.incarnations.entry(node.0).or_insert(0);
-                        let assigned = if incarnation == 0 {
-                            // Fresh process life: strictly above every
-                            // previous one, so receivers reset their
-                            // seq watermarks instead of swallowing it.
-                            *slot += 1;
-                            *slot
-                        } else {
-                            // Reconnect of a live process: keep it.
-                            *slot = (*slot).max(incarnation);
-                            incarnation
+                        // The session machine owns the incarnation
+                        // slot: a fresh life (incarnation 0) mints a
+                        // strictly greater one so receivers reset
+                        // their seq watermarks, a reconnect keeps the
+                        // life it already holds. A Hello the spec
+                        // refuses (e.g. while draining) or leaves
+                        // undefined closes the connection.
+                        let outcome = sh.machines.entry(node.0).or_default().on_hello(incarnation);
+                        let assigned = match outcome {
+                            HelloOutcome::Admitted(assigned) => assigned,
+                            HelloOutcome::Refused | HelloOutcome::Rejected => return false,
                         };
                         (
                             assigned,
@@ -538,11 +630,18 @@ fn serve_connection(
 
     // Connection gone: deregister — but only our own generation. A
     // reconnect may already have replaced the entry, and removing the
-    // fresh one would orphan the live connection.
+    // fresh one would orphan the live connection (whose session must
+    // not observe our ConnLost either).
     if let Some(node) = who {
         let mut reg = lock(registry);
         if reg.get(&node).is_some_and(|(g, _)| *g == gen) {
             reg.remove(&node);
+            drop(reg);
+            lock(shared)
+                .machines
+                .entry(node)
+                .or_default()
+                .step(SessionEvent::ConnLost);
         }
     }
     if let Some(w) = writer {

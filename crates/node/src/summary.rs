@@ -33,6 +33,9 @@ pub struct RunSummary {
     pub integrity_checked: u64,
     /// Checked values that did not match the sampler (must be 0).
     pub integrity_violations: u64,
+    /// Control frames the protocol spec left undefined in the state
+    /// they arrived in, dropped by the session machines.
+    pub protocol_rejects: u64,
 }
 
 impl RunSummary {
@@ -65,6 +68,7 @@ impl RunSummary {
         field(&mut s, "degrade_factor", self.degrade_factor);
         field(&mut s, "integrity_checked", self.integrity_checked);
         field(&mut s, "integrity_violations", self.integrity_violations);
+        field(&mut s, "protocol_rejects", self.protocol_rejects);
         s.push('}');
         s
     }

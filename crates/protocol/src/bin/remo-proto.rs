@@ -1,0 +1,186 @@
+//! `remo-proto` — exhaustive verification of a control-plane
+//! protocol spec.
+//!
+//! ```text
+//! remo-proto verify [<spec.json>] [--sarif <out.json>] [--depth <n>]
+//! remo-proto --list-rules
+//! remo-proto --example [<rule>]
+//! ```
+//!
+//! Exit status: 0 when the spec verifies clean, 1 when at least one
+//! property is violated, 2 on usage or I/O problems.
+
+use remo_proto::verify::verify_with_depth;
+use remo_proto::{corpus, ProtocolSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: remo-proto verify [<spec.json>] [options]
+       remo-proto --list-rules
+       remo-proto --example [<rule>]
+
+Without a path, `verify` checks the shipped spec the runtime
+conforms to. A spec JSON document is produced by --example or by
+serializing a ProtocolSpec.
+
+options:
+  --sarif <out.json>  also write a SARIF-style report
+  --depth <n>         bound the exploration trace length
+                      (default: explore to state-space closure)
+  --list-rules        print the protocol rule registry (RA022-RA025)
+                      and exit
+  --example [<rule>]  print a known-bad spec from the corpus
+                      (default: the first case) and exit
+";
+
+/// The protocol verifier's slice of the shared rule registry.
+const PROTO_CODES: [&str; 4] = ["RA022", "RA023", "RA024", "RA025"];
+
+fn list_rules() {
+    println!(
+        "{:<7} {:<30} {:<8} {:<12} summary",
+        "code", "rule", "level", "paper"
+    );
+    for r in remo_core::validate::RULES {
+        if PROTO_CODES.contains(&r.code) {
+            println!(
+                "{:<7} {:<30} {:<8} {:<12} {}",
+                r.code,
+                r.name,
+                r.severity.to_string(),
+                r.paper_section,
+                r.summary
+            );
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("remo-proto: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn print_example(which: Option<&str>) -> ExitCode {
+    let case = match which {
+        None => corpus::cases().into_iter().next(),
+        Some(key) => corpus::case(key),
+    };
+    let Some(case) = case else {
+        eprintln!(
+            "remo-proto: no corpus case named `{}`",
+            which.unwrap_or_default()
+        );
+        return ExitCode::from(2);
+    };
+    match case.spec.to_json() {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("remo-proto: cannot render example");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--example") {
+        return print_example(args.get(i + 1).map(String::as_str));
+    }
+
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("verify") => {}
+        Some(other) => return usage_error(&format!("unknown command `{other}`")),
+        None => return usage_error("no command given"),
+    }
+
+    let mut spec_path: Option<String> = None;
+    let mut sarif_path: Option<String> = None;
+    let mut depth: usize = 100_000;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sarif" => match it.next() {
+                Some(path) => sarif_path = Some(path),
+                None => return usage_error("--sarif needs a path"),
+            },
+            "--depth" => match it.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => depth = n,
+                _ => return usage_error("--depth needs a number"),
+            },
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown option `{other}`"));
+            }
+            path => {
+                if spec_path.replace(path.to_string()).is_some() {
+                    return usage_error("more than one spec path given");
+                }
+            }
+        }
+    }
+
+    let (label, spec) = match &spec_path {
+        None => ("shipped spec".to_string(), ProtocolSpec::shipped()),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("remo-proto: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match ProtocolSpec::from_json(&text) {
+                Ok(spec) => (path.clone(), spec),
+                Err(e) => {
+                    eprintln!("remo-proto: {path} is not a valid spec: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = verify_with_depth(&spec, depth);
+    for phase in &report.phases {
+        println!(
+            "{:<6} visited {:>8}  expanded {:>8}  deduped {:>8}",
+            phase.name, phase.stats.visited, phase.stats.expanded, phase.stats.deduped
+        );
+    }
+    let totals = report.totals();
+    println!(
+        "total  visited {:>8}  expanded {:>8}  deduped {:>8}",
+        totals.visited, totals.expanded, totals.deduped
+    );
+
+    if let Some(out) = sarif_path {
+        if let Err(e) = std::fs::write(&out, remo_core::sarif::sarif_json(&report.outcome())) {
+            eprintln!("remo-proto: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.is_clean() {
+        println!(
+            "{label}: verified — deadlock-free, no unexpected message, incarnations \
+             monotone, dedup never swallows, in-flight bounded"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.findings {
+            println!("{} {} [{}] {}", f.severity, f.code, f.rule, f.message);
+        }
+        println!("{label}: {} violation(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}

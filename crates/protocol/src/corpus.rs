@@ -1,0 +1,188 @@
+//! The known-bad spec corpus: one minimal mutation of the shipped
+//! spec per rule, each engineered to trip exactly that rule — and
+//! nothing else — under [`crate::verify`]. Two of the mutations are
+//! PR 9's real bugs, re-introduced verbatim at the spec level, so the
+//! corpus is also the proof that the verifier would have caught both
+//! before they shipped.
+
+use crate::spec::{ClientEvent, ClientState, ProtocolSpec, SessionEvent, SessionState};
+
+/// One corpus case: a mutated spec plus the single rule it must trip.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Stable case name.
+    pub name: &'static str,
+    /// The rule the mutation violates (kebab-case name).
+    pub rule: &'static str,
+    /// The rule's stable `RA…` code.
+    pub code: &'static str,
+    /// What was mutated and why it is wrong.
+    pub why: &'static str,
+    /// The mutated spec.
+    pub spec: ProtocolSpec,
+}
+
+/// PR 9 bug #1, as a spec mutation: the receive-side dedup window not
+/// scoped to the sender incarnation, so a restarted sender's fresh
+/// frames (seqs starting over at 1) sit below the old watermark and
+/// are silently swallowed.
+pub fn seq_restart_swallow() -> ProtocolSpec {
+    let mut spec = ProtocolSpec::shipped();
+    spec.dedup.incarnation_scoped = false;
+    spec
+}
+
+/// PR 9 bug #2, as a spec mutation: stale (closed-epoch) straggler
+/// reports credited as barrier attendance, resurrecting confirmed-dead
+/// nodes and double-repairing already-repaired load.
+pub fn straggler_resurrection() -> ProtocolSpec {
+    let mut spec = ProtocolSpec::shipped();
+    spec.barrier.credit_stale_reports = true;
+    spec
+}
+
+/// All corpus cases, in rule-code order.
+pub fn cases() -> Vec<CorpusCase> {
+    let mut client_drops_conn_lost = ProtocolSpec::shipped();
+    client_drops_conn_lost
+        .client
+        .retain(|r| !(r.state == ClientState::Running && r.event == ClientEvent::ConnLost));
+
+    let mut undefined_stale_report = ProtocolSpec::shipped();
+    undefined_stale_report.session.retain(|r| {
+        !(r.state == SessionState::Ticking && r.event == SessionEvent::RecvReportStale)
+    });
+
+    let mut incarnation_reuse = ProtocolSpec::shipped();
+    incarnation_reuse.fresh_bump = false;
+
+    let mut unbounded_retransmit = ProtocolSpec::shipped();
+    unbounded_retransmit.arq.retry_budget_enforced = false;
+
+    vec![
+        CorpusCase {
+            name: "client-drops-conn-lost",
+            rule: "protocol-deadlock",
+            code: "RA022",
+            why: "the supervisor's Running state has no ConnLost entry, so a node whose \
+                  connection dies keeps believing it is connected and can never redial, \
+                  drain, or give up",
+            spec: client_drops_conn_lost,
+        },
+        CorpusCase {
+            name: "undefined-stale-report",
+            rule: "unexpected-message",
+            code: "RA023",
+            why: "the session's Ticking state has no entry for straggler reports, so a \
+                  late frame from a slow node lands on an undefined transition",
+            spec: undefined_stale_report,
+        },
+        CorpusCase {
+            name: "straggler-resurrection",
+            rule: "unexpected-message",
+            code: "RA023",
+            why: "PR 9 bug #2: stale reports credited as attendance resurrect a \
+                  confirmed-dead node and double-repair its load",
+            spec: straggler_resurrection(),
+        },
+        CorpusCase {
+            name: "incarnation-reuse",
+            rule: "incarnation-regression",
+            code: "RA024",
+            why: "fresh Hellos no longer mint a strictly greater incarnation, so a \
+                  restarted node is indistinguishable from its previous life",
+            spec: incarnation_reuse,
+        },
+        CorpusCase {
+            name: "seq-restart-swallow",
+            rule: "incarnation-regression",
+            code: "RA024",
+            why: "PR 9 bug #1: the dedup window ignores the sender incarnation, so a \
+                  restarted sender's first frames are silently swallowed",
+            spec: seq_restart_swallow(),
+        },
+        CorpusCase {
+            name: "unbounded-retransmit",
+            rule: "unbounded-inflight",
+            code: "RA025",
+            why: "the ARQ retry budget is not enforced, so an unreachable peer's frames \
+                  are retransmitted forever and the unacked set never drains",
+            spec: unbounded_retransmit,
+        },
+    ]
+}
+
+/// Looks up a case by name, rule name, or rule code.
+pub fn case(key: &str) -> Option<CorpusCase> {
+    cases()
+        .into_iter()
+        .find(|c| c.name == key || c.rule == key || c.code == key)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::verify::test_verify;
+
+    /// The heart of the corpus: every mutation trips its named rule
+    /// and *only* that rule — so a verifier regression (a missed bug
+    /// or a false positive) fails this test by name.
+    #[test]
+    fn each_case_trips_exactly_its_rule() {
+        for case in cases() {
+            let report = test_verify(&case.spec);
+            assert!(
+                !report.findings.is_empty(),
+                "corpus case {} tripped nothing",
+                case.name
+            );
+            let codes: Vec<&str> = report.findings.iter().map(|f| f.code.as_str()).collect();
+            assert!(
+                codes.iter().all(|&c| c == case.code),
+                "corpus case {} must trip only {}: got {codes:?}\n{:#?}",
+                case.name,
+                case.code,
+                report.findings
+            );
+        }
+    }
+
+    /// Seed-the-bug regression: PR 9's seq-restart dedup bug, caught
+    /// as RA024 by the ARQ and lattice phases.
+    #[test]
+    fn verifier_catches_the_seq_restart_bug() {
+        let report = test_verify(&seq_restart_swallow());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.code == "RA024" && f.message.contains("swallowed")),
+            "the verifier must catch the PR 9 seq-restart swallow: {:?}",
+            report.findings
+        );
+    }
+
+    /// Seed-the-bug regression: PR 9's straggler-resurrection bug,
+    /// caught as RA023 by the control-plane phase.
+    #[test]
+    fn verifier_catches_the_straggler_resurrection_bug() {
+        let report = test_verify(&straggler_resurrection());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.code == "RA023" && f.message.contains("resurrected")),
+            "the verifier must catch the PR 9 straggler resurrection: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn corpus_cases_round_trip_through_json() {
+        for case in cases() {
+            let text = case.spec.to_json().unwrap();
+            assert_eq!(ProtocolSpec::from_json(&text).unwrap(), case.spec);
+        }
+    }
+}

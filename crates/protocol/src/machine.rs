@@ -1,0 +1,386 @@
+//! Spec-driven state machines: the executable side of the
+//! specification.
+//!
+//! The runtime embeds these machines and *asks* them what to do —
+//! `client.rs` steps a [`ClientMachine`] per supervisor, `service.rs`
+//! a [`SessionMachine`] per expected node — so a transition the spec
+//! does not define cannot be silently improvised. An undefined step
+//! returns `None` and bumps a reject counter: node-side callers
+//! `debug_assert!` on it (their input comes from the trusted
+//! collector), collector-side callers count it (their input arrives
+//! over the open network). The [`DedupModel`] is the obviously-correct
+//! restatement of `IncarnationTracker` that the runtime shadows in
+//! debug builds.
+
+use crate::spec::{
+    ClientAction, ClientEvent, ClientState, DedupPolicy, ProtocolSpec, SessionAction, SessionEvent,
+    SessionState,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn shipped() -> Arc<ProtocolSpec> {
+    Arc::new(ProtocolSpec::shipped())
+}
+
+// ----------------------------------------------------------- client machine
+
+/// The node-side supervisor machine. One instance per node process:
+/// construct it when the supervisor starts, step it for every
+/// connection edge and every decoded control frame.
+#[derive(Debug, Clone)]
+pub struct ClientMachine {
+    spec: Arc<ProtocolSpec>,
+    state: ClientState,
+    held: Option<u32>,
+    rejects: u64,
+}
+
+impl Default for ClientMachine {
+    fn default() -> Self {
+        ClientMachine::new()
+    }
+}
+
+impl ClientMachine {
+    /// A machine over the shipped spec.
+    pub fn new() -> ClientMachine {
+        ClientMachine::with_spec(shipped())
+    }
+
+    /// A machine over an explicit (possibly mutated) spec.
+    pub fn with_spec(spec: Arc<ProtocolSpec>) -> ClientMachine {
+        ClientMachine {
+            spec,
+            state: ClientState::Disconnected,
+            held: None,
+            rejects: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The incarnation adopted from the last Welcome, if any.
+    pub fn held_incarnation(&self) -> Option<u32> {
+        self.held
+    }
+
+    /// Transitions the spec left undefined that this machine was asked
+    /// to take anyway.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Steps the machine. `Some(action)` on a defined transition;
+    /// `None` (and a counted reject, state unchanged) on an undefined
+    /// one.
+    pub fn step(&mut self, event: ClientEvent) -> Option<ClientAction> {
+        match self.spec.client_step(self.state, event) {
+            Some((action, next)) => {
+                self.state = next;
+                Some(action)
+            }
+            None => {
+                self.rejects += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the incarnation a Welcome assigned. Returns `false` if
+    /// it regressed below an incarnation this process already held —
+    /// the client-side half of RA024.
+    pub fn adopt_incarnation(&mut self, incarnation: u32) -> bool {
+        let ok = self.held.is_none_or(|h| incarnation >= h);
+        if ok {
+            self.held = Some(incarnation);
+        }
+        ok
+    }
+}
+
+// ---------------------------------------------------------- session machine
+
+/// How a Hello landed on a [`SessionMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelloOutcome {
+    /// Admitted; carry this incarnation in the Welcome.
+    Admitted(u32),
+    /// The spec defines the Hello as ignored (e.g. during drain):
+    /// refuse the registration without counting a protocol reject.
+    Refused,
+    /// The spec leaves the Hello undefined here; counted as a reject.
+    Rejected,
+}
+
+/// The collector-side per-node session machine. One instance per
+/// expected node for the collector's lifetime; it also owns the
+/// node's incarnation slot, so incarnation assignment itself flows
+/// through the spec.
+#[derive(Debug, Clone)]
+pub struct SessionMachine {
+    spec: Arc<ProtocolSpec>,
+    state: SessionState,
+    slot: u32,
+    rejects: u64,
+}
+
+impl Default for SessionMachine {
+    fn default() -> Self {
+        SessionMachine::new()
+    }
+}
+
+impl SessionMachine {
+    /// A machine over the shipped spec.
+    pub fn new() -> SessionMachine {
+        SessionMachine::with_spec(shipped())
+    }
+
+    /// A machine over an explicit (possibly mutated) spec.
+    pub fn with_spec(spec: Arc<ProtocolSpec>) -> SessionMachine {
+        SessionMachine {
+            spec,
+            state: SessionState::Listening,
+            slot: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The newest incarnation this session has assigned.
+    pub fn incarnation_slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Transitions the spec left undefined that this machine was asked
+    /// to take anyway.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Steps the machine. `Some(action)` on a defined transition;
+    /// `None` (and a counted reject, state unchanged) on an undefined
+    /// one.
+    pub fn step(&mut self, event: SessionEvent) -> Option<SessionAction> {
+        match self.spec.session_step(self.state, event) {
+            Some((action, next)) => {
+                self.state = next;
+                Some(action)
+            }
+            None => {
+                self.rejects += 1;
+                None
+            }
+        }
+    }
+
+    /// Handles a Hello carrying `held` (0 = fresh life): steps the
+    /// table, updates the incarnation slot per the spec's policy, and
+    /// — when the table admits it — immediately steps the paired
+    /// `SendAssign`, mirroring the atomic Welcome+Assign queueing in
+    /// the collector.
+    pub fn on_hello(&mut self, held: u32) -> HelloOutcome {
+        let event = if held == 0 {
+            SessionEvent::RecvHelloFresh
+        } else {
+            SessionEvent::RecvHelloHeld
+        };
+        match self.step(event) {
+            Some(SessionAction::AssignFreshIncarnation) => {
+                if self.spec.fresh_bump {
+                    self.slot += 1;
+                }
+                let assigned = self.slot;
+                self.step(SessionEvent::SendAssign);
+                HelloOutcome::Admitted(assigned)
+            }
+            Some(SessionAction::KeepHeldIncarnation) => {
+                self.slot = self.slot.max(held);
+                self.step(SessionEvent::SendAssign);
+                // The Welcome echoes the *held* incarnation, not the
+                // slot max: a reconnecting stale life stays on its own
+                // incarnation instead of adopting a newer one and
+                // colliding with that life's sequence space.
+                HelloOutcome::Admitted(held)
+            }
+            Some(_) => HelloOutcome::Refused,
+            None => HelloOutcome::Rejected,
+        }
+    }
+}
+
+// -------------------------------------------------------------- dedup model
+
+/// The specification of the receive-side dedup lattice: an explicit
+/// (incarnation, seen-set) pair with none of `SeqTracker`'s watermark
+/// compaction. `IncarnationTracker` must agree with this model on
+/// every `insert`/`contains` — debug builds assert exactly that — and
+/// the verifier exhaustively checks the model's own laws.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DedupModel {
+    scoped: bool,
+    incarnation: u32,
+    seen: BTreeSet<u64>,
+}
+
+impl Default for DedupModel {
+    /// The shipped (incarnation-scoped) policy.
+    fn default() -> Self {
+        DedupModel::new()
+    }
+}
+
+impl DedupModel {
+    /// A model with the shipped (incarnation-scoped) policy.
+    pub fn new() -> DedupModel {
+        DedupModel::with_policy(DedupPolicy {
+            incarnation_scoped: true,
+        })
+    }
+
+    /// A model with an explicit policy (`incarnation_scoped: false`
+    /// reproduces the PR 9 seq-restart swallow).
+    pub fn with_policy(policy: DedupPolicy) -> DedupModel {
+        DedupModel {
+            scoped: policy.incarnation_scoped,
+            incarnation: 0,
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// Records `(incarnation, seq)`; returns `true` iff never seen.
+    pub fn insert(&mut self, incarnation: u32, seq: u64) -> bool {
+        if self.scoped {
+            match incarnation.cmp(&self.incarnation) {
+                std::cmp::Ordering::Greater => {
+                    self.incarnation = incarnation;
+                    self.seen.clear();
+                }
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Equal => {}
+            }
+        } else {
+            // Buggy policy: one flat window across incarnations.
+            self.incarnation = self.incarnation.max(incarnation);
+        }
+        self.seen.insert(seq)
+    }
+
+    /// Whether `(incarnation, seq)` has been seen.
+    pub fn contains(&self, incarnation: u32, seq: u64) -> bool {
+        if self.scoped {
+            match incarnation.cmp(&self.incarnation) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => self.seen.contains(&seq),
+            }
+        } else {
+            self.seen.contains(&seq)
+        }
+    }
+
+    /// The newest sender incarnation observed.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn client_machine_walks_the_happy_path() {
+        let mut m = ClientMachine::new();
+        assert_eq!(
+            m.step(ClientEvent::Connected),
+            Some(ClientAction::SendHello)
+        );
+        assert_eq!(
+            m.step(ClientEvent::RecvWelcome),
+            Some(ClientAction::AdoptWelcome)
+        );
+        assert!(m.adopt_incarnation(1));
+        assert_eq!(
+            m.step(ClientEvent::RecvAssign),
+            Some(ClientAction::ApplyAssign)
+        );
+        assert_eq!(m.step(ClientEvent::RecvTick), Some(ClientAction::RunTick));
+        assert_eq!(m.step(ClientEvent::RecvShutdown), Some(ClientAction::Stop));
+        assert_eq!(m.state(), ClientState::Done);
+        assert_eq!(m.rejects(), 0);
+    }
+
+    #[test]
+    fn client_machine_rejects_undefined_and_holds_state() {
+        let mut m = ClientMachine::new();
+        assert_eq!(m.step(ClientEvent::RecvTick), None, "tick before connect");
+        assert_eq!(m.state(), ClientState::Disconnected);
+        assert_eq!(m.rejects(), 1);
+    }
+
+    #[test]
+    fn adopting_a_regressed_incarnation_is_refused() {
+        let mut m = ClientMachine::new();
+        assert!(m.adopt_incarnation(3));
+        assert!(!m.adopt_incarnation(2));
+        assert_eq!(m.held_incarnation(), Some(3));
+    }
+
+    #[test]
+    fn session_assigns_strictly_growing_incarnations() {
+        let mut s = SessionMachine::new();
+        assert_eq!(s.on_hello(0), HelloOutcome::Admitted(1));
+        assert_eq!(s.state(), SessionState::Assigned);
+        // Reconnect of the same life keeps it.
+        assert_eq!(s.on_hello(1), HelloOutcome::Admitted(1));
+        // A restarted process gets a strictly newer one.
+        assert_eq!(s.on_hello(0), HelloOutcome::Admitted(2));
+    }
+
+    #[test]
+    fn draining_sessions_refuse_new_hellos() {
+        let mut s = SessionMachine::new();
+        assert_eq!(s.on_hello(0), HelloOutcome::Admitted(1));
+        assert_eq!(
+            s.step(SessionEvent::SendShutdown),
+            Some(SessionAction::Drain)
+        );
+        assert_eq!(s.on_hello(0), HelloOutcome::Refused);
+        assert_eq!(s.rejects(), 0, "a defined Ignore is not a reject");
+    }
+
+    #[test]
+    fn dedup_model_scopes_the_window_to_the_incarnation() {
+        let mut m = DedupModel::new();
+        assert!(m.insert(1, 1));
+        assert!(m.insert(1, 2));
+        assert!(!m.insert(1, 1), "replay within a life");
+        // A restarted sender's seqs start over and must land fresh.
+        assert!(m.insert(2, 1), "fresh incarnation resets the window");
+        assert!(!m.insert(1, 3), "stale life is always seen");
+        assert!(m.contains(1, 99), "stale life is always seen");
+        assert!(!m.contains(3, 1), "future life is never seen");
+    }
+
+    #[test]
+    fn unscoped_dedup_model_reproduces_the_seq_restart_swallow() {
+        let mut m = DedupModel::with_policy(DedupPolicy {
+            incarnation_scoped: false,
+        });
+        assert!(m.insert(1, 1));
+        assert!(
+            !m.insert(2, 1),
+            "the buggy flat window swallows the restarted sender's frame"
+        );
+    }
+}

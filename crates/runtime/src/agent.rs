@@ -11,7 +11,8 @@
 //! transport (the deterministic default) the agent behaves exactly as
 //! it always has. On an unreliable one it runs an ARQ layer: every
 //! data frame carries a sequence number, receivers ack and
-//! deduplicate (via [`SeqTracker`]), and unacked frames are
+//! deduplicate (via [`SeqTracker`](crate::transport::SeqTracker)),
+//! and unacked frames are
 //! retransmitted on an exponential-backoff timer until a retry budget
 //! runs out.
 

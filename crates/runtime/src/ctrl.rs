@@ -90,15 +90,29 @@ pub enum CtrlMsg {
 /// Control-frame decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CtrlError {
-    /// Buffer ends before the field being read.
+    /// Buffer ends before the fixed magic/version/tag header.
     Truncated,
+    /// Buffer ends inside the payload of a recognized message kind.
+    TruncatedPayload {
+        /// The wire tag of the kind whose payload was cut short.
+        kind: u8,
+    },
+    /// A recognized message kind decoded cleanly but left unread bytes
+    /// — either a corrupt frame or a future protocol revision that
+    /// widened the payload.
+    TrailingBytes {
+        /// The wire tag of the kind that left bytes behind.
+        kind: u8,
+        /// How many bytes were left unread.
+        extra: usize,
+    },
     /// Magic marker mismatch — not a control frame.
     BadMagic(u16),
     /// Unsupported control-protocol version.
     BadVersion(u8),
-    /// Unknown message tag.
-    BadTag(u8),
-    /// A declared collection length is hostile (exceeds [`MAX_ITEMS`]).
+    /// Unknown (likely future) message kind tag.
+    UnknownKind(u8),
+    /// A declared collection length is hostile (exceeds `MAX_ITEMS`).
     BadCount(u32),
     /// Unknown aggregation tag inside an assignment.
     BadAggregation(u8),
@@ -107,10 +121,16 @@ pub enum CtrlError {
 impl fmt::Display for CtrlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CtrlError::Truncated => write!(f, "control frame truncated"),
+            CtrlError::Truncated => write!(f, "control frame truncated before header"),
+            CtrlError::TruncatedPayload { kind } => {
+                write!(f, "control payload truncated (kind tag {kind})")
+            }
+            CtrlError::TrailingBytes { kind, extra } => {
+                write!(f, "{extra} trailing byte(s) after control kind tag {kind}")
+            }
             CtrlError::BadMagic(m) => write!(f, "bad control magic {m:#06x}"),
             CtrlError::BadVersion(v) => write!(f, "unsupported control version {v}"),
-            CtrlError::BadTag(t) => write!(f, "unknown control tag {t}"),
+            CtrlError::UnknownKind(t) => write!(f, "unknown control kind tag {t}"),
             CtrlError::BadCount(n) => write!(f, "hostile collection length {n}"),
             CtrlError::BadAggregation(a) => write!(f, "unknown aggregation tag {a}"),
         }
@@ -189,8 +209,27 @@ impl CtrlMsg {
         buf.freeze()
     }
 
+    /// The abstract protocol kind of this frame — the alphabet the
+    /// `remo-proto` spec tables are written over. Stepping the shared
+    /// spec machines starts here.
+    pub fn kind(&self) -> remo_proto::CtrlKind {
+        match self {
+            CtrlMsg::Hello { .. } => remo_proto::CtrlKind::Hello,
+            CtrlMsg::Welcome { .. } => remo_proto::CtrlKind::Welcome,
+            CtrlMsg::Assign { .. } => remo_proto::CtrlKind::Assign,
+            CtrlMsg::Tick { .. } => remo_proto::CtrlKind::Tick,
+            CtrlMsg::Report { .. } => remo_proto::CtrlKind::Report,
+            CtrlMsg::Degrade { .. } => remo_proto::CtrlKind::Degrade,
+            CtrlMsg::Shutdown => remo_proto::CtrlKind::Shutdown,
+        }
+    }
+
     /// Decodes a control frame. Never panics: any malformed, hostile,
-    /// or truncated input yields a [`CtrlError`].
+    /// or truncated input yields a structured [`CtrlError`] — unknown
+    /// (future) kinds are [`CtrlError::UnknownKind`], a payload cut
+    /// short inside a known kind is [`CtrlError::TruncatedPayload`],
+    /// and unread bytes after a clean payload decode are
+    /// [`CtrlError::TrailingBytes`].
     pub fn decode(mut buf: Bytes) -> Result<Self, CtrlError> {
         if buf.remaining() < 4 {
             return Err(CtrlError::Truncated);
@@ -204,61 +243,78 @@ impl CtrlMsg {
             return Err(CtrlError::BadVersion(version));
         }
         let tag = buf.get_u8();
-        match tag {
-            0 => Ok(CtrlMsg::Hello {
-                node: NodeId(get_u32(&mut buf)?),
-                incarnation: get_u32(&mut buf)?,
-            }),
-            1 => Ok(CtrlMsg::Welcome {
-                capacity: get_f64(&mut buf)?,
-                per_message: get_f64(&mut buf)?,
-                per_value: get_f64(&mut buf)?,
-                net: NetConfig {
-                    base_rto: get_u64(&mut buf)?,
-                    max_attempts: get_u32(&mut buf)?,
-                    ingress_capacity: get_u64(&mut buf)? as usize,
-                    high_watermark: get_f64(&mut buf)?,
-                    low_watermark: get_f64(&mut buf)?,
-                    max_degrade_level: get_u32(&mut buf)?,
-                    record_deliveries: get_u8(&mut buf)? != 0,
-                },
-                incarnation: get_u32(&mut buf)?,
-                epoch: get_u64(&mut buf)?,
-            }),
-            2 => {
-                let count = get_u32(&mut buf)?;
-                if count > MAX_ITEMS {
-                    return Err(CtrlError::BadCount(count));
-                }
-                let mut assignments = Vec::new();
-                for _ in 0..count {
-                    assignments.push(decode_assignment(&mut buf)?);
-                }
-                Ok(CtrlMsg::Assign { assignments })
-            }
-            3 => Ok(CtrlMsg::Tick {
-                epoch: get_u64(&mut buf)?,
-            }),
-            4 => Ok(CtrlMsg::Report {
-                report: TickReport {
-                    node: NodeId(get_u32(&mut buf)?),
-                    epoch: get_u64(&mut buf)?,
-                    sent_messages: get_u32(&mut buf)?,
-                    sent_readings: get_u32(&mut buf)?,
-                    dropped_messages: get_u32(&mut buf)?,
-                    dropped_readings: get_u32(&mut buf)?,
-                    volume: get_f64(&mut buf)?,
-                    retransmits: get_u32(&mut buf)?,
-                    dup_ignored: get_u32(&mut buf)?,
-                    abandoned: get_u32(&mut buf)?,
-                },
-            }),
-            5 => Ok(CtrlMsg::Degrade {
-                factor: get_u64(&mut buf)?,
-            }),
-            6 => Ok(CtrlMsg::Shutdown),
-            other => Err(CtrlError::BadTag(other)),
+        let msg = decode_payload(tag, &mut buf).map_err(|e| match e {
+            // Attribute payload truncation to the kind being decoded;
+            // bare `Truncated` is reserved for the fixed header.
+            CtrlError::Truncated => CtrlError::TruncatedPayload { kind: tag },
+            other => other,
+        })?;
+        if buf.remaining() > 0 {
+            return Err(CtrlError::TrailingBytes {
+                kind: tag,
+                extra: buf.remaining(),
+            });
         }
+        Ok(msg)
+    }
+}
+
+/// Decodes the payload of a control frame whose header named `tag`.
+fn decode_payload(tag: u8, buf: &mut Bytes) -> Result<CtrlMsg, CtrlError> {
+    match tag {
+        0 => Ok(CtrlMsg::Hello {
+            node: NodeId(get_u32(buf)?),
+            incarnation: get_u32(buf)?,
+        }),
+        1 => Ok(CtrlMsg::Welcome {
+            capacity: get_f64(buf)?,
+            per_message: get_f64(buf)?,
+            per_value: get_f64(buf)?,
+            net: NetConfig {
+                base_rto: get_u64(buf)?,
+                max_attempts: get_u32(buf)?,
+                ingress_capacity: get_u64(buf)? as usize,
+                high_watermark: get_f64(buf)?,
+                low_watermark: get_f64(buf)?,
+                max_degrade_level: get_u32(buf)?,
+                record_deliveries: get_u8(buf)? != 0,
+            },
+            incarnation: get_u32(buf)?,
+            epoch: get_u64(buf)?,
+        }),
+        2 => {
+            let count = get_u32(buf)?;
+            if count > MAX_ITEMS {
+                return Err(CtrlError::BadCount(count));
+            }
+            let mut assignments = Vec::new();
+            for _ in 0..count {
+                assignments.push(decode_assignment(buf)?);
+            }
+            Ok(CtrlMsg::Assign { assignments })
+        }
+        3 => Ok(CtrlMsg::Tick {
+            epoch: get_u64(buf)?,
+        }),
+        4 => Ok(CtrlMsg::Report {
+            report: TickReport {
+                node: NodeId(get_u32(buf)?),
+                epoch: get_u64(buf)?,
+                sent_messages: get_u32(buf)?,
+                sent_readings: get_u32(buf)?,
+                dropped_messages: get_u32(buf)?,
+                dropped_readings: get_u32(buf)?,
+                volume: get_f64(buf)?,
+                retransmits: get_u32(buf)?,
+                dup_ignored: get_u32(buf)?,
+                abandoned: get_u32(buf)?,
+            },
+        }),
+        5 => Ok(CtrlMsg::Degrade {
+            factor: get_u64(buf)?,
+        }),
+        6 => Ok(CtrlMsg::Shutdown),
+        other => Err(CtrlError::UnknownKind(other)),
     }
 }
 

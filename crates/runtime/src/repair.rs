@@ -3,7 +3,7 @@
 //! `remo-collector` service.
 //!
 //! [`RepairEngine`] wraps the self-healing
-//! [`AdaptivePlanner`](remo_core::adapt::AdaptivePlanner): it applies
+//! [`AdaptivePlanner`]: it applies
 //! confirmed failures and recoveries, re-derives every node's tree
 //! assignments, and reports which nodes actually changed so the caller
 //! can send *targeted* reconfiguration — `AgentMsg::Reconfigure` over

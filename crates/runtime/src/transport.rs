@@ -745,11 +745,28 @@ impl SeqTracker {
 pub struct IncarnationTracker {
     incarnation: u32,
     seqs: SeqTracker,
+    /// Debug-build shadow of the `remo-proto` dedup specification: the
+    /// compact watermark implementation must agree with the explicit
+    /// seen-set model on every call, or the disagreement is a spec
+    /// violation caught at the exact call site.
+    #[cfg(debug_assertions)]
+    shadow: remo_proto::DedupModel,
 }
 
 impl IncarnationTracker {
     /// Records `(incarnation, seq)`; returns `true` iff never seen.
     pub fn insert(&mut self, incarnation: u32, seq: u64) -> bool {
+        let fresh = self.insert_impl(incarnation, seq);
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            fresh,
+            self.shadow.insert(incarnation, seq),
+            "IncarnationTracker::insert({incarnation}, {seq}) diverged from the spec model"
+        );
+        fresh
+    }
+
+    fn insert_impl(&mut self, incarnation: u32, seq: u64) -> bool {
         match incarnation.cmp(&self.incarnation) {
             std::cmp::Ordering::Greater => {
                 self.incarnation = incarnation;
@@ -764,11 +781,18 @@ impl IncarnationTracker {
     /// Whether `(incarnation, seq)` has been seen. Frames from older
     /// incarnations always have; frames from newer ones never have.
     pub fn contains(&self, incarnation: u32, seq: u64) -> bool {
-        match incarnation.cmp(&self.incarnation) {
+        let seen = match incarnation.cmp(&self.incarnation) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => self.seqs.contains(seq),
-        }
+        };
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            seen,
+            self.shadow.contains(incarnation, seq),
+            "IncarnationTracker::contains({incarnation}, {seq}) diverged from the spec model"
+        );
+        seen
     }
 
     /// The newest sender incarnation observed.

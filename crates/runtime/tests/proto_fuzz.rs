@@ -9,7 +9,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use proptest::prelude::*;
 use remo_core::{AttrId, NodeId};
-use remo_runtime::ctrl::CtrlMsg;
+use remo_runtime::ctrl::{CtrlError, CtrlMsg, CTRL_MAGIC, CTRL_VERSION};
 use remo_runtime::framing::{Envelope, FrameDecoder, FrameError, MAX_FRAME_LEN};
 use remo_runtime::proto::{DecodeError, WireMessage, WireReading, HEADER_LEN, MAGIC, VERSION};
 
@@ -208,6 +208,78 @@ proptest! {
         let pos = (pos % raw.len() as u64) as usize;
         raw[pos] = val as u8;
         let _ = CtrlMsg::decode(Bytes::from(raw));
+    }
+
+    /// Regression (failed before the decode hardening): a valid frame
+    /// followed by garbage must not decode — trailing bytes mean a
+    /// corrupt frame or a future, wider payload revision, and silently
+    /// accepting the prefix would misparse either.
+    #[test]
+    fn ctrl_trailing_bytes_are_rejected(
+        epoch in 0u64..u64::MAX,
+        extra in 1usize..32,
+    ) {
+        for (msg, tag) in [
+            (CtrlMsg::Tick { epoch }, 3u8),
+            (CtrlMsg::Degrade { factor: epoch }, 5),
+            (CtrlMsg::Shutdown, 6),
+        ] {
+            let mut raw = msg.encode().to_vec();
+            raw.extend(std::iter::repeat_n(0xAB, extra));
+            prop_assert_eq!(
+                CtrlMsg::decode(Bytes::from(raw)),
+                Err(CtrlError::TrailingBytes { kind: tag, extra })
+            );
+        }
+    }
+
+    /// Regression: an unknown (future) message kind is a structured
+    /// [`CtrlError::UnknownKind`] carrying the tag, whatever bytes
+    /// follow it.
+    #[test]
+    fn ctrl_unknown_kinds_are_structured(
+        tag in 7u16..256,
+        body in prop::collection::vec(0u16..256, 0..64),
+    ) {
+        let tag = tag as u8;
+        let mut buf = BytesMut::new();
+        buf.put_u16(CTRL_MAGIC);
+        buf.put_u8(CTRL_VERSION);
+        buf.put_u8(tag);
+        for b in body {
+            buf.put_u8(b as u8);
+        }
+        prop_assert_eq!(
+            CtrlMsg::decode(buf.freeze()),
+            Err(CtrlError::UnknownKind(tag))
+        );
+    }
+
+    /// Regression: payload truncation is attributed to the kind being
+    /// decoded — `Truncated` alone is reserved for a frame cut inside
+    /// the fixed header.
+    #[test]
+    fn ctrl_payload_truncations_attribute_the_kind(cut in 0u64..u64::MAX) {
+        for (msg, tag) in [
+            (
+                CtrlMsg::Hello {
+                    node: NodeId(1),
+                    incarnation: 2,
+                },
+                0u8,
+            ),
+            (CtrlMsg::Tick { epoch: 3 }, 3),
+            (CtrlMsg::Degrade { factor: 4 }, 5),
+        ] {
+            let full = msg.encode();
+            let cut = (cut % full.len() as u64) as usize; // strict prefix
+            let err = CtrlMsg::decode(full.slice(..cut)).unwrap_err();
+            if cut < 4 {
+                prop_assert_eq!(err, CtrlError::Truncated);
+            } else {
+                prop_assert_eq!(err, CtrlError::TruncatedPayload { kind: tag });
+            }
+        }
     }
 }
 

@@ -79,6 +79,47 @@ if [[ "${1:-}" == "--static-smoke" ]]; then
   exit 0
 fi
 
+# --proto-smoke: protocol verifier gate — the shipped control-plane
+# spec must verify clean, every known-bad corpus spec must trip
+# exactly its RA022–RA025 rule (checked via the SARIF ruleIds), and
+# the CLI exit codes must hold (0 clean, 1 findings). Depth 14 reaches
+# every corpus bug while keeping the whole sweep under a second warm;
+# exits without running the gate.
+if [[ "${1:-}" == "--proto-smoke" ]]; then
+  echo "==> remo-proto verify (shipped + corpus) + SARIF"
+  proto_dir="$(mktemp -d)"
+  trap 'rm -rf "$proto_dir"' EXIT
+  cargo build -q --release -p remo-proto
+  target/release/remo-proto verify --depth 14
+  for case_rule in \
+    client-drops-conn-lost:RA022 \
+    undefined-stale-report:RA023 \
+    straggler-resurrection:RA023 \
+    incarnation-reuse:RA024 \
+    seq-restart-swallow:RA024 \
+    unbounded-retransmit:RA025; do
+    name="${case_rule%%:*}"; code="${case_rule##*:}"
+    target/release/remo-proto --example "$name" > "$proto_dir/$name.json"
+    rc=0
+    target/release/remo-proto verify "$proto_dir/$name.json" \
+      --depth 14 --sarif "$proto_dir/$name.sarif.json" > /dev/null || rc=$?
+    if [[ "$rc" != 1 ]]; then
+      echo "corpus case $name: expected exit 1, got $rc" >&2; exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+      python3 - "$proto_dir/$name.sarif.json" "$code" "$name" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rules = {r["ruleId"] for r in doc["runs"][0]["results"]}
+assert rules == {sys.argv[2]}, \
+    f"corpus case {sys.argv[3]} must trip exactly {sys.argv[2]}, got {sorted(rules)}"
+EOF
+    fi
+  done
+  echo "proto smoke passed."
+  exit 0
+fi
+
 # --net-smoke: fast seeded lossy-network soak — wire-decoder fuzz
 # tests plus the mini chaos soak (drops, delay, duplication, a
 # partition window, and a node outage over 80 epochs) asserting
@@ -174,10 +215,23 @@ cargo clippy --all-targets --all-features -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Rustdoc must build clean: broken intra-doc links and bad code fences
+# rot silently otherwise. The remo crates only — the vendored stubs
+# under vendor/ are path dependencies, not part of the product surface.
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p remo -p remo-core -p remo-sim -p remo-runtime -p remo-workloads \
+  -p remo-audit -p remo-mc -p remo-proto -p remo-static -p remo-node \
+  -p remo-obs -p remo-bench
+
 # Pre-flight analyzer smoke (also covered by cargo test above; kept as
 # an explicit gate step so CLI exit codes and SARIF stay honest).
 echo "==> static smoke"
 "$0" --static-smoke
+
+# Protocol verifier smoke: shipped spec clean, corpus trips its rules.
+echo "==> proto smoke"
+"$0" --proto-smoke
 
 # Interleaving tests for the epoch-deadline health detector and the
 # token-bucket throttle. The loom cfg swaps in the vendored
